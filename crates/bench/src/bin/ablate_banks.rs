@@ -1,0 +1,26 @@
+//! Bank-count ablation (validates the 16-bank choice of §IV-B1/VI-B):
+//! access energy falls with more banks while area overhead rises.
+
+use morph_bench::print_table;
+use morph_energy::cacti::{sram_access_pj, sram_area_mm2};
+
+fn main() {
+    let mut rows = Vec::new();
+    for banks in [1usize, 2, 4, 8, 16, 32, 64] {
+        let l2 = 1usize << 20;
+        let l0 = 16usize << 10;
+        rows.push(vec![
+            banks.to_string(),
+            format!("{:.2}", sram_access_pj(l2 / banks, 8)),
+            format!("{:+.2}%", 100.0 * (sram_area_mm2(l2, banks) / sram_area_mm2(l2, 1) - 1.0)),
+            format!("{:.2}", sram_access_pj(l0 / banks, 4)),
+            format!("{:+.2}%", 100.0 * (sram_area_mm2(l0, banks) / sram_area_mm2(l0, 1) - 1.0)),
+        ]);
+    }
+    print_table(
+        "Bank-count ablation (1 MB L2 / 16 kB L0)",
+        &["banks", "L2 pJ/access", "L2 area ovh", "L0 pJ/access", "L0 area ovh"],
+        &rows,
+    );
+    println!("\n16 banks sit at the knee: most of the access-energy saving at a few percent area (the paper reports +4.9% for the 16-banked 1 MB L2).");
+}

@@ -1,0 +1,27 @@
+//! Figure 1b: average data reuse (MACCs per byte of input+filter
+//! footprint) for the six Fig. 1 networks.
+
+use morph_bench::print_table;
+use morph_nets::{stats, zoo};
+
+fn main() {
+    let rows: Vec<Vec<String>> = zoo::figure1_networks()
+        .iter()
+        .map(|net| {
+            let r = stats::reuse_summary(net);
+            vec![
+                r.name.to_string(),
+                if r.is_3d { "3D" } else { "2D" }.into(),
+                format!("{:.2}", r.maccs as f64 / 1e9),
+                format!("{:.2}", r.footprint_bytes as f64 / 1e6),
+                format!("{:.0}", r.reuse),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 1b — average data reuse",
+        &["network", "kind", "GMACs", "footprint (MB)", "MACCs/byte"],
+        &rows,
+    );
+    println!("\nPaper shape: 3D CNNs sit well above the 2D CNNs (higher compute per byte, Observation 3).");
+}

@@ -1,0 +1,42 @@
+//! Figure 4a: access energy per C3D layer as a function of the *outer*
+//! loop order — the two K extremes, the average-best `[WHCKF]`, and the
+//! per-layer Opt. For each bar, tile sizes and inner orders are swept and
+//! the lowest-energy point is shown (§III-A methodology).
+
+use morph_bench::print_table;
+use morph_core::ArchSpec;
+use morph_energy::EnergyModel;
+use morph_nets::zoo;
+use morph_optimizer::{Objective, Optimizer};
+
+fn main() {
+    let net = zoo::c3d();
+    let arch = ArchSpec::morph();
+    let effort = morph_bench::effort_from_env();
+    let orders = ["KWHCF", "WFHCK", "WHCKF"];
+
+    let mut rows = Vec::new();
+    for layer in net.conv_layers() {
+        let mut row = vec![layer.name.clone()];
+        let mut best = f64::INFINITY;
+        for order in orders {
+            let opt = Optimizer::morph(EnergyModel::morph(arch), effort)
+                .with_outer_orders(vec![order.parse().unwrap()]);
+            let r = opt.search_layer(&layer.shape, Objective::Energy).report;
+            row.push(format!("{:.3}", r.total_pj() / 1e9));
+            best = best.min(r.dynamic_pj());
+        }
+        // Opt: free choice of outer order per layer.
+        let opt = Optimizer::morph(EnergyModel::morph(arch), effort);
+        let d = opt.search_layer(&layer.shape, Objective::Energy);
+        row.push(format!("{:.3}", d.report.total_pj() / 1e9));
+        row.push(d.config.outer_order().to_string());
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 4a — C3D energy (mJ, total) vs outer loop order",
+        &["layer", "[KWHCF]", "[WFHCK]", "[WHCKF]", "Opt", "Opt order"],
+        &rows,
+    );
+    println!("\nPaper shape: K-extreme orders win early OR late but not both; [WHCKF] is best on average; Opt beats all fixed orders.");
+}

@@ -1,0 +1,22 @@
+//! Run every experiment binary in sequence, teeing output into
+//! `experiments_out/`. Used to produce the data in EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "tables", "table4", "fig1a", "fig1b", "ratematch", "ablate_banks", "ablate_levels",
+        "fig5", "fig4a", "fig4b", "fig4c", "table3", "fig9", "fig10", "ablate_flex",
+    ];
+    std::fs::create_dir_all("experiments_out").expect("create output dir");
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        eprintln!(">>> {bin}");
+        let out = Command::new(dir.join(bin)).output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+        assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+        std::fs::write(format!("experiments_out/{bin}.txt"), &out.stdout).expect("write output");
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+    }
+    eprintln!(">>> all experiments written to experiments_out/");
+}

@@ -1,0 +1,60 @@
+//! # morph-bench
+//!
+//! Experiment harness for the Morph reproduction: one binary per figure
+//! and table of the paper's evaluation (see `src/bin/`), plus Criterion
+//! micro-benchmarks of the simulator itself (see `benches/`).
+//!
+//! Every binary prints a self-describing table to stdout; `run_all`
+//! executes the full set and writes `experiments_out/*.txt`.
+
+#![warn(missing_docs)]
+
+use morph_energy::EnergyReport;
+
+/// Print a markdown-ish table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Format energy in mJ with 3 decimal places.
+pub fn mj(r: &EnergyReport) -> String {
+    format!("{:.3}", r.total_pj() / 1e9)
+}
+
+/// Format a ratio as `x.xx×`.
+pub fn ratio(a: f64, b: f64) -> String {
+    format!("{:.2}x", a / b)
+}
+
+/// The five Fig. 9 component labels.
+pub const FIG9_COMPONENTS: [&str; 5] = ["DRAM", "L2", "L1", "L0", "Compute"];
+
+/// Search effort taken from `MORPH_EFFORT` (`fast` default, `thorough`).
+pub fn effort_from_env() -> morph_optimizer::Effort {
+    match std::env::var("MORPH_EFFORT").as_deref() {
+        Ok("thorough") => morph_optimizer::Effort::Thorough,
+        _ => morph_optimizer::Effort::Fast,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(5.0, 2.0), "2.50x");
+    }
+
+    #[test]
+    fn mj_scales_pj() {
+        let mut r = EnergyReport::zero();
+        r.compute_pj = 2.5e9;
+        assert_eq!(mj(&r), "2.500");
+    }
+}

@@ -1,0 +1,95 @@
+//! Network-level evaluation reports and formatting helpers.
+
+use morph_energy::EnergyReport;
+
+/// Per-network evaluation: one [`EnergyReport`] per layer plus the total.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Network name.
+    pub network: &'static str,
+    /// Accelerator name.
+    pub accelerator: &'static str,
+    /// Per-layer `(name, report)` pairs, in network order.
+    pub layers: Vec<(String, EnergyReport)>,
+    /// Sum over layers.
+    pub total: EnergyReport,
+}
+
+impl NetworkReport {
+    /// Energy normalized to another report (Fig. 9's y-axis).
+    pub fn normalized_energy(&self, baseline: &NetworkReport) -> f64 {
+        self.total.total_pj() / baseline.total.total_pj()
+    }
+
+    /// Perf/W normalized to another report (Fig. 10's y-axis).
+    pub fn normalized_perf_per_watt(&self, baseline: &NetworkReport) -> f64 {
+        self.total.perf_per_watt() / baseline.total.perf_per_watt()
+    }
+
+    /// Render the five Fig. 9 stack components as percentages of total
+    /// dynamic energy.
+    pub fn breakdown_percent(&self) -> [f64; 5] {
+        let c = self.total.fig9_components();
+        let sum: f64 = c.iter().sum();
+        c.map(|x| 100.0 * x / sum.max(f64::MIN_POSITIVE))
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} on {}: {:.3} mJ total ({:.3} mJ dynamic), {:.2} ms, util {:.1}%",
+            self.network,
+            self.accelerator,
+            self.total.total_pj() / 1e9,
+            self.total.dynamic_pj() / 1e9,
+            self.total.cycles.total as f64 / 1e6,
+            100.0 * self.total.cycles.utilization(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Accelerator, Objective};
+    use morph_nets::Network;
+    use morph_tensor::shape::ConvShape;
+
+    fn tiny_net() -> Network {
+        let mut n = Network::new("tiny");
+        n.conv("c1", ConvShape::new_3d(8, 8, 4, 4, 8, 3, 3, 3).with_pad(1, 1));
+        n.conv("c2", ConvShape::new_3d(8, 8, 4, 8, 8, 3, 3, 3).with_pad(1, 1));
+        n
+    }
+
+    #[test]
+    fn totals_sum_layers() {
+        let rep = Accelerator::morph().run_network(&tiny_net(), Objective::Energy);
+        assert_eq!(rep.layers.len(), 2);
+        let sum: f64 = rep.layers.iter().map(|(_, r)| r.total_pj()).sum();
+        assert!((rep.total.total_pj() - sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_sums_to_100() {
+        let rep = Accelerator::morph_base().run_network(&tiny_net(), Objective::Energy);
+        let total: f64 = rep.breakdown_percent().iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_is_reciprocal() {
+        let a = Accelerator::morph().run_network(&tiny_net(), Objective::Energy);
+        let b = Accelerator::morph_base().run_network(&tiny_net(), Objective::Energy);
+        let x = a.normalized_energy(&b);
+        let y = b.normalized_energy(&a);
+        assert!((x * y - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_names() {
+        let rep = Accelerator::eyeriss().run_network(&tiny_net(), Objective::Energy);
+        let s = rep.summary();
+        assert!(s.contains("tiny") && s.contains("Eyeriss"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-dimension piece lists: the exact arithmetic under the traffic model.
+//!
+//! Multi-level tiling slices each tiled dimension into nested pieces
+//! (tiles, sub-tiles, …, §II-D). Because the loop nest visits every
+//! combination of per-dimension pieces, traffic sums factorize per
+//! dimension; this module produces, for one dimension, the exact piece
+//! sequence (remainders included) and the input-coordinate extent sums the
+//! engine needs — with halo overlap, slide reuse (§II-E) and edge clipping
+//! against the real (unpadded) input extent.
+
+/// Geometry of one tiled dimension of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimSpec {
+    /// Output extent (trip space of the tiled loops).
+    pub out_extent: usize,
+    /// Convolution stride along this dimension (1 for `C`/`K`).
+    pub stride: usize,
+    /// Filter extent along this dimension (`R`, `S`, `T`; 1 for `C`/`K`).
+    pub kernel: usize,
+    /// Zero padding at each edge (0 for `C`/`K`).
+    pub pad: usize,
+    /// Real (unpadded) input extent; fetches are clipped to it.
+    pub in_extent: usize,
+}
+
+impl DimSpec {
+    /// A channel-like dimension (`C`, `K`): no window, no padding.
+    pub fn channel(extent: usize) -> Self {
+        Self { out_extent: extent, stride: 1, kernel: 1, pad: 0, in_extent: extent }
+    }
+
+    /// A sliding-window dimension (`H`, `W`, `F`).
+    pub fn window(out_extent: usize, stride: usize, kernel: usize, pad: usize, in_extent: usize) -> Self {
+        Self { out_extent, stride, kernel, pad, in_extent }
+    }
+
+    /// Clipped input-coordinate extent of an output-coordinate range
+    /// `[offset, offset + size)`.
+    pub fn in_span(&self, offset: usize, size: usize) -> (i64, i64) {
+        debug_assert!(size >= 1);
+        let start = offset as i64 * self.stride as i64 - self.pad as i64;
+        let end = (offset + size - 1) as i64 * self.stride as i64 + self.kernel as i64 - self.pad as i64;
+        (start.clamp(0, self.in_extent as i64), end.clamp(0, self.in_extent as i64))
+    }
+
+    /// Clipped input extent (element count) of an output range.
+    pub fn in_extent_of(&self, offset: usize, size: usize) -> u64 {
+        let (a, b) = self.in_span(offset, size);
+        (b - a).max(0) as u64
+    }
+
+    /// Nominal (unclipped) input extent of a tile of `size` outputs —
+    /// the worst-case footprint used for buffer-capacity checks.
+    pub fn nominal_in_extent(&self, size: usize) -> u64 {
+        ((size - 1) * self.stride + self.kernel) as u64
+    }
+}
+
+/// One piece of a dimension after nesting all tiling levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Piece {
+    /// Output-coordinate offset.
+    pub offset: usize,
+    /// Output-coordinate size (≥ 1).
+    pub size: usize,
+}
+
+/// The nested piece structure of one dimension across tiling levels.
+#[derive(Debug, Clone)]
+pub struct DimPieces {
+    /// Tile extents per level, outermost first (level 0 = first on-chip level).
+    pub level_tiles: Vec<usize>,
+    /// Piece counts after nesting levels `0..=j`.
+    pub counts: Vec<usize>,
+    /// Final piece list (deepest level), ascending offsets.
+    pub pieces: Vec<Piece>,
+}
+
+impl DimPieces {
+    /// Slice `extent` by the per-level tile extents (outermost first).
+    /// Each level's tile size is clamped to its parent's.
+    pub fn build(extent: usize, level_tiles: &[usize]) -> Self {
+        assert!(extent >= 1, "dimension extent must be >= 1");
+        assert!(level_tiles.iter().all(|&t| t >= 1), "tile extents must be >= 1");
+        let mut pieces = vec![Piece { offset: 0, size: extent }];
+        let mut counts = Vec::with_capacity(level_tiles.len());
+        let mut effective = Vec::with_capacity(level_tiles.len());
+        for &tile in level_tiles {
+            let mut next = Vec::with_capacity(pieces.len());
+            for p in &pieces {
+                let t = tile.min(p.size);
+                let mut off = p.offset;
+                let end = p.offset + p.size;
+                while off < end {
+                    let size = t.min(end - off);
+                    next.push(Piece { offset: off, size });
+                    off += size;
+                }
+            }
+            pieces = next;
+            counts.push(pieces.len());
+            effective.push(tile);
+        }
+        Self { level_tiles: effective, counts, pieces }
+    }
+
+    /// Piece count after nesting levels `0..=j`; `count_at(-1)` (i.e.
+    /// `j == usize::MAX`) is treated as 1 by [`Self::trips_at`].
+    pub fn count_at(&self, level: usize) -> usize {
+        self.counts[level]
+    }
+
+    /// Whether the loop of this dimension at `level` has more than one
+    /// trip anywhere in the iteration space.
+    pub fn trips_at(&self, level: usize) -> usize {
+        let parent = if level == 0 { 1 } else { self.counts[level - 1] };
+        self.counts[level].div_ceil(parent)
+    }
+
+    /// True if the final piece at `idx` starts a new run of the loop at
+    /// `level` (i.e. is the first child within its level-`level−1` parent).
+    pub fn is_run_start(&self, idx: usize, level: usize) -> bool {
+        if level == 0 {
+            return idx == 0;
+        }
+        let parent_tile = self.level_tiles[level - 1];
+        self.pieces[idx].offset % parent_tile == 0
+    }
+
+    /// Σ over final pieces of clipped input extents (no slide reuse).
+    pub fn input_sum_full(&self, spec: &DimSpec) -> u64 {
+        self.pieces.iter().map(|p| spec.in_extent_of(p.offset, p.size)).sum()
+    }
+
+    /// Σ over final pieces of clipped input extents with slide reuse
+    /// (§II-E): within a run of the loop at `run_level`, consecutive pieces
+    /// fetch only the input rows not already resident.
+    pub fn input_sum_slide(&self, spec: &DimSpec, run_level: usize) -> u64 {
+        let mut total = 0u64;
+        let mut prev_end: i64 = 0;
+        for (i, p) in self.pieces.iter().enumerate() {
+            let (start, end) = spec.in_span(p.offset, p.size);
+            if self.is_run_start(i, run_level) {
+                total += (end - start).max(0) as u64;
+            } else {
+                total += (end - start.max(prev_end)).max(0) as u64;
+            }
+            prev_end = end;
+        }
+        total
+    }
+
+    /// Σ over final pieces of output sizes — always the full extent.
+    pub fn output_sum(&self) -> u64 {
+        self.pieces.iter().map(|p| p.size as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_even_split() {
+        let d = DimPieces::build(12, &[4]);
+        assert_eq!(d.counts, vec![3]);
+        assert_eq!(d.pieces.len(), 3);
+        assert!(d.pieces.iter().all(|p| p.size == 4));
+    }
+
+    #[test]
+    fn remainder_pieces() {
+        let d = DimPieces::build(10, &[4, 3]);
+        // L2: [4,4,2]; L1 inside: [3,1],[3,1],[2] → 5 pieces.
+        assert_eq!(d.counts, vec![3, 5]);
+        let sizes: Vec<_> = d.pieces.iter().map(|p| p.size).collect();
+        assert_eq!(sizes, vec![3, 1, 3, 1, 2]);
+        assert_eq!(d.output_sum(), 10);
+    }
+
+    #[test]
+    fn oversized_tile_clamps() {
+        let d = DimPieces::build(5, &[100, 2]);
+        assert_eq!(d.counts, vec![1, 3]);
+    }
+
+    #[test]
+    fn run_start_detection() {
+        let d = DimPieces::build(10, &[4, 2]);
+        // Pieces at offsets 0,2,4,6,8; parents at 0,4,8.
+        let starts: Vec<_> = (0..d.pieces.len()).map(|i| d.is_run_start(i, 1)).collect();
+        assert_eq!(starts, vec![true, false, true, false, true]);
+        // At level 0, only the very first piece starts a run.
+        let starts0: Vec<_> = (0..d.pieces.len()).map(|i| d.is_run_start(i, 0)).collect();
+        assert_eq!(starts0, vec![true, false, false, false, false]);
+    }
+
+    #[test]
+    fn input_sums_with_halo() {
+        // H=6 outputs, stride 1, kernel 3, no pad, in=8. Tiles of 2.
+        let spec = DimSpec::window(6, 1, 3, 0, 8);
+        let d = DimPieces::build(6, &[2]);
+        // Each tile covers 4 input rows; 3 tiles → 12 with halo overlap.
+        assert_eq!(d.input_sum_full(&spec), 12);
+        // Slide within the single level-0 run: 4 + 2 + 2 = 8 (whole input).
+        assert_eq!(d.input_sum_slide(&spec, 0), 8);
+    }
+
+    #[test]
+    fn padding_clips_edge_fetches() {
+        // H=4 out, stride 1, kernel 3, pad 1, in=4: edge tiles fetch less.
+        let spec = DimSpec::window(4, 1, 3, 1, 4);
+        let d = DimPieces::build(4, &[1]);
+        // Windows: [-1,2)→[0,2)=2, [0,3)=3, [1,4)=3, [2,5)→[2,4)=2. Σ=10.
+        assert_eq!(d.input_sum_full(&spec), 10);
+        // Slide over one run: 2 + 1 + 1 + 1 = ... ends at 3,4,4 → 2+1+1+0=4.
+        assert_eq!(d.input_sum_slide(&spec, 0), 4);
+    }
+
+    #[test]
+    fn stride_larger_than_kernel_leaves_gaps() {
+        // stride 4, kernel 2: disjoint windows, slide == full.
+        let spec = DimSpec::window(3, 4, 2, 0, 10);
+        let d = DimPieces::build(3, &[1]);
+        assert_eq!(d.input_sum_full(&spec), 6);
+        assert_eq!(d.input_sum_slide(&spec, 0), 6);
+    }
+
+    #[test]
+    fn channel_dims_have_no_halo() {
+        let spec = DimSpec::channel(9);
+        let d = DimPieces::build(9, &[4]);
+        assert_eq!(d.input_sum_full(&spec), 9);
+        assert_eq!(d.input_sum_slide(&spec, 0), 9);
+    }
+
+    #[test]
+    fn nominal_extent_is_worst_case() {
+        let spec = DimSpec::window(8, 2, 3, 1, 16);
+        assert_eq!(spec.nominal_in_extent(4), 9); // 3·2 + 3
+    }
+
+    #[test]
+    fn trips_at_levels() {
+        let d = DimPieces::build(12, &[6, 2, 2]);
+        assert_eq!(d.trips_at(0), 2);
+        assert_eq!(d.trips_at(1), 3);
+        assert_eq!(d.trips_at(2), 1); // L0 tile == L1 tile
+    }
+}

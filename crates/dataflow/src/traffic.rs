@@ -1,0 +1,456 @@
+//! The generic boundary-traffic engine.
+//!
+//! For every storage-level boundary (DRAM→L2, L2→L1, L1→L0, L0→registers)
+//! this module counts the bytes of each data type crossing the boundary,
+//! given the concatenated loop nest of all levels down to the destination.
+//!
+//! The model implements the paper's §II-E transfer rules exactly:
+//!
+//! * a data type is (re)loaded at the innermost loop of one of its
+//!   *relevant* dimensions — inputs: `W,H,C,F`; filters: `C,K`;
+//!   psums: `W,H,K,F`;
+//! * loops with a single trip never cause refetches, so a data type that
+//!   fits entirely at a level is fetched exactly once (the paper's
+//!   Fig. 4a remark);
+//! * along the innermost input-relevant sliding dimension, consecutive
+//!   tiles fetch only the non-overlapped halo region ("slide reuse");
+//! * partial sums spill and refill around any channel loop that iterates
+//!   outside a psum-relevant loop, at the §IV-B1 psum width; the final
+//!   pass writes requantized outputs at activation width.
+
+use crate::config::TilingConfig;
+use crate::pieces::{DimPieces, DimSpec};
+use morph_tensor::order::Dim;
+use morph_tensor::shape::{ConvShape, ACT_BYTES, WGT_BYTES};
+
+/// Bytes crossing one boundary, by data type and direction.
+///
+/// "Down" is parent→child (toward the ALUs); "up" is child→parent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundaryTraffic {
+    /// Input-activation bytes moved down.
+    pub input_down: u64,
+    /// Weight bytes moved down.
+    pub weight_down: u64,
+    /// Partial-sum refill bytes moved down (re-reads of spilled psums).
+    pub psum_down: u64,
+    /// Intermediate partial-sum writeback bytes moved up.
+    pub psum_up: u64,
+    /// Final output bytes moved up (activation width, once per output).
+    pub output_up: u64,
+}
+
+impl BoundaryTraffic {
+    /// Total bytes crossing the boundary in either direction.
+    pub fn total(&self) -> u64 {
+        self.input_down + self.weight_down + self.psum_down + self.psum_up + self.output_up
+    }
+
+    /// Bytes moved down only.
+    pub fn down(&self) -> u64 {
+        self.input_down + self.weight_down + self.psum_down
+    }
+
+    /// Bytes moved up only.
+    pub fn up(&self) -> u64 {
+        self.psum_up + self.output_up
+    }
+}
+
+/// Whole-layer traffic: one [`BoundaryTraffic`] per boundary, outermost
+/// (DRAM→first level) first, plus compute counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTraffic {
+    /// Per-boundary traffic; `boundaries[0]` is DRAM→L2.
+    pub boundaries: Vec<BoundaryTraffic>,
+    /// Multiply-accumulate operations.
+    pub maccs: u64,
+    /// Output elements of the layer.
+    pub outputs: u64,
+}
+
+impl LayerTraffic {
+    /// DRAM boundary traffic.
+    pub fn dram(&self) -> &BoundaryTraffic {
+        &self.boundaries[0]
+    }
+
+    /// Total bytes across all boundaries (a scalar "data movement" figure).
+    pub fn total_bytes(&self) -> u64 {
+        self.boundaries.iter().map(|b| b.total()).sum()
+    }
+}
+
+/// One loop of the concatenated nest: `(level, dim, nest position)`.
+#[derive(Debug, Clone, Copy)]
+struct NestLoop {
+    level: usize,
+    dim: Dim,
+}
+
+/// Per-dimension geometry + nested pieces for one layer/config pair.
+struct DimState {
+    spec: DimSpec,
+    pieces_per_boundary: Vec<DimPieces>,
+}
+
+fn dim_index(d: Dim) -> usize {
+    Dim::ALL.iter().position(|&x| x == d).unwrap()
+}
+
+fn relevant(d: Dim, ty: DataType) -> bool {
+    match ty {
+        DataType::Input => d.input_relevant(),
+        DataType::Weight => d.weight_relevant(),
+        DataType::Psum => d.psum_relevant(),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DataType {
+    Input,
+    Weight,
+    Psum,
+}
+
+/// Collapse broadcast-shareable transfers under spatial PE parallelism.
+///
+/// When `P` parallel PEs concurrently work on tiles that differ only in a
+/// dimension irrelevant to a data type (e.g. `Kp` PEs sharing one input,
+/// or `Hp·Wp·Fp` PEs sharing one filter), the broadcast NoC delivers the
+/// data once (§IV-A4). The sequential traffic engine counts those as
+/// separate loads; this pass divides the affected boundary transfers
+/// (every on-chip boundary below DRAM and above the registers) by the
+/// sharing degree.
+pub fn apply_multicast(traffic: &mut LayerTraffic, hp: usize, wp: usize, fp: usize, kp: usize) {
+    let n = traffic.boundaries.len();
+    if n < 3 {
+        return;
+    }
+    let input_share = kp.max(1) as u64;
+    let weight_share = (hp.max(1) * wp.max(1) * fp.max(1)) as u64;
+    for b in &mut traffic.boundaries[1..n - 1] {
+        b.input_down = b.input_down.div_ceil(input_share);
+        b.weight_down = b.weight_down.div_ceil(weight_share);
+    }
+}
+
+/// Compute the full multi-level traffic of a layer under a configuration.
+///
+/// The configuration should be geometrically valid (see
+/// [`TilingConfig::validate`]); call [`TilingConfig::normalize`] first for
+/// arbitrary candidates.
+pub fn layer_traffic(shape: &ConvShape, cfg: &TilingConfig) -> LayerTraffic {
+    let specs = [
+        DimSpec::window(shape.w_out(), shape.stride, shape.s, shape.pad, shape.w),
+        DimSpec::window(shape.h_out(), shape.stride, shape.r, shape.pad, shape.h),
+        DimSpec::channel(shape.c),
+        DimSpec::channel(shape.k),
+        DimSpec::window(shape.f_out(), shape.stride_f, shape.t, shape.pad_f, shape.f),
+    ];
+    let nlevels = cfg.levels.len();
+    // Per dim: nested pieces for each boundary depth.
+    let states: Vec<DimState> = Dim::ALL
+        .iter()
+        .enumerate()
+        .map(|(di, &d)| {
+            let tiles: Vec<usize> = cfg.levels.iter().map(|l| l.tile.extent(d)).collect();
+            let pieces_per_boundary = (0..nlevels)
+                .map(|b| DimPieces::build(specs[di].out_extent, &tiles[..=b]))
+                .collect();
+            DimState { spec: specs[di], pieces_per_boundary }
+        })
+        .collect();
+
+    let outputs = shape.output_elems();
+    let psum_bytes = shape.psum_bytes();
+
+    let boundaries = (0..nlevels)
+        .map(|b| {
+            // Concatenated nest for boundary b: levels 0..=b, each level's
+            // five loops in its configured order.
+            let nest: Vec<NestLoop> = (0..=b)
+                .flat_map(|lvl| {
+                    cfg.levels[lvl].order.dims().into_iter().map(move |dim| NestLoop { level: lvl, dim })
+                })
+                .collect();
+
+            let count_at = |d: Dim, lvl: usize| states[dim_index(d)].pieces_per_boundary[b].count_at(lvl);
+            let multi_trip = |nl: &NestLoop| {
+                let prev = if nl.level == 0 { 1 } else { count_at(nl.dim, nl.level - 1) };
+                count_at(nl.dim, nl.level) > prev
+            };
+
+            // Innermost relevant loop with >1 trips, per data type.
+            let find_p = |ty: DataType| {
+                nest.iter().enumerate().rev().find(|(_, nl)| relevant(nl.dim, ty) && multi_trip(nl)).map(|(i, _)| i)
+            };
+            // Refetch multiplier: product over irrelevant dims of the piece
+            // count at their deepest loop outside position p.
+            let refetch = |ty: DataType, p: Option<usize>| -> u64 {
+                let limit = p.unwrap_or(0);
+                let mut mult = 1u64;
+                for d in Dim::ALL {
+                    if relevant(d, ty) {
+                        continue;
+                    }
+                    let deepest = nest[..limit]
+                        .iter()
+                        .filter(|nl| nl.dim == d)
+                        .map(|nl| nl.level)
+                        .max();
+                    if let Some(lvl) = deepest {
+                        mult *= count_at(d, lvl) as u64;
+                    }
+                }
+                mult
+            };
+
+            // ---- Inputs ----
+            let p_in = find_p(DataType::Input);
+            let slide = p_in.map(|i| nest[i]);
+            let input_down = {
+                let mult = refetch(DataType::Input, p_in);
+                let mut bytes = mult * ACT_BYTES;
+                for d in [Dim::W, Dim::H, Dim::F, Dim::C] {
+                    let st = &states[dim_index(d)];
+                    let pieces = &st.pieces_per_boundary[b];
+                    let sum = match slide {
+                        Some(nl) if nl.dim == d && d != Dim::C => pieces.input_sum_slide(&st.spec, nl.level),
+                        _ => pieces.input_sum_full(&st.spec),
+                    };
+                    bytes *= sum;
+                }
+                bytes
+            };
+
+            // ---- Weights ----
+            let p_w = find_p(DataType::Weight);
+            let weight_down = refetch(DataType::Weight, p_w)
+                * (shape.k * shape.c * shape.r * shape.s * shape.t) as u64
+                * WGT_BYTES;
+
+            // ---- Psums ----
+            let p_ps = find_p(DataType::Psum);
+            let rho = refetch(DataType::Psum, p_ps);
+            let psum_down = (rho - 1) * outputs * psum_bytes;
+            let psum_up = (rho - 1) * outputs * psum_bytes;
+            let output_up = outputs * ACT_BYTES;
+
+            BoundaryTraffic { input_down, weight_down, psum_down, psum_up, output_up }
+        })
+        .collect();
+
+    LayerTraffic { boundaries, maccs: shape.maccs(), outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_tensor::order::LoopOrder;
+    use morph_tensor::tiled::Tile;
+
+    /// A small layer where everything is easy to reason about:
+    /// 8×8 output, 4 frames out, C=4, K=8, 3×3×3 filter, stride 1, no pad.
+    fn layer() -> ConvShape {
+        ConvShape::new_3d(10, 10, 6, 4, 8, 3, 3, 3)
+    }
+
+    fn single_level(order: &str, tile: Tile) -> TilingConfig {
+        TilingConfig {
+            levels: vec![crate::config::LevelConfig { order: order.parse().unwrap(), tile }],
+        }
+    }
+
+    #[test]
+    fn untiled_layer_fetched_once() {
+        let sh = layer();
+        let cfg = single_level("WHCKF", Tile::whole(&sh));
+        let t = layer_traffic(&sh, &cfg);
+        assert_eq!(t.dram().input_down, sh.input_bytes());
+        assert_eq!(t.dram().weight_down, sh.weight_bytes());
+        assert_eq!(t.dram().psum_down, 0);
+        assert_eq!(t.dram().psum_up, 0);
+        assert_eq!(t.dram().output_up, sh.output_bytes());
+        assert_eq!(t.maccs, sh.maccs());
+    }
+
+    #[test]
+    fn k_tiling_alone_keeps_inputs_resident() {
+        // Split K in 2 with K outermost but the whole input as one tile:
+        // the input tile stays resident across K iterations (the paper's
+        // Fig. 4a remark about non-refetching redundant tiles).
+        let sh = layer();
+        let tile = Tile::whole(&sh).with_extent(Dim::K, 4);
+        let cfg = single_level("KWHCF", tile);
+        let t = layer_traffic(&sh, &cfg);
+        assert_eq!(t.dram().input_down, sh.input_bytes());
+        assert_eq!(t.dram().weight_down, sh.weight_bytes());
+        assert_eq!(t.dram().psum_up, 0);
+    }
+
+    #[test]
+    fn k_outside_tiled_inputs_refetches() {
+        // Split K in 2 *and* H in 4 with K outermost: every K iteration
+        // re-streams the input tiles (H-slide reuse inside each pass).
+        let sh = layer();
+        let tile = Tile::whole(&sh).with_extent(Dim::K, 4).with_extent(Dim::H, 2);
+        let cfg = single_level("KWCFH", tile);
+        let t = layer_traffic(&sh, &cfg);
+        assert_eq!(t.dram().input_down, 2 * sh.input_bytes());
+        assert_eq!(t.dram().weight_down, sh.weight_bytes());
+    }
+
+    #[test]
+    fn k_innermost_avoids_input_refetch() {
+        // Same K split but K innermost: the input tile (whole input) stays
+        // resident; weights stream per input visit (once) — everything
+        // fetched exactly once.
+        let sh = layer();
+        let tile = Tile::whole(&sh).with_extent(Dim::K, 4);
+        let cfg = single_level("WHCFK", tile);
+        let t = layer_traffic(&sh, &cfg);
+        assert_eq!(t.dram().input_down, sh.input_bytes());
+        assert_eq!(t.dram().weight_down, sh.weight_bytes());
+    }
+
+    #[test]
+    fn h_tiling_with_halo_and_slide() {
+        // Tile H (outputs 8) into 4 tiles of 2; H innermost → slide reuse
+        // makes input fetch equal the whole input exactly once.
+        let sh = layer();
+        let tile = Tile::whole(&sh).with_extent(Dim::H, 2);
+        let cfg = single_level("WCKFH", tile);
+        let t = layer_traffic(&sh, &cfg);
+        assert_eq!(t.dram().input_down, sh.input_bytes());
+
+        // H outermost with W also tiled inside: W becomes the sliding
+        // dimension and the H halo is re-fetched per H tile: each H tile
+        // covers (2−1)+3 = 4 rows of 10 → 16 rows total.
+        let tile2 = tile.with_extent(Dim::W, 2);
+        let cfg2 = single_level("HWCKF", tile2);
+        let t2 = layer_traffic(&sh, &cfg2);
+        assert_eq!(t2.dram().input_down, sh.input_bytes() * 16 / 10);
+    }
+
+    #[test]
+    fn weight_refetch_per_spatial_tile() {
+        // W tiled in 5, order [WHCKF]: weights reload for every W tile
+        // (K's innermost multi-trip loop is outside ... W outside K).
+        let sh = layer();
+        let tile = Tile::whole(&sh).with_extent(Dim::W, 2).with_extent(Dim::K, 4);
+        let cfg = single_level("WHCKF", tile);
+        let t = layer_traffic(&sh, &cfg);
+        assert_eq!(t.dram().weight_down, 4 * sh.weight_bytes());
+    }
+
+    #[test]
+    fn c_tiling_alone_accumulates_in_place() {
+        // C split with C outermost but the whole output resident: psums
+        // accumulate in place, no spill.
+        let sh = layer();
+        let tile = Tile::whole(&sh).with_extent(Dim::C, 1);
+        let cfg = single_level("CWHKF", tile);
+        let t = layer_traffic(&sh, &cfg);
+        assert_eq!(t.dram().psum_up, 0);
+        assert_eq!(t.dram().output_up, sh.output_elems());
+    }
+
+    #[test]
+    fn c_outside_tiled_psums_spills() {
+        // C split in 4 outside a tiled H loop: each output tile round-trips
+        // once per extra C iteration at full psum width.
+        let sh = layer();
+        let tile = Tile::whole(&sh).with_extent(Dim::C, 1).with_extent(Dim::H, 2);
+        let cfg = single_level("CWKFH", tile);
+        let t = layer_traffic(&sh, &cfg);
+        let out = sh.output_elems();
+        assert_eq!(t.dram().psum_up, 3 * out * sh.psum_bytes());
+        assert_eq!(t.dram().psum_down, 3 * out * sh.psum_bytes());
+        assert_eq!(t.dram().output_up, out);
+    }
+
+    #[test]
+    fn c_innermost_never_spills() {
+        let sh = layer();
+        let tile = Tile::whole(&sh).with_extent(Dim::C, 1);
+        let cfg = single_level("WHKFC", tile);
+        let t = layer_traffic(&sh, &cfg);
+        assert_eq!(t.dram().psum_up, 0);
+        assert_eq!(t.dram().psum_down, 0);
+    }
+
+    #[test]
+    fn two_level_reuse_extends_across_outer_steps() {
+        // L2 holds the whole input (trips 1 in all input dims at L2);
+        // outer K tiling must not force L1 input refetches beyond its own
+        // inner loops, because residency carries across outer steps.
+        let sh = layer();
+        let l2 = Tile::whole(&sh).with_extent(Dim::K, 2);
+        let l1 = Tile::whole(&sh).with_extent(Dim::K, 2); // L1 holds whole input too
+        let cfg = TilingConfig {
+            levels: vec![
+                crate::config::LevelConfig { order: "WHCFK".parse().unwrap(), tile: l2 },
+                crate::config::LevelConfig { order: "whcfk".parse().unwrap(), tile: l1 },
+            ],
+        };
+        let t = layer_traffic(&sh, &cfg);
+        // Inputs cross each boundary exactly once.
+        assert_eq!(t.boundaries[0].input_down, sh.input_bytes());
+        assert_eq!(t.boundaries[1].input_down, sh.input_bytes());
+    }
+
+    #[test]
+    fn inner_tiling_multiplies_l1_traffic_not_dram() {
+        // L2 = whole layer; L1 tiles H and K with k outermost at the inner
+        // level: each of the 4 K tiles re-streams the inputs into L1
+        // (H-slide reuse makes one stream equal the input footprint), but
+        // DRAM sees the inputs exactly once.
+        let sh = layer();
+        let l1 = Tile::whole(&sh).with_extent(Dim::K, 2).with_extent(Dim::H, 2);
+        let cfg = TilingConfig {
+            levels: vec![
+                crate::config::LevelConfig { order: "WHCKF".parse().unwrap(), tile: Tile::whole(&sh) },
+                crate::config::LevelConfig { order: "kwcfh".parse().unwrap(), tile: l1 },
+            ],
+        };
+        let t = layer_traffic(&sh, &cfg);
+        assert_eq!(t.boundaries[0].input_down, sh.input_bytes());
+        assert_eq!(t.boundaries[1].input_down, 4 * sh.input_bytes());
+    }
+
+    #[test]
+    fn reg_level_counts_alu_feeds() {
+        // Full Morph-style 4-level config on a tiny layer: the register
+        // boundary's weight traffic is bounded by MACC count and its input
+        // traffic is amortized by k-innermost reuse.
+        let sh = ConvShape::new_3d(6, 6, 4, 4, 64, 3, 3, 3);
+        let whole = Tile::whole(&sh);
+        let cfg = TilingConfig::morph(
+            LoopOrder::base_outer(),
+            LoopOrder::base_inner(),
+            whole,
+            whole,
+            whole,
+            8,
+        )
+        .normalize(&sh);
+        let t = layer_traffic(&sh, &cfg);
+        let reg = t.boundaries.last().unwrap();
+        assert!(reg.weight_down <= t.maccs);
+        assert!(reg.input_down < reg.weight_down);
+        assert!(reg.weight_down >= sh.weight_bytes());
+    }
+
+    #[test]
+    fn stride_reduces_input_slide_reuse() {
+        // Stride-2 halves window overlap; fetched bytes stay bounded by
+        // the (clipped) input and above the no-halo minimum.
+        let sh = ConvShape::new_2d(16, 16, 2, 4, 3, 3).with_stride(2, 1);
+        let tile = Tile::whole(&sh).with_extent(Dim::H, 2);
+        let cfg = single_level("WCKFH", tile);
+        let t = layer_traffic(&sh, &cfg);
+        assert!(t.dram().input_down <= sh.input_bytes());
+        assert!(t.dram().input_down >= sh.input_bytes() / 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests on the traffic engine's invariants.
+
+use morph_dataflow::prelude::*;
+use morph_tensor::prelude::*;
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = ConvShape> {
+    (2usize..12, 1usize..6, 1usize..8, 1usize..24, 1usize..3, 1usize..3, 0usize..2).prop_filter_map(
+        "valid geometry",
+        |(h, f, c, k, t, stride, pad)| {
+            let r = 3.min(h + 2 * pad);
+            let t = t.min(f);
+            let sh = ConvShape::new_3d(h, h, f, c, k, r, r, t).with_stride(stride, 1).with_pad(pad, 0);
+            (sh.h_padded() >= r && sh.f_padded() >= t).then_some(sh)
+        },
+    )
+}
+
+fn arb_config(shape: ConvShape) -> impl Strategy<Value = TilingConfig> {
+    let whole = Tile::whole(&shape);
+    (
+        0usize..120,
+        0usize..120,
+        1..=whole.h,
+        1..=whole.f,
+        1..=whole.c,
+        1..=whole.k,
+        1..=whole.h,
+        1..=whole.k,
+    )
+        .prop_map(move |(oi, ii, h2, f2, c2, k2, h0, k0)| {
+            let orders = LoopOrder::all();
+            let l2 = Tile { h: h2, w: h2.min(whole.w), f: f2, c: c2, k: k2 };
+            let l0 = Tile { h: h0.min(h2), w: h0.min(h2), f: 1.max(f2 / 2), c: 1.max(c2 / 2), k: k0.min(k2) };
+            TilingConfig::morph(orders[oi], orders[ii], l2, l0, l0, 8).normalize(&shape)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Weights cross the DRAM boundary an integer number of times, at
+    /// least once; outputs leave exactly once at every boundary; psum
+    /// refills equal psum spills.
+    #[test]
+    fn conservation_laws((shape, cfg) in arb_shape().prop_flat_map(|s| (Just(s), arb_config(s)))) {
+        let t = layer_traffic(&shape, &cfg);
+        prop_assert_eq!(t.maccs, shape.maccs());
+        for b in &t.boundaries {
+            prop_assert_eq!(b.output_up, shape.output_elems());
+            prop_assert_eq!(b.psum_down, b.psum_up);
+        }
+        let w = t.dram().weight_down;
+        prop_assert!(w >= shape.weight_bytes());
+        prop_assert_eq!(w % shape.weight_bytes(), 0, "integer weight refetch");
+    }
+
+    /// The untiled (whole-layer) configuration achieves the footprint
+    /// minimum at DRAM: every byte fetched exactly once, no psum spills.
+    #[test]
+    fn whole_tile_is_minimal(shape in arb_shape(), oi in 0usize..120) {
+        let whole = Tile::whole(&shape);
+        let cfg = TilingConfig::morph(LoopOrder::all()[oi], LoopOrder::base_inner(), whole, whole, whole, 8)
+            .normalize(&shape);
+        let t = layer_traffic(&shape, &cfg);
+        // The fetched footprint is the input region actually covered by
+        // output windows (stride can skip edge rows; padding is generated,
+        // not fetched).
+        let hs = DimSpec::window(shape.h_out(), shape.stride, shape.r, shape.pad, shape.h);
+        let ws = DimSpec::window(shape.w_out(), shape.stride, shape.s, shape.pad, shape.w);
+        let fs = DimSpec::window(shape.f_out(), shape.stride_f, shape.t, shape.pad_f, shape.f);
+        let covered = hs.in_extent_of(0, shape.h_out())
+            * ws.in_extent_of(0, shape.w_out())
+            * fs.in_extent_of(0, shape.f_out())
+            * shape.c as u64;
+        prop_assert_eq!(t.dram().input_down, covered);
+        prop_assert_eq!(t.dram().weight_down, shape.weight_bytes());
+        prop_assert_eq!(t.dram().psum_up, 0);
+    }
+
+    /// Any tiled configuration fetches at least as much as the untiled one
+    /// at DRAM (tiling can only add refetch and halo).
+    #[test]
+    fn tiling_never_reduces_dram((shape, cfg) in arb_shape().prop_flat_map(|s| (Just(s), arb_config(s)))) {
+        let t = layer_traffic(&shape, &cfg);
+        // Padding-clipped inputs can legitimately be below input_bytes only
+        // when stride skips rows entirely; guard the common stride-1 case.
+        if shape.stride == 1 && shape.pad == 0 {
+            prop_assert!(t.dram().input_down >= shape.input_bytes());
+        }
+        prop_assert!(t.dram().weight_down >= shape.weight_bytes());
+    }
+
+    /// Multicast amortization only ever reduces traffic, never below the
+    /// per-PE share, and leaves DRAM and register boundaries untouched.
+    #[test]
+    fn multicast_is_a_contraction(
+        (shape, cfg) in arb_shape().prop_flat_map(|s| (Just(s), arb_config(s))),
+        hp in 1usize..8, kp in 1usize..8,
+    ) {
+        let before = layer_traffic(&shape, &cfg);
+        let mut after = before.clone();
+        apply_multicast(&mut after, hp, 1, 1, kp);
+        prop_assert_eq!(after.boundaries[0], before.boundaries[0]);
+        let last = before.boundaries.len() - 1;
+        prop_assert_eq!(after.boundaries[last], before.boundaries[last]);
+        for (a, b) in after.boundaries.iter().zip(&before.boundaries) {
+            prop_assert!(a.input_down <= b.input_down);
+            prop_assert!(a.weight_down <= b.weight_down);
+            prop_assert!(a.input_down >= b.input_down / kp as u64);
+            prop_assert!(a.weight_down >= b.weight_down / hp as u64);
+        }
+    }
+
+    /// Compute cycles are bounded below by perfect parallelism and above
+    /// by fully serial execution.
+    #[test]
+    fn cycle_bounds((shape, cfg) in arb_shape().prop_flat_map(|s| (Just(s), arb_config(s)))) {
+        let arch = ArchSpec::morph();
+        let par = Parallelism { hp: 4, wp: 4, kp: 6, fp: 1 };
+        let c = morph_dataflow::perf::compute_cycles(&shape, &cfg, &par, &arch);
+        let perfect = shape.maccs().div_ceil((par.pes() * arch.vector_width) as u64);
+        prop_assert!(c >= perfect, "cycles {c} below perfect {perfect}");
+        let serial = morph_dataflow::perf::compute_cycles(&shape, &cfg, &Parallelism::serial(), &arch);
+        prop_assert!(c <= serial, "parallel {c} slower than serial {serial}");
+    }
+
+    /// Buffer-fit checking is monotone: shrinking any tile dimension never
+    /// turns a fitting configuration into a non-fitting one.
+    #[test]
+    fn fit_is_monotone(shape in arb_shape(), k in 1usize..8) {
+        let arch = ArchSpec::morph();
+        let whole = Tile::whole(&shape);
+        let small = Tile { h: 1, w: 1, f: 1, c: 1, k: k.min(whole.k) };
+        let cfg = TilingConfig::morph(LoopOrder::base_outer(), LoopOrder::base_inner(), small, small, small, 8)
+            .normalize(&shape);
+        prop_assert!(cfg.fits(&shape, &arch).is_ok(), "minimal tiles always fit");
+    }
+}

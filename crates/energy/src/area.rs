@@ -1,0 +1,109 @@
+//! Area accounting (the paper's Table IV and §VI-F).
+//!
+//! SRAM area comes from the CACTI-lite model; logic areas are constants
+//! calibrated to the paper's 32 nm synthesis results. Morph's flexibility
+//! costs: a 16-banked L0 instead of monolithic partitions (+2.2 %),
+//! reconfigurable arithmetic (+19 %), and programmable read/write FSMs +
+//! buffer-partition control (+71 % of the control logic) — totalling
+//! ≈5 % of the PE.
+
+use crate::cacti::sram_area_mm2;
+use morph_dataflow::arch::ArchSpec;
+
+/// Synthesized logic area of the Morph_base PE datapath (mm², 32 nm).
+pub const BASE_ARITHMETIC_MM2: f64 = 0.00306;
+/// Synthesized logic area of the Morph PE datapath (flexible loop orders).
+pub const MORPH_ARITHMETIC_MM2: f64 = 0.00366;
+/// Control logic of the fixed-function Morph_base PE.
+pub const BASE_CONTROL_MM2: f64 = 0.00107;
+/// Control logic of the Morph PE (programmable FSMs + bank assignment).
+pub const MORPH_CONTROL_MM2: f64 = 0.00182;
+
+/// Area breakdown of one PE (Table IV rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeArea {
+    /// L0 buffer area.
+    pub l0_mm2: f64,
+    /// Datapath (ALU + registers) area.
+    pub arithmetic_mm2: f64,
+    /// Control logic area.
+    pub control_mm2: f64,
+}
+
+impl PeArea {
+    /// Total PE area.
+    pub fn total(&self) -> f64 {
+        self.l0_mm2 + self.arithmetic_mm2 + self.control_mm2
+    }
+}
+
+/// PE area for Morph_base: monolithic (statically partitioned) L0,
+/// fixed-function logic.
+pub fn pe_area_base(arch: &ArchSpec) -> PeArea {
+    PeArea {
+        l0_mm2: sram_area_mm2(arch.l0_bytes, 1),
+        arithmetic_mm2: BASE_ARITHMETIC_MM2,
+        control_mm2: BASE_CONTROL_MM2,
+    }
+}
+
+/// PE area for Morph: banked L0, flexible datapath and programmable FSMs.
+pub fn pe_area_morph(arch: &ArchSpec) -> PeArea {
+    PeArea {
+        l0_mm2: sram_area_mm2(arch.l0_bytes, arch.banks),
+        arithmetic_mm2: MORPH_ARITHMETIC_MM2,
+        control_mm2: MORPH_CONTROL_MM2,
+    }
+}
+
+/// Whole-chip SRAM area (L2 + L1s + L0s), banked or monolithic.
+pub fn chip_sram_mm2(arch: &ArchSpec, banked: bool) -> f64 {
+    let banks = if banked { arch.banks } else { 1 };
+    sram_area_mm2(arch.l2_bytes, banks)
+        + arch.clusters as f64 * sram_area_mm2(arch.l1_bytes, banks)
+        + arch.total_pes() as f64 * sram_area_mm2(arch.l0_bytes, banks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_totals() {
+        let arch = ArchSpec::morph();
+        let base = pe_area_base(&arch);
+        let morph = pe_area_morph(&arch);
+        // Paper: base 0.04526 mm², Morph 0.04751 mm².
+        assert!((base.total() / 0.04526 - 1.0).abs() < 0.02, "base {}", base.total());
+        assert!((morph.total() / 0.04751 - 1.0).abs() < 0.02, "morph {}", morph.total());
+    }
+
+    #[test]
+    fn flexibility_costs_about_five_percent() {
+        let arch = ArchSpec::morph();
+        let ovh = pe_area_morph(&arch).total() / pe_area_base(&arch).total() - 1.0;
+        assert!(ovh > 0.03 && ovh < 0.07, "PE overhead {ovh}");
+    }
+
+    #[test]
+    fn control_logic_grows_most_relatively() {
+        let arch = ArchSpec::morph();
+        let base = pe_area_base(&arch);
+        let morph = pe_area_morph(&arch);
+        let ctrl = morph.control_mm2 / base.control_mm2 - 1.0;
+        let arith = morph.arithmetic_mm2 / base.arithmetic_mm2 - 1.0;
+        let l0 = morph.l0_mm2 / base.l0_mm2 - 1.0;
+        assert!(ctrl > arith && arith > l0);
+        assert!(ctrl > 0.6 && ctrl < 0.8); // ≈70.6 %
+    }
+
+    #[test]
+    fn buffers_dominate_chip_area() {
+        // §IV-B: on-chip buffers dominate logic — the reason flexibility
+        // is cheap.
+        let arch = ArchSpec::morph();
+        let sram = chip_sram_mm2(&arch, true);
+        let logic = arch.total_pes() as f64 * (MORPH_ARITHMETIC_MM2 + MORPH_CONTROL_MM2);
+        assert!(sram > 10.0 * logic);
+    }
+}

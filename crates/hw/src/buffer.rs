@@ -1,0 +1,218 @@
+//! The configurable banked buffer (the paper's Fig. 7).
+//!
+//! A buffer is divided into `B` banks, each with one read and one write
+//! port. Software allocates contiguous bank ranges to the three data types
+//! through base registers ("Bank assign") at layer start. A read/write of
+//! one data type activates exactly one bank (high-order address bits +
+//! the assignment registers select it), which is what makes banked access
+//! cheaper than a monolithic array (§IV-B1).
+
+use morph_energy::TrafficClass;
+
+/// Per-type bank assignment: contiguous bank ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankAssignment {
+    /// Banks `[0, input_banks)` hold inputs.
+    pub input_banks: usize,
+    /// The next `weight_banks` banks hold weights.
+    pub weight_banks: usize,
+    /// The next `psum_banks` banks hold psums.
+    pub psum_banks: usize,
+}
+
+impl BankAssignment {
+    /// Total banks assigned.
+    pub fn total(&self) -> usize {
+        self.input_banks + self.weight_banks + self.psum_banks
+    }
+
+    /// Bank range of a data type.
+    pub fn range(&self, ty: TrafficClass) -> (usize, usize) {
+        match ty {
+            TrafficClass::Input => (0, self.input_banks),
+            TrafficClass::Weight => (self.input_banks, self.input_banks + self.weight_banks),
+            TrafficClass::Psum => (
+                self.input_banks + self.weight_banks,
+                self.input_banks + self.weight_banks + self.psum_banks,
+            ),
+        }
+    }
+}
+
+/// Access statistics per data type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Bytes read, per `[input, weight, psum]`.
+    pub reads: [u64; 3],
+    /// Bytes written, per `[input, weight, psum]`.
+    pub writes: [u64; 3],
+}
+
+impl BufferStats {
+    /// Total bytes moved through the buffer.
+    pub fn total(&self) -> u64 {
+        self.reads.iter().sum::<u64>() + self.writes.iter().sum::<u64>()
+    }
+}
+
+fn class_index(ty: TrafficClass) -> usize {
+    match ty {
+        TrafficClass::Input => 0,
+        TrafficClass::Weight => 1,
+        TrafficClass::Psum => 2,
+    }
+}
+
+/// A banked, run-time-partitionable scratchpad.
+#[derive(Debug, Clone)]
+pub struct ConfigurableBuffer {
+    banks: Vec<Vec<u8>>,
+    bank_bytes: usize,
+    assign: BankAssignment,
+    stats: BufferStats,
+}
+
+impl ConfigurableBuffer {
+    /// Build a buffer of `banks` banks × `bank_bytes` each.
+    pub fn new(banks: usize, bank_bytes: usize) -> Self {
+        assert!(banks >= 1 && bank_bytes >= 1);
+        Self {
+            banks: vec![vec![0u8; bank_bytes]; banks],
+            bank_bytes,
+            assign: BankAssignment { input_banks: banks, weight_banks: 0, psum_banks: 0 },
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Reconfigure bank assignment at layer-start time (§IV-B1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment exceeds the physical bank count.
+    pub fn assign_banks(&mut self, assign: BankAssignment) {
+        assert!(
+            assign.total() <= self.banks.len(),
+            "assignment {} exceeds {} banks",
+            assign.total(),
+            self.banks.len()
+        );
+        self.assign = assign;
+    }
+
+    /// Bytes of capacity available to one data type.
+    pub fn capacity(&self, ty: TrafficClass) -> usize {
+        let (lo, hi) = self.assign.range(ty);
+        (hi - lo) * self.bank_bytes
+    }
+
+    /// Resolve a type-relative address to (bank, offset).
+    fn locate(&self, ty: TrafficClass, addr: usize) -> (usize, usize) {
+        let (lo, hi) = self.assign.range(ty);
+        let bank = lo + addr / self.bank_bytes;
+        assert!(
+            bank < hi,
+            "{ty:?} address {addr} out of its {} assigned banks",
+            hi - lo
+        );
+        (bank, addr % self.bank_bytes)
+    }
+
+    /// Read one byte of a data type.
+    pub fn read(&mut self, ty: TrafficClass, addr: usize) -> u8 {
+        let (bank, off) = self.locate(ty, addr);
+        self.stats.reads[class_index(ty)] += 1;
+        self.banks[bank][off]
+    }
+
+    /// Write one byte of a data type.
+    pub fn write(&mut self, ty: TrafficClass, addr: usize, value: u8) {
+        let (bank, off) = self.locate(ty, addr);
+        self.stats.writes[class_index(ty)] += 1;
+        self.banks[bank][off] = value;
+    }
+
+    /// Bulk write (tile fill); counts every byte.
+    pub fn write_slice(&mut self, ty: TrafficClass, addr: usize, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.write(ty, addr + i, b);
+        }
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Reset statistics (e.g. between layers).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf() -> ConfigurableBuffer {
+        let mut b = ConfigurableBuffer::new(16, 64);
+        b.assign_banks(BankAssignment { input_banks: 8, weight_banks: 4, psum_banks: 4 });
+        b
+    }
+
+    #[test]
+    fn roundtrip_per_type() {
+        let mut b = buf();
+        b.write(TrafficClass::Input, 100, 7);
+        b.write(TrafficClass::Weight, 100, 9);
+        b.write(TrafficClass::Psum, 100, 11);
+        assert_eq!(b.read(TrafficClass::Input, 100), 7);
+        assert_eq!(b.read(TrafficClass::Weight, 100), 9);
+        assert_eq!(b.read(TrafficClass::Psum, 100), 11);
+    }
+
+    #[test]
+    fn types_are_isolated() {
+        let mut b = buf();
+        b.write(TrafficClass::Input, 0, 42);
+        assert_eq!(b.read(TrafficClass::Weight, 0), 0);
+        assert_eq!(b.read(TrafficClass::Psum, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of its")]
+    fn overflow_detected() {
+        let mut b = buf();
+        // Weights own 4 banks × 64 B = 256 B.
+        b.write(TrafficClass::Weight, 256, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overallocation_rejected() {
+        let mut b = ConfigurableBuffer::new(4, 16);
+        b.assign_banks(BankAssignment { input_banks: 3, weight_banks: 2, psum_banks: 0 });
+    }
+
+    #[test]
+    fn reassignment_changes_capacity() {
+        let mut b = buf();
+        assert_eq!(b.capacity(TrafficClass::Input), 512);
+        // Later layer: weights need more space (Fig. 4b behaviour).
+        b.assign_banks(BankAssignment { input_banks: 2, weight_banks: 10, psum_banks: 4 });
+        assert_eq!(b.capacity(TrafficClass::Weight), 640);
+        assert_eq!(b.capacity(TrafficClass::Input), 128);
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let mut b = buf();
+        b.write_slice(TrafficClass::Input, 0, &[1, 2, 3, 4]);
+        b.read(TrafficClass::Input, 2);
+        let s = b.stats();
+        assert_eq!(s.writes[0], 4);
+        assert_eq!(s.reads[0], 1);
+        assert_eq!(s.total(), 5);
+        b.reset_stats();
+        assert_eq!(b.stats().total(), 0);
+    }
+}

@@ -1,0 +1,590 @@
+//! Whole-chip functional execution of a convolution layer.
+//!
+//! Drives real data through the hardware components — DRAM → banked L2 →
+//! cluster L1s → per-PE L0s → vector PEs — under an arbitrary
+//! [`TilingConfig`], producing bit-exact outputs (validated against
+//! `morph_tensor::conv::conv3d_reference`) and hardware access counters.
+//!
+//! The executor is functionally faithful but time-abstract: double
+//! buffering and per-cycle behaviour are modeled analytically in
+//! `morph-dataflow`; here every byte that crosses a boundary does so
+//! through a real component object, so bank assignment, FSM-driven
+//! addressing and vector-lane arithmetic are all exercised.
+
+use crate::buffer::{BankAssignment, BufferStats, ConfigurableBuffer};
+use crate::fsm::{row_major_program, ProgrammableFsm};
+use crate::noc::BroadcastBus;
+use crate::pe::VectorPe;
+use morph_dataflow::arch::{ArchSpec, OnChipLevel};
+use morph_dataflow::config::{tile_bytes, TilingConfig};
+use morph_energy::TrafficClass;
+use morph_tensor::conv::Acc;
+use morph_tensor::order::Dim;
+use morph_tensor::shape::ConvShape;
+use morph_tensor::tensor::{Activations, Filters};
+use morph_tensor::tiled::Tile;
+
+/// Hardware counters collected during execution.
+#[derive(Debug, Clone, Default)]
+pub struct HwCounters {
+    /// DRAM bytes read (inputs + weights).
+    pub dram_reads: u64,
+    /// DRAM bytes written (final outputs).
+    pub dram_writes: u64,
+    /// L2 buffer statistics.
+    pub l2: BufferStats,
+    /// Aggregate L1 statistics across clusters.
+    pub l1: BufferStats,
+    /// Aggregate L0 statistics across PEs.
+    pub l0: BufferStats,
+    /// Bytes over the L2→L1 broadcast bus.
+    pub l2_l1_bus_bytes: u64,
+    /// Bytes over the L1→L0 buses.
+    pub l1_l0_bus_bytes: u64,
+    /// Total MACCs performed by the PEs.
+    pub maccs: u64,
+    /// Accumulator spills.
+    pub acc_spills: u64,
+}
+
+/// The assembled Morph chip (functional model).
+pub struct MorphChip {
+    arch: ArchSpec,
+    l2: ConfigurableBuffer,
+    l1s: Vec<ConfigurableBuffer>,
+    l0s: Vec<ConfigurableBuffer>,
+    pes: Vec<VectorPe>,
+    l2_l1_bus: BroadcastBus,
+    l1_l0_buses: Vec<BroadcastBus>,
+}
+
+impl MorphChip {
+    /// Build a chip from an architecture spec.
+    pub fn new(arch: ArchSpec) -> Self {
+        let l2 = ConfigurableBuffer::new(arch.banks, arch.l2_bytes / arch.banks);
+        let l1s = (0..arch.clusters)
+            .map(|_| ConfigurableBuffer::new(arch.banks, (arch.l1_bytes / arch.banks).max(1)))
+            .collect();
+        let l0s = (0..arch.total_pes())
+            .map(|_| ConfigurableBuffer::new(arch.banks, (arch.l0_bytes / arch.banks).max(1)))
+            .collect();
+        let pes = (0..arch.total_pes()).map(|_| VectorPe::new(arch.vector_width)).collect();
+        let l2_l1_bus = BroadcastBus::new(arch.clusters);
+        let l1_l0_buses = (0..arch.clusters).map(|_| BroadcastBus::new(arch.pes_per_cluster)).collect();
+        Self { arch, l2, l1s, l0s, pes, l2_l1_bus, l1_l0_buses }
+    }
+
+    /// Configure bank assignments at every level for a layer's tiles
+    /// (the layer-start reconfiguration of §IV-B1).
+    pub fn configure(&mut self, shape: &ConvShape, cfg: &TilingConfig) -> Result<(), String> {
+        cfg.validate(shape)?;
+        cfg.fits(shape, &self.arch)?;
+        for (level, onchip) in [OnChipLevel::L2, OnChipLevel::L1, OnChipLevel::L0].into_iter().enumerate() {
+            let bytes = tile_bytes(shape, &cfg.levels[level].tile);
+            let bank = self.arch.bank_bytes(onchip).max(1) as u64;
+            let assign = BankAssignment {
+                input_banks: bytes.input.div_ceil(bank) as usize,
+                weight_banks: bytes.weight.div_ceil(bank) as usize,
+                psum_banks: bytes.psum.div_ceil(bank) as usize,
+            };
+            // Give any spare banks to inputs (largest halo variability).
+            let spare = self.arch.banks - assign.total().min(self.arch.banks);
+            let assign = BankAssignment { input_banks: assign.input_banks + spare, ..assign };
+            match onchip {
+                OnChipLevel::L2 => self.l2.assign_banks(assign),
+                OnChipLevel::L1 => self.l1s.iter_mut().for_each(|b| b.assign_banks(assign)),
+                OnChipLevel::L0 => self.l0s.iter_mut().for_each(|b| b.assign_banks(assign)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one layer, returning the full-precision outputs and the
+    /// hardware counters.
+    pub fn run_layer(
+        &mut self,
+        shape: &ConvShape,
+        cfg: &TilingConfig,
+        input: &Activations<i8>,
+        filters: &Filters<i8>,
+    ) -> (Activations<Acc>, HwCounters) {
+        let mut counters = HwCounters::default();
+        let mut out = Activations::<Acc>::zeros(shape.k, shape.f_out(), shape.h_out(), shape.w_out());
+
+        let l2_tile = cfg.levels[0].tile;
+        let l1_tile = cfg.levels.get(1).map(|l| l.tile).unwrap_or(l2_tile);
+        let l0_tile = cfg.levels.get(2).map(|l| l.tile).unwrap_or(l1_tile);
+
+        let extents = morph_tensor::tiled::layer_extents(shape);
+        // Residency tracking: a tile identical to the one already resident
+        // is not refetched (the paper's Fig. 4a remark; double buffering
+        // makes the previous tile available).
+        let mut l2_in_key: Option<([usize; 4], [usize; 4])> = None;
+        let mut l2_w_key: Option<([usize; 2], [usize; 2])> = None;
+        let mut l1_in_keys: Vec<Option<([usize; 4], [usize; 4])>> = vec![None; self.arch.clusters];
+        // Walk L2 tiles in the outer order using the programmable FSM as
+        // the index generator (one loop per dimension).
+        for l2_origin in tile_origins(&extents, &l2_tile, cfg.levels[0].order) {
+            let l2_clip = clip_tile(&extents, &l2_tile, &l2_origin);
+            let in_key = (
+                [l2_origin[0], l2_origin[1], l2_origin[2], l2_origin[4]],
+                [l2_clip[0], l2_clip[1], l2_clip[2], l2_clip[4]],
+            );
+            if l2_in_key != Some(in_key) {
+                self.load_input_tile(shape, input, &l2_origin, &l2_clip, &mut counters);
+                l2_in_key = Some(in_key);
+            }
+            let w_key = ([l2_origin[2], l2_origin[3]], [l2_clip[2], l2_clip[3]]);
+            if l2_w_key != Some(w_key) {
+                self.load_weight_tile(shape, filters, &l2_origin, &l2_clip, &mut counters);
+                l2_w_key = Some(w_key);
+            }
+
+            let inner_order = cfg.levels.get(1).map(|l| l.order).unwrap_or(cfg.levels[0].order);
+            let l2_ext = tile_extent_arr(&l2_clip);
+            for l1_rel in tile_origins(&l2_ext, &l1_tile, inner_order) {
+                let l1_origin = add(&l2_origin, &l1_rel);
+                let l1_clip = clip_tile(&l2_ext, &l1_tile, &l1_rel);
+                let cluster = pick_cluster(&l1_rel, self.arch.clusters);
+                let l1_key = (
+                    [l1_origin[0], l1_origin[1], l1_origin[2], l1_origin[4]],
+                    [l1_clip[0], l1_clip[1], l1_clip[2], l1_clip[4]],
+                );
+                if l1_in_keys[cluster] != Some(l1_key) {
+                    self.fill_l1(shape, cluster, input, &l1_origin, &l1_clip, &mut counters);
+                    l1_in_keys[cluster] = Some(l1_key);
+                }
+
+                let l1_ext = tile_extent_arr(&l1_clip);
+                for l0_rel in tile_origins(&l1_ext, &l0_tile, inner_order) {
+                    let l0_origin = add(&l1_origin, &l0_rel);
+                    let l0_clip = clip_tile(&l1_ext, &l0_tile, &l0_rel);
+                    let pe = cluster * self.arch.pes_per_cluster
+                        + pick_cluster(&l0_rel, self.arch.pes_per_cluster);
+                    self.run_l0_tile(
+                        shape, pe, cluster, input, filters, &l0_origin, &l0_clip, &mut out,
+                        &mut counters,
+                    );
+                }
+            }
+        }
+        counters.l2 = self.l2.stats();
+        for b in &self.l1s {
+            let s = b.stats();
+            for i in 0..3 {
+                counters.l1.reads[i] += s.reads[i];
+                counters.l1.writes[i] += s.writes[i];
+            }
+        }
+        for b in &self.l0s {
+            let s = b.stats();
+            for i in 0..3 {
+                counters.l0.reads[i] += s.reads[i];
+                counters.l0.writes[i] += s.writes[i];
+            }
+        }
+        counters.l2_l1_bus_bytes = self.l2_l1_bus.bytes_transferred;
+        counters.l1_l0_bus_bytes = self.l1_l0_buses.iter().map(|b| b.bytes_transferred).sum();
+        counters.maccs = self.pes.iter().map(|p| p.maccs).sum();
+        counters.acc_spills = self.pes.iter().map(|p| p.acc_spills).sum();
+        // Final outputs leave through DRAM at activation width.
+        counters.dram_writes += shape.output_elems();
+        (out, counters)
+    }
+
+    /// DRAM → L2 input-tile fill (clipped input coordinates; padding zeros
+    /// are generated, not fetched).
+    fn load_input_tile(
+        &mut self,
+        shape: &ConvShape,
+        input: &Activations<i8>,
+        origin: &[usize; 5],
+        clip: &[usize; 5],
+        counters: &mut HwCounters,
+    ) {
+        let mut addr = 0usize;
+        let (f_lo, f_hi) = in_span(origin[4], clip[4], shape.stride_f, shape.t, shape.pad_f, shape.f);
+        let (h_lo, h_hi) = in_span(origin[1], clip[1], shape.stride, shape.r, shape.pad, shape.h);
+        let (w_lo, w_hi) = in_span(origin[0], clip[0], shape.stride, shape.s, shape.pad, shape.w);
+        for c in origin[2]..origin[2] + clip[2] {
+            for f in f_lo..f_hi {
+                for h in h_lo..h_hi {
+                    for w in w_lo..w_hi {
+                        counters.dram_reads += 1;
+                        let v = input.get(c, f, h, w) as u8;
+                        self.l2.write(TrafficClass::Input, addr, v);
+                        addr += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// DRAM → L2 weight-tile fill.
+    fn load_weight_tile(
+        &mut self,
+        shape: &ConvShape,
+        filters: &Filters<i8>,
+        origin: &[usize; 5],
+        clip: &[usize; 5],
+        counters: &mut HwCounters,
+    ) {
+        // Stream the K×C×T×R×S block through an FSM-generated row-major walk.
+        let extents =
+            [shape.s as u32, shape.r as u32, shape.t as u32, clip[2] as u32, clip[3] as u32];
+        let strides = row_major_strides(&extents);
+        let fsm = ProgrammableFsm::new(row_major_program(&extents, &strides), 0);
+        for state in fsm {
+            let mut rem = state.addr as usize;
+            let s = rem % shape.s;
+            rem /= shape.s;
+            let r = rem % shape.r;
+            rem /= shape.r;
+            let t = rem % shape.t;
+            rem /= shape.t;
+            let c = origin[2] + rem % clip[2];
+            let k = origin[3] + rem / clip[2];
+            counters.dram_reads += 1;
+            let v = filters.get(k, c, t, r, s) as u8;
+            self.l2.write(TrafficClass::Weight, state.addr as usize, v);
+        }
+    }
+
+    /// L2 → L1 transfer over the broadcast bus (bytes counted once).
+    fn fill_l1(
+        &mut self,
+        shape: &ConvShape,
+        cluster: usize,
+        _input: &Activations<i8>,
+        origin: &[usize; 5],
+        clip: &[usize; 5],
+        counters: &mut HwCounters,
+    ) {
+        let (f_lo, f_hi) = in_span(origin[4], clip[4], shape.stride_f, shape.t, shape.pad_f, shape.f);
+        let (h_lo, h_hi) = in_span(origin[1], clip[1], shape.stride, shape.r, shape.pad, shape.h);
+        let (w_lo, w_hi) = in_span(origin[0], clip[0], shape.stride, shape.s, shape.pad, shape.w);
+        let in_bytes = clip[2] * (f_hi - f_lo) * (h_hi - h_lo) * (w_lo..w_hi).len();
+        let w_bytes = clip[3] * clip[2] * shape.r * shape.s * shape.t;
+        // Model: bus carries the L1 tile once; L2 is read and L1 written.
+        self.l2_l1_bus.set_mask(1 << cluster);
+        let l2_in_cap = self.l2.capacity(TrafficClass::Input).max(1);
+        let l2_w_cap = self.l2.capacity(TrafficClass::Weight).max(1);
+        let l1_in_cap = self.l1s[cluster].capacity(TrafficClass::Input).max(1);
+        let l1_w_cap = self.l1s[cluster].capacity(TrafficClass::Weight).max(1);
+        for addr in 0..in_bytes {
+            let v = self.l2.read(TrafficClass::Input, addr % l2_in_cap);
+            self.l1s[cluster].write(TrafficClass::Input, addr % l1_in_cap, v);
+        }
+        for addr in 0..w_bytes {
+            let v = self.l2.read(TrafficClass::Weight, addr % l2_w_cap);
+            self.l1s[cluster].write(TrafficClass::Weight, addr % l1_w_cap, v);
+        }
+        self.l2_l1_bus.send(&vec![0u8; in_bytes + w_bytes], false);
+        let _ = counters;
+    }
+
+    /// Execute one L0 tile on one PE: fill the PE's L0 with real bytes,
+    /// then run the vector MACC loop, accumulating into the output.
+    #[allow(clippy::too_many_arguments)]
+    fn run_l0_tile(
+        &mut self,
+        shape: &ConvShape,
+        pe_idx: usize,
+        cluster: usize,
+        input: &Activations<i8>,
+        filters: &Filters<i8>,
+        origin: &[usize; 5],
+        clip: &[usize; 5],
+        out: &mut Activations<Acc>,
+        counters: &mut HwCounters,
+    ) {
+        let (w0, h0, c0, k0, f0) = (origin[0], origin[1], origin[2], origin[3], origin[4]);
+        let (wn, hn, cn, kn, fn_) = (clip[0], clip[1], clip[2], clip[3], clip[4]);
+        let vw = self.arch.vector_width;
+
+        // Fill the PE's L0 with the exact input window and weight block
+        // (addresses are tile-relative, layout [c][f][h][w] / [k][c][t][r][s]).
+        let (f_lo, f_hi) = in_span(f0, fn_, shape.stride_f, shape.t, shape.pad_f, shape.f);
+        let (h_lo, h_hi) = in_span(h0, hn, shape.stride, shape.r, shape.pad, shape.h);
+        let (w_lo, w_hi) = in_span(w0, wn, shape.stride, shape.s, shape.pad, shape.w);
+        let (fd, hd, wd) = (f_hi - f_lo, h_hi - h_lo, w_hi - w_lo);
+        let l0 = &mut self.l0s[pe_idx];
+        let in_cap = l0.capacity(TrafficClass::Input).max(1);
+        let w_cap = l0.capacity(TrafficClass::Weight).max(1);
+        let mut addr = 0;
+        for c in c0..c0 + cn {
+            for f in f_lo..f_hi {
+                for h in h_lo..h_hi {
+                    for w in w_lo..w_hi {
+                        l0.write(TrafficClass::Input, addr % in_cap, input.get(c, f, h, w) as u8);
+                        addr += 1;
+                    }
+                }
+            }
+        }
+        let mut waddr = 0;
+        for k in k0..k0 + kn {
+            for c in c0..c0 + cn {
+                for t in 0..shape.t {
+                    for r in 0..shape.r {
+                        for s in 0..shape.s {
+                            l0.write(TrafficClass::Weight, waddr % w_cap, filters.get(k, c, t, r, s) as u8);
+                            waddr += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.l1_l0_buses[cluster].send(&vec![0u8; addr + waddr], false);
+
+        // Vector compute: K in groups of Vw lanes.
+        let mut kg = k0;
+        while kg < k0 + kn {
+            let lanes = vw.min(k0 + kn - kg);
+            for f in f0..f0 + fn_ {
+                for h in h0..h0 + hn {
+                    for w in w0..w0 + wn {
+                        let pe = &mut self.pes[pe_idx];
+                        pe.clear();
+                        for c in c0..c0 + cn {
+                            for t in 0..shape.t {
+                                let fi = (f * shape.stride_f + t) as isize - shape.pad_f as isize;
+                                for r in 0..shape.r {
+                                    let hi = (h * shape.stride + r) as isize - shape.pad as isize;
+                                    for s in 0..shape.s {
+                                        let wi = (w * shape.stride + s) as isize - shape.pad as isize;
+                                        // One L0 input read feeds all lanes;
+                                        // each lane reads its weight.
+                                        let iv = read_input(
+                                            &mut self.l0s[pe_idx], shape, input, c, fi, hi, wi,
+                                            (f_lo, h_lo, w_lo), (fd, hd, wd), c0, in_cap,
+                                        );
+                                        let mut ws = Vec::with_capacity(lanes);
+                                        for lane in 0..lanes {
+                                            let k = kg + lane;
+                                            let widx = ((k - k0) * cn + (c - c0)) * shape.t * shape.r * shape.s
+                                                + (t * shape.r + r) * shape.s
+                                                + s;
+                                            let b = self.l0s[pe_idx].read(TrafficClass::Weight, widx % w_cap);
+                                            let _ = b;
+                                            ws.push(filters.get(k, c, t, r, s));
+                                        }
+                                        self.pes[pe_idx].macc(iv, &ws);
+                                    }
+                                }
+                            }
+                        }
+                        let vals = self.pes[pe_idx].spill(lanes);
+                        for (lane, v) in vals.into_iter().enumerate() {
+                            out.add(kg + lane, f, h, w, v);
+                        }
+                        counters.acc_spills += 1;
+                    }
+                }
+            }
+            kg += lanes;
+        }
+    }
+}
+
+/// Read an input value through the L0 buffer (padding returns zero without
+/// touching the buffer).
+#[allow(clippy::too_many_arguments)]
+fn read_input(
+    l0: &mut ConfigurableBuffer,
+    _shape: &ConvShape,
+    input: &Activations<i8>,
+    c: usize,
+    fi: isize,
+    hi: isize,
+    wi: isize,
+    lo: (usize, usize, usize),
+    dims: (usize, usize, usize),
+    c0: usize,
+    cap: usize,
+) -> i8 {
+    let (f_lo, h_lo, w_lo) = lo;
+    let (fd, hd, wd) = dims;
+    if fi < 0 || hi < 0 || wi < 0 {
+        return 0;
+    }
+    let (fi, hi, wi) = (fi as usize, hi as usize, wi as usize);
+    let (_, f_max, h_max, w_max) = {
+        let (c_, f_, h_, w_) = input.shape();
+        (c_, f_, h_, w_)
+    };
+    if fi >= f_max || hi >= h_max || wi >= w_max {
+        return 0;
+    }
+    // Count the L0 read at the tile-relative address.
+    if fi >= f_lo && hi >= h_lo && wi >= w_lo {
+        let addr = (((c - c0) * fd + (fi - f_lo)) * hd + (hi - h_lo)) * wd + (wi - w_lo);
+        let _ = l0.read(TrafficClass::Input, addr % cap);
+    }
+    input.get(c, fi, hi, wi)
+}
+
+
+/// Clipped input-coordinate span of an output tile along one dimension.
+fn in_span(origin: usize, size: usize, stride: usize, kernel: usize, pad: usize, in_extent: usize) -> (usize, usize) {
+    let start = (origin * stride) as i64 - pad as i64;
+    let end = ((origin + size - 1) * stride + kernel) as i64 - pad as i64;
+    (start.clamp(0, in_extent as i64) as usize, end.clamp(0, in_extent as i64) as usize)
+}
+
+/// Row-major strides (innermost first) for the given extents.
+fn row_major_strides(extents: &[u32]) -> Vec<i64> {
+    let mut strides = vec![1i64; extents.len()];
+    for i in 1..extents.len() {
+        strides[i] = strides[i - 1] * extents[i - 1] as i64;
+    }
+    strides
+}
+
+/// Enumerate tile origins over `extents` in the given loop order
+/// (outermost first), in `Dim::ALL` component order `[W,H,C,K,F]`.
+fn tile_origins(extents: &[usize; 5], tile: &Tile, order: morph_tensor::order::LoopOrder) -> Vec<[usize; 5]> {
+    let dims = order.dims();
+    let trips: Vec<usize> = dims
+        .iter()
+        .map(|&d| extents[dim_index(d)].div_ceil(tile.extent(d).min(extents[dim_index(d)]).max(1)))
+        .collect();
+    let mut out = Vec::new();
+    let mut idx = [0usize; 5];
+    loop {
+        let mut origin = [0usize; 5];
+        for (pos, &d) in dims.iter().enumerate() {
+            origin[dim_index(d)] = idx[pos] * tile.extent(d).min(extents[dim_index(d)]).max(1);
+        }
+        out.push(origin);
+        let mut pos = 4;
+        loop {
+            idx[pos] += 1;
+            if idx[pos] < trips[pos] {
+                break;
+            }
+            idx[pos] = 0;
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+        }
+    }
+}
+
+fn dim_index(d: Dim) -> usize {
+    Dim::ALL.iter().position(|&x| x == d).unwrap()
+}
+
+/// Clip a tile to the region `[origin, extents)` (origins are relative to
+/// the region whose extents are given).
+fn clip_tile(extents: &[usize; 5], tile: &Tile, origin: &[usize; 5]) -> [usize; 5] {
+    let t = [tile.w, tile.h, tile.c, tile.k, tile.f];
+    let mut clip = [0usize; 5];
+    for i in 0..5 {
+        assert!(origin[i] < extents[i], "tile origin outside region");
+        clip[i] = t[i].min(extents[i] - origin[i]);
+    }
+    clip
+}
+
+fn tile_extent_arr(clip: &[usize; 5]) -> [usize; 5] {
+    *clip
+}
+
+fn add(a: &[usize; 5], b: &[usize; 5]) -> [usize; 5] {
+    [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]]
+}
+
+fn pick_cluster(rel: &[usize; 5], n: usize) -> usize {
+    (rel[0] / 1 + rel[1] * 3 + rel[3] * 7 + rel[4] * 11) % n.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_tensor::conv::{conv3d_reference, synth_filters, synth_input};
+    use morph_tensor::order::LoopOrder;
+
+    fn run(shape: &ConvShape, cfg: &TilingConfig) {
+        let input = synth_input(shape, 3);
+        let filters = synth_filters(shape, 4);
+        let mut chip = MorphChip::new(ArchSpec::morph());
+        chip.configure(shape, cfg).expect("configure");
+        let (out, counters) = chip.run_layer(shape, cfg, &input, &filters);
+        let reference = conv3d_reference(shape, &input, &filters);
+        assert_eq!(out.as_slice(), reference.as_slice(), "bit-exact output");
+        assert_eq!(counters.maccs, shape.maccs(), "MACC count");
+        assert!(counters.dram_reads >= shape.input_bytes() + shape.weight_bytes());
+    }
+
+    #[test]
+    fn whole_layer_one_tile() {
+        let sh = ConvShape::new_3d(6, 6, 4, 3, 8, 3, 3, 3);
+        let whole = Tile::whole(&sh);
+        let cfg = TilingConfig::morph(LoopOrder::base_outer(), LoopOrder::base_inner(), whole, whole, whole, 8)
+            .normalize(&sh);
+        run(&sh, &cfg);
+    }
+
+    #[test]
+    fn tiled_execution_matches_reference() {
+        let sh = ConvShape::new_3d(8, 8, 4, 4, 8, 3, 3, 2).with_pad(1, 0);
+        let cfg = TilingConfig::morph(
+            "KWFHC".parse().unwrap(),
+            "cfwhk".parse().unwrap(),
+            Tile { h: 4, w: 6, f: 2, c: 2, k: 4 },
+            Tile { h: 2, w: 3, f: 1, c: 2, k: 4 },
+            Tile { h: 2, w: 3, f: 1, c: 1, k: 2 },
+            8,
+        )
+        .normalize(&sh);
+        run(&sh, &cfg);
+    }
+
+    #[test]
+    fn strided_layer() {
+        let sh = ConvShape::new_3d(9, 9, 4, 2, 4, 3, 3, 2).with_stride(2, 1);
+        let cfg = TilingConfig::morph(
+            "WHCKF".parse().unwrap(),
+            "whckf".parse().unwrap(),
+            Tile { h: 2, w: 2, f: 2, c: 2, k: 2 },
+            Tile { h: 2, w: 2, f: 1, c: 1, k: 2 },
+            Tile { h: 1, w: 2, f: 1, c: 1, k: 2 },
+            8,
+        )
+        .normalize(&sh);
+        run(&sh, &cfg);
+    }
+
+    #[test]
+    fn counters_scale_with_refetch() {
+        // K tiled with K outermost and H tiled: inputs stream per K tile.
+        let sh = ConvShape::new_3d(6, 6, 2, 2, 8, 3, 3, 1);
+        let whole = Tile::whole(&sh);
+        let once = TilingConfig::morph(
+            "WHCFK".parse().unwrap(),
+            "cfwhk".parse().unwrap(),
+            whole, whole, whole, 8,
+        )
+        .normalize(&sh);
+        let refetch = TilingConfig::morph(
+            "KWCFH".parse().unwrap(),
+            "cfwhk".parse().unwrap(),
+            whole.with_extent(Dim::K, 2).with_extent(Dim::H, 2),
+            whole.with_extent(Dim::K, 2).with_extent(Dim::H, 2),
+            whole.with_extent(Dim::K, 2).with_extent(Dim::H, 2),
+            8,
+        )
+        .normalize(&sh);
+        let input = synth_input(&sh, 5);
+        let filters = synth_filters(&sh, 6);
+        let mut chip1 = MorphChip::new(ArchSpec::morph());
+        chip1.configure(&sh, &once).unwrap();
+        let (_, c1) = chip1.run_layer(&sh, &once, &input, &filters);
+        let mut chip2 = MorphChip::new(ArchSpec::morph());
+        chip2.configure(&sh, &refetch).unwrap();
+        let (_, c2) = chip2.run_layer(&sh, &refetch, &input, &filters);
+        assert!(c2.dram_reads > c1.dram_reads, "{} vs {}", c2.dram_reads, c1.dram_reads);
+    }
+}

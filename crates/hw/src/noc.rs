@@ -1,0 +1,101 @@
+//! Masked broadcast NoC (§IV-A4, §IV-B3).
+//!
+//! All Morph networks-on-chip are simple broadcast buses; a destination
+//! mask selects unicast, multicast or broadcast delivery. A second mask
+//! register handles the last round of tiles, which may occupy fewer PEs
+//! (edge effects, §IV-B3).
+
+/// A broadcast bus with a configurable destination mask.
+#[derive(Debug, Clone)]
+pub struct BroadcastBus {
+    destinations: usize,
+    mask: u64,
+    last_round_mask: u64,
+    /// Bytes pushed through the bus (each broadcast counted once).
+    pub bytes_transferred: u64,
+    /// Number of transfer transactions.
+    pub transfers: u64,
+}
+
+impl BroadcastBus {
+    /// A bus with `destinations` endpoints, initially broadcasting to all.
+    pub fn new(destinations: usize) -> Self {
+        assert!(destinations >= 1 && destinations <= 64);
+        let all = if destinations == 64 { u64::MAX } else { (1u64 << destinations) - 1 };
+        Self { destinations, mask: all, last_round_mask: all, bytes_transferred: 0, transfers: 0 }
+    }
+
+    /// Configure the steady-state destination mask.
+    pub fn set_mask(&mut self, mask: u64) {
+        assert!(mask != 0, "empty destination mask");
+        assert!(mask >> self.destinations == 0, "mask exceeds destinations");
+        self.mask = mask;
+    }
+
+    /// Configure the final-round mask (§IV-B3's second mask register).
+    pub fn set_last_round_mask(&mut self, mask: u64) {
+        assert!(mask >> self.destinations == 0);
+        self.last_round_mask = mask;
+    }
+
+    /// Deliver `payload` to the masked destinations; returns the
+    /// destination indices. The bus carries the payload once regardless of
+    /// fan-out (that is the energy argument for broadcast reuse).
+    pub fn send(&mut self, payload: &[u8], last_round: bool) -> Vec<usize> {
+        let mask = if last_round { self.last_round_mask } else { self.mask };
+        self.bytes_transferred += payload.len() as u64;
+        self.transfers += 1;
+        (0..self.destinations).filter(|i| mask & (1 << i) != 0).collect()
+    }
+
+    /// Number of endpoints.
+    pub fn destinations(&self) -> usize {
+        self.destinations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let mut bus = BroadcastBus::new(6);
+        let got = bus.send(&[1, 2, 3], false);
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(bus.bytes_transferred, 3);
+    }
+
+    #[test]
+    fn unicast_and_multicast() {
+        let mut bus = BroadcastBus::new(8);
+        bus.set_mask(0b0000_0100);
+        assert_eq!(bus.send(&[0], false), vec![2]);
+        bus.set_mask(0b1010_0000);
+        assert_eq!(bus.send(&[0], false), vec![5, 7]);
+    }
+
+    #[test]
+    fn last_round_uses_second_mask() {
+        let mut bus = BroadcastBus::new(4);
+        bus.set_mask(0b1111);
+        bus.set_last_round_mask(0b0011); // edge tile occupies 2 PEs
+        assert_eq!(bus.send(&[0], true), vec![0, 1]);
+        assert_eq!(bus.send(&[0], false).len(), 4);
+    }
+
+    #[test]
+    fn bytes_counted_once_per_broadcast() {
+        let mut bus = BroadcastBus::new(16);
+        bus.send(&[0u8; 64], false);
+        bus.send(&[0u8; 64], false);
+        assert_eq!(bus.bytes_transferred, 128);
+        assert_eq!(bus.transfers, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty destination mask")]
+    fn empty_mask_rejected() {
+        BroadcastBus::new(4).set_mask(0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The vector-MACC processing element (§IV-A2).
+//!
+//! Each PE has `Vw` multiply-accumulate lanes provisioned across output
+//! channels and one accumulator register per lane; the accumulators filter
+//! psum traffic to the L0 (§IV-B1 "access priority").
+
+/// A processing element with `Vw` vector lanes.
+#[derive(Debug, Clone)]
+pub struct VectorPe {
+    acc: Vec<i32>,
+    /// MACC operations performed (across lanes).
+    pub maccs: u64,
+    /// Accumulator spills to the L0 (lane-values written back).
+    pub acc_spills: u64,
+}
+
+impl VectorPe {
+    /// A PE with `vw` lanes.
+    pub fn new(vw: usize) -> Self {
+        assert!(vw >= 1);
+        Self { acc: vec![0; vw], maccs: 0, acc_spills: 0 }
+    }
+
+    /// Vector width.
+    pub fn vw(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Zero the accumulator registers (start of an output group).
+    pub fn clear(&mut self) {
+        self.acc.fill(0);
+    }
+
+    /// Load accumulators from previously spilled psums.
+    pub fn restore(&mut self, psums: &[i32]) {
+        let n = psums.len().min(self.acc.len());
+        self.acc[..n].copy_from_slice(&psums[..n]);
+    }
+
+    /// One vector MACC: `acc[lane] += input · weights[lane]`. Lanes beyond
+    /// `weights.len()` are idle (edge `K` groups).
+    pub fn macc(&mut self, input: i8, weights: &[i8]) {
+        assert!(weights.len() <= self.acc.len(), "more weights than lanes");
+        for (lane, &w) in weights.iter().enumerate() {
+            self.acc[lane] += input as i32 * w as i32;
+            self.maccs += 1;
+        }
+    }
+
+    /// Read (and count the spill of) the first `n` accumulators.
+    pub fn spill(&mut self, n: usize) -> Vec<i32> {
+        let n = n.min(self.acc.len());
+        self.acc_spills += n as u64;
+        self.acc[..n].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_macc_accumulates_per_lane() {
+        let mut pe = VectorPe::new(4);
+        pe.macc(2, &[1, -1, 3, 0]);
+        pe.macc(3, &[1, 1, 1, 1]);
+        assert_eq!(pe.spill(4), vec![5, 1, 9, 3]);
+        assert_eq!(pe.maccs, 8);
+    }
+
+    #[test]
+    fn partial_lane_groups() {
+        let mut pe = VectorPe::new(8);
+        pe.macc(1, &[5, 6]); // only 2 live lanes
+        assert_eq!(pe.maccs, 2);
+        assert_eq!(pe.spill(2), vec![5, 6]);
+    }
+
+    #[test]
+    fn restore_resumes_accumulation() {
+        let mut pe = VectorPe::new(2);
+        pe.macc(1, &[10, 20]);
+        let saved = pe.spill(2);
+        pe.clear();
+        pe.restore(&saved);
+        pe.macc(1, &[1, 1]);
+        assert_eq!(pe.spill(2), vec![11, 21]);
+    }
+
+    #[test]
+    fn negative_operands() {
+        let mut pe = VectorPe::new(1);
+        pe.macc(-128, &[-128]);
+        assert_eq!(pe.spill(1), vec![16384]);
+    }
+}

@@ -1,0 +1,2 @@
+//! Anchor crate for the workspace-level integration tests in `/tests`.
+//! See the `[[test]]` entries in `Cargo.toml`.

@@ -1,0 +1,22 @@
+//! # morph-nets
+//!
+//! The network zoo for the Morph reproduction: exact layer tables for every
+//! CNN the paper evaluates (C3D, I3D, 3D ResNet-50, Two-Stream, AlexNet)
+//! plus the 2D networks of its Fig. 1 comparison (GoogLeNet/Inception,
+//! ResNet-50), and the footprint/reuse statistics those figures plot.
+//!
+//! ```
+//! use morph_nets::zoo;
+//!
+//! let c3d = zoo::c3d();
+//! assert_eq!(c3d.num_conv_layers(), 8);
+//! assert!(c3d.is_3d());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod stats;
+pub mod zoo;
+
+pub use net::{Layer, Network, Op};

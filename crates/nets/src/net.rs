@@ -1,0 +1,193 @@
+//! Network description types.
+//!
+//! A [`Network`] is an ordered list of operations — 3D/2D convolutions and
+//! pooling — sufficient to (a) drive the analytical accelerator model layer
+//! by layer and (b) execute the network functionally on synthetic tensors.
+//! Fully connected layers, ReLU and preprocessing are omitted: they are
+//! <0.2 % of 3D CNN inference compute (§II-C) and are not accelerated by
+//! Morph.
+
+use morph_tensor::pool::PoolShape;
+use morph_tensor::shape::ConvShape;
+
+/// A named convolution layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Human-readable layer name (e.g. `"conv3a"`, `"Mixed_4b/b1_3x3"`).
+    pub name: String,
+    /// Shape of the convolution.
+    pub shape: ConvShape,
+}
+
+/// One operation in a network's dataflow graph, linearized.
+///
+/// Parallel branches (Inception modules, residual bypasses) are linearized:
+/// each branch's convolutions appear consecutively; the accelerator
+/// evaluates them one at a time, which is also what the paper models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A convolution layer.
+    Conv(Layer),
+    /// A max-pooling stage (named for bookkeeping).
+    Pool {
+        /// Pool stage name.
+        name: String,
+        /// Pooling parameters.
+        pool: PoolShape,
+    },
+}
+
+/// A full network: name + linearized operation list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    /// Network name as used in the paper's figures.
+    pub name: &'static str,
+    /// True for 3D CNNs (`F > 1` somewhere).
+    pub ops: Vec<Op>,
+}
+
+impl Network {
+    /// Create an empty network.
+    pub fn new(name: &'static str) -> Self {
+        Self { name, ops: Vec::new() }
+    }
+
+    /// Append a convolution layer.
+    pub fn conv(&mut self, name: impl Into<String>, shape: ConvShape) -> &mut Self {
+        self.ops.push(Op::Conv(Layer { name: name.into(), shape }));
+        self
+    }
+
+    /// Append a pooling stage.
+    pub fn pool(&mut self, name: impl Into<String>, pool: PoolShape) -> &mut Self {
+        self.ops.push(Op::Pool { name: name.into(), pool });
+        self
+    }
+
+    /// Iterator over convolution layers only (what the accelerator runs).
+    pub fn conv_layers(&self) -> impl Iterator<Item = &Layer> {
+        self.ops.iter().filter_map(|op| match op {
+            Op::Conv(layer) => Some(layer),
+            Op::Pool { .. } => None,
+        })
+    }
+
+    /// Number of convolution layers.
+    pub fn num_conv_layers(&self) -> usize {
+        self.conv_layers().count()
+    }
+
+    /// True if any layer is a genuine 3D convolution.
+    pub fn is_3d(&self) -> bool {
+        self.conv_layers().any(|l| !l.shape.is_2d())
+    }
+
+    /// Total MACCs over all convolution layers.
+    pub fn total_maccs(&self) -> u64 {
+        self.conv_layers().map(|l| l.shape.maccs()).sum()
+    }
+
+    /// Total input-activation bytes over all convolution layers.
+    pub fn total_input_bytes(&self) -> u64 {
+        self.conv_layers().map(|l| l.shape.input_bytes()).sum()
+    }
+
+    /// Total weight bytes over all convolution layers.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.conv_layers().map(|l| l.shape.weight_bytes()).sum()
+    }
+
+    /// Average data reuse in MACCs per byte of input+weight footprint
+    /// (the Fig. 1b metric).
+    pub fn avg_reuse(&self) -> f64 {
+        self.total_maccs() as f64 / (self.total_input_bytes() + self.total_weight_bytes()) as f64
+    }
+
+    /// Find a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&Layer> {
+        self.conv_layers().find(|l| l.name == name)
+    }
+
+    /// Check that consecutive shapes chain: each conv/pool consumes exactly
+    /// the previous op's output. Returns the first mismatch description.
+    pub fn validate_chaining(&self) -> Result<(), String> {
+        let mut cur: Option<(usize, usize, usize, usize)> = None; // (h, w, f, c)
+        let mut branch_input: Option<(usize, usize, usize, usize)> = None;
+        for op in &self.ops {
+            match op {
+                Op::Conv(layer) => {
+                    let sh = &layer.shape;
+                    let expect = (sh.h, sh.w, sh.f, sh.c);
+                    if let Some(prev) = cur {
+                        // Branches restart from the same input: accept either
+                        // chaining from the previous output or from the last
+                        // recorded branch point.
+                        if prev != expect && branch_input != Some(expect) {
+                            // Record a new branch point if this layer re-reads
+                            // an earlier tensor; strict nets will simply never
+                            // hit this arm.
+                            if !layer.name.contains('/') && !layer.name.contains("proj") {
+                                return Err(format!(
+                                    "layer {} expects input {:?} but previous output is {:?}",
+                                    layer.name, expect, prev
+                                ));
+                            }
+                        }
+                    }
+                    if layer.name.contains('/') || layer.name.contains("proj") {
+                        if branch_input.is_none() {
+                            branch_input = Some(expect);
+                        }
+                    } else {
+                        branch_input = None;
+                    }
+                    let (h, w, f, k) = sh.output_as_input();
+                    cur = Some((h, w, f, k));
+                }
+                Op::Pool { pool, .. } => {
+                    if let Some((h, w, f, c)) = cur {
+                        let (fo, ho, wo) = pool.out_dims(f, h, w);
+                        cur = Some((ho, wo, fo, c));
+                        branch_input = None;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut net = Network::new("toy");
+        net.conv("c1", ConvShape::new_2d(8, 8, 3, 4, 3, 3).with_pad(1, 0));
+        net.pool("p1", PoolShape::new(1, 2, 2));
+        net.conv("c2", ConvShape::new_2d(4, 4, 4, 8, 3, 3).with_pad(1, 0));
+        assert_eq!(net.num_conv_layers(), 2);
+        assert!(!net.is_3d());
+        assert!(net.layer("c2").is_some());
+        assert!(net.layer("c3").is_none());
+        assert!(net.validate_chaining().is_ok());
+    }
+
+    #[test]
+    fn total_maccs_sums_layers() {
+        let mut net = Network::new("toy");
+        let a = ConvShape::new_2d(8, 8, 3, 4, 3, 3);
+        let b = ConvShape::new_2d(6, 6, 4, 4, 3, 3);
+        net.conv("a", a).conv("b", b);
+        assert_eq!(net.total_maccs(), a.maccs() + b.maccs());
+    }
+
+    #[test]
+    fn chaining_detects_mismatch() {
+        let mut net = Network::new("broken");
+        net.conv("c1", ConvShape::new_2d(8, 8, 3, 4, 3, 3)); // out 6x6x4
+        net.conv("c2", ConvShape::new_2d(9, 9, 4, 4, 3, 3)); // expects 9x9
+        assert!(net.validate_chaining().is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Footprint and reuse statistics (the paper's Fig. 1).
+//!
+//! Fig. 1a plots the per-layer Bytes needed to store inputs and filters for
+//! representative 2D and 3D CNNs, against typical on-chip buffer capacity.
+//! Fig. 1b plots average data reuse — MACCs per Byte of (input + filter)
+//! footprint — per network.
+
+use crate::net::Network;
+
+/// Per-layer footprint record (Fig. 1a row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerFootprint {
+    /// Layer name.
+    pub name: String,
+    /// Input-activation bytes.
+    pub input_bytes: u64,
+    /// Filter (weight) bytes.
+    pub weight_bytes: u64,
+    /// Output bytes at activation precision.
+    pub output_bytes: u64,
+    /// MACCs for the layer.
+    pub maccs: u64,
+}
+
+/// Compute per-layer footprints for a network.
+pub fn layer_footprints(net: &Network) -> Vec<LayerFootprint> {
+    net.conv_layers()
+        .map(|l| LayerFootprint {
+            name: l.name.clone(),
+            input_bytes: l.shape.input_bytes(),
+            weight_bytes: l.shape.weight_bytes(),
+            output_bytes: l.shape.output_bytes(),
+            maccs: l.shape.maccs(),
+        })
+        .collect()
+}
+
+/// Network-level reuse summary (Fig. 1b row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseSummary {
+    /// Network name.
+    pub name: &'static str,
+    /// True for 3D CNNs.
+    pub is_3d: bool,
+    /// Total MACCs.
+    pub maccs: u64,
+    /// Total input + weight bytes.
+    pub footprint_bytes: u64,
+    /// MACCs per byte.
+    pub reuse: f64,
+}
+
+/// Compute the reuse summary for a network.
+pub fn reuse_summary(net: &Network) -> ReuseSummary {
+    let footprint = net.total_input_bytes() + net.total_weight_bytes();
+    ReuseSummary {
+        name: net.name,
+        is_3d: net.is_3d(),
+        maccs: net.total_maccs(),
+        footprint_bytes: footprint,
+        reuse: net.total_maccs() as f64 / footprint as f64,
+    }
+}
+
+/// Fraction of layers whose input+weight working set exceeds `capacity`
+/// bytes (quantifies Observation 1: working sets exceed on-chip memory).
+pub fn fraction_exceeding(net: &Network, capacity: u64) -> f64 {
+    let layers = layer_footprints(net);
+    let over = layers.iter().filter(|l| l.input_bytes + l.weight_bytes > capacity).count();
+    over as f64 / layers.len() as f64
+}
+
+/// Ratio of the largest to smallest per-layer working set (quantifies
+/// Observation 2: requirements vary dramatically across layers).
+pub fn working_set_spread(net: &Network) -> f64 {
+    let layers = layer_footprints(net);
+    let sizes: Vec<u64> = layers.iter().map(|l| l.input_bytes + l.weight_bytes).collect();
+    let max = *sizes.iter().max().unwrap_or(&1);
+    let min = *sizes.iter().min().unwrap_or(&1);
+    max as f64 / min as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{alexnet, c3d, i3d};
+
+    #[test]
+    fn observation1_c3d_exceeds_1mb() {
+        // Fig. 1a: 3D CNN footprints far exceed typical on-chip memory
+        // (1 MB); most C3D layers blow the budget.
+        let frac = fraction_exceeding(&c3d(), 1 << 20);
+        assert!(frac >= 0.5, "only {frac} of C3D layers exceed 1 MB");
+    }
+
+    #[test]
+    fn observation2_c3d_varies_more_than_alexnet() {
+        assert!(working_set_spread(&c3d()) > 4.0);
+    }
+
+    #[test]
+    fn observation3_3d_reuse_higher() {
+        // Fig. 1b: reuse (MACCs/byte) is higher for 3D CNNs than 2D.
+        let a = reuse_summary(&alexnet());
+        let c = reuse_summary(&c3d());
+        let i = reuse_summary(&i3d());
+        assert!(c.reuse > 2.0 * a.reuse, "C3D {} vs AlexNet {}", c.reuse, a.reuse);
+        assert!(i.reuse > a.reuse);
+    }
+
+    #[test]
+    fn footprints_are_positive_and_ordered() {
+        for lf in layer_footprints(&c3d()) {
+            assert!(lf.input_bytes > 0 && lf.weight_bytes > 0 && lf.maccs > 0, "{}", lf.name);
+        }
+    }
+
+    #[test]
+    fn c3d_early_layers_input_heavy_late_weight_heavy() {
+        // The trend driving the paper's flexible-buffer argument (§III-A).
+        let lf = layer_footprints(&c3d());
+        assert!(lf.first().unwrap().input_bytes > lf.first().unwrap().weight_bytes);
+        assert!(lf.last().unwrap().weight_bytes > lf.last().unwrap().input_bytes);
+    }
+}

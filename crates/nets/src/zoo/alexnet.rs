@@ -1,0 +1,58 @@
+//! AlexNet (Krizhevsky et al., NIPS'12) — the paper's 2D sanity-check
+//! workload, where Eyeriss is expected to beat Morph_base but not Morph
+//! (§VI-D).
+//!
+//! Standard 227×227×3 single-crop inference. Grouped convolutions (conv2,
+//! conv4, conv5 in the original two-GPU split) are modeled ungrouped, as is
+//! conventional in accelerator studies; this only scales weights/MACCs of
+//! those layers by 2× and does not change any qualitative comparison.
+
+use crate::net::Network;
+use morph_tensor::pool::PoolShape;
+use morph_tensor::shape::ConvShape;
+
+/// Build AlexNet.
+pub fn alexnet() -> Network {
+    let mut net = Network::new("AlexNet");
+    net.conv("conv1", ConvShape::new_2d(227, 227, 3, 96, 11, 11).with_stride(4, 1));
+    net.pool("pool1", PoolShape::new(1, 3, 3).with_stride(2, 1));
+    net.conv("conv2", ConvShape::new_2d(27, 27, 96, 256, 5, 5).with_pad(2, 0));
+    net.pool("pool2", PoolShape::new(1, 3, 3).with_stride(2, 1));
+    net.conv("conv3", ConvShape::new_2d(13, 13, 256, 384, 3, 3).with_pad(1, 0));
+    net.conv("conv4", ConvShape::new_2d(13, 13, 384, 384, 3, 3).with_pad(1, 0));
+    net.conv("conv5", ConvShape::new_2d(13, 13, 384, 256, 3, 3).with_pad(1, 0));
+    net.pool("pool5", PoolShape::new(1, 3, 3).with_stride(2, 1));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_conv_layers_all_2d() {
+        let net = alexnet();
+        assert_eq!(net.num_conv_layers(), 5);
+        assert!(!net.is_3d());
+    }
+
+    #[test]
+    fn classic_dims() {
+        let net = alexnet();
+        assert_eq!(net.layer("conv1").unwrap().shape.h_out(), 55);
+        assert_eq!(net.layer("conv2").unwrap().shape.h_out(), 27);
+        assert_eq!(net.layer("conv5").unwrap().shape.h_out(), 13);
+    }
+
+    #[test]
+    fn shapes_chain() {
+        assert_eq!(alexnet().validate_chaining(), Ok(()));
+    }
+
+    #[test]
+    fn macc_count_in_published_range() {
+        // Ungrouped AlexNet convs ≈ 1.1 GMACs (±: conv2/4/5 ungrouped).
+        let g = alexnet().total_maccs() as f64 / 1e9;
+        assert!(g > 0.6 && g < 1.5, "AlexNet GMACs = {g}");
+    }
+}

@@ -1,0 +1,71 @@
+//! C3D (Tran et al., ICCV'15) — the paper's primary 3D CNN workload.
+//!
+//! Input: 3 channels × 16 frames × 112 × 112. Eight 3×3×3 convolution
+//! layers (stride 1, pad 1) interleaved with max pooling; the paper's
+//! Fig. 4 / Table III index these as layer1, layer2, layer3a/b, layer4a/b,
+//! layer5a/b.
+
+use crate::net::Network;
+use morph_tensor::pool::PoolShape;
+use morph_tensor::shape::ConvShape;
+
+/// 3×3×3, stride 1, pad 1 convolution at the given feature-map size.
+fn conv333(h: usize, f: usize, c: usize, k: usize) -> ConvShape {
+    ConvShape::new_3d(h, h, f, c, k, 3, 3, 3).with_pad(1, 1)
+}
+
+/// Build C3D.
+pub fn c3d() -> Network {
+    let mut net = Network::new("C3D");
+    net.conv("layer1", conv333(112, 16, 3, 64));
+    net.pool("pool1", PoolShape::new(1, 2, 2).with_stride(2, 1));
+    net.conv("layer2", conv333(56, 16, 64, 128));
+    net.pool("pool2", PoolShape::new(2, 2, 2));
+    net.conv("layer3a", conv333(28, 8, 128, 256));
+    net.conv("layer3b", conv333(28, 8, 256, 256));
+    net.pool("pool3", PoolShape::new(2, 2, 2));
+    net.conv("layer4a", conv333(14, 4, 256, 512));
+    net.conv("layer4b", conv333(14, 4, 512, 512));
+    net.pool("pool4", PoolShape::new(2, 2, 2));
+    net.conv("layer5a", conv333(7, 2, 512, 512));
+    net.conv("layer5b", conv333(7, 2, 512, 512));
+    net.pool("pool5", PoolShape::new(2, 2, 2).with_stride(2, 2));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_conv_layers() {
+        let net = c3d();
+        assert_eq!(net.num_conv_layers(), 8);
+        assert!(net.is_3d());
+    }
+
+    #[test]
+    fn shapes_chain() {
+        assert_eq!(c3d().validate_chaining(), Ok(()));
+    }
+
+    #[test]
+    fn layer_dims_match_paper_table3() {
+        // Table III's tile bounds imply the layer extents: layer1 Ht=114
+        // (112 + 2 pad), Ft=16; layer5a Ht=7, Ft=2, Kt up to 512.
+        let net = c3d();
+        let l1 = &net.layer("layer1").unwrap().shape;
+        assert_eq!((l1.h_padded(), l1.f, l1.c, l1.k), (114, 16, 3, 64));
+        let l5a = &net.layer("layer5a").unwrap().shape;
+        assert_eq!((l5a.h, l5a.f, l5a.c, l5a.k), (7, 2, 512, 512));
+    }
+
+    #[test]
+    fn conv_dominates_compute() {
+        // §II-C: 3D convolution is >99.8 % of C3D inference compute; the
+        // conv-only MACC count must land near the published ~38.5 GMACs
+        // (synchronized to 16-frame 112×112 inputs).
+        let g = c3d().total_maccs() as f64 / 1e9;
+        assert!(g > 30.0 && g < 45.0, "C3D GMACs = {g}");
+    }
+}

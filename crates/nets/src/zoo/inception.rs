@@ -1,0 +1,171 @@
+//! Inception-v1 (GoogLeNet) and its 3D inflation I3D (Carreira &
+//! Zisserman, CVPR'17).
+//!
+//! I3D inflates every GoogLeNet filter with a temporal dimension and runs
+//! on 64-frame 224×224 clips — the paper highlights that its 64 frames
+//! (vs. C3D's 16) widen Morph's advantage over Eyeriss (§VI-D).
+//!
+//! Both networks share one builder. Branch structure per Inception module:
+//! `b0`: 1×1; `b1`: 1×1 → 3×3; `b2`: 1×1 → 3×3 (I3D) or 1×1 → 5×5
+//! (original GoogLeNet); `b3`: pool → 1×1. Branch convolutions are
+//! linearized in `b0, b1, b2, b3` order.
+
+use crate::net::Network;
+use morph_tensor::pool::PoolShape;
+use morph_tensor::shape::ConvShape;
+
+/// Channel counts of one Inception module:
+/// (b0, b1_reduce, b1_out, b2_reduce, b2_out, b3_out).
+#[derive(Debug, Clone, Copy)]
+struct Mix(usize, usize, usize, usize, usize, usize);
+
+impl Mix {
+    fn out(&self) -> usize {
+        self.0 + self.2 + self.4 + self.5
+    }
+}
+
+/// The canonical Inception-v1 module table (3b..5c).
+const MODULES: [(&str, Mix); 9] = [
+    ("Mixed_3b", Mix(64, 96, 128, 16, 32, 32)),
+    ("Mixed_3c", Mix(128, 128, 192, 32, 96, 64)),
+    ("Mixed_4b", Mix(192, 96, 208, 16, 48, 64)),
+    ("Mixed_4c", Mix(160, 112, 224, 24, 64, 64)),
+    ("Mixed_4d", Mix(128, 128, 256, 24, 64, 64)),
+    ("Mixed_4e", Mix(112, 144, 288, 32, 64, 64)),
+    ("Mixed_4f", Mix(256, 160, 320, 32, 128, 128)),
+    ("Mixed_5b", Mix(256, 160, 320, 32, 128, 128)),
+    ("Mixed_5c", Mix(384, 192, 384, 48, 128, 128)),
+];
+
+/// Shared builder. `temporal = true` builds I3D (3D, 64 frames); otherwise
+/// GoogLeNet (2D, single frame, 5×5 second branch).
+fn build(name: &'static str, temporal: bool) -> Network {
+    let mut net = Network::new(name);
+    let f0 = if temporal { 64 } else { 1 };
+    let t = |k: usize| if temporal { k } else { 1 };
+
+    // Stem. Conv1: 7×7(×7) stride 2 (temporal stride 2 for I3D), pad 3.
+    let conv1 = ConvShape::new_3d(224, 224, f0, 3, 64, 7, 7, t(7))
+        .with_stride(2, if temporal { 2 } else { 1 })
+        .with_pad(3, if temporal { 3 } else { 0 });
+    net.conv("Conv2d_1a_7x7", conv1);
+    let mut f = conv1.f_out(); // 32 for I3D
+    let mut h = conv1.h_out(); // 112
+    // MaxPool 3×3 stride 2 (no temporal pooling this early in I3D).
+    net.pool("MaxPool_2a_3x3", PoolShape::new(1, 3, 3).with_stride(2, 1));
+    h = (h - 3) / 2 + 1; // 55
+    let mut c = 64;
+
+    net.conv("Conv2d_2b_1x1", ConvShape::new_3d(h, h, f, c, 64, 1, 1, 1));
+    c = 64;
+    let conv2c = ConvShape::new_3d(h, h, f, c, 192, 3, 3, t(3)).with_pad(1, if temporal { 1 } else { 0 });
+    net.conv("Conv2d_2c_3x3", conv2c);
+    c = 192;
+    net.pool("MaxPool_3a_3x3", PoolShape::new(1, 3, 3).with_stride(2, 1));
+    h = (h - 3) / 2 + 1; // 27
+
+    for (mi, (mname, mix)) in MODULES.iter().enumerate() {
+        // Grid-reduction pools before Mixed_4b and Mixed_5b.
+        if mi == 2 {
+            net.pool(
+                "MaxPool_4a_3x3",
+                PoolShape::new(t(3), 3, 3).with_stride(2, if temporal { 2 } else { 1 }),
+            );
+            h = (h - 3) / 2 + 1;
+            if temporal {
+                f = (f - 3) / 2 + 1;
+            }
+        } else if mi == 7 {
+            net.pool(
+                "MaxPool_5a_2x2",
+                PoolShape::new(t(2), 2, 2).with_stride(2, if temporal { 2 } else { 1 }),
+            );
+            h = (h - 2) / 2 + 1;
+            if temporal {
+                f = (f - 2) / 2 + 1;
+            }
+        }
+        let Mix(b0, b1r, b1o, b2r, b2o, b3o) = *mix;
+        let one = |k: usize| ConvShape::new_3d(h, h, f, c, k, 1, 1, 1);
+        net.conv(format!("{mname}/b0_1x1"), one(b0));
+        net.conv(format!("{mname}/b1_reduce"), one(b1r));
+        net.conv(
+            format!("{mname}/b1_3x3"),
+            ConvShape::new_3d(h, h, f, b1r, b1o, 3, 3, t(3)).with_pad(1, if temporal { 1 } else { 0 }),
+        );
+        net.conv(format!("{mname}/b2_reduce"), one(b2r));
+        let (kr, ks, pad) = if temporal { (3, 3, 1) } else { (5, 5, 2) };
+        net.conv(
+            format!("{mname}/b2_conv"),
+            ConvShape::new_3d(h, h, f, b2r, b2o, kr, ks, t(3))
+                .with_pad(pad, if temporal { 1 } else { 0 }),
+        );
+        net.conv(format!("{mname}/b3_1x1"), one(b3o));
+        c = mix.out();
+    }
+    net
+}
+
+/// I3D: inflated Inception-v1 on 3 × 64 × 224 × 224 input.
+pub fn i3d() -> Network {
+    build("I3D", true)
+}
+
+/// GoogLeNet / Inception-v1 (2D), used in the paper's Fig. 1 comparisons.
+pub fn googlenet() -> Network {
+    build("Inception", false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i3d_is_3d_googlenet_is_not() {
+        assert!(i3d().is_3d());
+        assert!(!googlenet().is_3d());
+    }
+
+    #[test]
+    fn module_output_channels() {
+        // Inception-v1 concatenated channel counts.
+        assert_eq!(Mix(64, 96, 128, 16, 32, 32).out(), 256); // 3b
+        assert_eq!(Mix(128, 128, 192, 32, 96, 64).out(), 480); // 3c
+        assert_eq!(Mix(384, 192, 384, 48, 128, 128).out(), 1024); // 5c
+    }
+
+    #[test]
+    fn layer_counts() {
+        // Stem: 3 convs. 9 modules × 6 convs = 54. Total 57.
+        assert_eq!(i3d().num_conv_layers(), 57);
+        assert_eq!(googlenet().num_conv_layers(), 57);
+    }
+
+    #[test]
+    fn i3d_temporal_extents() {
+        let net = i3d();
+        // 64 frames → conv1 s2 → 32.
+        assert_eq!(net.layer("Conv2d_2b_1x1").unwrap().shape.f, 32);
+        // After MaxPool_4a (temporal s2) → 15; after 5a → 7.
+        assert_eq!(net.layer("Mixed_4b/b0_1x1").unwrap().shape.f, 15);
+        assert_eq!(net.layer("Mixed_5b/b0_1x1").unwrap().shape.f, 7);
+    }
+
+    #[test]
+    fn i3d_has_many_more_maccs_than_googlenet() {
+        // Temporal inflation multiplies compute by O(F·T) (§II-C Remark).
+        let r = i3d().total_maccs() as f64 / googlenet().total_maccs() as f64;
+        assert!(r > 30.0, "I3D/GoogLeNet MACC ratio = {r}");
+    }
+
+    #[test]
+    fn branch_structure_consistent() {
+        let net = i3d();
+        let b1 = &net.layer("Mixed_3b/b1_3x3").unwrap().shape;
+        assert_eq!((b1.c, b1.k, b1.r, b1.t), (96, 128, 3, 3));
+        let g = googlenet();
+        let b2 = &g.layer("Mixed_3b/b2_conv").unwrap().shape;
+        assert_eq!((b2.c, b2.k, b2.r, b2.t), (16, 32, 5, 1));
+    }
+}

@@ -1,0 +1,56 @@
+//! The network zoo: every CNN evaluated in the paper.
+
+mod alexnet;
+mod c3d;
+mod inception;
+mod resnet3d;
+mod resnet50;
+mod twostream;
+
+pub use alexnet::alexnet;
+pub use c3d::c3d;
+pub use inception::{googlenet, i3d};
+pub use resnet3d::resnet3d_50;
+pub use resnet50::resnet50;
+pub use twostream::two_stream;
+
+use crate::net::Network;
+
+/// The five networks of the paper's main evaluation (Fig. 9 / Fig. 10),
+/// in figure order.
+pub fn evaluation_networks() -> Vec<Network> {
+    vec![c3d(), resnet3d_50(), i3d(), two_stream(), alexnet()]
+}
+
+/// The six networks of Fig. 1 (three 2D, three 3D).
+pub fn figure1_networks() -> Vec<Network> {
+    vec![alexnet(), googlenet(), resnet50(), c3d(), resnet3d_50(), i3d()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_set_matches_figure9_order() {
+        let names: Vec<_> = evaluation_networks().iter().map(|n| n.name).collect();
+        assert_eq!(names, ["C3D", "ResNet-3D", "I3D", "Two_Stream", "AlexNet"]);
+    }
+
+    #[test]
+    fn every_network_has_layers() {
+        for net in figure1_networks() {
+            assert!(net.num_conv_layers() >= 5, "{} too small", net.name);
+            for layer in net.conv_layers() {
+                let sh = &layer.shape;
+                assert!(sh.h_out() >= 1 && sh.w_out() >= 1 && sh.f_out() >= 1, "{}", layer.name);
+            }
+        }
+    }
+
+    #[test]
+    fn three_d_sets_flag() {
+        let flags: Vec<_> = figure1_networks().iter().map(|n| n.is_3d()).collect();
+        assert_eq!(flags, [false, false, false, true, true, true]);
+    }
+}

@@ -1,0 +1,113 @@
+//! 3D ResNet-50 (Hara et al., "Can spatiotemporal 3D CNNs retrace the
+//! history of 2D CNNs and ImageNet?"), the paper's `ResNet-3D` workload.
+//!
+//! Input: 3 × 16 × 112 × 112. The 2D ResNet-50 bottleneck stack inflated to
+//! 3D: conv1 is 7×7×7 stride (1,2,2); each bottleneck is
+//! 1×1×1 → 3×3×3 → 1×1×1 with a 1×1×1 projection on the first block of a
+//! stage. Stages 3–5 downsample spatially and temporally by 2.
+
+use crate::net::Network;
+use morph_tensor::pool::PoolShape;
+use morph_tensor::shape::ConvShape;
+
+/// Append one bottleneck block operating on an `(h, f, c_in)` feature map
+/// with `c_mid` bottleneck channels, producing `4·c_mid` channels at
+/// `(h/stride, f/stride_f)`.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    net: &mut Network,
+    stage: usize,
+    block: usize,
+    h: usize,
+    f: usize,
+    c_in: usize,
+    c_mid: usize,
+    stride: usize,
+    stride_f: usize,
+) -> (usize, usize, usize) {
+    let tag = |part: &str| format!("res{stage}{}/{part}", (b'a' + block as u8) as char);
+    // 1×1×1 reduce (carries the stride, per the torchvision/Hara convention).
+    let reduce = ConvShape::new_3d(h, h, f, c_in, c_mid, 1, 1, 1).with_stride(stride, stride_f);
+    net.conv(tag("conv1"), reduce);
+    let (h2, f2) = (reduce.h_out(), reduce.f_out());
+    // 3×3×3 spatial-temporal.
+    net.conv(tag("conv2"), ConvShape::new_3d(h2, h2, f2, c_mid, c_mid, 3, 3, 3).with_pad(1, 1));
+    // 1×1×1 expand.
+    net.conv(tag("conv3"), ConvShape::new_3d(h2, h2, f2, c_mid, 4 * c_mid, 1, 1, 1));
+    if block == 0 {
+        // Projection shortcut on the stage's first block.
+        net.conv(
+            tag("proj"),
+            ConvShape::new_3d(h, h, f, c_in, 4 * c_mid, 1, 1, 1).with_stride(stride, stride_f),
+        );
+    }
+    (h2, f2, 4 * c_mid)
+}
+
+/// Build 3D ResNet-50.
+pub fn resnet3d_50() -> Network {
+    let mut net = Network::new("ResNet-3D");
+    // conv1: 7×7×7, 64, stride (1 temporal, 2 spatial), pad 3.
+    let conv1 = ConvShape::new_3d(112, 112, 16, 3, 64, 7, 7, 7)
+        .with_stride(2, 1)
+        .with_pad(3, 3);
+    net.conv("conv1", conv1);
+    // maxpool 3×3×3 stride 2: 16×56×56 → 8×28×28.
+    net.pool("pool1", PoolShape::new(3, 3, 3).with_stride(2, 2));
+
+    let blocks = [3usize, 4, 6, 3];
+    let mids = [64usize, 128, 256, 512];
+    let (mut h, mut f, mut c) = (27usize, 7usize, 64usize);
+    // Pool of 3 stride 2 on 56/16: (56−3)/2+1 = 27, (16−3)/2+1 = 7.
+    for (si, (&nblocks, &c_mid)) in blocks.iter().zip(&mids).enumerate() {
+        let stage = si + 2;
+        for b in 0..nblocks {
+            let (stride, stride_f) = if b == 0 && stage > 2 { (2, 2) } else { (1, 1) };
+            let (h2, f2, c2) = bottleneck(&mut net, stage, b, h, f, c, c_mid, stride, stride_f);
+            h = h2;
+            f = f2;
+            c = c2;
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_three_conv_layers() {
+        // 1 stem + Σ blocks·3 + 4 projections = 1 + 48 + 4 = 53.
+        let net = resnet3d_50();
+        assert_eq!(net.num_conv_layers(), 53);
+        assert!(net.is_3d());
+    }
+
+    #[test]
+    fn stage_channel_progression() {
+        let net = resnet3d_50();
+        assert_eq!(net.layer("res2a/conv3").unwrap().shape.k, 256);
+        assert_eq!(net.layer("res3a/conv3").unwrap().shape.k, 512);
+        assert_eq!(net.layer("res4a/conv3").unwrap().shape.k, 1024);
+        assert_eq!(net.layer("res5a/conv3").unwrap().shape.k, 2048);
+    }
+
+    #[test]
+    fn temporal_extent_shrinks() {
+        let net = resnet3d_50();
+        assert_eq!(net.layer("res2a/conv2").unwrap().shape.f, 7);
+        assert_eq!(net.layer("res5a/conv2").unwrap().shape.f, 1);
+    }
+
+    #[test]
+    fn later_layers_weight_heavy() {
+        // Observation 1/2 of the paper: weights dominate inputs in later
+        // layers, reverse in early layers.
+        let net = resnet3d_50();
+        let early = &net.layer("res2a/conv2").unwrap().shape;
+        assert!(early.input_bytes() > early.weight_bytes());
+        let late = &net.layer("res5a/conv2").unwrap().shape;
+        assert!(late.weight_bytes() > late.input_bytes());
+    }
+}

@@ -1,0 +1,69 @@
+//! ResNet-50 (He et al., CVPR'16), 2D — used in the paper's Fig. 1
+//! footprint/reuse comparison.
+
+use crate::net::Network;
+use morph_tensor::pool::PoolShape;
+use morph_tensor::shape::ConvShape;
+
+/// Append one 2D bottleneck block.
+fn bottleneck(net: &mut Network, stage: usize, block: usize, h: usize, c_in: usize, c_mid: usize, stride: usize) -> (usize, usize) {
+    let tag = |part: &str| format!("res{stage}{}/{part}", (b'a' + block as u8) as char);
+    let reduce = ConvShape::new_2d(h, h, c_in, c_mid, 1, 1).with_stride(stride, 1);
+    net.conv(tag("conv1"), reduce);
+    let h2 = reduce.h_out();
+    net.conv(tag("conv2"), ConvShape::new_2d(h2, h2, c_mid, c_mid, 3, 3).with_pad(1, 0));
+    net.conv(tag("conv3"), ConvShape::new_2d(h2, h2, c_mid, 4 * c_mid, 1, 1));
+    if block == 0 {
+        net.conv(tag("proj"), ConvShape::new_2d(h, h, c_in, 4 * c_mid, 1, 1).with_stride(stride, 1));
+    }
+    (h2, 4 * c_mid)
+}
+
+/// Build 2D ResNet-50 on 224×224×3 input.
+pub fn resnet50() -> Network {
+    let mut net = Network::new("ResNet");
+    let conv1 = ConvShape::new_2d(224, 224, 3, 64, 7, 7).with_stride(2, 1).with_pad(3, 0);
+    net.conv("conv1", conv1);
+    net.pool("pool1", PoolShape::new(1, 3, 3).with_stride(2, 1));
+    let (mut h, mut c) = (56usize, 64usize); // (112+2−3)/2+1 = 56 with pad 1; use canonical 56
+
+    let blocks = [3usize, 4, 6, 3];
+    let mids = [64usize, 128, 256, 512];
+    for (si, (&nblocks, &c_mid)) in blocks.iter().zip(&mids).enumerate() {
+        let stage = si + 2;
+        for b in 0..nblocks {
+            let stride = if b == 0 && stage > 2 { 2 } else { 1 };
+            let (h2, c2) = bottleneck(&mut net, stage, b, h, c, c_mid, stride);
+            h = h2;
+            c = c2;
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_three_convs() {
+        assert_eq!(resnet50().num_conv_layers(), 53);
+        assert!(!resnet50().is_3d());
+    }
+
+    #[test]
+    fn canonical_grid_sizes() {
+        let net = resnet50();
+        assert_eq!(net.layer("res2a/conv2").unwrap().shape.h, 56);
+        assert_eq!(net.layer("res3a/conv2").unwrap().shape.h, 28);
+        assert_eq!(net.layer("res4a/conv2").unwrap().shape.h, 14);
+        assert_eq!(net.layer("res5a/conv2").unwrap().shape.h, 7);
+    }
+
+    #[test]
+    fn macc_count_in_published_range() {
+        // ResNet-50 convs ≈ 3.8 GMACs.
+        let g = resnet50().total_maccs() as f64 / 1e9;
+        assert!(g > 3.0 && g < 4.6, "ResNet-50 GMACs = {g}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Two-Stream network (Simonyan & Zisserman, NIPS'14) — the paper's
+//! "Two_Stream" workload: a 2D CNN that runs on multiple input frames.
+//!
+//! Both streams use the CNN-M-2048 backbone. The spatial stream consumes a
+//! single RGB frame (C = 3); the temporal stream consumes a stack of
+//! L = 10 optical-flow frame pairs (C = 20). Both streams are linearized
+//! into one network, spatial first.
+
+use crate::net::Network;
+use morph_tensor::pool::PoolShape;
+use morph_tensor::shape::ConvShape;
+
+/// Append one CNN-M-2048 stream with `c_in` input channels.
+fn cnn_m(net: &mut Network, stream: &str, c_in: usize) {
+    let tag = |layer: &str| format!("{stream}/{layer}");
+    // conv1: 7×7, 96, stride 2.
+    let conv1 = ConvShape::new_2d(224, 224, c_in, 96, 7, 7).with_stride(2, 1);
+    net.conv(tag("conv1"), conv1);
+    net.pool(tag("pool1"), PoolShape::new(1, 2, 2).with_stride(2, 1));
+    let h1 = conv1.h_out() / 2; // 109 → 54
+    // conv2: 5×5, 256, stride 2, pad 1.
+    let conv2 = ConvShape::new_2d(h1, h1, 96, 256, 5, 5).with_stride(2, 1).with_pad(1, 0);
+    net.conv(tag("conv2"), conv2);
+    net.pool(tag("pool2"), PoolShape::new(1, 2, 2).with_stride(2, 1));
+    let h2 = conv2.h_out() / 2; // 26 → 13
+    // conv3–conv5: 3×3, 512, pad 1.
+    net.conv(tag("conv3"), ConvShape::new_2d(h2, h2, 256, 512, 3, 3).with_pad(1, 0));
+    net.conv(tag("conv4"), ConvShape::new_2d(h2, h2, 512, 512, 3, 3).with_pad(1, 0));
+    net.conv(tag("conv5"), ConvShape::new_2d(h2, h2, 512, 512, 3, 3).with_pad(1, 0));
+    net.pool(tag("pool5"), PoolShape::new(1, 2, 2).with_stride(2, 1));
+}
+
+/// Build the Two-Stream network (spatial + temporal streams).
+pub fn two_stream() -> Network {
+    let mut net = Network::new("Two_Stream");
+    cnn_m(&mut net, "spatial", 3);
+    cnn_m(&mut net, "temporal", 20);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_conv_layers_two_streams() {
+        let net = two_stream();
+        assert_eq!(net.num_conv_layers(), 10);
+        assert!(!net.is_3d());
+    }
+
+    #[test]
+    fn temporal_stream_has_flow_channels() {
+        let net = two_stream();
+        assert_eq!(net.layer("temporal/conv1").unwrap().shape.c, 20);
+        assert_eq!(net.layer("spatial/conv1").unwrap().shape.c, 3);
+    }
+
+    #[test]
+    fn backbone_dims_shrink() {
+        let net = two_stream();
+        let c3 = &net.layer("spatial/conv3").unwrap().shape;
+        assert!(c3.h <= 14 && c3.h >= 12);
+        assert_eq!(c3.k, 512);
+    }
+}

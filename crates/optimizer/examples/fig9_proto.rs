@@ -1,0 +1,38 @@
+//! Prototype of the Fig. 9 comparison across all five networks (dev tool).
+use morph_dataflow::arch::ArchSpec;
+use morph_energy::EnergyModel;
+use morph_eyeriss::Eyeriss;
+use morph_nets::zoo;
+use morph_optimizer::{Effort, Objective, Optimizer};
+
+fn main() {
+    let arch = ArchSpec::morph();
+    let eyeriss = Eyeriss::table2();
+    let mut gains_base = Vec::new();
+    let mut gains_eyeriss = Vec::new();
+    let mut ppw = Vec::new();
+    for net in zoo::evaluation_networks() {
+        let t0 = std::time::Instant::now();
+        let morph = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast);
+        let base = Optimizer::morph_base(EnergyModel::morph_base(arch));
+        let rm = morph.network_report(&net, Objective::Energy);
+        let rb = base.network_report(&net, Objective::Energy);
+        let re = eyeriss.evaluate_network(&net);
+        let gb = rb.total_pj() / rm.total_pj();
+        let ge = re.total_pj() / rm.total_pj();
+        let pw = rm.perf_per_watt() / rb.perf_per_watt();
+        println!(
+            "{:10} ({:6.1?}) morph/base {:5.2}x  eyeriss/morph {:6.2}x  eyeriss/base {:5.2}x  ppw {:4.2}x  util(m/b/e) {:.2}/{:.2}/{:.2}",
+            net.name, t0.elapsed(), gb, ge, re.total_pj() / rb.total_pj(), pw,
+            rm.cycles.utilization(), rb.cycles.utilization(), re.cycles.utilization()
+        );
+        if net.is_3d() {
+            gains_base.push(gb);
+            gains_eyeriss.push(ge);
+        }
+        ppw.push(pw);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("3D avg morph/base {:.2}x (paper 2.5x), eyeriss/morph {:.2}x (paper 15.9x), ppw avg {:.2}x (paper 4x)",
+        avg(&gains_base), avg(&gains_eyeriss), avg(&ppw));
+}

@@ -1,0 +1,31 @@
+//! Quick shape check of the headline comparisons (developer tool).
+use morph_dataflow::arch::ArchSpec;
+use morph_energy::EnergyModel;
+use morph_eyeriss::Eyeriss;
+use morph_nets::zoo;
+use morph_optimizer::{Effort, Objective, Optimizer};
+
+fn main() {
+    let arch = ArchSpec::morph();
+    let eyeriss = Eyeriss::table2();
+    for net in [zoo::c3d(), zoo::alexnet()] {
+        let t0 = std::time::Instant::now();
+        let morph = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast);
+        let base = Optimizer::morph_base(EnergyModel::morph_base(arch));
+        let rm = morph.network_report(&net, Objective::Energy);
+        let rb = base.network_report(&net, Objective::Energy);
+        let re = eyeriss.evaluate_network(&net);
+        println!("=== {} ({:?}) ===", net.name, t0.elapsed());
+        for (name, r) in [("eyeriss", &re), ("base", &rb), ("morph", &rm)] {
+            println!(
+                "{name:8} total {:9.3e} dram {:9.3e} l2 {:9.3e} l1 {:9.3e} l0 {:9.3e} comp {:9.3e} stat {:9.3e} cyc {:.3e} util {:.2}",
+                r.total_pj(), r.dram_pj, r.l2_pj, r.l1_pj, r.l0_pj, r.compute_pj, r.static_pj,
+                r.cycles.total as f64, r.cycles.utilization()
+            );
+        }
+        println!("morph/base energy gain: {:.2}x", rb.total_pj() / rm.total_pj());
+        println!("eyeriss/morph energy gain: {:.2}x", re.total_pj() / rm.total_pj());
+        println!("eyeriss/base  energy gain: {:.2}x", re.total_pj() / rb.total_pj());
+        println!("perf/watt morph vs base: {:.2}x", rm.perf_per_watt() / rb.perf_per_watt());
+    }
+}

@@ -1,0 +1,17 @@
+//! Thorough-effort timing on one C3D layer (dev tool).
+use morph_dataflow::arch::ArchSpec;
+use morph_energy::EnergyModel;
+use morph_nets::zoo;
+use morph_optimizer::{Effort, Objective, Optimizer};
+
+fn main() {
+    let net = zoo::c3d();
+    let opt = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Thorough);
+    for name in ["layer3a", "layer1"] {
+        let l = net.layer(name).unwrap();
+        let t0 = std::time::Instant::now();
+        let d = opt.search_layer(&l.shape, Objective::Energy);
+        println!("{name}: {:?} outer {} inner {} total {:.3e}",
+            t0.elapsed(), d.config.outer_order(), d.config.inner_order().to_lowercase(), d.report.total_pj());
+    }
+}

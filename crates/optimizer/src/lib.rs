@@ -1,0 +1,19 @@
+//! # morph-optimizer
+//!
+//! The paper's §V software optimization framework: per layer, enumerate
+//! configurations (loop orders × L2 tiles × PE parallelism), allocate
+//! sub-tiles level by level with the corner-search `allocate` heuristic
+//! scored by `f_reuse`, cost every candidate with the whole-chip model,
+//! and return the best configuration per objective. Configurations can be
+//! persisted to a plain-text schedule file and recalled.
+
+#![warn(missing_docs)]
+
+pub mod allocate;
+pub mod schedule;
+pub mod search;
+pub mod space;
+
+pub use allocate::FitPolicy;
+pub use search::{LayerDecision, Objective, Optimizer};
+pub use space::Effort;

@@ -1,0 +1,142 @@
+//! Schedule files: persist per-layer decisions as plain text (§V: "a
+//! configuration file can be saved and recalled instead of re-running the
+//! analysis").
+//!
+//! The format is a line-oriented `key=value` record per layer, readable in
+//! a diff and parseable without extra dependencies.
+
+use morph_dataflow::config::{LevelConfig, TilingConfig};
+use morph_dataflow::perf::Parallelism;
+use morph_tensor::order::LoopOrder;
+use morph_tensor::tiled::Tile;
+use std::fmt::Write as _;
+
+/// One persisted layer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleEntry {
+    /// Layer name.
+    pub layer: String,
+    /// Full tiling configuration.
+    pub config: TilingConfig,
+    /// Chosen parallelism.
+    pub par: Parallelism,
+}
+
+fn tile_str(t: &Tile) -> String {
+    format!("{},{},{},{},{}", t.h, t.w, t.f, t.c, t.k)
+}
+
+fn parse_tile(s: &str) -> Result<Tile, String> {
+    let v: Vec<usize> = s
+        .split(',')
+        .map(|x| x.trim().parse().map_err(|e| format!("bad tile number {x:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if v.len() != 5 {
+        return Err(format!("tile needs 5 extents, got {}", v.len()));
+    }
+    Ok(Tile { h: v[0], w: v[1], f: v[2], c: v[3], k: v[4] })
+}
+
+/// Serialize entries to the schedule text format.
+pub fn to_text(entries: &[ScheduleEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        writeln!(out, "[layer {}]", e.layer).unwrap();
+        for (i, lvl) in e.config.levels.iter().enumerate() {
+            writeln!(out, "level{i} = {} {}", lvl.order, tile_str(&lvl.tile)).unwrap();
+        }
+        writeln!(out, "par = {},{},{},{}", e.par.hp, e.par.wp, e.par.kp, e.par.fp).unwrap();
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse the schedule text format.
+pub fn from_text(text: &str) -> Result<Vec<ScheduleEntry>, String> {
+    let mut entries = Vec::new();
+    let mut cur: Option<ScheduleEntry> = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| format!("line {}: {m}", ln + 1);
+        if let Some(name) = line.strip_prefix("[layer ").and_then(|s| s.strip_suffix(']')) {
+            if let Some(e) = cur.take() {
+                entries.push(e);
+            }
+            cur = Some(ScheduleEntry {
+                layer: name.to_string(),
+                config: TilingConfig { levels: Vec::new() },
+                par: Parallelism::serial(),
+            });
+            continue;
+        }
+        let entry = cur.as_mut().ok_or_else(|| err("record before [layer]".into()))?;
+        let (key, value) = line.split_once('=').ok_or_else(|| err(format!("no '=' in {line:?}")))?;
+        let (key, value) = (key.trim(), value.trim());
+        if key.starts_with("level") {
+            let (order, tile) =
+                value.split_once(' ').ok_or_else(|| err(format!("bad level value {value:?}")))?;
+            let order: LoopOrder = order.parse().map_err(|e| err(format!("{e}")))?;
+            let tile = parse_tile(tile).map_err(err)?;
+            entry.config.levels.push(LevelConfig { order, tile });
+        } else if key == "par" {
+            let t = parse_tile(&format!("{value},0")).map_err(err)?; // reuse 5-number parser
+            entry.par = Parallelism { hp: t.h, wp: t.w, kp: t.f, fp: t.c };
+        } else {
+            return Err(err(format!("unknown key {key:?}")));
+        }
+    }
+    if let Some(e) = cur.take() {
+        entries.push(e);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_tensor::shape::ConvShape;
+
+    fn sample() -> Vec<ScheduleEntry> {
+        let sh = ConvShape::new_3d(14, 14, 4, 256, 512, 3, 3, 3).with_pad(1, 1);
+        let cfg = TilingConfig::morph(
+            "WFKHC".parse().unwrap(),
+            "whckf".parse().unwrap(),
+            Tile::whole(&sh),
+            Tile { h: 7, w: 7, f: 2, c: 32, k: 16 },
+            Tile { h: 7, w: 7, f: 1, c: 8, k: 8 },
+            8,
+        );
+        vec![ScheduleEntry {
+            layer: "layer4a".into(),
+            config: cfg,
+            par: Parallelism { hp: 12, wp: 1, kp: 8, fp: 1 },
+        }]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let entries = sample();
+        let text = to_text(&entries);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_text("level0 = WHCKF 1,1,1,1,1").is_err()); // no [layer]
+        assert!(from_text("[layer x]\nfoo = bar").is_err());
+        assert!(from_text("[layer x]\nlevel0 = WHXKF 1,1,1,1,1").is_err());
+        assert!(from_text("[layer x]\nlevel0 = WHCKF 1,1,1").is_err());
+    }
+
+    #[test]
+    fn text_is_humanly_scannable() {
+        let text = to_text(&sample());
+        assert!(text.contains("[layer layer4a]"));
+        assert!(text.contains("level0 = WFKHC"));
+        assert!(text.contains("par = 12,1,8,1"));
+    }
+}

@@ -1,0 +1,279 @@
+//! The optimizer driver (§V): enumerate → allocate → cost → select.
+
+use crate::allocate::{allocate_hierarchy, tile_fits, FitPolicy};
+use crate::space::{
+    dedup_orders, inner_order_candidates, l2_tile_candidates, outer_order_candidates,
+    parallelism_candidates, Effort,
+};
+use morph_dataflow::arch::OnChipLevel;
+use morph_dataflow::config::TilingConfig;
+use morph_dataflow::perf::{layer_cycles, Parallelism};
+use morph_dataflow::traffic::layer_traffic;
+use morph_energy::{EnergyModel, EnergyReport};
+use morph_nets::Network;
+use morph_tensor::order::LoopOrder;
+use morph_tensor::shape::ConvShape;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// What to optimize for (§V-E: "best performance, best performance/watt,
+/// etc.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize total energy.
+    Energy,
+    /// Minimize latency (cycles).
+    Performance,
+    /// Maximize MACCs per joule including static energy.
+    PerfPerWatt,
+}
+
+/// The chosen configuration for one layer plus its evaluated cost.
+#[derive(Debug, Clone)]
+pub struct LayerDecision {
+    /// Full multi-level dataflow configuration.
+    pub config: TilingConfig,
+    /// Spatial PE parallelism.
+    pub par: Parallelism,
+    /// Evaluated energy/performance.
+    pub report: EnergyReport,
+}
+
+/// The §V software optimizer.
+pub struct Optimizer {
+    /// Cost model (also fixes the architecture).
+    pub model: EnergyModel,
+    /// Tile fit policy (banked for Morph, partitioned for Morph_base).
+    pub policy: FitPolicy,
+    /// Search effort.
+    pub effort: Effort,
+    /// Restrict the outer-order space (`None` = full candidate set).
+    pub outer_orders: Option<Vec<LoopOrder>>,
+    /// Restrict the inner-order space.
+    pub inner_orders: Option<Vec<LoopOrder>>,
+    /// Restrict parallelism (`None` = search).
+    pub parallelism: Option<Parallelism>,
+    /// Use Morph_base's fixed tiling policy instead of searching tiles.
+    pub fixed_tile_policy: bool,
+    cache: Mutex<HashMap<(ConvShape, Objective), LayerDecision>>,
+}
+
+impl Optimizer {
+    /// Full-flexibility Morph optimizer.
+    pub fn morph(model: EnergyModel, effort: Effort) -> Self {
+        Self {
+            model,
+            policy: FitPolicy::Banked,
+            effort,
+            outer_orders: None,
+            inner_orders: None,
+            parallelism: None,
+            fixed_tile_policy: false,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Morph_base: fixed `[WHCKF]`/`[cfwhk]` orders, Table I partitions,
+    /// fixed `Hp × Kp` parallelism (§IV-A3, §VI-B).
+    pub fn morph_base(model: EnergyModel) -> Self {
+        let par = Parallelism::base(&model.arch);
+        Self {
+            model,
+            policy: FitPolicy::Partitioned,
+            effort: Effort::Fast,
+            outer_orders: Some(vec![LoopOrder::base_outer()]),
+            inner_orders: Some(vec![LoopOrder::base_inner()]),
+            parallelism: Some(par),
+            fixed_tile_policy: false,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Restrict the outer-order candidate set (builder style).
+    pub fn with_outer_orders(mut self, orders: Vec<LoopOrder>) -> Self {
+        self.outer_orders = Some(orders);
+        self.cache.lock().clear();
+        self
+    }
+
+    /// Restrict the inner-order candidate set (builder style).
+    pub fn with_inner_orders(mut self, orders: Vec<LoopOrder>) -> Self {
+        self.inner_orders = Some(orders);
+        self.cache.lock().clear();
+        self
+    }
+
+    /// Fix the parallelism (builder style).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = Some(par);
+        self.cache.lock().clear();
+        self
+    }
+
+    /// Use the fixed (hard-coded FSM) tiling policy — the strictest
+    /// baseline variant, used by the flexibility ablation.
+    pub fn with_fixed_tile_policy(mut self) -> Self {
+        self.fixed_tile_policy = true;
+        self.cache.lock().clear();
+        self
+    }
+
+    fn score(objective: Objective, r: &EnergyReport) -> f64 {
+        match objective {
+            Objective::Energy => r.total_pj(),
+            Objective::Performance => r.cycles.total as f64,
+            Objective::PerfPerWatt => -r.perf_per_watt(),
+        }
+    }
+
+    /// Search one layer; results are cached by shape (repeated blocks in
+    /// ResNets hit the cache).
+    pub fn search_layer(&self, shape: &ConvShape, objective: Objective) -> LayerDecision {
+        if let Some(hit) = self.cache.lock().get(&(*shape, objective)) {
+            return hit.clone();
+        }
+        let arch = &self.model.arch;
+        if self.fixed_tile_policy {
+            let cfg = crate::allocate::base_hierarchy(shape, arch);
+            let par = self.parallelism.unwrap_or_else(|| Parallelism::base(arch));
+            let mut traffic = layer_traffic(shape, &cfg);
+            morph_dataflow::traffic::apply_multicast(&mut traffic, par.hp, par.wp, par.fp, par.kp);
+            let cycles = layer_cycles(shape, &cfg, &par, arch, &traffic);
+            let report = self.model.attribute(shape, &traffic, cycles);
+            let decision = LayerDecision { config: cfg, par, report };
+            self.cache.lock().insert((*shape, objective), decision.clone());
+            return decision;
+        }
+        let outer_cands = self
+            .outer_orders
+            .clone()
+            .unwrap_or_else(|| outer_order_candidates(self.effort));
+        let inner_cands = self
+            .inner_orders
+            .clone()
+            .unwrap_or_else(|| inner_order_candidates(self.effort));
+        let pars = match self.parallelism {
+            Some(p) => vec![p],
+            None => parallelism_candidates(arch),
+        };
+
+        let mut l2_cands: Vec<_> = l2_tile_candidates(shape, arch, self.effort)
+            .into_iter()
+            .filter(|t| tile_fits(shape, t, OnChipLevel::L2, arch, self.policy))
+            .collect();
+        if l2_cands.is_empty() {
+            // Fall back to the minimum tile so every layer is schedulable.
+            l2_cands.push(morph_tensor::tiled::Tile { h: 1, w: 1, f: 1, c: 1, k: 1 });
+        }
+
+        let mut best: Option<(f64, LayerDecision)> = None;
+        // Memoize allocations per (L2 tile, inner order): the sub-tile
+        // choice is driven by the inner order; the outer order is swapped
+        // in afterwards.
+        let mut alloc_memo: HashMap<(morph_tensor::tiled::Tile, LoopOrder), Option<TilingConfig>> =
+            HashMap::new();
+
+        for l2 in &l2_cands {
+            let outers = dedup_orders(&outer_cands, shape, l2);
+            for inner in &inner_cands {
+                let base_cfg = alloc_memo
+                    .entry((*l2, *inner))
+                    .or_insert_with(|| {
+                        allocate_hierarchy(shape, LoopOrder::base_outer(), *inner, *l2, arch, self.policy)
+                    })
+                    .clone();
+                let Some(base_cfg) = base_cfg else { continue };
+                // Best parallelism = fewest compute cycles; it depends only
+                // on the tile grid, not the loop orders, so hoist it out of
+                // the outer-order loop.
+                let par = *pars
+                    .iter()
+                    .min_by_key(|p| morph_dataflow::perf::compute_cycles(shape, &base_cfg, p, arch))
+                    .expect("at least one parallelism candidate");
+                for outer in &outers {
+                    let mut cfg = base_cfg.clone();
+                    cfg.levels[0].order = *outer;
+                    let mut traffic = layer_traffic(shape, &cfg);
+                    morph_dataflow::traffic::apply_multicast(&mut traffic, par.hp, par.wp, par.fp, par.kp);
+                    let cycles = layer_cycles(shape, &cfg, &par, arch, &traffic);
+                    let report = self.model.attribute(shape, &traffic, cycles);
+                    let s = Self::score(objective, &report);
+                    if best.as_ref().is_none_or(|(bs, _)| s < *bs) {
+                        best = Some((s, LayerDecision { config: cfg, par, report }));
+                    }
+                }
+            }
+        }
+        let decision = best.expect("search space never empty").1;
+        self.cache.lock().insert((*shape, objective), decision.clone());
+        decision
+    }
+
+    /// Search every convolution layer of a network.
+    pub fn search_network(&self, net: &Network, objective: Objective) -> Vec<LayerDecision> {
+        net.conv_layers().map(|l| self.search_layer(&l.shape, objective)).collect()
+    }
+
+    /// Aggregate network cost under an objective.
+    pub fn network_report(&self, net: &Network, objective: Objective) -> EnergyReport {
+        self.search_network(net, objective)
+            .iter()
+            .fold(EnergyReport::zero(), |acc, d| acc.add(&d.report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_dataflow::arch::ArchSpec;
+
+    fn layer() -> ConvShape {
+        ConvShape::new_3d(28, 28, 8, 128, 256, 3, 3, 3).with_pad(1, 1)
+    }
+
+    #[test]
+    fn morph_beats_base_on_a_3d_layer() {
+        let sh = layer();
+        let arch = ArchSpec::morph();
+        let morph = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast);
+        let base = Optimizer::morph_base(EnergyModel::morph_base(arch));
+        let em = morph.search_layer(&sh, Objective::Energy).report;
+        let eb = base.search_layer(&sh, Objective::Energy).report;
+        assert!(
+            em.total_pj() < eb.total_pj(),
+            "morph {} vs base {}",
+            em.total_pj(),
+            eb.total_pj()
+        );
+    }
+
+    #[test]
+    fn cache_returns_identical_decision() {
+        let sh = layer();
+        let opt = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Fast);
+        let a = opt.search_layer(&sh, Objective::Energy);
+        let b = opt.search_layer(&sh, Objective::Energy);
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.par, b.par);
+    }
+
+    #[test]
+    fn performance_objective_minimizes_cycles() {
+        let sh = layer();
+        let opt = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Fast);
+        let perf = opt.search_layer(&sh, Objective::Performance);
+        let energy = opt.search_layer(&sh, Objective::Energy);
+        assert!(perf.report.cycles.total <= energy.report.cycles.total);
+        assert!(energy.report.total_pj() <= perf.report.total_pj());
+    }
+
+    #[test]
+    fn decisions_respect_capacity() {
+        let sh = layer();
+        let arch = ArchSpec::morph();
+        let opt = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast);
+        let d = opt.search_layer(&sh, Objective::Energy);
+        assert!(d.config.fits(&sh, &arch).is_ok());
+        assert!(d.config.validate(&sh).is_ok());
+    }
+}

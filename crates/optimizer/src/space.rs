@@ -1,0 +1,222 @@
+//! Configuration-space enumeration (§V-A).
+//!
+//! The optimizer enumerates outer/inner loop orders, last-level (L2) tile
+//! sizes and PE-parallelism choices, then takes their cartesian product.
+//! To keep the search tractable the paper discretizes tile sizes and we
+//! additionally canonicalize loop orders: dimensions with a single trip at
+//! a level cannot affect traffic, so orders differing only in their
+//! placement are equivalent.
+
+use morph_dataflow::arch::ArchSpec;
+use morph_dataflow::perf::Parallelism;
+use morph_tensor::order::{Dim, LoopOrder};
+use morph_tensor::shape::ConvShape;
+use morph_tensor::tiled::Tile;
+
+/// How hard to search (§V-A: "the search space can be discretized").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Coarse discretization; suitable for 50+-layer networks.
+    Fast,
+    /// Dense tile grid and all canonical loop orders.
+    Thorough,
+}
+
+/// Candidate extents for one dimension: the extent itself plus halvings
+/// and a few canonical sizes, deduplicated and clamped.
+fn extent_candidates(extent: usize, effort: Effort) -> Vec<usize> {
+    let mut cands = vec![extent, extent.div_ceil(2)];
+    match effort {
+        Effort::Fast => {
+            for c in [8usize, 32] {
+                if c < extent {
+                    cands.push(c);
+                }
+            }
+        }
+        Effort::Thorough => {
+            cands.push(extent.div_ceil(4));
+            for c in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+                if c < extent {
+                    cands.push(c);
+                }
+            }
+        }
+    }
+    cands.sort_unstable();
+    cands.dedup();
+    cands
+}
+
+/// Enumerate L2 tile candidates for a layer, pruned to tiles that fit the
+/// L2 budget (checked with the banked-fit rule; the caller re-checks with
+/// its own policy). Spatial tiles keep `W = H` (all evaluated networks are
+/// square), halving the dimensionality as the paper's discretization does.
+pub fn l2_tile_candidates(shape: &ConvShape, arch: &ArchSpec, effort: Effort) -> Vec<Tile> {
+    let budget = arch.tile_budget_bytes(morph_dataflow::arch::OnChipLevel::L2) as u64;
+    let hs = extent_candidates(shape.h_out(), effort);
+    let fs = extent_candidates(shape.f_out(), effort);
+    let cs = extent_candidates(shape.c, effort);
+    let ks = extent_candidates(shape.k, effort);
+    let mut out = Vec::new();
+    for &h in &hs {
+        // Keep W tied to H except for strongly rectangular outputs.
+        let w = h.min(shape.w_out());
+        for &f in &fs {
+            for &c in &cs {
+                for &k in &ks {
+                    let tile = Tile { h, w, f, c, k };
+                    let bytes = morph_dataflow::config::tile_bytes(shape, &tile);
+                    if bytes.total() <= budget {
+                        out.push(tile);
+                    }
+                }
+            }
+        }
+    }
+    // Prefer large tiles first: better reuse candidates surface early.
+    out.sort_by_key(|t| std::cmp::Reverse(t.h * t.w * t.f * t.c * t.k));
+    out
+}
+
+/// Canonical signature of a loop order given a tile: the subsequence of
+/// dimensions with more than one trip. Orders with equal signatures
+/// produce identical traffic.
+pub fn order_signature(order: &LoopOrder, shape: &ConvShape, tile: &Tile) -> Vec<Dim> {
+    let whole = Tile::whole(shape);
+    order
+        .dims()
+        .into_iter()
+        .filter(|&d| tile.extent(d) < whole.extent(d))
+        .collect()
+}
+
+/// Deduplicate loop orders by their signature for a given tile.
+pub fn dedup_orders(orders: &[LoopOrder], shape: &ConvShape, tile: &Tile) -> Vec<LoopOrder> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for &o in orders {
+        if seen.insert(order_signature(&o, shape, tile)) {
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// The inner-order candidate set: the paper's three reference inner orders
+/// (§III-B) plus a spread of qualitatively distinct orders.
+pub fn inner_order_candidates(effort: Effort) -> Vec<LoopOrder> {
+    let fast = ["cfwhk", "kfwhc", "whkfc", "cfkwh", "kcfwh", "whckf", "fwhck", "ckfwh"];
+    match effort {
+        Effort::Fast => fast.iter().map(|s| s.parse().unwrap()).collect(),
+        Effort::Thorough => LoopOrder::all(),
+    }
+}
+
+/// The outer-order candidate set.
+pub fn outer_order_candidates(effort: Effort) -> Vec<LoopOrder> {
+    let fast = ["WHCKF", "KWHCF", "WFHCK", "CKWHF", "KWFHC", "WFKHC", "FWHCK", "WHCFK"];
+    match effort {
+        Effort::Fast => fast.iter().map(|s| s.parse().unwrap()).collect(),
+        Effort::Thorough => LoopOrder::all(),
+    }
+}
+
+/// Parallelism candidates filling the chip to varying degrees across
+/// `Hp`/`Wp`/`Kp`/`Fp` (§II-F, §V-A).
+pub fn parallelism_candidates(arch: &ArchSpec) -> Vec<Parallelism> {
+    let total = arch.total_pes();
+    let degrees = [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 96];
+    let mut out = Vec::new();
+    for &hp in &degrees {
+        for &wp in &degrees {
+            if hp * wp > total {
+                continue;
+            }
+            for &kp in &degrees {
+                if hp * wp * kp > total {
+                    continue;
+                }
+                for fp in [1usize, 2, 4, 8, 16] {
+                    let p = Parallelism { hp, wp, kp, fp };
+                    if p.pes() <= total {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvShape {
+        ConvShape::new_3d(28, 28, 8, 128, 256, 3, 3, 3).with_pad(1, 1)
+    }
+
+    #[test]
+    fn tile_candidates_fit_budget() {
+        let sh = layer();
+        let arch = ArchSpec::morph();
+        let tiles = l2_tile_candidates(&sh, &arch, Effort::Fast);
+        assert!(!tiles.is_empty());
+        let budget = arch.tile_budget_bytes(morph_dataflow::arch::OnChipLevel::L2) as u64;
+        for t in &tiles {
+            assert!(morph_dataflow::config::tile_bytes(&sh, t).total() <= budget);
+        }
+    }
+
+    #[test]
+    fn thorough_has_more_candidates() {
+        let sh = layer();
+        let arch = ArchSpec::morph();
+        let fast = l2_tile_candidates(&sh, &arch, Effort::Fast).len();
+        let thorough = l2_tile_candidates(&sh, &arch, Effort::Thorough).len();
+        assert!(thorough > fast);
+    }
+
+    #[test]
+    fn signature_collapses_untiled_dims() {
+        let sh = layer();
+        let whole = Tile::whole(&sh);
+        // Untiled tile: every order has the empty signature.
+        let orders = LoopOrder::all();
+        let dedup = dedup_orders(&orders, &sh, &whole);
+        assert_eq!(dedup.len(), 1);
+        // Tiling only K: orders differ only in K's relative position among
+        // multi-trip dims → exactly one class again (only K multi-trip).
+        let kt = whole.with_extent(Dim::K, 64);
+        let dedup_k = dedup_orders(&orders, &sh, &kt);
+        assert_eq!(dedup_k.len(), 1);
+        // Tiling K and C: 2 distinct relative orders.
+        let kc = kt.with_extent(Dim::C, 32);
+        let dedup_kc = dedup_orders(&orders, &sh, &kc);
+        assert_eq!(dedup_kc.len(), 2);
+    }
+
+    #[test]
+    fn parallelism_candidates_fill_chip() {
+        let arch = ArchSpec::morph();
+        let ps = parallelism_candidates(&arch);
+        assert!(!ps.is_empty());
+        for p in &ps {
+            assert!(p.fits(&arch));
+        }
+        // Small degrees exist for small layer grids, and full-chip ones too.
+        assert!(ps.iter().any(|p| p.pes() == arch.total_pes()));
+        assert!(ps.iter().any(|p| p.pes() <= 4));
+        // The paper's Table III style Kp·Vw ∈ {8, 16} shapes must exist.
+        assert!(ps.iter().any(|p| p.kp == 1));
+        assert!(ps.iter().any(|p| p.kp == 2));
+    }
+
+    #[test]
+    fn candidate_extents_cover_extremes() {
+        let c = extent_candidates(112, Effort::Thorough);
+        assert!(c.contains(&112) && c.contains(&1));
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests on the optimizer: decisions are always valid, and a
+//! larger search space never yields a worse result.
+
+use morph_dataflow::arch::ArchSpec;
+use morph_energy::EnergyModel;
+use morph_optimizer::{Effort, Objective, Optimizer};
+use morph_tensor::order::LoopOrder;
+use morph_tensor::shape::ConvShape;
+use proptest::prelude::*;
+
+fn arb_layer() -> impl Strategy<Value = ConvShape> {
+    (4usize..20, 1usize..6, 1usize..48, 1usize..64, 1usize..3).prop_map(|(h, f, c, k, t)| {
+        let t = t.min(f);
+        ConvShape::new_3d(h, h, f, c, k, 3.min(h), 3.min(h), t).with_pad(1, 0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every decision is geometrically valid, fits the hardware, and its
+    /// parallelism fits the chip.
+    #[test]
+    fn decisions_are_always_valid(shape in arb_layer()) {
+        let arch = ArchSpec::morph();
+        let opt = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast);
+        let d = opt.search_layer(&shape, Objective::Energy);
+        prop_assert!(d.config.validate(&shape).is_ok());
+        prop_assert!(d.config.fits(&shape, &arch).is_ok());
+        prop_assert!(d.par.fits(&arch));
+        prop_assert!(d.report.total_pj() > 0.0);
+        prop_assert_eq!(d.report.maccs, shape.maccs());
+    }
+
+    /// Restricting the outer-order space never improves the best energy
+    /// (search-space monotonicity).
+    #[test]
+    fn larger_space_never_worse(shape in arb_layer(), oi in 0usize..8) {
+        let arch = ArchSpec::morph();
+        let order = morph_optimizer::space::outer_order_candidates(Effort::Fast)[oi];
+        let free = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast);
+        let restricted = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast)
+            .with_outer_orders(vec![order]);
+        let ef = free.search_layer(&shape, Objective::Energy).report.total_pj();
+        let er = restricted.search_layer(&shape, Objective::Energy).report.total_pj();
+        prop_assert!(ef <= er * (1.0 + 1e-9), "free {ef} worse than restricted {er}");
+    }
+
+    /// The performance objective never yields more cycles than the energy
+    /// objective's pick.
+    #[test]
+    fn objectives_are_ordered(shape in arb_layer()) {
+        let opt = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Fast);
+        let perf = opt.search_layer(&shape, Objective::Performance);
+        let energy = opt.search_layer(&shape, Objective::Energy);
+        prop_assert!(perf.report.cycles.total <= energy.report.cycles.total);
+        prop_assert!(energy.report.total_pj() <= perf.report.total_pj() * (1.0 + 1e-9));
+    }
+
+    /// The baseline's fixed orders are honored in its decision.
+    #[test]
+    fn baseline_uses_fixed_orders(shape in arb_layer()) {
+        let base = Optimizer::morph_base(EnergyModel::morph_base(ArchSpec::morph()));
+        let d = base.search_layer(&shape, Objective::Energy);
+        prop_assert_eq!(d.config.outer_order(), LoopOrder::base_outer());
+        prop_assert_eq!(d.config.inner_order(), LoopOrder::base_inner());
+    }
+}

@@ -1,0 +1,168 @@
+//! Reference 3D convolution (the paper's Algorithm 1), with stride and
+//! zero padding.
+//!
+//! This is the golden model every other component is validated against:
+//! the tiled convolution in [`crate::tiled`] and the functional hardware
+//! simulator in `morph-hw` must produce bit-identical outputs.
+
+use crate::shape::ConvShape;
+use crate::tensor::{Activations, Filters};
+
+/// Accumulator element: wide enough for 8-bit operand products over any
+/// evaluated layer (§IV-B1 sizes psums at `2P + log2(RSTC)` ≤ 32 bits).
+pub type Acc = i32;
+
+/// Direct 3D convolution per Algorithm 1, generalized with stride/padding.
+///
+/// Inputs are indexed `[c][f][h][w]`, filters `[k][c][t][r][s]`; the output
+/// is indexed `[k][f'][h'][w']` and holds full-precision accumulators.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with `shape`.
+pub fn conv3d_reference(shape: &ConvShape, input: &Activations<i8>, filters: &Filters<i8>) -> Activations<Acc> {
+    check_shapes(shape, input, filters);
+    let (ho, wo, fo) = (shape.h_out(), shape.w_out(), shape.f_out());
+    let mut out = Activations::<Acc>::zeros(shape.k, fo, ho, wo);
+    for k in 0..shape.k {
+        for f in 0..fo {
+            for h in 0..ho {
+                for w in 0..wo {
+                    let mut acc: Acc = 0;
+                    for c in 0..shape.c {
+                        for t in 0..shape.t {
+                            let fi = (f * shape.stride_f + t) as isize - shape.pad_f as isize;
+                            for r in 0..shape.r {
+                                let hi = (h * shape.stride + r) as isize - shape.pad as isize;
+                                for s in 0..shape.s {
+                                    let wi = (w * shape.stride + s) as isize - shape.pad as isize;
+                                    let x = input.get_padded(c, fi, hi, wi) as Acc;
+                                    let wgt = filters.get(k, c, t, r, s) as Acc;
+                                    acc += x * wgt;
+                                }
+                            }
+                        }
+                    }
+                    out.set(k, f, h, w, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Validates tensor shapes against a [`ConvShape`].
+pub fn check_shapes(shape: &ConvShape, input: &Activations<i8>, filters: &Filters<i8>) {
+    assert_eq!(
+        input.shape(),
+        (shape.c, shape.f, shape.h, shape.w),
+        "input tensor does not match layer shape"
+    );
+    assert_eq!(
+        filters.shape(),
+        (shape.k, shape.c, shape.t, shape.r, shape.s),
+        "filter tensor does not match layer shape"
+    );
+}
+
+/// Deterministic pseudo-random activations for a layer (seeded; used by
+/// tests, examples and the functional hardware simulator's validation).
+pub fn synth_input(shape: &ConvShape, seed: u64) -> Activations<i8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    Activations::from_fn(shape.c, shape.f, shape.h, shape.w, |_, _, _, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) & 0xFF) as u8 as i8
+    })
+}
+
+/// Deterministic pseudo-random filters for a layer.
+pub fn synth_filters(shape: &ConvShape, seed: u64) -> Filters<i8> {
+    let mut state = seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(3);
+    Filters::from_fn(shape.k, shape.c, shape.t, shape.r, shape.s, |_, _, _, _, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 37) & 0xFF) as u8 as i8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1×1×1 filter with weight 1 is the identity.
+    #[test]
+    fn identity_conv() {
+        let sh = ConvShape::new_3d(4, 4, 2, 1, 1, 1, 1, 1);
+        let input = synth_input(&sh, 7);
+        let mut filters = Filters::<i8>::zeros(1, 1, 1, 1, 1);
+        filters.set(0, 0, 0, 0, 0, 1);
+        let out = conv3d_reference(&sh, &input, &filters);
+        for f in 0..2 {
+            for h in 0..4 {
+                for w in 0..4 {
+                    assert_eq!(out.get(0, f, h, w), input.get(0, f, h, w) as Acc);
+                }
+            }
+        }
+    }
+
+    /// All-ones filter computes a box sum over the receptive field.
+    #[test]
+    fn box_sum() {
+        let sh = ConvShape::new_3d(3, 3, 3, 1, 1, 3, 3, 3);
+        let input = Activations::from_fn(1, 3, 3, 3, |_, _, _, _| 1i8);
+        let filters = Filters::from_fn(1, 1, 3, 3, 3, |_, _, _, _, _| 1i8);
+        let out = conv3d_reference(&sh, &input, &filters);
+        assert_eq!(out.shape(), (1, 1, 1, 1));
+        assert_eq!(out.get(0, 0, 0, 0), 27);
+    }
+
+    /// Zero padding contributes zero to edge outputs.
+    #[test]
+    fn padding_contributes_zero() {
+        let sh = ConvShape::new_2d(2, 2, 1, 1, 3, 3).with_pad(1, 0);
+        let input = Activations::from_fn(1, 1, 2, 2, |_, _, _, _| 1i8);
+        let filters = Filters::from_fn(1, 1, 1, 3, 3, |_, _, _, _, _| 1i8);
+        let out = conv3d_reference(&sh, &input, &filters);
+        assert_eq!(out.shape(), (1, 1, 2, 2));
+        // Every output sees exactly the four real pixels.
+        for h in 0..2 {
+            for w in 0..2 {
+                assert_eq!(out.get(0, 0, h, w), 4);
+            }
+        }
+    }
+
+    /// Stride-2 downsamples the output grid.
+    #[test]
+    fn strided_output_dims() {
+        let sh = ConvShape::new_2d(8, 8, 1, 2, 3, 3).with_stride(2, 1);
+        let input = synth_input(&sh, 1);
+        let filters = synth_filters(&sh, 2);
+        let out = conv3d_reference(&sh, &input, &filters);
+        assert_eq!(out.shape(), (2, 1, 3, 3));
+    }
+
+    /// A hand-computed 1-D temporal example.
+    #[test]
+    fn temporal_dot_product() {
+        let sh = ConvShape::new_3d(1, 1, 4, 1, 1, 1, 1, 2);
+        let input = Activations::from_fn(1, 4, 1, 1, |_, f, _, _| (f as i8) + 1); // 1,2,3,4
+        let mut filters = Filters::<i8>::zeros(1, 1, 2, 1, 1);
+        filters.set(0, 0, 0, 0, 0, 10);
+        filters.set(0, 0, 1, 0, 0, 1);
+        let out = conv3d_reference(&sh, &input, &filters);
+        assert_eq!(out.shape(), (1, 3, 1, 1));
+        assert_eq!(out.get(0, 0, 0, 0), 12); // 1·10 + 2·1
+        assert_eq!(out.get(0, 1, 0, 0), 23);
+        assert_eq!(out.get(0, 2, 0, 0), 34);
+    }
+
+    /// Synthetic generators are deterministic in the seed.
+    #[test]
+    fn synth_deterministic() {
+        let sh = ConvShape::new_3d(5, 5, 3, 2, 3, 3, 3, 2);
+        assert_eq!(synth_input(&sh, 9).as_slice(), synth_input(&sh, 9).as_slice());
+        assert_ne!(synth_input(&sh, 9).as_slice(), synth_input(&sh, 10).as_slice());
+        assert_eq!(synth_filters(&sh, 9).as_slice(), synth_filters(&sh, 9).as_slice());
+    }
+}

@@ -1,0 +1,250 @@
+//! Loop-nest vocabulary: the five tiled dimensions and loop orders.
+//!
+//! The paper tiles the `K`, `C`, `F`, `H` and `W` dimensions (§II-D; `R`,
+//! `S`, `T` are small and never tiled) and writes loop orders as lists like
+//! `[WHCKF]`, outermost dimension first (§II-E). Outer loop orders are
+//! written upper-case, inner loop orders lower-case; both share this
+//! representation.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A tileable convolution dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dim {
+    /// Output width.
+    W,
+    /// Output height.
+    H,
+    /// Input channels (the accumulation dimension).
+    C,
+    /// Filters / output channels.
+    K,
+    /// Output frames (temporal).
+    F,
+}
+
+impl Dim {
+    /// All five tiled dimensions.
+    pub const ALL: [Dim; 5] = [Dim::W, Dim::H, Dim::C, Dim::K, Dim::F];
+
+    /// True if this dimension indexes input activations (`W`,`H`,`C`,`F`).
+    pub fn input_relevant(self) -> bool {
+        !matches!(self, Dim::K)
+    }
+
+    /// True if this dimension indexes filters (`C`,`K`).
+    pub fn weight_relevant(self) -> bool {
+        matches!(self, Dim::C | Dim::K)
+    }
+
+    /// True if this dimension indexes partial sums (`W`,`H`,`K`,`F`).
+    pub fn psum_relevant(self) -> bool {
+        !matches!(self, Dim::C)
+    }
+
+    /// Upper-case letter used in outer loop orders.
+    pub fn letter(self) -> char {
+        match self {
+            Dim::W => 'W',
+            Dim::H => 'H',
+            Dim::C => 'C',
+            Dim::K => 'K',
+            Dim::F => 'F',
+        }
+    }
+
+    fn from_letter(ch: char) -> Option<Dim> {
+        match ch.to_ascii_uppercase() {
+            'W' => Some(Dim::W),
+            'H' => Some(Dim::H),
+            'C' => Some(Dim::C),
+            'K' => Some(Dim::K),
+            'F' => Some(Dim::F),
+            _ => None,
+        }
+    }
+}
+
+/// A permutation of the five tiled dimensions, outermost first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopOrder {
+    dims: [Dim; 5],
+}
+
+/// Error parsing a [`LoopOrder`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLoopOrderError(String);
+
+impl fmt::Display for ParseLoopOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid loop order {:?}: must be a permutation of WHCKF", self.0)
+    }
+}
+
+impl std::error::Error for ParseLoopOrderError {}
+
+impl LoopOrder {
+    /// Construct from dimensions, outermost first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is not a permutation of all five dimensions.
+    pub fn new(dims: [Dim; 5]) -> Self {
+        let mut seen = [false; 5];
+        for d in dims {
+            let i = Dim::ALL.iter().position(|&x| x == d).unwrap();
+            assert!(!seen[i], "loop order repeats dimension {d:?}");
+            seen[i] = true;
+        }
+        Self { dims }
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> [Dim; 5] {
+        self.dims
+    }
+
+    /// The innermost (fastest-changing) dimension.
+    pub fn innermost(&self) -> Dim {
+        self.dims[4]
+    }
+
+    /// The outermost (slowest-changing) dimension.
+    pub fn outermost(&self) -> Dim {
+        self.dims[0]
+    }
+
+    /// Position of a dimension, `0` = outermost … `4` = innermost.
+    pub fn position(&self, d: Dim) -> usize {
+        self.dims.iter().position(|&x| x == d).expect("all dims present")
+    }
+
+    /// All `5! = 120` loop orders.
+    pub fn all() -> Vec<LoopOrder> {
+        let mut out = Vec::with_capacity(120);
+        permute(&mut Dim::ALL.to_vec(), 0, &mut out);
+        out
+    }
+
+    /// Paper's Morph_base outer loop order `[WHCKF]` (§IV-A3).
+    pub fn base_outer() -> Self {
+        "WHCKF".parse().unwrap()
+    }
+
+    /// Paper's Morph_base inner loop order `[cfwhk]` (§IV-A3).
+    pub fn base_inner() -> Self {
+        "cfwhk".parse().unwrap()
+    }
+
+    /// Format in lower case (inner-loop-order convention).
+    pub fn to_lowercase(self) -> String {
+        self.dims.iter().map(|d| d.letter().to_ascii_lowercase()).collect()
+    }
+}
+
+fn permute(dims: &mut Vec<Dim>, start: usize, out: &mut Vec<LoopOrder>) {
+    if start == dims.len() {
+        out.push(LoopOrder::new([dims[0], dims[1], dims[2], dims[3], dims[4]]));
+        return;
+    }
+    for i in start..dims.len() {
+        dims.swap(start, i);
+        permute(dims, start + 1, out);
+        dims.swap(start, i);
+    }
+}
+
+impl fmt::Display for LoopOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in self.dims {
+            write!(f, "{}", d.letter())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for LoopOrder {
+    type Err = ParseLoopOrderError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let trimmed = text.trim_matches(|ch| ch == '[' || ch == ']');
+        if trimmed.len() != 5 {
+            return Err(ParseLoopOrderError(text.to_string()));
+        }
+        let mut dims = [Dim::W; 5];
+        let mut seen = [false; 5];
+        for (i, ch) in trimmed.chars().enumerate() {
+            let d = Dim::from_letter(ch).ok_or_else(|| ParseLoopOrderError(text.to_string()))?;
+            let j = Dim::ALL.iter().position(|&x| x == d).unwrap();
+            if seen[j] {
+                return Err(ParseLoopOrderError(text.to_string()));
+            }
+            seen[j] = true;
+            dims[i] = d;
+        }
+        Ok(LoopOrder { dims })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let o: LoopOrder = "WHCKF".parse().unwrap();
+        assert_eq!(o.to_string(), "WHCKF");
+        assert_eq!(o.outermost(), Dim::W);
+        assert_eq!(o.innermost(), Dim::F);
+        let i: LoopOrder = "cfwhk".parse().unwrap();
+        assert_eq!(i.to_lowercase(), "cfwhk");
+        assert_eq!(i.innermost(), Dim::K);
+    }
+
+    #[test]
+    fn parse_rejects_bad_strings() {
+        assert!("WHCK".parse::<LoopOrder>().is_err());
+        assert!("WHCKK".parse::<LoopOrder>().is_err());
+        assert!("WHCKX".parse::<LoopOrder>().is_err());
+    }
+
+    #[test]
+    fn parse_accepts_bracketed() {
+        let o: LoopOrder = "[KWHCF]".parse().unwrap();
+        assert_eq!(o.outermost(), Dim::K);
+    }
+
+    #[test]
+    fn all_orders_are_unique_permutations() {
+        let all = LoopOrder::all();
+        assert_eq!(all.len(), 120);
+        let mut set = std::collections::HashSet::new();
+        for o in &all {
+            assert!(set.insert(o.to_string()));
+        }
+    }
+
+    #[test]
+    fn relevance_sets_match_paper() {
+        // §II-E: filters load in innermost C or K; inputs in W,H,C,F;
+        // psums in W,H,K,F.
+        assert!(Dim::K.weight_relevant() && Dim::C.weight_relevant());
+        assert!(!Dim::W.weight_relevant());
+        assert!(Dim::W.input_relevant() && !Dim::K.input_relevant());
+        assert!(Dim::K.psum_relevant() && !Dim::C.psum_relevant());
+    }
+
+    #[test]
+    fn position_is_consistent() {
+        let o: LoopOrder = "KWHCF".parse().unwrap();
+        assert_eq!(o.position(Dim::K), 0);
+        assert_eq!(o.position(Dim::F), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats dimension")]
+    fn new_rejects_duplicates() {
+        LoopOrder::new([Dim::W, Dim::W, Dim::C, Dim::K, Dim::F]);
+    }
+}

@@ -1,0 +1,94 @@
+//! 3D max pooling.
+//!
+//! Pooling is <0.2 % of 3D CNN compute (§II-C) and is not accelerated by
+//! Morph, but the network zoo needs it to chain layer shapes, and the
+//! functional examples use it to run whole networks end to end.
+
+use crate::tensor::Activations;
+
+/// Parameters of a (possibly 3D) max-pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolShape {
+    /// Window height.
+    pub ph: usize,
+    /// Window width.
+    pub pw: usize,
+    /// Window temporal depth.
+    pub pf: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Temporal stride.
+    pub stride_f: usize,
+}
+
+impl PoolShape {
+    /// A cubic pooling window with stride equal to the window (the common
+    /// case in C3D, e.g. `2×2×2` stride 2 or `1×2×2` stride `(1,2,2)`).
+    pub fn new(pf: usize, ph: usize, pw: usize) -> Self {
+        Self { ph, pw, pf, stride: pw.max(ph), stride_f: pf }
+    }
+
+    /// Override the strides.
+    pub fn with_stride(mut self, spatial: usize, temporal: usize) -> Self {
+        self.stride = spatial;
+        self.stride_f = temporal;
+        self
+    }
+
+    /// Output dims for an input of `(f, h, w)`.
+    pub fn out_dims(&self, f: usize, h: usize, w: usize) -> (usize, usize, usize) {
+        (
+            (f.saturating_sub(self.pf)) / self.stride_f + 1,
+            (h.saturating_sub(self.ph)) / self.stride + 1,
+            (w.saturating_sub(self.pw)) / self.stride + 1,
+        )
+    }
+}
+
+/// Max-pool an accumulator tensor (per channel).
+pub fn maxpool3d(input: &Activations<i32>, pool: &PoolShape) -> Activations<i32> {
+    let (c, f, h, w) = input.shape();
+    let (fo, ho, wo) = pool.out_dims(f, h, w);
+    Activations::from_fn(c, fo, ho, wo, |ci, fi, hi, wi| {
+        let mut best = i32::MIN;
+        for df in 0..pool.pf {
+            for dh in 0..pool.ph {
+                for dw in 0..pool.pw {
+                    let v = input.get(ci, fi * pool.stride_f + df, hi * pool.stride + dh, wi * pool.stride + dw);
+                    best = best.max(v);
+                }
+            }
+        }
+        best
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_dims_c3d_style() {
+        // C3D pool1: 1×2×2 on 16×112×112 → 16×56×56.
+        let p = PoolShape::new(1, 2, 2).with_stride(2, 1);
+        assert_eq!(p.out_dims(16, 112, 112), (16, 56, 56));
+        // C3D pool2: 2×2×2 on 16×56×56 → 8×28×28.
+        let p2 = PoolShape::new(2, 2, 2);
+        assert_eq!(p2.out_dims(16, 56, 56), (8, 28, 28));
+    }
+
+    #[test]
+    fn maxpool_takes_window_max() {
+        let input = Activations::from_fn(1, 2, 2, 2, |_, f, h, w| (f * 4 + h * 2 + w) as i32);
+        let out = maxpool3d(&input, &PoolShape::new(2, 2, 2));
+        assert_eq!(out.shape(), (1, 1, 1, 1));
+        assert_eq!(out.get(0, 0, 0, 0), 7);
+    }
+
+    #[test]
+    fn maxpool_handles_negatives() {
+        let input = Activations::from_fn(1, 1, 2, 2, |_, _, h, w| -((h * 2 + w) as i32) - 1);
+        let out = maxpool3d(&input, &PoolShape::new(1, 2, 2));
+        assert_eq!(out.get(0, 0, 0, 0), -1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Requantization of wide accumulators back to 8-bit activations.
+//!
+//! The paper assumes 8-bit inputs and weights (§III Remark). Between layers,
+//! full-precision partial sums (§IV-B1) are scaled back to 8 bits so the
+//! next layer again consumes 1-byte activations — which is why the model
+//! writes final outputs to DRAM at activation width.
+
+use crate::tensor::Activations;
+
+/// Requantize accumulators to `i8` with a power-of-two right shift followed
+/// by ReLU (clamp at 0) and saturation — the standard integer-inference
+/// pipeline stage.
+pub fn requantize_relu(acc: &Activations<i32>, shift: u32) -> Activations<i8> {
+    let (c, f, h, w) = acc.shape();
+    Activations::from_fn(c, f, h, w, |ci, fi, hi, wi| {
+        let v = acc.get(ci, fi, hi, wi) >> shift;
+        v.clamp(0, i8::MAX as i32) as i8
+    })
+}
+
+/// Choose a shift so the largest accumulator magnitude fits in `i8` after
+/// shifting (per-layer static scaling).
+pub fn choose_shift(acc: &Activations<i32>) -> u32 {
+    let max = acc.as_slice().iter().map(|v| v.unsigned_abs()).max().unwrap_or(0);
+    let mut shift = 0;
+    while (max >> shift) > i8::MAX as u32 {
+        shift += 1;
+    }
+    shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requantize_clamps_and_relus() {
+        let acc = Activations::from_fn(1, 1, 1, 4, |_, _, _, w| match w {
+            0 => -500,
+            1 => 0,
+            2 => 260,
+            _ => 100,
+        });
+        let q = requantize_relu(&acc, 1);
+        assert_eq!(q.get(0, 0, 0, 0), 0); // negative → ReLU
+        assert_eq!(q.get(0, 0, 0, 1), 0);
+        assert_eq!(q.get(0, 0, 0, 2), 127); // 130 saturates
+        assert_eq!(q.get(0, 0, 0, 3), 50);
+    }
+
+    #[test]
+    fn choose_shift_fits_max() {
+        let acc = Activations::from_fn(1, 1, 1, 3, |_, _, _, w| (w as i32 + 1) * 1000);
+        let s = choose_shift(&acc);
+        assert!((3000 >> s) <= 127);
+        assert!(s == 0 || (3000 >> (s - 1)) > 127);
+    }
+
+    #[test]
+    fn zero_tensor_needs_no_shift() {
+        let acc = Activations::<i32>::zeros(1, 1, 2, 2);
+        assert_eq!(choose_shift(&acc), 0);
+    }
+}

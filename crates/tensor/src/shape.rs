@@ -1,0 +1,241 @@
+//! Convolution-layer shape arithmetic.
+//!
+//! The paper (§II-B) describes a 3D convolution of an input video of spatial
+//! resolution `H × W`, `F` frames and `C` channels with `K` filters of
+//! spatial size `R × S`, temporal size `T` and `C` channels, producing an
+//! output of spatial size `(H − R + 1) × (W − S + 1)` with `K` channels and
+//! `F − T + 1` frames. We generalize with stride and padding; 2D convolution
+//! is the special case `F = T = 1` (§II-B Remark).
+
+/// Bytes used to store one input activation or weight (8-bit, §III Remark).
+pub const ACT_BYTES: u64 = 1;
+/// Bytes used to store one weight (8-bit).
+pub const WGT_BYTES: u64 = 1;
+
+/// Shape of a single (possibly 3D) convolution layer.
+///
+/// Dimension names follow the paper: `H`/`W` spatial, `F` temporal frames,
+/// `C` input channels, `K` output channels (filters), `R`/`S` filter
+/// height/width, `T` filter temporal depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Input frames (temporal extent). `1` for a 2D convolution.
+    pub f: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Number of filters (output channels).
+    pub k: usize,
+    /// Filter height.
+    pub r: usize,
+    /// Filter width.
+    pub s: usize,
+    /// Filter temporal depth. `1` for a 2D convolution.
+    pub t: usize,
+    /// Spatial stride (same in H and W, as in all evaluated networks).
+    pub stride: usize,
+    /// Temporal stride.
+    pub stride_f: usize,
+    /// Spatial zero-padding (same on all four spatial edges).
+    pub pad: usize,
+    /// Temporal zero-padding (both temporal edges).
+    pub pad_f: usize,
+}
+
+impl ConvShape {
+    /// A 3D convolution with stride 1 and no padding.
+    pub fn new_3d(h: usize, w: usize, f: usize, c: usize, k: usize, r: usize, s: usize, t: usize) -> Self {
+        Self { h, w, f, c, k, r, s, t, stride: 1, stride_f: 1, pad: 0, pad_f: 0 }
+    }
+
+    /// A 2D convolution (`F = T = 1`) with stride 1 and no padding.
+    pub fn new_2d(h: usize, w: usize, c: usize, k: usize, r: usize, s: usize) -> Self {
+        Self::new_3d(h, w, 1, c, k, r, s, 1)
+    }
+
+    /// Builder-style stride setter (spatial and temporal).
+    pub fn with_stride(mut self, spatial: usize, temporal: usize) -> Self {
+        assert!(spatial >= 1 && temporal >= 1, "stride must be >= 1");
+        self.stride = spatial;
+        self.stride_f = temporal;
+        self
+    }
+
+    /// Builder-style padding setter (spatial and temporal).
+    pub fn with_pad(mut self, spatial: usize, temporal: usize) -> Self {
+        self.pad = spatial;
+        self.pad_f = temporal;
+        self
+    }
+
+    /// True if this layer is a 2D convolution (`F = T = 1`).
+    pub fn is_2d(&self) -> bool {
+        self.f == 1 && self.t == 1
+    }
+
+    /// Padded input height.
+    pub fn h_padded(&self) -> usize {
+        self.h + 2 * self.pad
+    }
+
+    /// Padded input width.
+    pub fn w_padded(&self) -> usize {
+        self.w + 2 * self.pad
+    }
+
+    /// Padded input frame count.
+    pub fn f_padded(&self) -> usize {
+        self.f + 2 * self.pad_f
+    }
+
+    /// Output height `(H + 2·pad − R)/stride + 1`.
+    pub fn h_out(&self) -> usize {
+        conv_out(self.h_padded(), self.r, self.stride)
+    }
+
+    /// Output width.
+    pub fn w_out(&self) -> usize {
+        conv_out(self.w_padded(), self.s, self.stride)
+    }
+
+    /// Output frames.
+    pub fn f_out(&self) -> usize {
+        conv_out(self.f_padded(), self.t, self.stride_f)
+    }
+
+    /// Total multiply-accumulate operations to evaluate the layer.
+    pub fn maccs(&self) -> u64 {
+        self.output_elems() * (self.r * self.s * self.t * self.c) as u64
+    }
+
+    /// Number of output elements `K · F_out · H_out · W_out`.
+    pub fn output_elems(&self) -> u64 {
+        self.k as u64 * self.f_out() as u64 * self.h_out() as u64 * self.w_out() as u64
+    }
+
+    /// Number of input elements `C · F · H · W` (unpadded).
+    pub fn input_elems(&self) -> u64 {
+        self.c as u64 * self.f as u64 * self.h as u64 * self.w as u64
+    }
+
+    /// Number of weights `K · C · T · R · S`.
+    pub fn weight_elems(&self) -> u64 {
+        self.k as u64 * self.c as u64 * self.t as u64 * self.r as u64 * self.s as u64
+    }
+
+    /// Input footprint in bytes at activation precision.
+    pub fn input_bytes(&self) -> u64 {
+        self.input_elems() * ACT_BYTES
+    }
+
+    /// Weight footprint in bytes.
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_elems() * WGT_BYTES
+    }
+
+    /// Output footprint in bytes at activation precision (after requantize).
+    pub fn output_bytes(&self) -> u64 {
+        self.output_elems() * ACT_BYTES
+    }
+
+    /// Bits required for an overflow-free partial sum:
+    /// `2·P + ⌈log2(R·S·T·C)⌉` for `P`-bit operands (§IV-B1).
+    pub fn psum_bits(&self, operand_bits: u32) -> u32 {
+        let macc_terms = (self.r * self.s * self.t * self.c) as u64;
+        2 * operand_bits + (64 - macc_terms.next_power_of_two().leading_zeros() - 1)
+    }
+
+    /// Partial-sum width in whole bytes for 8-bit operands.
+    pub fn psum_bytes(&self) -> u64 {
+        self.psum_bits(8).div_ceil(8) as u64
+    }
+
+    /// Average data reuse: MACCs per byte of (input + weight) footprint
+    /// (Fig. 1b's metric).
+    pub fn reuse_maccs_per_byte(&self) -> f64 {
+        self.maccs() as f64 / (self.input_bytes() + self.weight_bytes()) as f64
+    }
+
+    /// Shape of the layer that consumes this layer's output (helper used by
+    /// the network zoo to chain layers).
+    pub fn output_as_input(&self) -> (usize, usize, usize, usize) {
+        (self.h_out(), self.w_out(), self.f_out(), self.k)
+    }
+}
+
+/// One-dimensional convolution output size.
+pub fn conv_out(padded_in: usize, filter: usize, stride: usize) -> usize {
+    assert!(filter >= 1 && stride >= 1);
+    assert!(
+        padded_in >= filter,
+        "padded input extent {padded_in} smaller than filter extent {filter}"
+    );
+    (padded_in - filter) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_formula_stride1_nopad() {
+        // §II-B: output (H−R+1) × (W−S+1), F−T+1 frames, K channels.
+        let sh = ConvShape::new_3d(112, 112, 16, 3, 64, 3, 3, 3);
+        assert_eq!(sh.h_out(), 110);
+        assert_eq!(sh.w_out(), 110);
+        assert_eq!(sh.f_out(), 14);
+    }
+
+    #[test]
+    fn same_padding_preserves_dims() {
+        let sh = ConvShape::new_3d(112, 112, 16, 3, 64, 3, 3, 3).with_pad(1, 1);
+        assert_eq!(sh.h_out(), 112);
+        assert_eq!(sh.w_out(), 112);
+        assert_eq!(sh.f_out(), 16);
+    }
+
+    #[test]
+    fn two_d_special_case() {
+        let sh = ConvShape::new_2d(227, 227, 3, 96, 11, 11).with_stride(4, 1);
+        assert!(sh.is_2d());
+        assert_eq!(sh.h_out(), 55);
+        assert_eq!(sh.w_out(), 55);
+        assert_eq!(sh.f_out(), 1);
+    }
+
+    #[test]
+    fn macc_count_matches_naive() {
+        let sh = ConvShape::new_3d(8, 8, 4, 2, 5, 3, 3, 3).with_pad(1, 1);
+        let expected =
+            (sh.k * sh.h_out() * sh.w_out() * sh.f_out() * sh.r * sh.s * sh.t * sh.c) as u64;
+        assert_eq!(sh.maccs(), expected);
+    }
+
+    #[test]
+    fn psum_width_matches_paper_formula() {
+        // P=8, RSTC = 3·3·3·512 = 13824 → log2 ≈ 13.75 → 14 bits → 30 bits.
+        let sh = ConvShape::new_3d(14, 14, 4, 512, 512, 3, 3, 3);
+        assert_eq!(sh.psum_bits(8), 30);
+        assert_eq!(sh.psum_bytes(), 4);
+        // Small accumulation: 3·3·1·3 = 27 → 5 bits → 21 bits → 3 bytes.
+        let sh2 = ConvShape::new_2d(8, 8, 3, 4, 3, 3);
+        assert_eq!(sh2.psum_bits(8), 21);
+        assert_eq!(sh2.psum_bytes(), 3);
+    }
+
+    #[test]
+    fn reuse_is_higher_for_3d() {
+        let c3d = ConvShape::new_3d(112, 112, 16, 64, 64, 3, 3, 3).with_pad(1, 1);
+        let c2d = ConvShape::new_2d(112, 112, 64, 64, 3, 3).with_pad(1, 0);
+        assert!(c3d.reuse_maccs_per_byte() > c2d.reuse_maccs_per_byte());
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than filter")]
+    fn filter_larger_than_input_panics() {
+        conv_out(2, 3, 1);
+    }
+}

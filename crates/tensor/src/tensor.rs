@@ -1,0 +1,228 @@
+//! Dense tensor containers for activations and filters.
+//!
+//! Layouts mirror the paper's indexing (Algorithm 1): activations are
+//! indexed `[c][f][h][w]` and filters `[k][c][t][r][s]`. Storage is a flat
+//! row-major `Vec` with the last axis contiguous.
+
+use std::fmt;
+
+/// A dense 4-D activation tensor indexed `[channel][frame][row][col]`.
+#[derive(Clone, PartialEq)]
+pub struct Activations<T> {
+    c: usize,
+    f: usize,
+    h: usize,
+    w: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Activations<T> {
+    /// Zero-initialized tensor of the given shape.
+    pub fn zeros(c: usize, f: usize, h: usize, w: usize) -> Self {
+        Self { c, f, h, w, data: vec![T::default(); c * f * h * w] }
+    }
+
+    /// Build from a generator function of `(c, f, h, w)`.
+    pub fn from_fn(c: usize, f: usize, h: usize, w: usize, mut g: impl FnMut(usize, usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(c * f * h * w);
+        for ci in 0..c {
+            for fi in 0..f {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        data.push(g(ci, fi, hi, wi));
+                    }
+                }
+            }
+        }
+        Self { c, f, h, w, data }
+    }
+
+    /// (channels, frames, height, width).
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.c, self.f, self.h, self.w)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn idx(&self, c: usize, f: usize, h: usize, w: usize) -> usize {
+        debug_assert!(c < self.c && f < self.f && h < self.h && w < self.w);
+        ((c * self.f + f) * self.h + h) * self.w + w
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, c: usize, f: usize, h: usize, w: usize) -> T {
+        self.data[self.idx(c, f, h, w)]
+    }
+
+    /// Element accessor returning `default` outside the valid region
+    /// (used for zero padding).
+    #[inline]
+    pub fn get_padded(&self, c: usize, f: isize, h: isize, w: isize) -> T {
+        if f < 0 || h < 0 || w < 0 || f as usize >= self.f || h as usize >= self.h || w as usize >= self.w {
+            T::default()
+        } else {
+            self.get(c, f as usize, h as usize, w as usize)
+        }
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, c: usize, f: usize, h: usize, w: usize, v: T) {
+        let i = self.idx(c, f, h, w);
+        self.data[i] = v;
+    }
+
+    /// Add `v` into an element (psum accumulation).
+    #[inline]
+    pub fn add(&mut self, c: usize, f: usize, h: usize, w: usize, v: T)
+    where
+        T: core::ops::AddAssign,
+    {
+        let i = self.idx(c, f, h, w);
+        self.data[i] += v;
+    }
+
+    /// Flat view of the underlying storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> fmt::Debug for Activations<T> {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(fm, "Activations({}x{}x{}x{})", self.c, self.f, self.h, self.w)
+    }
+}
+
+/// A dense 5-D filter tensor indexed `[k][c][t][r][s]`.
+#[derive(Clone, PartialEq)]
+pub struct Filters<T> {
+    k: usize,
+    c: usize,
+    t: usize,
+    r: usize,
+    s: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Filters<T> {
+    /// Zero-initialized filters of the given shape.
+    pub fn zeros(k: usize, c: usize, t: usize, r: usize, s: usize) -> Self {
+        Self { k, c, t, r, s, data: vec![T::default(); k * c * t * r * s] }
+    }
+
+    /// Build from a generator function of `(k, c, t, r, s)`.
+    pub fn from_fn(k: usize, c: usize, t: usize, r: usize, s: usize, mut g: impl FnMut(usize, usize, usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(k * c * t * r * s);
+        for ki in 0..k {
+            for ci in 0..c {
+                for ti in 0..t {
+                    for ri in 0..r {
+                        for si in 0..s {
+                            data.push(g(ki, ci, ti, ri, si));
+                        }
+                    }
+                }
+            }
+        }
+        Self { k, c, t, r, s, data }
+    }
+
+    /// (filters, channels, temporal depth, height, width).
+    pub fn shape(&self) -> (usize, usize, usize, usize, usize) {
+        (self.k, self.c, self.t, self.r, self.s)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the filter bank has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn idx(&self, k: usize, c: usize, t: usize, r: usize, s: usize) -> usize {
+        debug_assert!(k < self.k && c < self.c && t < self.t && r < self.r && s < self.s);
+        (((k * self.c + c) * self.t + t) * self.r + r) * self.s + s
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, k: usize, c: usize, t: usize, r: usize, s: usize) -> T {
+        self.data[self.idx(k, c, t, r, s)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, k: usize, c: usize, t: usize, r: usize, s: usize, v: T) {
+        let i = self.idx(k, c, t, r, s);
+        self.data[i] = v;
+    }
+
+    /// Flat view of the underlying storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> fmt::Debug for Filters<T> {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(fm, "Filters({}x{}x{}x{}x{})", self.k, self.c, self.t, self.r, self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activations_roundtrip() {
+        let mut a = Activations::<i32>::zeros(2, 3, 4, 5);
+        a.set(1, 2, 3, 4, 42);
+        assert_eq!(a.get(1, 2, 3, 4), 42);
+        assert_eq!(a.get(0, 0, 0, 0), 0);
+        assert_eq!(a.len(), 2 * 3 * 4 * 5);
+    }
+
+    #[test]
+    fn padded_access_returns_zero_outside() {
+        let a = Activations::from_fn(1, 2, 2, 2, |_, _, _, _| 7i32);
+        assert_eq!(a.get_padded(0, -1, 0, 0), 0);
+        assert_eq!(a.get_padded(0, 0, 2, 0), 0);
+        assert_eq!(a.get_padded(0, 1, 1, 1), 7);
+    }
+
+    #[test]
+    fn filters_roundtrip() {
+        let f = Filters::from_fn(2, 3, 1, 3, 3, |k, c, _, r, s| (k * 1000 + c * 100 + r * 10 + s) as i32);
+        assert_eq!(f.get(1, 2, 0, 2, 1), 1221);
+        assert_eq!(f.len(), 2 * 3 * 9);
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let a = Activations::from_fn(1, 1, 2, 3, |_, _, h, w| (h * 3 + w) as i32);
+        assert_eq!(a.as_slice(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn accumulate_adds_in_place() {
+        let mut a = Activations::<i64>::zeros(1, 1, 1, 1);
+        a.add(0, 0, 0, 0, 5);
+        a.add(0, 0, 0, 0, 7);
+        assert_eq!(a.get(0, 0, 0, 0), 12);
+    }
+}

@@ -1,0 +1,233 @@
+//! Tiled 3D convolution.
+//!
+//! Splits the five tiled dimensions (§II-D) into tiles of configurable size
+//! and walks the tiles in a configurable [`LoopOrder`] (§II-E). The result
+//! must be bit-identical to [`crate::conv::conv3d_reference`] for every
+//! tiling and order — this is the commutativity property the paper's
+//! flexible dataflows rely on, and the property test that guards the halo
+//! arithmetic used throughout the analytical model.
+
+use crate::conv::{check_shapes, Acc};
+use crate::order::{Dim, LoopOrder};
+use crate::shape::ConvShape;
+use crate::tensor::{Activations, Filters};
+
+/// Tile sizes for the five tiled dimensions, in **output coordinates** for
+/// `F`, `H`, `W` (the input-coordinate footprint adds the filter halo) and
+/// in element counts for `C` and `K`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tile {
+    /// Output-height elements per tile.
+    pub h: usize,
+    /// Output-width elements per tile.
+    pub w: usize,
+    /// Output-frame elements per tile.
+    pub f: usize,
+    /// Input channels per tile.
+    pub c: usize,
+    /// Filters per tile.
+    pub k: usize,
+}
+
+impl Tile {
+    /// A tile covering the whole layer (no tiling).
+    pub fn whole(shape: &ConvShape) -> Self {
+        Self { h: shape.h_out(), w: shape.w_out(), f: shape.f_out(), c: shape.c, k: shape.k }
+    }
+
+    /// Tile extent along a dimension.
+    pub fn extent(&self, d: Dim) -> usize {
+        match d {
+            Dim::W => self.w,
+            Dim::H => self.h,
+            Dim::C => self.c,
+            Dim::K => self.k,
+            Dim::F => self.f,
+        }
+    }
+
+    /// Replace the extent along one dimension.
+    pub fn with_extent(mut self, d: Dim, v: usize) -> Self {
+        match d {
+            Dim::W => self.w = v,
+            Dim::H => self.h = v,
+            Dim::C => self.c = v,
+            Dim::K => self.k = v,
+            Dim::F => self.f = v,
+        }
+        self
+    }
+
+    /// Number of tiles needed to cover `shape` along each dimension.
+    pub fn trip_counts(&self, shape: &ConvShape) -> [usize; 5] {
+        // Order: W, H, C, K, F (Dim::ALL order).
+        [
+            shape.w_out().div_ceil(self.w),
+            shape.h_out().div_ceil(self.h),
+            shape.c.div_ceil(self.c),
+            shape.k.div_ceil(self.k),
+            shape.f_out().div_ceil(self.f),
+        ]
+    }
+}
+
+/// Full extents of the tiled iteration space of a layer, in [`Dim::ALL`]
+/// order (`W`, `H`, `C`, `K`, `F`).
+pub fn layer_extents(shape: &ConvShape) -> [usize; 5] {
+    [shape.w_out(), shape.h_out(), shape.c, shape.k, shape.f_out()]
+}
+
+/// Tiled 3D convolution: identical math to the reference, but evaluated
+/// tile by tile in the given loop order, accumulating partial sums across
+/// channel tiles.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or any tile extent is zero.
+pub fn conv3d_tiled(
+    shape: &ConvShape,
+    input: &Activations<i8>,
+    filters: &Filters<i8>,
+    tile: Tile,
+    order: LoopOrder,
+) -> Activations<Acc> {
+    check_shapes(shape, input, filters);
+    assert!(
+        tile.h > 0 && tile.w > 0 && tile.f > 0 && tile.c > 0 && tile.k > 0,
+        "tile extents must be positive"
+    );
+    let extents = layer_extents(shape);
+    let mut out = Activations::<Acc>::zeros(shape.k, shape.f_out(), shape.h_out(), shape.w_out());
+
+    // Walk tile origins in the configured loop order (outermost first).
+    let dims = order.dims();
+    let trips: Vec<usize> = dims
+        .iter()
+        .map(|&d| extents[dim_index(d)].div_ceil(tile.extent(d)))
+        .collect();
+    let mut idx = [0usize; 5];
+    loop {
+        // Tile origin and clipped extent per dimension.
+        let mut origin = [0usize; 5];
+        let mut size = [0usize; 5];
+        for (pos, &d) in dims.iter().enumerate() {
+            let di = dim_index(d);
+            origin[di] = idx[pos] * tile.extent(d);
+            size[di] = tile.extent(d).min(extents[di] - origin[di]);
+        }
+        conv_tile(shape, input, filters, &origin, &size, &mut out);
+
+        // Odometer increment, innermost fastest.
+        let mut pos = 4;
+        loop {
+            idx[pos] += 1;
+            if idx[pos] < trips[pos] {
+                break;
+            }
+            idx[pos] = 0;
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+        }
+    }
+}
+
+fn dim_index(d: Dim) -> usize {
+    Dim::ALL.iter().position(|&x| x == d).unwrap()
+}
+
+/// Evaluate one tile: origins/sizes are in `Dim::ALL` order (W,H,C,K,F).
+fn conv_tile(
+    shape: &ConvShape,
+    input: &Activations<i8>,
+    filters: &Filters<i8>,
+    origin: &[usize; 5],
+    size: &[usize; 5],
+    out: &mut Activations<Acc>,
+) {
+    let (w0, h0, c0, k0, f0) = (origin[0], origin[1], origin[2], origin[3], origin[4]);
+    let (wn, hn, cn, kn, fn_) = (size[0], size[1], size[2], size[3], size[4]);
+    for k in k0..k0 + kn {
+        for f in f0..f0 + fn_ {
+            for h in h0..h0 + hn {
+                for w in w0..w0 + wn {
+                    let mut acc: Acc = 0;
+                    for c in c0..c0 + cn {
+                        for t in 0..shape.t {
+                            let fi = (f * shape.stride_f + t) as isize - shape.pad_f as isize;
+                            for r in 0..shape.r {
+                                let hi = (h * shape.stride + r) as isize - shape.pad as isize;
+                                for s in 0..shape.s {
+                                    let wi = (w * shape.stride + s) as isize - shape.pad as isize;
+                                    acc += input.get_padded(c, fi, hi, wi) as Acc
+                                        * filters.get(k, c, t, r, s) as Acc;
+                                }
+                            }
+                        }
+                    }
+                    out.add(k, f, h, w, acc);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{conv3d_reference, synth_filters, synth_input};
+
+    fn check(shape: &ConvShape, tile: Tile, order: &str) {
+        let input = synth_input(shape, 11);
+        let filters = synth_filters(shape, 22);
+        let reference = conv3d_reference(shape, &input, &filters);
+        let tiled = conv3d_tiled(shape, &input, &filters, tile, order.parse().unwrap());
+        assert_eq!(reference.as_slice(), tiled.as_slice(), "tile {tile:?} order {order}");
+    }
+
+    #[test]
+    fn whole_tile_equals_reference() {
+        let sh = ConvShape::new_3d(6, 6, 4, 3, 4, 3, 3, 3).with_pad(1, 1);
+        check(&sh, Tile::whole(&sh), "WHCKF");
+    }
+
+    #[test]
+    fn small_tiles_all_base_orders() {
+        let sh = ConvShape::new_3d(6, 5, 4, 3, 4, 3, 3, 2).with_pad(1, 0);
+        let tile = Tile { h: 2, w: 3, f: 2, c: 2, k: 3 };
+        for order in ["WHCKF", "KWHCF", "WFHCK", "CFWHK", "FKCHW"] {
+            check(&sh, tile, order);
+        }
+    }
+
+    #[test]
+    fn ragged_tiles_cover_edges() {
+        // Tile sizes that do not divide the extents exercise edge clipping.
+        let sh = ConvShape::new_3d(7, 7, 5, 3, 5, 3, 3, 3).with_pad(1, 1);
+        let tile = Tile { h: 3, w: 4, f: 2, c: 2, k: 2 };
+        check(&sh, tile, "FCKHW");
+    }
+
+    #[test]
+    fn strided_tiled_conv() {
+        let sh = ConvShape::new_3d(9, 9, 4, 2, 3, 3, 3, 2).with_stride(2, 1);
+        let tile = Tile { h: 2, w: 2, f: 2, c: 1, k: 2 };
+        check(&sh, tile, "KFCWH");
+    }
+
+    #[test]
+    fn channel_tiling_accumulates() {
+        // c-tiles of 1 force cross-tile psum accumulation.
+        let sh = ConvShape::new_2d(5, 5, 4, 2, 3, 3);
+        let tile = Tile { h: 5, w: 5, f: 1, c: 1, k: 1 };
+        check(&sh, tile, "WHCKF");
+    }
+
+    #[test]
+    fn trip_counts_round_up() {
+        let sh = ConvShape::new_3d(10, 10, 5, 7, 9, 3, 3, 3).with_pad(1, 1);
+        let tile = Tile { h: 4, w: 4, f: 2, c: 3, k: 4 };
+        assert_eq!(tile.trip_counts(&sh), [3, 3, 3, 3, 3]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: any tiling of any loop order reproduces the reference
+//! convolution bit-exactly (§II-E commutativity + §II-D halo correctness).
+
+use morph_tensor::prelude::*;
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = ConvShape> {
+    (
+        2usize..8,  // h
+        2usize..8,  // w
+        1usize..5,  // f
+        1usize..4,  // c
+        1usize..4,  // k
+        1usize..3,  // t
+        1usize..3,  // stride
+        0usize..2,  // pad
+    )
+        .prop_filter_map("filter must fit padded input", |(h, w, f, c, k, t, stride, pad)| {
+            let r = 3.min(h + 2 * pad);
+            let s = 3.min(w + 2 * pad);
+            let t = t.min(f);
+            let shape = ConvShape::new_3d(h, w, f, c, k, r, s, t)
+                .with_stride(stride, 1)
+                .with_pad(pad, 0);
+            (shape.h_padded() >= r && shape.w_padded() >= s && shape.f_padded() >= t).then_some(shape)
+        })
+}
+
+fn arb_tile(shape: ConvShape) -> impl Strategy<Value = Tile> {
+    let whole = Tile::whole(&shape);
+    (
+        1..=whole.h,
+        1..=whole.w,
+        1..=whole.f,
+        1..=whole.c,
+        1..=whole.k,
+    )
+        .prop_map(|(h, w, f, c, k)| Tile { h, w, f, c, k })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tiled_matches_reference(
+        (shape, tile, order_idx, seed) in arb_shape().prop_flat_map(|s| {
+            (Just(s), arb_tile(s), 0usize..120, any::<u64>())
+        })
+    ) {
+        let order = LoopOrder::all()[order_idx];
+        let input = synth_input(&shape, seed);
+        let filters = synth_filters(&shape, seed ^ 0xABCD);
+        let reference = conv3d_reference(&shape, &input, &filters);
+        let tiled = conv3d_tiled(&shape, &input, &filters, tile, order);
+        prop_assert_eq!(reference.as_slice(), tiled.as_slice());
+    }
+
+    #[test]
+    fn output_dims_match_paper_formula(shape in arb_shape()) {
+        // §II-B with stride/pad generalization.
+        prop_assert_eq!(shape.h_out(), (shape.h + 2 * shape.pad - shape.r) / shape.stride + 1);
+        prop_assert_eq!(shape.w_out(), (shape.w + 2 * shape.pad - shape.s) / shape.stride + 1);
+        prop_assert_eq!(shape.f_out(), (shape.f + 2 * shape.pad_f - shape.t) / shape.stride_f + 1);
+    }
+
+    #[test]
+    fn maccs_scale_with_output(shape in arb_shape()) {
+        let per_output = (shape.r * shape.s * shape.t * shape.c) as u64;
+        prop_assert_eq!(shape.maccs(), shape.output_elems() * per_output);
+    }
+}

@@ -1,0 +1,61 @@
+//! Define a custom 3D CNN (a small surveillance-style action recognizer,
+//! the kind of edge workload the paper's introduction motivates) and
+//! compare the three accelerators on it.
+//!
+//! ```sh
+//! cargo run --release -p morph-core --example custom_network
+//! ```
+
+use morph_core::{Accelerator, Objective};
+use morph_nets::Network;
+use morph_tensor::pool::PoolShape;
+use morph_tensor::shape::ConvShape;
+
+/// A compact 3D CNN for 8-frame 64×64 clips (e.g. drone footage).
+fn drone_net() -> Network {
+    let mut net = Network::new("DroneNet");
+    net.conv("conv1", ConvShape::new_3d(64, 64, 8, 3, 32, 3, 3, 3).with_pad(1, 1));
+    net.pool("pool1", PoolShape::new(1, 2, 2).with_stride(2, 1));
+    net.conv("conv2", ConvShape::new_3d(32, 32, 8, 32, 64, 3, 3, 3).with_pad(1, 1));
+    net.pool("pool2", PoolShape::new(2, 2, 2));
+    net.conv("conv3a", ConvShape::new_3d(16, 16, 4, 64, 128, 3, 3, 3).with_pad(1, 1));
+    net.conv("conv3b", ConvShape::new_3d(16, 16, 4, 128, 128, 3, 3, 3).with_pad(1, 1));
+    net.pool("pool3", PoolShape::new(2, 2, 2));
+    net.conv("conv4", ConvShape::new_3d(8, 8, 2, 128, 256, 3, 3, 3).with_pad(1, 1));
+    net
+}
+
+fn main() {
+    let net = drone_net();
+    net.validate_chaining().expect("layer shapes chain");
+    println!(
+        "{}: {} conv layers, {:.2} GMACs, {:.1} avg MACCs/byte reuse\n",
+        net.name,
+        net.num_conv_layers(),
+        net.total_maccs() as f64 / 1e9,
+        net.avg_reuse()
+    );
+
+    let accs = [Accelerator::eyeriss(), Accelerator::morph_base(), Accelerator::morph()];
+    let reports: Vec<_> = accs.iter().map(|a| a.run_network(&net, Objective::Energy)).collect();
+
+    println!("{:12} {:>12} {:>10} {:>26}", "accelerator", "energy (uJ)", "norm", "breakdown DRAM/L2/L1/L0/MAC");
+    for r in &reports {
+        let b = r.breakdown_percent();
+        println!(
+            "{:12} {:>12.1} {:>9.2}x   {:>4.0}%/{:>3.0}%/{:>3.0}%/{:>3.0}%/{:>3.0}%",
+            r.accelerator,
+            r.total.total_pj() / 1e6,
+            r.normalized_energy(&reports[0]),
+            b[0],
+            b[1],
+            b[2],
+            b[3],
+            b[4]
+        );
+    }
+    println!(
+        "\nMorph perf/W vs Morph_base: {:.2}x",
+        reports[2].normalized_perf_per_watt(&reports[1])
+    );
+}

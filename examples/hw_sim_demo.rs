@@ -1,0 +1,57 @@
+//! Run the functional Morph chip on real tensors: two different dataflows
+//! for the same layer produce bit-identical outputs (checked against the
+//! reference convolution) with very different traffic — the configurability
+//! claim of §IV-B, executed rather than merely modeled.
+//!
+//! ```sh
+//! cargo run --release -p morph-core --example hw_sim_demo
+//! ```
+
+use morph_core::ArchSpec;
+use morph_dataflow::config::TilingConfig;
+use morph_hw::MorphChip;
+use morph_tensor::prelude::*;
+
+fn main() {
+    // A small layer so the functional simulation is instant.
+    let layer = ConvShape::new_3d(12, 12, 6, 8, 16, 3, 3, 3).with_pad(1, 1);
+    let input = synth_input(&layer, 42);
+    let filters = synth_filters(&layer, 43);
+    let reference = conv3d_reference(&layer, &input, &filters);
+
+    let input_stationary = TilingConfig::morph(
+        "WHCFK".parse().unwrap(),
+        "cfwhk".parse().unwrap(),
+        Tile { h: 12, w: 12, f: 6, c: 8, k: 4 },
+        Tile { h: 6, w: 6, f: 3, c: 8, k: 4 },
+        Tile { h: 3, w: 3, f: 3, c: 4, k: 4 },
+        8,
+    )
+    .normalize(&layer);
+    let weight_stationary = TilingConfig::morph(
+        "KCWHF".parse().unwrap(),
+        "whcfk".parse().unwrap(),
+        Tile { h: 6, w: 6, f: 3, c: 8, k: 16 },
+        Tile { h: 3, w: 3, f: 3, c: 8, k: 16 },
+        Tile { h: 3, w: 3, f: 1, c: 4, k: 8 },
+        8,
+    )
+    .normalize(&layer);
+
+    for (name, cfg) in [("input-stationary", input_stationary), ("weight-stationary", weight_stationary)] {
+        let mut chip = MorphChip::new(ArchSpec::morph());
+        chip.configure(&layer, &cfg).expect("tiles fit the banked buffers");
+        let (out, counters) = chip.run_layer(&layer, &cfg, &input, &filters);
+        assert_eq!(out.as_slice(), reference.as_slice(), "bit-exact vs Algorithm 1");
+        println!(
+            "{:17} outer [{}] inner [{}]: DRAM reads {:>8} B, L2 traffic {:>9} B, MACCs {}",
+            name,
+            cfg.outer_order(),
+            cfg.inner_order().to_lowercase(),
+            counters.dram_reads,
+            counters.l2.total(),
+            counters.maccs
+        );
+    }
+    println!("\nBoth dataflows verified bit-exact against conv3d_reference.");
+}

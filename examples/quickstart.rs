@@ -1,0 +1,56 @@
+//! Quickstart: evaluate one 3D CNN layer on the three accelerators.
+//!
+//! ```sh
+//! cargo run --release -p morph-core --example quickstart
+//! ```
+
+use morph_core::{Accelerator, Objective};
+use morph_tensor::shape::ConvShape;
+
+fn main() {
+    // C3D's layer3a: 128→256 channels, 8 frames, 28×28, 3×3×3 filters.
+    let layer = ConvShape::new_3d(28, 28, 8, 128, 256, 3, 3, 3).with_pad(1, 1);
+    println!(
+        "Layer: {}x{}x{} input, C={} K={}, {:.2} GMACs\n",
+        layer.h,
+        layer.w,
+        layer.f,
+        layer.c,
+        layer.k,
+        layer.maccs() as f64 / 1e9
+    );
+
+    let morph = Accelerator::morph();
+    let base = Accelerator::morph_base();
+    let eyeriss = Accelerator::eyeriss();
+
+    println!("{:12} {:>12} {:>12} {:>10} {:>8}", "accelerator", "energy (uJ)", "dynamic (uJ)", "cycles", "util %");
+    let mut reports = Vec::new();
+    for acc in [&eyeriss, &base, &morph] {
+        let r = acc.run_layer(&layer, Objective::Energy);
+        println!(
+            "{:12} {:>12.1} {:>12.1} {:>10} {:>8.1}",
+            acc.name(),
+            r.total_pj() / 1e6,
+            r.dynamic_pj() / 1e6,
+            r.cycles.total,
+            100.0 * r.cycles.utilization()
+        );
+        reports.push(r.total_pj());
+    }
+    println!(
+        "\nMorph vs Morph_base: {:.2}x energy | Morph vs Eyeriss: {:.2}x energy",
+        reports[1] / reports[2],
+        reports[0] / reports[2]
+    );
+
+    // Show the configuration the optimizer chose (Table III row style).
+    let d = morph.decide_layer(&layer, Objective::Energy).unwrap();
+    println!(
+        "\nChosen config: outer [{}], inner [{}], L2 tile {:?}, par {:?}",
+        d.config.outer_order(),
+        d.config.inner_order().to_lowercase(),
+        d.config.levels[0].tile,
+        d.par
+    );
+}

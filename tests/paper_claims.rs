@@ -1,0 +1,118 @@
+//! The paper's qualitative claims, asserted as integration tests.
+//! Each test names the paper section/figure it guards.
+
+use morph_core::{Accelerator, Objective};
+use morph_dataflow::arch::ArchSpec;
+use morph_energy::area::{pe_area_base, pe_area_morph};
+use morph_nets::zoo;
+use morph_tensor::shape::ConvShape;
+
+/// §VI-D / Fig. 9: on a 3D layer, Morph ≤ Morph_base ≤ Eyeriss in energy.
+#[test]
+fn fig9_ordering_on_3d_layer() {
+    let layer = ConvShape::new_3d(28, 28, 8, 128, 256, 3, 3, 3).with_pad(1, 1);
+    let m = Accelerator::morph().run_layer(&layer, Objective::Energy).total_pj();
+    let b = Accelerator::morph_base().run_layer(&layer, Objective::Energy).total_pj();
+    let e = Accelerator::eyeriss().run_layer(&layer, Objective::Energy).total_pj();
+    assert!(m < b, "Morph {m} !< base {b}");
+    assert!(b < e, "base {b} !< Eyeriss {e}");
+}
+
+/// §VI-D: the Morph-vs-Eyeriss gap widens with more frames (I3D's 64
+/// frames vs C3D's 16).
+#[test]
+fn temporal_reuse_gap_widens_with_frames() {
+    let few = ConvShape::new_3d(28, 28, 4, 64, 64, 3, 3, 3).with_pad(1, 1);
+    let many = ConvShape::new_3d(28, 28, 32, 64, 64, 3, 3, 3).with_pad(1, 1);
+    let gap = |sh: &ConvShape| {
+        let m = Accelerator::morph().run_layer(sh, Objective::Energy).dynamic_pj();
+        let e = Accelerator::eyeriss().run_layer(sh, Objective::Energy).dynamic_pj();
+        e / m
+    };
+    let g_few = gap(&few);
+    let g_many = gap(&many);
+    assert!(g_many > g_few, "gap {g_many} at 32 frames !> {g_few} at 4 frames");
+}
+
+/// §VI-D: on 2D AlexNet-style layers, Eyeriss is competitive with
+/// Morph_base (the 3D-provisioned baseline loses its advantage), while
+/// Morph still wins via better tiling/ordering.
+#[test]
+fn two_d_crossover() {
+    let layer = ConvShape::new_2d(13, 13, 256, 384, 3, 3).with_pad(1, 0);
+    let m = Accelerator::morph().run_layer(&layer, Objective::Energy).total_pj();
+    let b = Accelerator::morph_base().run_layer(&layer, Objective::Energy).total_pj();
+    let e = Accelerator::eyeriss().run_layer(&layer, Objective::Energy).total_pj();
+    assert!(m < b, "Morph must beat base on 2D too");
+    assert!(e < 2.0 * b, "Eyeriss must be competitive with the 3D-provisioned base on 2D");
+}
+
+/// §VI-F / Table IV: flexibility costs ≈5 % PE area, dominated by control.
+#[test]
+fn table4_area_overhead() {
+    let arch = ArchSpec::morph();
+    let overhead = pe_area_morph(&arch).total() / pe_area_base(&arch).total() - 1.0;
+    assert!(overhead > 0.03 && overhead < 0.07, "area overhead {overhead}");
+}
+
+/// §III-A Fig. 4a: no single outer loop order is optimal for every C3D
+/// layer (the motivation for flexible control).
+#[test]
+fn no_single_outer_order_wins_everywhere() {
+    use morph_dataflow::traffic::layer_traffic;
+    use morph_optimizer::allocate::{allocate_hierarchy, FitPolicy};
+    let net = zoo::c3d();
+    let arch = ArchSpec::morph();
+    let orders = ["KWHCF", "WFHCK"];
+    // For each of the two extreme orders, find a layer where it beats the
+    // other on DRAM traffic.
+    let dram = |layer: &ConvShape, order: &str| {
+        let l2 = morph_optimizer::space::l2_tile_candidates(layer, &arch, morph_optimizer::Effort::Fast)
+            .into_iter()
+            .next()
+            .unwrap();
+        let cfg = allocate_hierarchy(layer, order.parse().unwrap(), "cfwhk".parse().unwrap(), l2, &arch, FitPolicy::Banked)
+            .unwrap();
+        layer_traffic(layer, &cfg).dram().total()
+    };
+    let early = &net.layer("layer1").unwrap().shape;
+    let late = &net.layer("layer5b").unwrap().shape;
+    let k_first_wins_early = dram(early, orders[0]) <= dram(early, orders[1]);
+    let k_first_wins_late = dram(late, orders[0]) <= dram(late, orders[1]);
+    // The paper's observation: K-inner orders win early, lose late (or
+    // vice versa) — they must not win everywhere.
+    assert_ne!(
+        k_first_wins_early, k_first_wins_late,
+        "one order dominated both early and late layers"
+    );
+}
+
+/// §II-C / Fig. 1b: 3D CNNs have higher average arithmetic intensity than
+/// 2D CNNs. (Our AlexNet is modeled ungrouped, which inflates its reuse;
+/// ResNet-3D is 1×1×1-heavy — so the claim is asserted on the averages and
+/// on the pure-3D-kernel networks individually.)
+#[test]
+fn fig1b_reuse_ordering() {
+    let nets = zoo::figure1_networks();
+    let reuse: Vec<f64> = nets.iter().map(|n| n.avg_reuse()).collect();
+    let avg2d = reuse[..3].iter().sum::<f64>() / 3.0;
+    let avg3d = reuse[3..].iter().sum::<f64>() / 3.0;
+    assert!(avg3d > 2.0 * avg2d, "avg 3D reuse {avg3d} !> 2× avg 2D reuse {avg2d}");
+    // C3D and I3D individually dominate every 2D network.
+    for &three_d in &[reuse[3], reuse[5]] {
+        for two_d in &reuse[..3] {
+            assert!(three_d > *two_d, "3D reuse {three_d} !> 2D reuse {two_d}");
+        }
+    }
+}
+
+/// §VI-E / Fig. 10: Morph's perf/W beats Morph_base on a 3D layer whose
+/// dimensions mismatch the baseline's fixed Hp×Kp mapping.
+#[test]
+fn fig10_perf_per_watt_improvement() {
+    let layer = ConvShape::new_3d(7, 7, 2, 512, 512, 3, 3, 3).with_pad(1, 1);
+    let m = Accelerator::morph().run_layer(&layer, Objective::Energy);
+    let b = Accelerator::morph_base().run_layer(&layer, Objective::Energy);
+    assert!(m.perf_per_watt() > b.perf_per_watt());
+    assert!(m.cycles.utilization() > b.cycles.utilization());
+}
