@@ -1,10 +1,12 @@
-//! Criterion micro-benchmarks of the simulator components themselves:
-//! the traffic engine, the optimizer search, the functional chip and the
-//! reference convolution. These measure the *reproduction's* performance
-//! (how fast the models run), complementing the experiment binaries that
-//! regenerate the paper's figures.
+//! Micro-benchmarks of the simulator components themselves: the traffic
+//! engine, the optimizer search, the functional chip and the reference
+//! convolution. These measure the *reproduction's* performance (how fast
+//! the models run), complementing the experiment binaries that regenerate
+//! the paper's figures.
+//!
+//! Uses a self-contained timing harness (`harness = false`) so the
+//! workspace stays dependency-free; run with `cargo bench -p morph-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use morph_dataflow::arch::ArchSpec;
 use morph_dataflow::config::TilingConfig;
 use morph_dataflow::traffic::layer_traffic;
@@ -13,72 +15,135 @@ use morph_hw::MorphChip;
 use morph_optimizer::{Effort, Objective, Optimizer};
 use morph_tensor::prelude::*;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_traffic_engine(c: &mut Criterion) {
+/// Time `f` over `iters` iterations after `warmup` discarded ones, and
+/// print a `name: mean time/iter` line.
+fn bench(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+    if per_iter > 1e6 {
+        println!("{name:40} {:>12.3} ms/iter", per_iter / 1e6);
+    } else {
+        println!("{name:40} {:>12.0} ns/iter", per_iter);
+    }
+}
+
+fn bench_traffic_engine() {
     let shape = ConvShape::new_3d(28, 28, 8, 128, 256, 3, 3, 3).with_pad(1, 1);
     let cfg = TilingConfig::morph(
         LoopOrder::base_outer(),
         LoopOrder::base_inner(),
-        Tile { h: 28, w: 28, f: 4, c: 32, k: 32 },
-        Tile { h: 7, w: 7, f: 2, c: 16, k: 16 },
-        Tile { h: 7, w: 7, f: 1, c: 4, k: 8 },
+        Tile {
+            h: 28,
+            w: 28,
+            f: 4,
+            c: 32,
+            k: 32,
+        },
+        Tile {
+            h: 7,
+            w: 7,
+            f: 2,
+            c: 16,
+            k: 16,
+        },
+        Tile {
+            h: 7,
+            w: 7,
+            f: 1,
+            c: 4,
+            k: 8,
+        },
         8,
     )
     .normalize(&shape);
-    c.bench_function("traffic_engine/c3d_layer3a", |b| {
-        b.iter(|| layer_traffic(black_box(&shape), black_box(&cfg)))
+    bench("traffic_engine/c3d_layer3a", 3, 50, || {
+        black_box(layer_traffic(black_box(&shape), black_box(&cfg)));
     });
 }
 
-fn bench_optimizer(c: &mut Criterion) {
+fn bench_optimizer() {
     let shape = ConvShape::new_3d(14, 14, 4, 64, 128, 3, 3, 3).with_pad(1, 1);
-    c.bench_function("optimizer/search_layer_fast", |b| {
-        b.iter(|| {
-            // Fresh optimizer each iteration so the cache doesn't trivialize it.
-            let opt = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Fast);
-            opt.search_layer(black_box(&shape), Objective::Energy)
-        })
+    bench("optimizer/search_layer_fast", 1, 10, || {
+        // Fresh optimizer each iteration so the cache doesn't trivialize it.
+        let opt = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Fast);
+        black_box(opt.search_layer(black_box(&shape), Objective::Energy));
     });
 }
 
-fn bench_chip(c: &mut Criterion) {
+fn bench_chip() {
     let shape = ConvShape::new_3d(8, 8, 4, 4, 8, 3, 3, 3).with_pad(1, 1);
     let cfg = TilingConfig::morph(
         LoopOrder::base_outer(),
         LoopOrder::base_inner(),
-        Tile { h: 4, w: 4, f: 2, c: 4, k: 8 },
-        Tile { h: 4, w: 4, f: 2, c: 2, k: 8 },
-        Tile { h: 2, w: 4, f: 1, c: 2, k: 8 },
+        Tile {
+            h: 4,
+            w: 4,
+            f: 2,
+            c: 4,
+            k: 8,
+        },
+        Tile {
+            h: 4,
+            w: 4,
+            f: 2,
+            c: 2,
+            k: 8,
+        },
+        Tile {
+            h: 2,
+            w: 4,
+            f: 1,
+            c: 2,
+            k: 8,
+        },
         8,
     )
     .normalize(&shape);
     let input = synth_input(&shape, 1);
     let filters = synth_filters(&shape, 2);
-    c.bench_function("hw_chip/run_layer_8x8x4", |b| {
-        b.iter(|| {
-            let mut chip = MorphChip::new(ArchSpec::morph());
-            chip.configure(&shape, &cfg).unwrap();
-            chip.run_layer(black_box(&shape), &cfg, &input, &filters)
-        })
+    bench("hw_chip/run_layer_8x8x4", 1, 10, || {
+        let mut chip = MorphChip::new(ArchSpec::morph());
+        chip.configure(&shape, &cfg).unwrap();
+        black_box(chip.run_layer(black_box(&shape), &cfg, &input, &filters));
     });
 }
 
-fn bench_reference_conv(c: &mut Criterion) {
+fn bench_reference_conv() {
     let shape = ConvShape::new_3d(16, 16, 4, 8, 16, 3, 3, 3).with_pad(1, 1);
     let input = synth_input(&shape, 1);
     let filters = synth_filters(&shape, 2);
-    c.bench_function("tensor/conv3d_reference_16x16x4", |b| {
-        b.iter(|| conv3d_reference(black_box(&shape), &input, &filters))
+    bench("tensor/conv3d_reference_16x16x4", 1, 10, || {
+        black_box(conv3d_reference(black_box(&shape), &input, &filters));
     });
-    let tile = Tile { h: 8, w: 8, f: 2, c: 4, k: 8 };
-    c.bench_function("tensor/conv3d_tiled_16x16x4", |b| {
-        b.iter(|| conv3d_tiled(black_box(&shape), &input, &filters, tile, LoopOrder::base_outer()))
+    let tile = Tile {
+        h: 8,
+        w: 8,
+        f: 2,
+        c: 4,
+        k: 8,
+    };
+    bench("tensor/conv3d_tiled_16x16x4", 1, 10, || {
+        black_box(conv3d_tiled(
+            black_box(&shape),
+            &input,
+            &filters,
+            tile,
+            LoopOrder::base_outer(),
+        ));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_traffic_engine, bench_optimizer, bench_chip, bench_reference_conv
+fn main() {
+    bench_traffic_engine();
+    bench_optimizer();
+    bench_chip();
+    bench_reference_conv();
 }
-criterion_main!(benches);

@@ -12,14 +12,26 @@ fn main() {
         rows.push(vec![
             banks.to_string(),
             format!("{:.2}", sram_access_pj(l2 / banks, 8)),
-            format!("{:+.2}%", 100.0 * (sram_area_mm2(l2, banks) / sram_area_mm2(l2, 1) - 1.0)),
+            format!(
+                "{:+.2}%",
+                100.0 * (sram_area_mm2(l2, banks) / sram_area_mm2(l2, 1) - 1.0)
+            ),
             format!("{:.2}", sram_access_pj(l0 / banks, 4)),
-            format!("{:+.2}%", 100.0 * (sram_area_mm2(l0, banks) / sram_area_mm2(l0, 1) - 1.0)),
+            format!(
+                "{:+.2}%",
+                100.0 * (sram_area_mm2(l0, banks) / sram_area_mm2(l0, 1) - 1.0)
+            ),
         ]);
     }
     print_table(
         "Bank-count ablation (1 MB L2 / 16 kB L0)",
-        &["banks", "L2 pJ/access", "L2 area ovh", "L0 pJ/access", "L0 area ovh"],
+        &[
+            "banks",
+            "L2 pJ/access",
+            "L2 area ovh",
+            "L0 pJ/access",
+            "L0 area ovh",
+        ],
         &rows,
     );
     println!("\n16 banks sit at the knee: most of the access-energy saving at a few percent area (the paper reports +4.9% for the 16-banked 1 MB L2).");

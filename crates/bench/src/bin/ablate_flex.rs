@@ -1,6 +1,7 @@
 //! Flexibility ablation: attribute Morph's gain over Morph_base to its
 //! individual degrees of freedom (DESIGN.md §7) by enabling them one at a
-//! time on C3D.
+//! time on C3D. Every variant is a named backend built through the public
+//! builders — no hand-wired optimizer pipelines.
 //!
 //! * `base`        — fixed orders, Table I partitions, fixed parallelism,
 //!   fixed tiling policy (hard-coded FSM analogue).
@@ -9,58 +10,67 @@
 //! * `+orders`     — flexible loop orders as well.
 //! * `full (Morph)` — + parallelism search.
 
-use morph_bench::print_table;
-use morph_core::ArchSpec;
-use morph_dataflow::perf::Parallelism;
-use morph_energy::EnergyModel;
+use morph_bench::{emit_report, print_table};
+use morph_core::{ArchSpec, Morph, MorphBase, Parallelism, Session};
 use morph_nets::zoo;
-use morph_optimizer::{Objective, Optimizer};
 use morph_tensor::order::LoopOrder;
 
 fn main() {
-    let net = zoo::c3d();
     let arch = ArchSpec::morph();
     let effort = morph_bench::effort_from_env();
-    let base_orders = (vec![LoopOrder::base_outer()], vec![LoopOrder::base_inner()]);
+    let base_par = Parallelism::base(&arch);
 
-    let variants: Vec<(&str, Optimizer)> = vec![
-        (
-            "base (fixed policy)",
-            Optimizer::morph_base(EnergyModel::morph_base(arch)).with_fixed_tile_policy(),
-        ),
-        ("+tiles", Optimizer::morph_base(EnergyModel::morph_base(arch))),
-        (
-            "+buffers",
-            Optimizer::morph(EnergyModel::morph(arch), effort)
-                .with_outer_orders(base_orders.0.clone())
-                .with_inner_orders(base_orders.1.clone())
-                .with_parallelism(Parallelism::base(&arch)),
-        ),
-        (
-            "+orders",
-            Optimizer::morph(EnergyModel::morph(arch), effort)
-                .with_parallelism(Parallelism::base(&arch)),
-        ),
-        ("full (Morph)", Optimizer::morph(EnergyModel::morph(arch), effort)),
-    ];
+    let report = Session::builder()
+        .backend(
+            MorphBase::builder()
+                .fixed_tile_policy()
+                .name("base (fixed policy)")
+                .build(),
+        )
+        .backend(MorphBase::builder().name("+tiles").build())
+        .backend(
+            Morph::builder()
+                .effort(effort)
+                .outer_orders(vec![LoopOrder::base_outer()])
+                .inner_orders(vec![LoopOrder::base_inner()])
+                .parallelism(base_par)
+                .name("+buffers")
+                .build(),
+        )
+        .backend(
+            Morph::builder()
+                .effort(effort)
+                .parallelism(base_par)
+                .name("+orders")
+                .build(),
+        )
+        .backend(Morph::builder().effort(effort).name("full (Morph)").build())
+        .network(zoo::c3d())
+        .build()
+        .run();
 
     let mut rows = Vec::new();
     let mut base_e = None;
-    for (name, opt) in &variants {
-        let r = opt.network_report(&net, Objective::Energy);
-        let e = r.total_pj();
+    for run in &report.runs {
+        let e = run.total.total_pj();
         let b = *base_e.get_or_insert(e);
         rows.push(vec![
-            name.to_string(),
+            run.backend.clone(),
             format!("{:.2}", e / 1e9),
             format!("{:.2}x", b / e),
-            format!("{:.2}x", r.perf_per_watt() / 1.0),
+            format!("{:.2}x", run.total.perf_per_watt() / 1.0),
         ]);
     }
     print_table(
         "Flexibility ablation on C3D (energy objective)",
-        &["variant", "energy (mJ)", "gain vs fixed base", "perf/W (MACC/pJ)"],
+        &[
+            "variant",
+            "energy (mJ)",
+            "gain vs fixed base",
+            "perf/W (MACC/pJ)",
+        ],
         &rows,
     );
     println!("\nEach added degree of flexibility must not hurt; buffers+orders carry most of the §VI-D gain, parallelism search adds perf/W (§VI-E).");
+    emit_report("ablate_flex", &report);
 }

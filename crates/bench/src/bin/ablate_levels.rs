@@ -1,11 +1,9 @@
 //! Hierarchy-depth ablation: Fig. 5 extended across layer shapes, checking
 //! that the three-level sweet spot is robust (§IV-A1).
 
+use morph_bench::hierarchy::capacity_matched_energy;
 use morph_bench::print_table;
-use morph_dataflow::config::{tile_bytes, LevelConfig, TilingConfig};
-use morph_dataflow::traffic::layer_traffic;
-use morph_energy::cacti::sram_pj_per_byte;
-use morph_energy::tech::{DRAM_PJ_PER_BYTE, MACC_PJ};
+use morph_dataflow::config::{LevelConfig, TilingConfig};
 use morph_tensor::shape::ConvShape;
 use morph_tensor::tiled::Tile;
 
@@ -13,9 +11,18 @@ fn energy(shape: &ConvShape, depth: usize) -> f64 {
     // A fixed geometric pyramid per depth (robustness probe, not a sweep).
     let mut levels = Vec::new();
     let mut t = Tile::whole(shape);
-    t = Tile { h: t.h.min(28), w: t.w.min(28), f: t.f, c: t.c.min(64), k: t.k.min(64) };
+    t = Tile {
+        h: t.h.min(28),
+        w: t.w.min(28),
+        f: t.f,
+        c: t.c.min(64),
+        k: t.k.min(64),
+    };
     for _ in 0..depth {
-        levels.push(LevelConfig { order: "WHCKF".parse().unwrap(), tile: t });
+        levels.push(LevelConfig {
+            order: "WHCKF".parse().unwrap(),
+            tile: t,
+        });
         t = Tile {
             h: t.h.div_ceil(2),
             w: t.w.div_ceil(2),
@@ -24,37 +31,42 @@ fn energy(shape: &ConvShape, depth: usize) -> f64 {
             k: t.k.div_ceil(2),
         };
     }
-    levels.push(LevelConfig { order: "cfwhk".parse().unwrap(), tile: Tile { h: 1, w: 1, f: 1, c: 1, k: 8 } });
+    levels.push(LevelConfig {
+        order: "cfwhk".parse().unwrap(),
+        tile: Tile {
+            h: 1,
+            w: 1,
+            f: 1,
+            c: 1,
+            k: 8,
+        },
+    });
     let cfg = TilingConfig { levels }.normalize(shape);
-    let t = layer_traffic(shape, &cfg);
-    // Single-layer experiment convention (§III-A footnote + Fig. 4b):
-    // outputs are carried on-chip to the next layer, so DRAM pays for
-    // input/weight fetch and psum spills only.
-    let dram_bytes = t.boundaries[0].total() - t.boundaries[0].output_up;
-    let mut pj = dram_bytes as f64 * DRAM_PJ_PER_BYTE;
-    for lvl in 0..depth {
-        let cap = tile_bytes(shape, &cfg.levels[lvl].tile).total().max(64) as usize;
-        let per_byte = sram_pj_per_byte(cap, 8);
-        let bytes = t.boundaries[lvl].total()
-            + t.boundaries.get(lvl + 1).map(|b| b.total()).unwrap_or(0);
-        pj += bytes as f64 * per_byte;
-    }
-    // ALU operand feeds come from the deepest on-chip buffer: the PE has
-    // only Vw accumulator registers (§IV-A2), so every MACC reads its
-    // weight (one byte per lane) and every Vw-wide group reads one input.
-    let deepest_cap = tile_bytes(shape, &cfg.levels[depth - 1].tile).total().max(64) as usize;
-    let alu_bytes = t.maccs as f64 * (1.0 + 1.0 / 8.0);
-    pj += alu_bytes * sram_pj_per_byte(deepest_cap, 8);
-    pj + t.maccs as f64 * MACC_PJ
+    capacity_matched_energy(shape, &cfg, depth)
 }
 
 fn main() {
     let layers = [
-        ("C3D-l1", ConvShape::new_3d(112, 112, 16, 3, 64, 3, 3, 3).with_pad(1, 1)),
-        ("C3D-l3a", ConvShape::new_3d(28, 28, 8, 128, 256, 3, 3, 3).with_pad(1, 1)),
-        ("C3D-l5a", ConvShape::new_3d(7, 7, 2, 512, 512, 3, 3, 3).with_pad(1, 1)),
-        ("I3D-mid", ConvShape::new_3d(28, 28, 15, 96, 208, 3, 3, 3).with_pad(1, 1)),
-        ("AlexNet-c3", ConvShape::new_2d(13, 13, 256, 384, 3, 3).with_pad(1, 0)),
+        (
+            "C3D-l1",
+            ConvShape::new_3d(112, 112, 16, 3, 64, 3, 3, 3).with_pad(1, 1),
+        ),
+        (
+            "C3D-l3a",
+            ConvShape::new_3d(28, 28, 8, 128, 256, 3, 3, 3).with_pad(1, 1),
+        ),
+        (
+            "C3D-l5a",
+            ConvShape::new_3d(7, 7, 2, 512, 512, 3, 3, 3).with_pad(1, 1),
+        ),
+        (
+            "I3D-mid",
+            ConvShape::new_3d(28, 28, 15, 96, 208, 3, 3, 3).with_pad(1, 1),
+        ),
+        (
+            "AlexNet-c3",
+            ConvShape::new_2d(13, 13, 256, 384, 3, 3).with_pad(1, 0),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, sh) in &layers {
@@ -77,7 +89,14 @@ fn main() {
     }
     print_table(
         "Hierarchy-depth ablation — advantage over 1 level",
-        &["layer", "1 level", "2 levels", "3 levels", "4 levels", "best depth"],
+        &[
+            "layer",
+            "1 level",
+            "2 levels",
+            "3 levels",
+            "4 levels",
+            "best depth",
+        ],
         &rows,
     );
     println!("\nThe 2–3-level region dominates across shapes; deeper hierarchies add fills without new reuse (§IV-A1).");

@@ -1,19 +1,28 @@
 //! Figure 10: performance-per-watt of Morph normalized to Morph_base for
 //! the five evaluation networks.
 
-use morph_bench::print_table;
-use morph_core::{Accelerator, Objective};
+use morph_bench::{emit_report, print_table};
+use morph_core::{Morph, MorphBase, Objective, Session};
 use morph_nets::zoo;
 
 fn main() {
-    let morph = Accelerator::morph();
-    let base = Accelerator::morph_base();
+    let report = Session::builder()
+        .backend(Morph::builder().objective(Objective::PerfPerWatt).build())
+        .backend(
+            MorphBase::builder()
+                .objective(Objective::PerfPerWatt)
+                .build(),
+        )
+        .networks(zoo::evaluation_networks())
+        .build()
+        .run();
+
     let mut rows = Vec::new();
     let mut gains = Vec::new();
     for net in zoo::evaluation_networks() {
-        let rm = morph.run_network(&net, Objective::PerfPerWatt);
-        let rb = base.run_network(&net, Objective::PerfPerWatt);
-        let gain = rm.total.perf_per_watt() / rb.total.perf_per_watt();
+        let rm = report.find("Morph", net.name).unwrap();
+        let rb = report.find("Morph_base", net.name).unwrap();
+        let gain = rm.normalized_perf_per_watt(rb);
         rows.push(vec![
             net.name.to_string(),
             format!("{:.2}x", gain),
@@ -31,4 +40,5 @@ fn main() {
         "\nAverage gain {:.2}x (paper: 4x average, per-net 2.07x–5.08x). Gains come from adaptive parallelization keeping PEs busy (§VI-E).",
         gains.iter().sum::<f64>() / gains.len() as f64
     );
+    emit_report("fig10", &report);
 }

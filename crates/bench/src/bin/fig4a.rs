@@ -1,36 +1,51 @@
 //! Figure 4a: access energy per C3D layer as a function of the *outer*
 //! loop order — the two K extremes, the average-best `[WHCKF]`, and the
-//! per-layer Opt. For each bar, tile sizes and inner orders are swept and
-//! the lowest-energy point is shown (§III-A methodology).
+//! per-layer Opt. Each restricted variant is a `Morph` backend whose
+//! builder pins the outer-order candidate set (§III-A methodology).
 
-use morph_bench::print_table;
-use morph_core::ArchSpec;
-use morph_energy::EnergyModel;
+use morph_bench::{emit_report, print_table};
+use morph_core::{Morph, Session};
 use morph_nets::zoo;
-use morph_optimizer::{Objective, Optimizer};
+
+const ORDERS: [&str; 3] = ["KWHCF", "WFHCK", "WHCKF"];
 
 fn main() {
-    let net = zoo::c3d();
-    let arch = ArchSpec::morph();
     let effort = morph_bench::effort_from_env();
-    let orders = ["KWHCF", "WFHCK", "WHCKF"];
+    let mut builder = Session::builder();
+    for order in ORDERS {
+        builder = builder.backend(
+            Morph::builder()
+                .effort(effort)
+                .outer_orders(vec![order.parse().unwrap()])
+                .name(format!("[{order}]"))
+                .build(),
+        );
+    }
+    // Opt: free choice of outer order per layer.
+    let session = builder
+        .backend(Morph::builder().effort(effort).name("Opt").build())
+        .network(zoo::c3d())
+        .build();
+    let report = session.run();
 
+    let opt = report.find("Opt", "C3D").unwrap();
     let mut rows = Vec::new();
-    for layer in net.conv_layers() {
+    for (li, layer) in opt.layers.iter().enumerate() {
         let mut row = vec![layer.name.clone()];
-        let mut best = f64::INFINITY;
-        for order in orders {
-            let opt = Optimizer::morph(EnergyModel::morph(arch), effort)
-                .with_outer_orders(vec![order.parse().unwrap()]);
-            let r = opt.search_layer(&layer.shape, Objective::Energy).report;
-            row.push(format!("{:.3}", r.total_pj() / 1e9));
-            best = best.min(r.dynamic_pj());
+        for order in ORDERS {
+            let r = &report.find(&format!("[{order}]"), "C3D").unwrap().layers[li];
+            row.push(format!("{:.3}", r.report.total_pj() / 1e9));
         }
-        // Opt: free choice of outer order per layer.
-        let opt = Optimizer::morph(EnergyModel::morph(arch), effort);
-        let d = opt.search_layer(&layer.shape, Objective::Energy);
-        row.push(format!("{:.3}", d.report.total_pj() / 1e9));
-        row.push(d.config.outer_order().to_string());
+        row.push(format!("{:.3}", layer.report.total_pj() / 1e9));
+        row.push(
+            layer
+                .decision
+                .as_ref()
+                .unwrap()
+                .config
+                .outer_order()
+                .to_string(),
+        );
         rows.push(row);
     }
     print_table(
@@ -39,4 +54,5 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: K-extreme orders win early OR late but not both; [WHCKF] is best on average; Opt beats all fixed orders.");
+    emit_report("fig4a", &report);
 }

@@ -1,31 +1,48 @@
 //! Figure 4c: access energy per C3D layer as a function of the *inner*
 //! loop order — `[kfwhc]`, `[whkfc]`, the average-best `[cfwhk]`, and Opt.
 
-use morph_bench::print_table;
-use morph_core::ArchSpec;
-use morph_energy::EnergyModel;
+use morph_bench::{emit_report, print_table};
+use morph_core::{Morph, Session};
 use morph_nets::zoo;
-use morph_optimizer::{Objective, Optimizer};
+
+const ORDERS: [&str; 3] = ["kfwhc", "whkfc", "cfwhk"];
 
 fn main() {
-    let net = zoo::c3d();
-    let arch = ArchSpec::morph();
     let effort = morph_bench::effort_from_env();
-    let orders = ["kfwhc", "whkfc", "cfwhk"];
+    let mut builder = Session::builder();
+    for order in ORDERS {
+        builder = builder.backend(
+            Morph::builder()
+                .effort(effort)
+                .inner_orders(vec![order.parse().unwrap()])
+                .name(format!("[{order}]"))
+                .build(),
+        );
+    }
+    let session = builder
+        .backend(Morph::builder().effort(effort).name("Opt").build())
+        .network(zoo::c3d())
+        .build();
+    let report = session.run();
 
+    let opt = report.find("Opt", "C3D").unwrap();
     let mut rows = Vec::new();
-    for layer in net.conv_layers() {
+    for (li, layer) in opt.layers.iter().enumerate() {
         let mut row = vec![layer.name.clone()];
-        for order in orders {
-            let opt = Optimizer::morph(EnergyModel::morph(arch), effort)
-                .with_inner_orders(vec![order.parse().unwrap()]);
-            let r = opt.search_layer(&layer.shape, Objective::Energy).report;
-            row.push(format!("{:.3}", r.total_pj() / 1e9));
+        for order in ORDERS {
+            let r = &report.find(&format!("[{order}]"), "C3D").unwrap().layers[li];
+            row.push(format!("{:.3}", r.report.total_pj() / 1e9));
         }
-        let opt = Optimizer::morph(EnergyModel::morph(arch), effort);
-        let d = opt.search_layer(&layer.shape, Objective::Energy);
-        row.push(format!("{:.3}", d.report.total_pj() / 1e9));
-        row.push(d.config.inner_order().to_lowercase());
+        row.push(format!("{:.3}", layer.report.total_pj() / 1e9));
+        row.push(
+            layer
+                .decision
+                .as_ref()
+                .unwrap()
+                .config
+                .inner_order()
+                .to_lowercase(),
+        );
         rows.push(row);
     }
     print_table(
@@ -34,4 +51,5 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: the best inner order varies per layer; the average-best [cfwhk] is not optimal everywhere; Opt dominates.");
+    emit_report("fig4c", &report);
 }

@@ -7,26 +7,29 @@
 //! Workload per the figure caption: 112×112×3 (HWC) input with 16 frames,
 //! 3×3×3 filter with temporal depth 3; the 2D variant sets F = T = 1.
 
+use morph_bench::hierarchy::capacity_matched_energy;
 use morph_bench::print_table;
-use morph_dataflow::config::{tile_bytes, LevelConfig, TilingConfig};
-use morph_dataflow::traffic::layer_traffic;
-use morph_energy::cacti::sram_pj_per_byte;
-use morph_energy::tech::{DRAM_PJ_PER_BYTE, MACC_PJ};
+use morph_dataflow::config::{LevelConfig, TilingConfig};
 use morph_tensor::order::LoopOrder;
 use morph_tensor::shape::ConvShape;
 use morph_tensor::tiled::Tile;
-
 
 /// Geometric interpolation between a top tile and a bottom tile, giving
 /// each hierarchy depth a ladder from "large enough for DRAM reuse" down
 /// to "small enough for cheap ALU feeds".
 fn ladder(top: Tile, bottom: Tile, depth: usize) -> Vec<Tile> {
     let lerp = |a: usize, b: usize, alpha: f64| -> usize {
-        ((a as f64).powf(1.0 - alpha) * (b as f64).powf(alpha)).round().max(1.0) as usize
+        ((a as f64).powf(1.0 - alpha) * (b as f64).powf(alpha))
+            .round()
+            .max(1.0) as usize
     };
     (0..depth)
         .map(|i| {
-            let alpha = if depth == 1 { 0.0 } else { i as f64 / (depth - 1) as f64 };
+            let alpha = if depth == 1 {
+                0.0
+            } else {
+                i as f64 / (depth - 1) as f64
+            };
             Tile {
                 h: lerp(top.h, bottom.h, alpha),
                 w: lerp(top.w, bottom.w, alpha),
@@ -45,14 +48,40 @@ fn ladder(top: Tile, bottom: Tile, depth: usize) -> Vec<Tile> {
 /// working set (inputs of a spatial band resident plus the full filter
 /// set); orders and the ladder's bottom tile are swept.
 fn best_energy(shape: &ConvShape, depth: usize) -> f64 {
-    let orders: Vec<LoopOrder> =
-        ["WHCKF", "KWHCF", "CFWHK", "WHCFK", "KCFWH"].iter().map(|s| s.parse().unwrap()).collect();
+    let orders: Vec<LoopOrder> = ["WHCKF", "KWHCF", "CFWHK", "WHCFK", "KCFWH"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
     let whole = Tile::whole(shape);
-    let top = Tile { h: 28.min(whole.h), w: 28.min(whole.w), f: whole.f, c: whole.c, k: whole.k };
+    let top = Tile {
+        h: 28.min(whole.h),
+        w: 28.min(whole.w),
+        f: whole.f,
+        c: whole.c,
+        k: whole.k,
+    };
     let bottoms = [
-        Tile { h: 2, w: 2, f: 2.min(whole.f), c: 2.min(whole.c), k: 8 },
-        Tile { h: 4, w: 4, f: 2.min(whole.f), c: whole.c.min(4), k: 8 },
-        Tile { h: 1, w: 4, f: 1, c: 2.min(whole.c), k: 8 },
+        Tile {
+            h: 2,
+            w: 2,
+            f: 2.min(whole.f),
+            c: 2.min(whole.c),
+            k: 8,
+        },
+        Tile {
+            h: 4,
+            w: 4,
+            f: 2.min(whole.f),
+            c: whole.c.min(4),
+            k: 8,
+        },
+        Tile {
+            h: 1,
+            w: 4,
+            f: 1,
+            c: 2.min(whole.c),
+            k: 8,
+        },
     ];
     let mut best = f64::INFINITY;
     for bottom in bottoms {
@@ -61,21 +90,32 @@ fn best_energy(shape: &ConvShape, depth: usize) -> f64 {
                 let mut levels: Vec<LevelConfig> = ladder(top, bottom, depth)
                     .into_iter()
                     .enumerate()
-                    .map(|(d, tile)| LevelConfig { order: if d == 0 { *order } else { *inner }, tile })
+                    .map(|(d, tile)| LevelConfig {
+                        order: if d == 0 { *order } else { *inner },
+                        tile,
+                    })
                     .collect();
                 // Register level.
                 levels.push(LevelConfig {
                     order: *inner,
-                    tile: Tile { h: 1, w: 1, f: 1, c: 1, k: 8 },
+                    tile: Tile {
+                        h: 1,
+                        w: 1,
+                        f: 1,
+                        c: 1,
+                        k: 8,
+                    },
                 });
                 let cfg = TilingConfig { levels }.normalize(shape);
                 if cfg.validate(shape).is_err() {
                     continue;
                 }
-                let e = energy(shape, &cfg, depth);
+                let e = capacity_matched_energy(shape, &cfg, depth);
                 if e < best {
                     if std::env::var("FIG5_DEBUG").is_ok() {
-                        eprintln!("depth {depth}: {e:.3e} bottom {bottom:?} order {order} inner {inner}");
+                        eprintln!(
+                            "depth {depth}: {e:.3e} bottom {bottom:?} order {order} inner {inner}"
+                        );
                     }
                     best = e;
                 }
@@ -83,30 +123,6 @@ fn best_energy(shape: &ConvShape, depth: usize) -> f64 {
         }
     }
     best
-}
-
-/// Energy with per-level buffer capacity equal to the tile size.
-fn energy(shape: &ConvShape, cfg: &TilingConfig, depth: usize) -> f64 {
-    let t = layer_traffic(shape, cfg);
-    // Single-layer experiment convention (§III-A footnote + Fig. 4b):
-    // outputs are carried on-chip to the next layer, so DRAM pays for
-    // input/weight fetch and psum spills only.
-    let dram_bytes = t.boundaries[0].total() - t.boundaries[0].output_up;
-    let mut pj = dram_bytes as f64 * DRAM_PJ_PER_BYTE;
-    for lvl in 0..depth {
-        let cap = tile_bytes(shape, &cfg.levels[lvl].tile).total().max(64) as usize;
-        let per_byte = sram_pj_per_byte(cap, 8);
-        let bytes = t.boundaries[lvl].total()
-            + t.boundaries.get(lvl + 1).map(|b| b.total()).unwrap_or(0);
-        pj += bytes as f64 * per_byte;
-    }
-    // ALU operand feeds come from the deepest on-chip buffer: the PE has
-    // only Vw accumulator registers (§IV-A2), so every MACC reads its
-    // weight (one byte per lane) and every Vw-wide group reads one input.
-    let deepest_cap = tile_bytes(shape, &cfg.levels[depth - 1].tile).total().max(64) as usize;
-    let alu_bytes = t.maccs as f64 * (1.0 + 1.0 / 8.0);
-    pj += alu_bytes * sram_pj_per_byte(deepest_cap, 8);
-    pj + t.maccs as f64 * MACC_PJ
 }
 
 fn main() {

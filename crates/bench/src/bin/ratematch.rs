@@ -9,7 +9,14 @@ use morph_core::ArchSpec;
 fn main() {
     let arch = ArchSpec::morph();
     let mut rows = Vec::new();
-    for (r, s, t) in [(3usize, 3usize, 3usize), (3, 3, 1), (1, 1, 1), (5, 5, 3), (7, 7, 7), (3, 3, 7)] {
+    for (r, s, t) in [
+        (3usize, 3usize, 3usize),
+        (3, 3, 1),
+        (1, 1, 1),
+        (5, 5, 3),
+        (7, 7, 7),
+        (3, 3, 7),
+    ] {
         let reuse = (r * s * t) as f64;
         let need_l2_l1 = arch.total_pes() as f64 / reuse;
         let have_l2_l1 = (arch.bus_l2_l1_bits / 8) as f64;
@@ -19,12 +26,22 @@ fn main() {
             format!("{r}x{s}x{t}"),
             format!("{need_l2_l1:.1} / {have_l2_l1:.0}"),
             format!("{need_l1_l0:.1} / {have_l1_l0:.0}"),
-            if need_l2_l1 <= have_l2_l1 && need_l1_l0 <= have_l1_l0 { "yes" } else { "NO" }.into(),
+            if need_l2_l1 <= have_l2_l1 && need_l1_l0 <= have_l1_l0 {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
         ]);
     }
     print_table(
         "Rate matching — input bytes/cycle needed vs provided",
-        &["filter RxSxT", "L2->L1 (need/have)", "L1->L0 (need/have)", "rate-matched"],
+        &[
+            "filter RxSxT",
+            "L2->L1 (need/have)",
+            "L1->L0 (need/have)",
+            "rate-matched",
+        ],
         &rows,
     );
     println!("\nPaper's point (§IV-A4): 3D CNN reuse makes simple broadcast buses sufficient; only degenerate 1x1x1 filters would starve the array.");

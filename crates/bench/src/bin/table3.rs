@@ -1,16 +1,25 @@
 //! Table III: the per-layer C3D configuration chosen by the Morph
 //! software analysis when optimizing for energy.
 
-use morph_bench::print_table;
-use morph_core::{Accelerator, Objective};
+use morph_bench::{emit_report, print_table};
+use morph_core::{Morph, Session};
 use morph_nets::zoo;
 
 fn main() {
-    let net = zoo::c3d();
-    let morph = Accelerator::morph();
+    let report = Session::builder()
+        .backend(
+            Morph::builder()
+                .effort(morph_bench::effort_from_env())
+                .build(),
+        )
+        .network(zoo::c3d())
+        .build()
+        .run();
+
+    let run = report.find("Morph", "C3D").unwrap();
     let mut rows = Vec::new();
-    for layer in net.conv_layers() {
-        let d = morph.decide_layer(&layer.shape, Objective::Energy).unwrap();
+    for layer in &run.layers {
+        let d = layer.decision.as_ref().expect("Morph reports a mapping");
         let l2 = d.config.levels[0].tile;
         let ht_in = (l2.h - 1) * layer.shape.stride + layer.shape.r; // input coords, as in the paper
         rows.push(vec![
@@ -29,4 +38,5 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: loop orders and tile sizes vary across layers; later (weight-heavy) layers move K outward and increase Kp·Vw.");
+    emit_report("table3", &report);
 }

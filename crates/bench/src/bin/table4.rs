@@ -10,10 +10,30 @@ fn main() {
     let morph = pe_area_morph(&arch);
     let pct = |m: f64, b: f64| format!("{:+.2}%", 100.0 * (m / b - 1.0));
     let rows = vec![
-        vec!["L0 buffer".into(), format!("{:.6}", base.l0_mm2), format!("{:.6}", morph.l0_mm2), pct(morph.l0_mm2, base.l0_mm2)],
-        vec!["Arithmetic".into(), format!("{:.6}", base.arithmetic_mm2), format!("{:.6}", morph.arithmetic_mm2), pct(morph.arithmetic_mm2, base.arithmetic_mm2)],
-        vec!["Control logic".into(), format!("{:.6}", base.control_mm2), format!("{:.6}", morph.control_mm2), pct(morph.control_mm2, base.control_mm2)],
-        vec!["Total".into(), format!("{:.5}", base.total()), format!("{:.5}", morph.total()), pct(morph.total(), base.total())],
+        vec![
+            "L0 buffer".into(),
+            format!("{:.6}", base.l0_mm2),
+            format!("{:.6}", morph.l0_mm2),
+            pct(morph.l0_mm2, base.l0_mm2),
+        ],
+        vec![
+            "Arithmetic".into(),
+            format!("{:.6}", base.arithmetic_mm2),
+            format!("{:.6}", morph.arithmetic_mm2),
+            pct(morph.arithmetic_mm2, base.arithmetic_mm2),
+        ],
+        vec![
+            "Control logic".into(),
+            format!("{:.6}", base.control_mm2),
+            format!("{:.6}", morph.control_mm2),
+            pct(morph.control_mm2, base.control_mm2),
+        ],
+        vec![
+            "Total".into(),
+            format!("{:.5}", base.total()),
+            format!("{:.5}", morph.total()),
+            pct(morph.total(), base.total()),
+        ],
     ];
     print_table(
         "Table IV — Morph PE area breakdown (mm², 32 nm)",

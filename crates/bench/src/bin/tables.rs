@@ -10,7 +10,12 @@ fn main() {
     // Table I — Morph_base on-chip buffer partitions.
     let mut rows = Vec::new();
     for level in OnChipLevel::ALL {
-        let BufferMode::Partitioned { input, output, weight } = BufferMode::table1(level) else {
+        let BufferMode::Partitioned {
+            input,
+            output,
+            weight,
+        } = BufferMode::table1(level)
+        else {
             unreachable!()
         };
         rows.push(vec![
@@ -20,19 +25,51 @@ fn main() {
             format!("{:.1}%", weight * 100.0),
         ]);
     }
-    print_table("Table I — Morph_base buffer partitions", &["hierarchy", "inputs", "outputs", "weights"], &rows);
+    print_table(
+        "Table I — Morph_base buffer partitions",
+        &["hierarchy", "inputs", "outputs", "weights"],
+        &rows,
+    );
 
     // Table II — simulation parameters.
     let m = ArchSpec::morph();
     let e = Eyeriss::table2().arch;
     let rows = vec![
-        vec!["PEs".into(), format!("{} (per cluster)", m.pes_per_cluster), format!("{}x{}", 24, 32)],
+        vec![
+            "PEs".into(),
+            format!("{} (per cluster)", m.pes_per_cluster),
+            format!("{}x{}", 24, 32),
+        ],
         vec!["Clusters".into(), m.clusters.to_string(), "-".into()],
-        vec!["Vector width".into(), m.vector_width.to_string(), e.vector_width.to_string()],
-        vec!["L2 size".into(), format!("{} kB", m.l2_bytes >> 10), format!("{} kB", e.l2_bytes >> 10)],
-        vec!["L1 size".into(), format!("{} kB (per cluster)", m.l1_bytes >> 10), "-".into()],
-        vec!["L0 size".into(), format!("{} kB (per PE)", m.l0_bytes >> 10), format!("{} kB (per PE)", e.l0_bytes >> 10)],
-        vec!["Peak MACC/cycle".into(), m.peak_maccs_per_cycle().to_string(), e.peak_maccs_per_cycle().to_string()],
+        vec![
+            "Vector width".into(),
+            m.vector_width.to_string(),
+            e.vector_width.to_string(),
+        ],
+        vec![
+            "L2 size".into(),
+            format!("{} kB", m.l2_bytes >> 10),
+            format!("{} kB", e.l2_bytes >> 10),
+        ],
+        vec![
+            "L1 size".into(),
+            format!("{} kB (per cluster)", m.l1_bytes >> 10),
+            "-".into(),
+        ],
+        vec![
+            "L0 size".into(),
+            format!("{} kB (per PE)", m.l0_bytes >> 10),
+            format!("{} kB (per PE)", e.l0_bytes >> 10),
+        ],
+        vec![
+            "Peak MACC/cycle".into(),
+            m.peak_maccs_per_cycle().to_string(),
+            e.peak_maccs_per_cycle().to_string(),
+        ],
     ];
-    print_table("Table II — simulation parameters", &["parameter", "Morph", "Eyeriss"], &rows);
+    print_table(
+        "Table II — simulation parameters",
+        &["parameter", "Morph", "Eyeriss"],
+        &rows,
+    );
 }

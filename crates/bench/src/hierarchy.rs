@@ -1,0 +1,90 @@
+//! Shared methodology for the hierarchy-depth experiments (Fig. 5 and the
+//! depth ablation): energy of a configuration whose per-level buffer
+//! capacity equals its tile size, per §IV-A1.
+
+use morph_dataflow::config::{tile_bytes, TilingConfig};
+use morph_dataflow::traffic::layer_traffic;
+use morph_energy::cacti::sram_pj_per_byte;
+use morph_energy::tech::{DRAM_PJ_PER_BYTE, MACC_PJ};
+use morph_tensor::shape::ConvShape;
+
+/// Energy (pJ) of `cfg` on `shape` with per-level buffer capacity equal to
+/// the tile size, counting the first `depth` levels as on-chip buffers.
+pub fn capacity_matched_energy(shape: &ConvShape, cfg: &TilingConfig, depth: usize) -> f64 {
+    let t = layer_traffic(shape, cfg);
+    // Single-layer experiment convention (§III-A footnote + Fig. 4b):
+    // outputs are carried on-chip to the next layer, so DRAM pays for
+    // input/weight fetch and psum spills only.
+    let dram_bytes = t.boundaries[0].total() - t.boundaries[0].output_up;
+    let mut pj = dram_bytes as f64 * DRAM_PJ_PER_BYTE;
+    for lvl in 0..depth {
+        let cap = tile_bytes(shape, &cfg.levels[lvl].tile).total().max(64) as usize;
+        let per_byte = sram_pj_per_byte(cap, 8);
+        let bytes =
+            t.boundaries[lvl].total() + t.boundaries.get(lvl + 1).map(|b| b.total()).unwrap_or(0);
+        pj += bytes as f64 * per_byte;
+    }
+    // ALU operand feeds come from the deepest on-chip buffer: the PE has
+    // only Vw accumulator registers (§IV-A2), so every MACC reads its
+    // weight (one byte per lane) and every Vw-wide group reads one input.
+    let deepest_cap = tile_bytes(shape, &cfg.levels[depth - 1].tile)
+        .total()
+        .max(64) as usize;
+    let alu_bytes = t.maccs as f64 * (1.0 + 1.0 / 8.0);
+    pj += alu_bytes * sram_pj_per_byte(deepest_cap, 8);
+    pj + t.maccs as f64 * MACC_PJ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_dataflow::config::LevelConfig;
+    use morph_tensor::tiled::Tile;
+
+    #[test]
+    fn deeper_hierarchy_changes_energy() {
+        let sh = ConvShape::new_3d(28, 28, 8, 16, 32, 3, 3, 3).with_pad(1, 1);
+        let big = Tile {
+            h: 28,
+            w: 28,
+            f: 4,
+            c: 16,
+            k: 32,
+        };
+        let small = Tile {
+            h: 7,
+            w: 7,
+            f: 2,
+            c: 4,
+            k: 8,
+        };
+        let reg = Tile {
+            h: 1,
+            w: 1,
+            f: 1,
+            c: 1,
+            k: 8,
+        };
+        let order = "WHCKF".parse().unwrap();
+        let one = TilingConfig {
+            levels: vec![
+                LevelConfig { order, tile: big },
+                LevelConfig { order, tile: reg },
+            ],
+        }
+        .normalize(&sh);
+        let two = TilingConfig {
+            levels: vec![
+                LevelConfig { order, tile: big },
+                LevelConfig { order, tile: small },
+                LevelConfig { order, tile: reg },
+            ],
+        }
+        .normalize(&sh);
+        let e1 = capacity_matched_energy(&sh, &one, 1);
+        let e2 = capacity_matched_energy(&sh, &two, 2);
+        assert!(e1 > 0.0 && e2 > 0.0);
+        // A second (smaller) level cheapens the dominant ALU feeds.
+        assert!(e2 < e1, "two-level {e2} not below one-level {e1}");
+    }
+}

@@ -1,0 +1,551 @@
+//! The [`Backend`] trait: the extension point every accelerator model in
+//! the workspace plugs into.
+//!
+//! The paper's three points of comparison (§VI-B) — flexible Morph, the
+//! inflexible Morph_base, and the Eyeriss-like 2D baseline — are the three
+//! built-in implementors, each constructed through a builder that fixes
+//! its architecture provisioning, search effort, optimization objective
+//! and process technology node. A [`crate::Session`] drives any set of
+//! backends (trait objects) over any set of networks.
+
+use morph_dataflow::arch::ArchSpec;
+use morph_dataflow::config::TilingConfig;
+use morph_dataflow::perf::Parallelism;
+use morph_energy::{EnergyModel, EnergyReport, TechNode};
+use morph_optimizer::{Effort, Objective, Optimizer};
+use morph_tensor::order::LoopOrder;
+use morph_tensor::shape::ConvShape;
+
+/// The dataflow mapping a backend chose for one layer.
+///
+/// Morph variants report the searched configuration; fixed-dataflow
+/// backends (Eyeriss) report none.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingDecision {
+    /// Full multi-level tiling/order configuration.
+    pub config: TilingConfig,
+    /// Spatial PE parallelism.
+    pub par: Parallelism,
+}
+
+/// One layer's evaluation: cost plus (when available) the chosen mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerEval {
+    /// Energy/cycle breakdown.
+    pub report: EnergyReport,
+    /// The chosen mapping, `None` for fixed-dataflow backends.
+    pub decision: Option<MappingDecision>,
+}
+
+/// An accelerator model that can evaluate convolution layers.
+///
+/// Implementors are `Send + Sync` so a [`crate::Session`] can fan layer
+/// evaluations out across threads, and are driven through trait objects —
+/// adding a backend never touches the session or report machinery.
+pub trait Backend: Send + Sync {
+    /// Display name as used in the paper's figures (`"Morph"`, …).
+    fn name(&self) -> &str;
+
+    /// Hardware provisioning backing the model.
+    fn arch(&self) -> &ArchSpec;
+
+    /// The objective this backend optimizes for (fixed at build time).
+    fn objective(&self) -> Objective;
+
+    /// Evaluate one layer, returning cost and (if searched) the mapping.
+    fn evaluate_layer(&self, shape: &ConvShape) -> LayerEval;
+
+    /// Cost-only convenience wrapper around [`Backend::evaluate_layer`].
+    fn run_layer(&self, shape: &ConvShape) -> EnergyReport {
+        self.evaluate_layer(shape).report
+    }
+}
+
+/// The flexible Morph accelerator (per-layer searched dataflows).
+pub struct Morph {
+    opt: Optimizer,
+    objective: Objective,
+    arch: ArchSpec,
+    name: String,
+}
+
+/// Builder for [`Morph`].
+#[derive(Debug, Clone)]
+pub struct MorphBuilder {
+    arch: ArchSpec,
+    effort: Effort,
+    objective: Objective,
+    tech: TechNode,
+    outer_orders: Option<Vec<LoopOrder>>,
+    inner_orders: Option<Vec<LoopOrder>>,
+    parallelism: Option<Parallelism>,
+    name: Option<String>,
+}
+
+impl Default for MorphBuilder {
+    fn default() -> Self {
+        Self {
+            arch: ArchSpec::morph(),
+            effort: Effort::Fast,
+            objective: Objective::Energy,
+            tech: TechNode::Nm32,
+            outer_orders: None,
+            inner_orders: None,
+            parallelism: None,
+            name: None,
+        }
+    }
+}
+
+impl MorphBuilder {
+    /// Override the Table II provisioning.
+    pub fn arch(mut self, arch: ArchSpec) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Search effort (coarse vs dense discretization, §V-A).
+    pub fn effort(mut self, effort: Effort) -> Self {
+        self.effort = effort;
+        self
+    }
+
+    /// Optimization objective (§V-E).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Process technology node (energies are 32 nm natives).
+    pub fn tech(mut self, tech: TechNode) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Restrict the outer-order candidate set (ablation studies).
+    pub fn outer_orders(mut self, orders: Vec<LoopOrder>) -> Self {
+        self.outer_orders = Some(orders);
+        self
+    }
+
+    /// Restrict the inner-order candidate set (ablation studies).
+    pub fn inner_orders(mut self, orders: Vec<LoopOrder>) -> Self {
+        self.inner_orders = Some(orders);
+        self
+    }
+
+    /// Pin the PE parallelism instead of searching it.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = Some(par);
+        self
+    }
+
+    /// Override the display name (defaults to `"Morph"`); lets ablation
+    /// studies register several variants in one session.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Construct the backend.
+    pub fn build(self) -> Morph {
+        let model = EnergyModel::morph(self.arch).with_tech(self.tech);
+        let mut opt = Optimizer::morph(model, self.effort);
+        if let Some(orders) = self.outer_orders {
+            opt = opt.with_outer_orders(orders);
+        }
+        if let Some(orders) = self.inner_orders {
+            opt = opt.with_inner_orders(orders);
+        }
+        if let Some(par) = self.parallelism {
+            opt = opt.with_parallelism(par);
+        }
+        Morph {
+            opt,
+            objective: self.objective,
+            arch: self.arch,
+            name: self.name.unwrap_or_else(|| "Morph".to_string()),
+        }
+    }
+}
+
+impl Morph {
+    /// Builder with Table II provisioning, fast effort, energy objective.
+    pub fn builder() -> MorphBuilder {
+        MorphBuilder::default()
+    }
+
+    /// The all-defaults backend (equivalent to `builder().build()`).
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl Default for Morph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backend for Morph {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn arch(&self) -> &ArchSpec {
+        &self.arch
+    }
+
+    fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    fn evaluate_layer(&self, shape: &ConvShape) -> LayerEval {
+        let d = self.opt.search_layer(shape, self.objective);
+        LayerEval {
+            report: d.report,
+            decision: Some(MappingDecision {
+                config: d.config,
+                par: d.par,
+            }),
+        }
+    }
+}
+
+/// The inflexible Morph_base baseline (§IV-A3: fixed orders, Table I
+/// partitions, fixed `Hp × Kp` parallelism).
+pub struct MorphBase {
+    opt: Optimizer,
+    objective: Objective,
+    arch: ArchSpec,
+    name: String,
+}
+
+/// Builder for [`MorphBase`].
+#[derive(Debug, Clone)]
+pub struct MorphBaseBuilder {
+    arch: ArchSpec,
+    objective: Objective,
+    tech: TechNode,
+    fixed_tile_policy: bool,
+    name: Option<String>,
+}
+
+impl Default for MorphBaseBuilder {
+    fn default() -> Self {
+        Self {
+            arch: ArchSpec::morph(),
+            objective: Objective::Energy,
+            tech: TechNode::Nm32,
+            fixed_tile_policy: false,
+            name: None,
+        }
+    }
+}
+
+impl MorphBaseBuilder {
+    /// Override the Table II provisioning.
+    pub fn arch(mut self, arch: ArchSpec) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Optimization objective (tile search only; orders stay fixed).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Process technology node.
+    pub fn tech(mut self, tech: TechNode) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Freeze even the tiling policy (the hard-coded-FSM analogue used by
+    /// the flexibility ablation).
+    pub fn fixed_tile_policy(mut self) -> Self {
+        self.fixed_tile_policy = true;
+        self
+    }
+
+    /// Override the display name (defaults to `"Morph_base"`).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Construct the backend.
+    pub fn build(self) -> MorphBase {
+        let model = EnergyModel::morph_base(self.arch).with_tech(self.tech);
+        let mut opt = Optimizer::morph_base(model);
+        if self.fixed_tile_policy {
+            opt = opt.with_fixed_tile_policy();
+        }
+        MorphBase {
+            opt,
+            objective: self.objective,
+            arch: self.arch,
+            name: self.name.unwrap_or_else(|| "Morph_base".to_string()),
+        }
+    }
+}
+
+impl MorphBase {
+    /// Builder with Table II provisioning and energy objective.
+    pub fn builder() -> MorphBaseBuilder {
+        MorphBaseBuilder::default()
+    }
+
+    /// The all-defaults backend.
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl Default for MorphBase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backend for MorphBase {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn arch(&self) -> &ArchSpec {
+        &self.arch
+    }
+
+    fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    fn evaluate_layer(&self, shape: &ConvShape) -> LayerEval {
+        let d = self.opt.search_layer(shape, self.objective);
+        LayerEval {
+            report: d.report,
+            decision: Some(MappingDecision {
+                config: d.config,
+                par: d.par,
+            }),
+        }
+    }
+}
+
+/// The Eyeriss-like 2D baseline evaluating 3D CNNs frame by frame.
+pub struct Eyeriss {
+    model: morph_eyeriss::Eyeriss,
+    objective: Objective,
+    name: String,
+}
+
+/// Builder for [`Eyeriss`].
+#[derive(Debug, Clone)]
+pub struct EyerissBuilder {
+    arch: ArchSpec,
+    objective: Objective,
+    tech: TechNode,
+    name: Option<String>,
+}
+
+impl Default for EyerissBuilder {
+    fn default() -> Self {
+        Self {
+            arch: morph_eyeriss::Eyeriss::table2().arch,
+            objective: Objective::Energy,
+            tech: TechNode::Nm32,
+            name: None,
+        }
+    }
+}
+
+impl EyerissBuilder {
+    /// Override the Table II "Eyeriss" column provisioning.
+    pub fn arch(mut self, arch: ArchSpec) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Reported objective (the dataflow itself is fixed).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Process technology node.
+    pub fn tech(mut self, tech: TechNode) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Override the display name (defaults to `"Eyeriss"`); lets e.g. a
+    /// tech-node ablation register several variants in one session.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Construct the backend.
+    pub fn build(self) -> Eyeriss {
+        let model = morph_eyeriss::Eyeriss {
+            arch: self.arch,
+            tech: self.tech,
+        };
+        Eyeriss {
+            model,
+            objective: self.objective,
+            name: self.name.unwrap_or_else(|| "Eyeriss".to_string()),
+        }
+    }
+}
+
+impl Eyeriss {
+    /// Builder with Table II provisioning.
+    pub fn builder() -> EyerissBuilder {
+        EyerissBuilder::default()
+    }
+
+    /// The all-defaults backend.
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl Default for Eyeriss {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backend for Eyeriss {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn arch(&self) -> &ArchSpec {
+        &self.model.arch
+    }
+
+    fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    fn evaluate_layer(&self, shape: &ConvShape) -> LayerEval {
+        LayerEval {
+            report: self.model.evaluate_layer(shape),
+            decision: None,
+        }
+    }
+}
+
+impl morph_json::ToJson for MappingDecision {
+    fn to_json(&self) -> morph_json::Value {
+        use morph_json::Value;
+        Value::obj([
+            ("config", self.config.to_json()),
+            ("par", self.par.to_json()),
+        ])
+    }
+}
+
+impl morph_json::FromJson for MappingDecision {
+    fn from_json(v: &morph_json::Value) -> Result<Self, String> {
+        use morph_json::field;
+        Ok(MappingDecision {
+            config: TilingConfig::from_json(field(v, "config")?)?,
+            par: Parallelism::from_json(field(v, "par")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvShape {
+        ConvShape::new_3d(14, 14, 4, 32, 64, 3, 3, 3).with_pad(1, 1)
+    }
+
+    #[test]
+    fn presets_have_paper_names() {
+        assert_eq!(Morph::new().name(), "Morph");
+        assert_eq!(MorphBase::new().name(), "Morph_base");
+        assert_eq!(Eyeriss::new().name(), "Eyeriss");
+    }
+
+    #[test]
+    fn builders_support_name_overrides() {
+        assert_eq!(Morph::builder().name("Opt").build().name(), "Opt");
+        assert_eq!(MorphBase::builder().name("+tiles").build().name(), "+tiles");
+        assert_eq!(
+            Eyeriss::builder()
+                .tech(TechNode::Nm16)
+                .name("Eyeriss-16nm")
+                .build()
+                .name(),
+            "Eyeriss-16nm"
+        );
+    }
+
+    #[test]
+    fn trait_objects_evaluate_all_presets() {
+        let sh = layer();
+        let backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(Morph::new()),
+            Box::new(MorphBase::new()),
+            Box::new(Eyeriss::new()),
+        ];
+        for b in &backends {
+            let r = b.run_layer(&sh);
+            assert!(r.total_pj() > 0.0, "{}", b.name());
+            assert_eq!(r.maccs, sh.maccs());
+        }
+    }
+
+    #[test]
+    fn eyeriss_has_no_decision() {
+        let sh = ConvShape::new_2d(14, 14, 32, 64, 3, 3);
+        assert!(Eyeriss::new().evaluate_layer(&sh).decision.is_none());
+        assert!(Morph::new().evaluate_layer(&sh).decision.is_some());
+    }
+
+    #[test]
+    fn builder_objective_is_honored() {
+        let sh = layer();
+        let perf = Morph::builder().objective(Objective::Performance).build();
+        let energy = Morph::builder().objective(Objective::Energy).build();
+        assert_eq!(perf.objective(), Objective::Performance);
+        let rp = perf.run_layer(&sh);
+        let re = energy.run_layer(&sh);
+        assert!(rp.cycles.total <= re.cycles.total);
+        assert!(re.total_pj() <= rp.total_pj());
+    }
+
+    #[test]
+    fn tech_node_scales_onchip_energy_only() {
+        let sh = layer();
+        let base = Morph::builder().build().run_layer(&sh);
+        let scaled = Morph::builder().tech(TechNode::Nm16).build().run_layer(&sh);
+        assert_eq!(base.dram_pj, scaled.dram_pj, "DRAM is off-chip");
+        assert!(scaled.l2_pj < base.l2_pj);
+        assert!(scaled.compute_pj < base.compute_pj);
+        assert!(scaled.total_pj() < base.total_pj());
+    }
+
+    #[test]
+    fn restricted_builder_matches_hand_built_optimizer() {
+        let sh = layer();
+        let order: LoopOrder = "KWHCF".parse().unwrap();
+        let via_builder = Morph::builder()
+            .outer_orders(vec![order])
+            .build()
+            .run_layer(&sh);
+        let hand = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Fast)
+            .with_outer_orders(vec![order])
+            .search_layer(&sh, Objective::Energy)
+            .report;
+        assert_eq!(via_builder.total_pj(), hand.total_pj());
+    }
+}

@@ -3,139 +3,74 @@
 //! The top-level public API of the Morph reproduction (MICRO 2018,
 //! "Morph: Flexible Acceleration for 3D CNN-based Video Understanding").
 //!
-//! Three accelerator presets are provided, matching §VI-B's points of
-//! comparison:
+//! Accelerator models implement the [`Backend`] trait; the paper's §VI-B
+//! points of comparison ship as three built-in implementors, each
+//! constructed through a builder that fixes provisioning, search effort,
+//! objective and technology node:
 //!
-//! * [`Accelerator::morph`] — the flexible Morph design: per-layer loop
-//!   orders, tile sizes, banked shared buffers, searched parallelism.
-//! * [`Accelerator::morph_base`] — the inflexible baseline: fixed
-//!   `[WHCKF]`/`[cfwhk]` orders, Table I static partitions, fixed
-//!   `Hp × Kp` parallelism.
-//! * [`Accelerator::eyeriss`] — the Eyeriss-like 2D accelerator evaluating
-//!   3D CNNs frame by frame.
+//! * [`Morph`] — the flexible Morph design: per-layer loop orders, tile
+//!   sizes, banked shared buffers, searched parallelism.
+//! * [`MorphBase`] — the inflexible baseline: fixed `[WHCKF]`/`[cfwhk]`
+//!   orders, Table I static partitions, fixed `Hp × Kp` parallelism.
+//! * [`Eyeriss`] — the Eyeriss-like 2D accelerator evaluating 3D CNNs
+//!   frame by frame.
+//!
+//! A [`Session`] runs any set of backends over any set of networks with
+//! parallel per-layer evaluation and a memoized decision cache (identical
+//! layer shapes are decided once), producing a JSON-serializable
+//! [`RunReport`] with per-layer decisions, cycle counts and energy
+//! breakdowns:
 //!
 //! ```no_run
-//! use morph_core::{Accelerator, Objective};
+//! use morph_core::{Eyeriss, Morph, MorphBase, RunReport, Session};
 //! use morph_nets::zoo;
 //!
-//! let net = zoo::c3d();
-//! let morph = Accelerator::morph();
-//! let base = Accelerator::morph_base();
-//! let rm = morph.run_network(&net, Objective::Energy);
-//! let rb = base.run_network(&net, Objective::Energy);
-//! println!("Morph saves {:.2}x energy", rb.total.total_pj() / rm.total.total_pj());
+//! let report = Session::builder()
+//!     .backend(Morph::builder().build())
+//!     .backend(MorphBase::builder().build())
+//!     .backend(Eyeriss::builder().build())
+//!     .network(zoo::c3d())
+//!     .build()
+//!     .run();
+//!
+//! let morph = report.find("Morph", "C3D").unwrap();
+//! let base = report.find("Morph_base", "C3D").unwrap();
+//! println!("Morph saves {:.2}x energy", base.normalized_energy(morph));
+//!
+//! // Reports round-trip through JSON for machine-checkable trajectories.
+//! let json = report.to_json_string();
+//! assert_eq!(RunReport::from_json_str(&json).unwrap(), report);
+//! ```
+//!
+//! Builders expose the evaluation knobs directly:
+//!
+//! ```
+//! use morph_core::{Backend, Effort, Morph, Objective, TechNode};
+//! use morph_tensor::shape::ConvShape;
+//!
+//! let perf = Morph::builder()
+//!     .effort(Effort::Fast)
+//!     .objective(Objective::Performance)
+//!     .tech(TechNode::Nm32)
+//!     .build();
+//! let layer = ConvShape::new_3d(14, 14, 4, 32, 64, 3, 3, 3).with_pad(1, 1);
+//! assert!(perf.run_layer(&layer).total_pj() > 0.0);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod par;
 pub mod report;
+pub mod session;
 
+pub use backend::{
+    Backend, Eyeriss, EyerissBuilder, LayerEval, MappingDecision, Morph, MorphBase,
+    MorphBaseBuilder, MorphBuilder,
+};
 pub use morph_dataflow::arch::{ArchSpec, OnChipLevel};
 pub use morph_dataflow::perf::Parallelism;
-pub use morph_energy::{EnergyModel, EnergyReport};
+pub use morph_energy::{EnergyModel, EnergyReport, TechNode};
 pub use morph_optimizer::{Effort, LayerDecision, Objective, Optimizer};
-pub use report::NetworkReport;
-
-use morph_eyeriss::Eyeriss;
-use morph_nets::Network;
-use morph_tensor::shape::ConvShape;
-
-/// One of the three evaluated accelerators.
-pub enum Accelerator {
-    /// The flexible Morph design (optionally with a search effort).
-    Morph(Optimizer),
-    /// The inflexible Morph_base.
-    MorphBase(Optimizer),
-    /// The Eyeriss-like 2D baseline.
-    Eyeriss(Eyeriss),
-}
-
-impl Accelerator {
-    /// Morph with Table II provisioning and fast search effort.
-    pub fn morph() -> Self {
-        Self::morph_with(ArchSpec::morph(), Effort::Fast)
-    }
-
-    /// Morph with custom provisioning/effort.
-    pub fn morph_with(arch: ArchSpec, effort: Effort) -> Self {
-        Accelerator::Morph(Optimizer::morph(EnergyModel::morph(arch), effort))
-    }
-
-    /// Morph_base with Table II provisioning.
-    pub fn morph_base() -> Self {
-        Accelerator::MorphBase(Optimizer::morph_base(EnergyModel::morph_base(ArchSpec::morph())))
-    }
-
-    /// Eyeriss with Table II provisioning.
-    pub fn eyeriss() -> Self {
-        Accelerator::Eyeriss(Eyeriss::table2())
-    }
-
-    /// Display name as used in the paper's figures.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Accelerator::Morph(_) => "Morph",
-            Accelerator::MorphBase(_) => "Morph_base",
-            Accelerator::Eyeriss(_) => "Eyeriss",
-        }
-    }
-
-    /// Evaluate one layer.
-    pub fn run_layer(&self, shape: &ConvShape, objective: Objective) -> EnergyReport {
-        match self {
-            Accelerator::Morph(opt) | Accelerator::MorphBase(opt) => {
-                opt.search_layer(shape, objective).report
-            }
-            Accelerator::Eyeriss(e) => e.evaluate_layer(shape),
-        }
-    }
-
-    /// The full per-layer decision (Morph variants only).
-    pub fn decide_layer(&self, shape: &ConvShape, objective: Objective) -> Option<LayerDecision> {
-        match self {
-            Accelerator::Morph(opt) | Accelerator::MorphBase(opt) => {
-                Some(opt.search_layer(shape, objective))
-            }
-            Accelerator::Eyeriss(_) => None,
-        }
-    }
-
-    /// Evaluate every convolution layer of a network.
-    pub fn run_network(&self, net: &Network, objective: Objective) -> NetworkReport {
-        let layers: Vec<(String, EnergyReport)> = net
-            .conv_layers()
-            .map(|l| (l.name.clone(), self.run_layer(&l.shape, objective)))
-            .collect();
-        let total = layers.iter().fold(EnergyReport::zero(), |acc, (_, r)| acc.add(r));
-        NetworkReport { network: net.name, accelerator: self.name(), layers, total }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn presets_have_paper_names() {
-        assert_eq!(Accelerator::morph().name(), "Morph");
-        assert_eq!(Accelerator::morph_base().name(), "Morph_base");
-        assert_eq!(Accelerator::eyeriss().name(), "Eyeriss");
-    }
-
-    #[test]
-    fn run_layer_works_for_all_presets() {
-        let sh = ConvShape::new_3d(14, 14, 4, 32, 64, 3, 3, 3).with_pad(1, 1);
-        for acc in [Accelerator::morph(), Accelerator::morph_base(), Accelerator::eyeriss()] {
-            let r = acc.run_layer(&sh, Objective::Energy);
-            assert!(r.total_pj() > 0.0, "{}", acc.name());
-            assert_eq!(r.maccs, sh.maccs());
-        }
-    }
-
-    #[test]
-    fn eyeriss_has_no_decision() {
-        let sh = ConvShape::new_2d(14, 14, 32, 64, 3, 3);
-        assert!(Accelerator::eyeriss().decide_layer(&sh, Objective::Energy).is_none());
-        assert!(Accelerator::morph().decide_layer(&sh, Objective::Energy).is_some());
-    }
-}
+pub use report::{LayerRecord, NetworkRun, RunReport, SCHEMA_VERSION};
+pub use session::{Session, SessionBuilder};

@@ -1,0 +1,120 @@
+//! Minimal data-parallel map over scoped threads.
+//!
+//! The workspace builds fully offline, so instead of rayon this module
+//! provides the one primitive [`crate::Session`] needs: evaluate a slice of
+//! independent items on a small worker pool and return the results in
+//! input order. Work is distributed dynamically (an atomic cursor), which
+//! keeps long searches — early C3D layers take much longer than late ones —
+//! from serializing behind a static partition.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` on up to `threads` scoped worker threads,
+/// preserving input order in the result.
+///
+/// `threads <= 1` (or a short input) degrades to a plain sequential map.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = threads.min(n);
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+
+    let produced: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+
+    for (i, r) in produced.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map filled every index"))
+        .collect()
+}
+
+/// Default worker count: `MORPH_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MORPH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(8, &items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let items: Vec<usize> = (0..17).collect();
+        assert_eq!(
+            par_map(1, &items, |&x| x + 1),
+            par_map(4, &items, |&x| x + 1)
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |&x| x), vec![7]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Dynamic distribution must complete even when item costs vary
+        // wildly; correctness (not timing) is asserted.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(4, &items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+}

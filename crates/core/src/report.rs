@@ -1,28 +1,60 @@
-//! Network-level evaluation reports and formatting helpers.
+//! Structured, serializable evaluation reports.
+//!
+//! A [`RunReport`] is the machine-readable product of a [`crate::Session`]:
+//! one [`NetworkRun`] per (backend, network) pair, each carrying per-layer
+//! mapping decisions, cycle counts and energy breakdowns. Reports
+//! round-trip through JSON (`to_json_string` / `from_json_str`), so the
+//! experiment binaries regenerate their text tables from the same data
+//! they persist to `experiments_out/`.
 
+use crate::backend::MappingDecision;
 use morph_energy::EnergyReport;
+use morph_json::{FromJson, ToJson, Value};
+use morph_optimizer::Objective;
+use morph_tensor::shape::ConvShape;
 
-/// Per-network evaluation: one [`EnergyReport`] per layer plus the total.
-#[derive(Debug, Clone)]
-pub struct NetworkReport {
+/// Version stamp written into every serialized report.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One evaluated layer inside a [`NetworkRun`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRecord {
+    /// Layer name (e.g. `"conv3a"`).
+    pub name: String,
+    /// Convolution shape.
+    pub shape: ConvShape,
+    /// Chosen mapping (`None` for fixed-dataflow backends).
+    pub decision: Option<MappingDecision>,
+    /// Energy/cycle breakdown.
+    pub report: EnergyReport,
+}
+
+/// One backend evaluated over one network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkRun {
+    /// Backend display name (`"Morph"`, `"Morph_base"`, `"Eyeriss"`, …).
+    pub backend: String,
     /// Network name.
-    pub network: &'static str,
-    /// Accelerator name.
-    pub accelerator: &'static str,
-    /// Per-layer `(name, report)` pairs, in network order.
-    pub layers: Vec<(String, EnergyReport)>,
+    pub network: String,
+    /// Objective the backend optimized for.
+    pub objective: Objective,
+    /// Layer evaluations served from the session's decision cache
+    /// (repeated shapes are decided once).
+    pub cache_hits: u64,
+    /// Per-layer records, in network order.
+    pub layers: Vec<LayerRecord>,
     /// Sum over layers.
     pub total: EnergyReport,
 }
 
-impl NetworkReport {
-    /// Energy normalized to another report (Fig. 9's y-axis).
-    pub fn normalized_energy(&self, baseline: &NetworkReport) -> f64 {
+impl NetworkRun {
+    /// Energy normalized to another run (Fig. 9's y-axis).
+    pub fn normalized_energy(&self, baseline: &NetworkRun) -> f64 {
         self.total.total_pj() / baseline.total.total_pj()
     }
 
-    /// Perf/W normalized to another report (Fig. 10's y-axis).
-    pub fn normalized_perf_per_watt(&self, baseline: &NetworkReport) -> f64 {
+    /// Perf/W normalized to another run (Fig. 10's y-axis).
+    pub fn normalized_perf_per_watt(&self, baseline: &NetworkRun) -> f64 {
         self.total.perf_per_watt() / baseline.total.perf_per_watt()
     }
 
@@ -39,57 +71,253 @@ impl NetworkReport {
         format!(
             "{} on {}: {:.3} mJ total ({:.3} mJ dynamic), {:.2} ms, util {:.1}%",
             self.network,
-            self.accelerator,
+            self.backend,
             self.total.total_pj() / 1e9,
             self.total.dynamic_pj() / 1e9,
             self.total.cycles.total as f64 / 1e6,
             100.0 * self.total.cycles.utilization(),
         )
     }
+
+    /// Look up a layer record by name.
+    pub fn layer(&self, name: &str) -> Option<&LayerRecord> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+/// The serializable product of a [`crate::Session`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Serialization schema version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// One entry per (backend, network) pair, in session order.
+    pub runs: Vec<NetworkRun>,
+}
+
+impl RunReport {
+    /// An empty report at the current schema version.
+    pub fn new() -> Self {
+        RunReport {
+            schema: SCHEMA_VERSION,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Find the run for a backend/network pair.
+    pub fn find(&self, backend: &str, network: &str) -> Option<&NetworkRun> {
+        self.runs
+            .iter()
+            .find(|r| r.backend == backend && r.network == network)
+    }
+
+    /// All runs of one network, in session (backend) order.
+    pub fn network_runs(&self, network: &str) -> Vec<&NetworkRun> {
+        self.runs.iter().filter(|r| r.network == network).collect()
+    }
+
+    /// Merge several reports into one (schema must match).
+    pub fn merged(reports: impl IntoIterator<Item = RunReport>) -> Result<RunReport, String> {
+        let mut out = RunReport::new();
+        for r in reports {
+            if r.schema != out.schema {
+                return Err(format!("schema mismatch: {} vs {}", r.schema, out.schema));
+            }
+            out.runs.extend(r.runs);
+        }
+        Ok(out)
+    }
+
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parse a report serialized with [`RunReport::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = Value::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&v)
+    }
+}
+
+impl Default for RunReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ToJson for LayerRecord {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("name", Value::Str(self.name.clone())),
+            ("shape", self.shape.to_json()),
+            ("decision", self.decision.to_json()),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LayerRecord {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        use morph_json::{field, field_str};
+        let decision = match field(v, "decision")? {
+            Value::Null => None,
+            d => Some(MappingDecision::from_json(d)?),
+        };
+        Ok(LayerRecord {
+            name: field_str(v, "name")?.to_string(),
+            shape: ConvShape::from_json(field(v, "shape")?)?,
+            decision,
+            report: EnergyReport::from_json(field(v, "report")?)?,
+        })
+    }
+}
+
+impl ToJson for NetworkRun {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("backend", Value::Str(self.backend.clone())),
+            ("network", Value::Str(self.network.clone())),
+            ("objective", self.objective.to_json()),
+            ("cache_hits", Value::Int(self.cache_hits as i64)),
+            ("layers", self.layers.to_json()),
+            ("total", self.total.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NetworkRun {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        use morph_json::{field, field_arr, field_str, field_u64};
+        Ok(NetworkRun {
+            backend: field_str(v, "backend")?.to_string(),
+            network: field_str(v, "network")?.to_string(),
+            objective: Objective::from_json(field(v, "objective")?)?,
+            cache_hits: field_u64(v, "cache_hits")?,
+            layers: field_arr(v, "layers")?
+                .iter()
+                .map(LayerRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            total: EnergyReport::from_json(field(v, "total")?)?,
+        })
+    }
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("schema", Value::Int(self.schema as i64)),
+            ("runs", self.runs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunReport {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        use morph_json::{field_arr, field_u64};
+        let schema = field_u64(v, "schema")? as u32;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported report schema {schema}, expected {SCHEMA_VERSION}"
+            ));
+        }
+        Ok(RunReport {
+            schema,
+            runs: field_arr(v, "runs")?
+                .iter()
+                .map(NetworkRun::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Accelerator, Objective};
+    use crate::backend::{Eyeriss, Morph, MorphBase};
+    use crate::session::Session;
     use morph_nets::Network;
-    use morph_tensor::shape::ConvShape;
 
     fn tiny_net() -> Network {
         let mut n = Network::new("tiny");
-        n.conv("c1", ConvShape::new_3d(8, 8, 4, 4, 8, 3, 3, 3).with_pad(1, 1));
-        n.conv("c2", ConvShape::new_3d(8, 8, 4, 8, 8, 3, 3, 3).with_pad(1, 1));
+        n.conv(
+            "c1",
+            ConvShape::new_3d(8, 8, 4, 4, 8, 3, 3, 3).with_pad(1, 1),
+        );
+        n.conv(
+            "c2",
+            ConvShape::new_3d(8, 8, 4, 8, 8, 3, 3, 3).with_pad(1, 1),
+        );
         n
+    }
+
+    fn tiny_report() -> RunReport {
+        Session::builder()
+            .backend(Morph::new())
+            .backend(MorphBase::new())
+            .backend(Eyeriss::new())
+            .network(tiny_net())
+            .build()
+            .run()
     }
 
     #[test]
     fn totals_sum_layers() {
-        let rep = Accelerator::morph().run_network(&tiny_net(), Objective::Energy);
-        assert_eq!(rep.layers.len(), 2);
-        let sum: f64 = rep.layers.iter().map(|(_, r)| r.total_pj()).sum();
-        assert!((rep.total.total_pj() - sum).abs() < 1e-6);
+        let rep = tiny_report();
+        let run = rep.find("Morph", "tiny").unwrap();
+        assert_eq!(run.layers.len(), 2);
+        let sum: f64 = run.layers.iter().map(|l| l.report.total_pj()).sum();
+        assert!((run.total.total_pj() - sum).abs() < 1e-6);
     }
 
     #[test]
     fn breakdown_sums_to_100() {
-        let rep = Accelerator::morph_base().run_network(&tiny_net(), Objective::Energy);
-        let total: f64 = rep.breakdown_percent().iter().sum();
+        let rep = tiny_report();
+        let total: f64 = rep
+            .find("Morph_base", "tiny")
+            .unwrap()
+            .breakdown_percent()
+            .iter()
+            .sum();
         assert!((total - 100.0).abs() < 1e-9);
     }
 
     #[test]
     fn normalization_is_reciprocal() {
-        let a = Accelerator::morph().run_network(&tiny_net(), Objective::Energy);
-        let b = Accelerator::morph_base().run_network(&tiny_net(), Objective::Energy);
-        let x = a.normalized_energy(&b);
-        let y = b.normalized_energy(&a);
+        let rep = tiny_report();
+        let a = rep.find("Morph", "tiny").unwrap();
+        let b = rep.find("Morph_base", "tiny").unwrap();
+        let x = a.normalized_energy(b);
+        let y = b.normalized_energy(a);
         assert!((x * y - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn summary_mentions_names() {
-        let rep = Accelerator::eyeriss().run_network(&tiny_net(), Objective::Energy);
-        let s = rep.summary();
+        let rep = tiny_report();
+        let s = rep.find("Eyeriss", "tiny").unwrap().summary();
         assert!(s.contains("tiny") && s.contains("Eyeriss"));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let rep = tiny_report();
+        let text = rep.to_json_string();
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(rep, back);
+    }
+
+    #[test]
+    fn merged_concatenates_runs() {
+        let a = tiny_report();
+        let n = a.runs.len();
+        let merged = RunReport::merged([a.clone(), a]).unwrap();
+        assert_eq!(merged.runs.len(), 2 * n);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut rep = tiny_report();
+        rep.schema = 999;
+        assert!(RunReport::from_json_str(&rep.to_json_string()).is_err());
     }
 }

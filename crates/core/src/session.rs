@@ -1,0 +1,286 @@
+//! The [`Session`] runner: backends × networks → [`RunReport`].
+//!
+//! A session owns a set of [`Backend`] trait objects and a set of
+//! networks. [`Session::run`] evaluates every (backend, network) pair with
+//!
+//! * **parallel per-layer evaluation** — distinct layer shapes fan out
+//!   across a scoped worker pool ([`crate::par`]), and
+//! * **a memoized decision cache keyed by [`ConvShape`]** — identical
+//!   layers (repeated ResNet blocks, the two Two-Stream towers, repeated
+//!   networks) are decided once per backend/objective and replayed from
+//!   the cache thereafter. Cache behavior is observable: each
+//!   [`NetworkRun`] reports its `cache_hits`.
+
+use crate::backend::{Backend, LayerEval};
+use crate::par;
+use crate::report::{LayerRecord, NetworkRun, RunReport, SCHEMA_VERSION};
+use morph_nets::Network;
+use morph_optimizer::Objective;
+use morph_tensor::shape::ConvShape;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+type CacheKey = (usize, Objective, ConvShape);
+
+/// Runs one or more backends over one or more networks.
+pub struct Session {
+    backends: Vec<Box<dyn Backend>>,
+    networks: Vec<Network>,
+    threads: usize,
+    cache: Mutex<HashMap<CacheKey, LayerEval>>,
+}
+
+/// Builder for [`Session`].
+#[derive(Default)]
+pub struct SessionBuilder {
+    backends: Vec<Box<dyn Backend>>,
+    networks: Vec<Network>,
+    threads: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// Add a backend (evaluated in insertion order).
+    pub fn backend(mut self, backend: impl Backend + 'static) -> Self {
+        self.backends.push(Box::new(backend));
+        self
+    }
+
+    /// Add an already-boxed backend (for dynamically assembled sets).
+    pub fn backend_boxed(mut self, backend: Box<dyn Backend>) -> Self {
+        self.backends.push(backend);
+        self
+    }
+
+    /// Add a network (evaluated in insertion order).
+    pub fn network(mut self, network: Network) -> Self {
+        self.networks.push(network);
+        self
+    }
+
+    /// Add several networks.
+    pub fn networks(mut self, networks: impl IntoIterator<Item = Network>) -> Self {
+        self.networks.extend(networks);
+        self
+    }
+
+    /// Worker-thread count (default: `MORPH_THREADS` or the machine's
+    /// available parallelism; `1` forces sequential evaluation).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Construct the session.
+    pub fn build(self) -> Session {
+        Session {
+            backends: self.backends,
+            networks: self.networks,
+            threads: self.threads.unwrap_or_else(par::default_threads),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl Session {
+    /// Start building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The configured backends (session order).
+    pub fn backends(&self) -> &[Box<dyn Backend>] {
+        &self.backends
+    }
+
+    /// The configured networks (session order).
+    pub fn networks(&self) -> &[Network] {
+        &self.networks
+    }
+
+    /// Number of distinct (backend, objective, shape) decisions currently
+    /// memoized.
+    pub fn cached_decisions(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Evaluate every (backend, network) pair and assemble the report.
+    ///
+    /// The decision cache persists across calls, so re-running a session
+    /// (or running a second network with shared shapes) is nearly free.
+    pub fn run(&self) -> RunReport {
+        let mut runs = Vec::with_capacity(self.backends.len() * self.networks.len());
+        for (bi, backend) in self.backends.iter().enumerate() {
+            for net in &self.networks {
+                runs.push(self.run_one(bi, backend.as_ref(), net));
+            }
+        }
+        RunReport {
+            schema: SCHEMA_VERSION,
+            runs,
+        }
+    }
+
+    /// Evaluate one backend over one network.
+    pub fn run_network(&self, backend_index: usize, net: &Network) -> NetworkRun {
+        let backend = self.backends[backend_index].as_ref();
+        self.run_one(backend_index, backend, net)
+    }
+
+    fn run_one(&self, backend_index: usize, backend: &dyn Backend, net: &Network) -> NetworkRun {
+        let objective = backend.objective();
+        let layers: Vec<_> = net.conv_layers().collect();
+
+        // Partition this network's shapes into cached ones and a deduped
+        // work list: identical layers are decided exactly once.
+        let mut pending: Vec<ConvShape> = Vec::new();
+        {
+            let cache = self.cache.lock().unwrap();
+            let mut seen: std::collections::HashSet<ConvShape> = Default::default();
+            for layer in &layers {
+                let sh = layer.shape;
+                if !cache.contains_key(&(backend_index, objective, sh)) && seen.insert(sh) {
+                    pending.push(sh);
+                }
+            }
+        }
+        let cache_hits = (layers.len() - pending.len()) as u64;
+
+        // Decide all fresh shapes in parallel, then publish them.
+        let fresh = par::par_map(self.threads, &pending, |sh| backend.evaluate_layer(sh));
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for (sh, eval) in pending.iter().zip(fresh) {
+                cache.insert((backend_index, objective, *sh), eval);
+            }
+        }
+
+        // Assemble per-layer records in network order from the cache.
+        let cache = self.cache.lock().unwrap();
+        let records: Vec<LayerRecord> = layers
+            .iter()
+            .map(|layer| {
+                let eval = cache
+                    .get(&(backend_index, objective, layer.shape))
+                    .expect("every shape was just decided");
+                LayerRecord {
+                    name: layer.name.clone(),
+                    shape: layer.shape,
+                    decision: eval.decision.clone(),
+                    report: eval.report,
+                }
+            })
+            .collect();
+        let total = records
+            .iter()
+            .fold(morph_energy::EnergyReport::zero(), |acc, l| {
+                acc.add(&l.report)
+            });
+
+        NetworkRun {
+            backend: backend.name().to_string(),
+            network: net.name.to_string(),
+            objective,
+            cache_hits,
+            layers: records,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Eyeriss, Morph, MorphBase};
+
+    fn repeated_net() -> Network {
+        // Three distinct shapes across five layers → two duplicate layers.
+        let a = ConvShape::new_3d(8, 8, 4, 4, 8, 3, 3, 3).with_pad(1, 1);
+        let b = ConvShape::new_3d(8, 8, 4, 8, 8, 3, 3, 3).with_pad(1, 1);
+        let c = ConvShape::new_3d(4, 4, 2, 8, 16, 3, 3, 2).with_pad(1, 0);
+        let mut n = Network::new("repeats");
+        n.conv("b1_a", a)
+            .conv("b1_b", b)
+            .conv("b2_a", b)
+            .conv("b2_b", b)
+            .conv("head", c);
+        n
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let session = Session::builder()
+            .backend(Morph::new())
+            .network(repeated_net())
+            .build();
+        let rep = session.run();
+        let run = &rep.runs[0];
+        assert_eq!(run.layers.len(), 5);
+        assert_eq!(
+            run.cache_hits, 2,
+            "layers b2_a and b2_b repeat b1_b's shape"
+        );
+        assert_eq!(session.cached_decisions(), 3);
+        // The duplicates carry the identical decision.
+        assert_eq!(run.layers[1].decision, run.layers[2].decision);
+        assert_eq!(run.layers[1].report, run.layers[3].report);
+    }
+
+    #[test]
+    fn second_run_is_fully_cached() {
+        let session = Session::builder()
+            .backend(Morph::new())
+            .network(repeated_net())
+            .build();
+        let first = session.run();
+        let second = session.run();
+        assert_eq!(second.runs[0].cache_hits, 5, "every layer cached on re-run");
+        assert_eq!(first.runs[0].layers, second.runs[0].layers);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let par = Session::builder()
+            .backend(Morph::new())
+            .network(repeated_net())
+            .threads(4)
+            .build();
+        let seq = Session::builder()
+            .backend(Morph::new())
+            .network(repeated_net())
+            .threads(1)
+            .build();
+        assert_eq!(par.run(), seq.run());
+    }
+
+    #[test]
+    fn runs_cover_backend_network_product() {
+        let mut other = repeated_net();
+        other.name = "other";
+        let session = Session::builder()
+            .backend(Morph::new())
+            .backend(MorphBase::new())
+            .backend(Eyeriss::new())
+            .network(repeated_net())
+            .network(other)
+            .build();
+        let rep = session.run();
+        assert_eq!(rep.runs.len(), 6);
+        // Same layer shapes in both networks → the second network is
+        // served entirely from the cache.
+        assert_eq!(rep.runs[1].cache_hits, 5);
+        assert!(rep.find("Eyeriss", "other").is_some());
+    }
+
+    #[test]
+    fn distinct_objectives_are_cached_separately() {
+        let session = Session::builder()
+            .backend(Morph::builder().objective(Objective::Energy).build())
+            .backend(Morph::builder().objective(Objective::Performance).build())
+            .network(repeated_net())
+            .build();
+        let rep = session.run();
+        assert_eq!(rep.runs[0].objective, Objective::Energy);
+        assert_eq!(rep.runs[1].objective, Objective::Performance);
+        assert!(session.cached_decisions() >= 6);
+    }
+}

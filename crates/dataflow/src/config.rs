@@ -59,21 +59,50 @@ pub fn tile_bytes(shape: &ConvShape, tile: &Tile) -> TileBytes {
         * tile.c as u64;
     let weight = (tile.k * tile.c * shape.r * shape.s * shape.t) as u64;
     let psum = (tile.k * tile.h * tile.w * tile.f) as u64 * shape.psum_bytes();
-    TileBytes { input, weight, psum }
+    TileBytes {
+        input,
+        weight,
+        psum,
+    }
 }
 
 impl TilingConfig {
     /// Standard Morph config: outer order for DRAM→L2, one inner order for
     /// all on-chip boundaries (§III), L2/L1/L0 tiles, and a register level
     /// of `Vw` output channels.
-    pub fn morph(outer: LoopOrder, inner: LoopOrder, l2: Tile, l1: Tile, l0: Tile, vw: usize) -> Self {
-        let reg = Tile { h: 1, w: 1, f: 1, c: 1, k: vw.min(l0.k).max(1) };
+    pub fn morph(
+        outer: LoopOrder,
+        inner: LoopOrder,
+        l2: Tile,
+        l1: Tile,
+        l0: Tile,
+        vw: usize,
+    ) -> Self {
+        let reg = Tile {
+            h: 1,
+            w: 1,
+            f: 1,
+            c: 1,
+            k: vw.min(l0.k).max(1),
+        };
         Self {
             levels: vec![
-                LevelConfig { order: outer, tile: l2 },
-                LevelConfig { order: inner, tile: l1 },
-                LevelConfig { order: inner, tile: l0 },
-                LevelConfig { order: inner, tile: reg },
+                LevelConfig {
+                    order: outer,
+                    tile: l2,
+                },
+                LevelConfig {
+                    order: inner,
+                    tile: l1,
+                },
+                LevelConfig {
+                    order: inner,
+                    tile: l0,
+                },
+                LevelConfig {
+                    order: inner,
+                    tile: reg,
+                },
             ],
         }
     }
@@ -154,7 +183,48 @@ impl TilingConfig {
 
     /// Inner loop order (the L1 level's order for standard configs).
     pub fn inner_order(&self) -> LoopOrder {
-        self.levels.get(1).map(|l| l.order).unwrap_or(self.levels[0].order)
+        self.levels
+            .get(1)
+            .map(|l| l.order)
+            .unwrap_or(self.levels[0].order)
+    }
+}
+
+impl morph_json::ToJson for LevelConfig {
+    fn to_json(&self) -> morph_json::Value {
+        use morph_json::Value;
+        Value::obj([
+            ("order", self.order.to_json()),
+            ("tile", self.tile.to_json()),
+        ])
+    }
+}
+
+impl morph_json::FromJson for LevelConfig {
+    fn from_json(v: &morph_json::Value) -> Result<Self, String> {
+        use morph_json::field;
+        Ok(LevelConfig {
+            order: LoopOrder::from_json(field(v, "order")?)?,
+            tile: Tile::from_json(field(v, "tile")?)?,
+        })
+    }
+}
+
+impl morph_json::ToJson for TilingConfig {
+    fn to_json(&self) -> morph_json::Value {
+        use morph_json::Value;
+        Value::obj([("levels", self.levels.to_json())])
+    }
+}
+
+impl morph_json::FromJson for TilingConfig {
+    fn from_json(v: &morph_json::Value) -> Result<Self, String> {
+        use morph_json::field_arr;
+        let levels = field_arr(v, "levels")?
+            .iter()
+            .map(LevelConfig::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TilingConfig { levels })
     }
 }
 
@@ -169,7 +239,13 @@ mod tests {
     #[test]
     fn tile_bytes_accounts_halo() {
         let sh = layer();
-        let t = Tile { h: 14, w: 14, f: 4, c: 128, k: 32 };
+        let t = Tile {
+            h: 14,
+            w: 14,
+            f: 4,
+            c: 128,
+            k: 32,
+        };
         let b = tile_bytes(&sh, &t);
         // Input: (14−1+3) × 16 × (4−1+3) × 128 = 16·16·6·128.
         assert_eq!(b.input, 16 * 16 * 6 * 128);
@@ -185,8 +261,20 @@ mod tests {
             LoopOrder::base_outer(),
             LoopOrder::base_inner(),
             whole,
-            Tile { h: 7, w: 7, f: 2, c: 32, k: 16 },
-            Tile { h: 7, w: 7, f: 1, c: 8, k: 8 },
+            Tile {
+                h: 7,
+                w: 7,
+                f: 2,
+                c: 32,
+                k: 16,
+            },
+            Tile {
+                h: 7,
+                w: 7,
+                f: 1,
+                c: 8,
+                k: 8,
+            },
             8,
         );
         assert_eq!(cfg.levels.len(), 4);
@@ -200,9 +288,27 @@ mod tests {
         let cfg = TilingConfig::morph(
             LoopOrder::base_outer(),
             LoopOrder::base_inner(),
-            Tile { h: 7, w: 7, f: 2, c: 32, k: 16 },
-            Tile { h: 14, w: 7, f: 2, c: 32, k: 16 }, // grows in H
-            Tile { h: 7, w: 7, f: 1, c: 8, k: 8 },
+            Tile {
+                h: 7,
+                w: 7,
+                f: 2,
+                c: 32,
+                k: 16,
+            },
+            Tile {
+                h: 14,
+                w: 7,
+                f: 2,
+                c: 32,
+                k: 16,
+            }, // grows in H
+            Tile {
+                h: 7,
+                w: 7,
+                f: 1,
+                c: 8,
+                k: 8,
+            },
             8,
         );
         assert!(cfg.validate(&sh).is_err());
@@ -233,9 +339,27 @@ mod tests {
         let cfg = TilingConfig::morph(
             LoopOrder::base_outer(),
             LoopOrder::base_inner(),
-            Tile { h: 28, w: 28, f: 2, c: 32, k: 32 },
-            Tile { h: 7, w: 7, f: 2, c: 16, k: 16 },
-            Tile { h: 7, w: 7, f: 1, c: 4, k: 8 },
+            Tile {
+                h: 28,
+                w: 28,
+                f: 2,
+                c: 32,
+                k: 32,
+            },
+            Tile {
+                h: 7,
+                w: 7,
+                f: 2,
+                c: 16,
+                k: 16,
+            },
+            Tile {
+                h: 7,
+                w: 7,
+                f: 1,
+                c: 4,
+                k: 8,
+            },
             8,
         );
         assert_eq!(cfg.fits(&sh, &arch), Ok(()));

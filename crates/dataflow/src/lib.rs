@@ -6,12 +6,18 @@
 //! model (§II-F, §III-C).
 //!
 //! Energy is attached by `morph-energy`; configuration search by
-//! `morph-optimizer`.
+//! `morph-optimizer`. Applications normally do not drive this layer
+//! directly: they build a `morph_core::Backend` (via its builder) and run
+//! it through a `morph_core::Session`, which produces the [`TilingConfig`]
+//! mappings below as part of its serializable `RunReport`. This crate is
+//! the substrate those decisions are expressed in:
 //!
 //! ```
 //! use morph_dataflow::prelude::*;
 //! use morph_tensor::prelude::*;
 //!
+//! // The same shape of configuration a `Session` run records per layer —
+//! // here built by hand to feed the traffic engine directly.
 //! let layer = ConvShape::new_3d(28, 28, 8, 128, 256, 3, 3, 3).with_pad(1, 1);
 //! let cfg = TilingConfig::morph(
 //!     LoopOrder::base_outer(),
@@ -23,6 +29,11 @@
 //! ).normalize(&layer);
 //! let traffic = layer_traffic(&layer, &cfg);
 //! assert!(traffic.dram().input_down >= layer.input_bytes());
+//!
+//! // Mappings serialize with the same JSON substrate `RunReport` uses.
+//! use morph_json::{FromJson, ToJson};
+//! let round = TilingConfig::from_json(&cfg.to_json()).unwrap();
+//! assert_eq!(round, cfg);
 //! ```
 
 #![warn(missing_docs)]

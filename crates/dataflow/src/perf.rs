@@ -36,7 +36,12 @@ pub struct Parallelism {
 impl Parallelism {
     /// Sequential execution (one PE).
     pub fn serial() -> Self {
-        Self { hp: 1, wp: 1, kp: 1, fp: 1 }
+        Self {
+            hp: 1,
+            wp: 1,
+            kp: 1,
+            fp: 1,
+        }
     }
 
     /// Morph_base's fixed parallelization: `Hp × Kp` filling the chip
@@ -44,7 +49,12 @@ impl Parallelism {
     pub fn base(arch: &ArchSpec) -> Self {
         let kp = 8.min(arch.total_pes());
         let hp = (arch.total_pes() / kp).max(1);
-        Self { hp, wp: 1, kp, fp: 1 }
+        Self {
+            hp,
+            wp: 1,
+            kp,
+            fp: 1,
+        }
     }
 
     /// Total PEs used.
@@ -94,10 +104,71 @@ impl CycleReport {
     }
 }
 
+impl morph_json::ToJson for Parallelism {
+    fn to_json(&self) -> morph_json::Value {
+        use morph_json::Value;
+        Value::obj([
+            ("hp", Value::Int(self.hp as i64)),
+            ("wp", Value::Int(self.wp as i64)),
+            ("kp", Value::Int(self.kp as i64)),
+            ("fp", Value::Int(self.fp as i64)),
+        ])
+    }
+}
+
+impl morph_json::FromJson for Parallelism {
+    fn from_json(v: &morph_json::Value) -> Result<Self, String> {
+        use morph_json::field_usize;
+        Ok(Parallelism {
+            hp: field_usize(v, "hp")?,
+            wp: field_usize(v, "wp")?,
+            kp: field_usize(v, "kp")?,
+            fp: field_usize(v, "fp")?,
+        })
+    }
+}
+
+impl morph_json::ToJson for CycleReport {
+    fn to_json(&self) -> morph_json::Value {
+        use morph_json::Value;
+        Value::obj([
+            ("compute", Value::Int(self.compute as i64)),
+            ("dram", Value::Int(self.dram as i64)),
+            ("l2_l1", Value::Int(self.l2_l1 as i64)),
+            ("l1_l0", Value::Int(self.l1_l0 as i64)),
+            ("total", Value::Int(self.total as i64)),
+            ("ideal", Value::Int(self.ideal as i64)),
+        ])
+    }
+}
+
+impl morph_json::FromJson for CycleReport {
+    fn from_json(v: &morph_json::Value) -> Result<Self, String> {
+        use morph_json::field_u64;
+        Ok(CycleReport {
+            compute: field_u64(v, "compute")?,
+            dram: field_u64(v, "dram")?,
+            l2_l1: field_u64(v, "l2_l1")?,
+            l1_l0: field_u64(v, "l1_l0")?,
+            total: field_u64(v, "total")?,
+            ideal: field_u64(v, "ideal")?,
+        })
+    }
+}
+
 /// Compute-only cycle count (no memory-bus terms): the serial PE rounds
 /// implied by the tile grid and the parallel mapping.
-pub fn compute_cycles(shape: &ConvShape, cfg: &TilingConfig, par: &Parallelism, arch: &ArchSpec) -> u64 {
-    assert!(par.fits(arch), "parallelism {par:?} exceeds {} PEs", arch.total_pes());
+pub fn compute_cycles(
+    shape: &ConvShape,
+    cfg: &TilingConfig,
+    par: &Parallelism,
+    arch: &ArchSpec,
+) -> u64 {
+    assert!(
+        par.fits(arch),
+        "parallelism {par:?} exceeds {} PEs",
+        arch.total_pes()
+    );
     // The PE-distributed level is the one feeding the PEs' operand
     // registers: the second-deepest configured level (for Morph's
     // [L2, L1, L0, REG] that is the per-PE L0).
@@ -117,7 +188,10 @@ pub fn compute_cycles(shape: &ConvShape, cfg: &TilingConfig, par: &Parallelism, 
             Dim::K => shape.k,
             Dim::F => shape.f_out(),
         };
-        let tiles: Vec<usize> = cfg.levels[..=pe_idx].iter().map(|l| l.tile.extent(d)).collect();
+        let tiles: Vec<usize> = cfg.levels[..=pe_idx]
+            .iter()
+            .map(|l| l.tile.extent(d))
+            .collect();
         let t0 = (*tiles.last().unwrap()).min(extent).max(1);
         let deg = par.degree(d) as u64;
         let serial: u64 = if pe_idx == 0 {
@@ -168,7 +242,14 @@ pub fn layer_cycles(
         0
     };
     let total = compute.max(dram).max(l2_l1).max(l1_l0).max(1);
-    CycleReport { compute, dram, l2_l1, l1_l0, total, ideal }
+    CycleReport {
+        compute,
+        dram,
+        l2_l1,
+        l1_l0,
+        total,
+        ideal,
+    }
 }
 
 #[cfg(test)]
@@ -185,8 +266,20 @@ mod tests {
             LoopOrder::base_outer(),
             LoopOrder::base_inner(),
             Tile::whole(&sh),
-            Tile { h: 14, w: 14, f: 4, c: 16, k: 16 },
-            Tile { h: 7, w: 7, f: 2, c: 8, k: 8 },
+            Tile {
+                h: 14,
+                w: 14,
+                f: 4,
+                c: 16,
+                k: 16,
+            },
+            Tile {
+                h: 7,
+                w: 7,
+                f: 2,
+                c: 8,
+                k: 8,
+            },
             8,
         )
         .normalize(&sh);
@@ -198,7 +291,12 @@ mod tests {
     #[test]
     fn serial_is_slower_than_parallel() {
         let (_, serial) = setup(Parallelism::serial());
-        let (_, par) = setup(Parallelism { hp: 4, wp: 4, kp: 6, fp: 1 });
+        let (_, par) = setup(Parallelism {
+            hp: 4,
+            wp: 4,
+            kp: 6,
+            fp: 1,
+        });
         assert!(par.compute < serial.compute);
         // 96 PEs can be at most 96× faster.
         assert!(serial.compute <= par.compute * 96);
@@ -206,7 +304,12 @@ mod tests {
 
     #[test]
     fn utilization_bounded() {
-        let (_, r) = setup(Parallelism { hp: 4, wp: 4, kp: 6, fp: 1 });
+        let (_, r) = setup(Parallelism {
+            hp: 4,
+            wp: 4,
+            kp: 6,
+            fp: 1,
+        });
         let u = r.utilization();
         assert!(u > 0.0 && u <= 1.0, "utilization {u}");
     }
@@ -214,15 +317,35 @@ mod tests {
     #[test]
     fn mismatched_parallelism_wastes_pes() {
         // H extent 28 over Hp=5: ceil(28-grid) losses vs Hp=4.
-        let (_, good) = setup(Parallelism { hp: 4, wp: 4, kp: 6, fp: 1 });
-        let (_, bad) = setup(Parallelism { hp: 96, wp: 1, kp: 1, fp: 1 });
-        assert!(bad.compute > good.compute, "bad {} good {}", bad.compute, good.compute);
+        let (_, good) = setup(Parallelism {
+            hp: 4,
+            wp: 4,
+            kp: 6,
+            fp: 1,
+        });
+        let (_, bad) = setup(Parallelism {
+            hp: 96,
+            wp: 1,
+            kp: 1,
+            fp: 1,
+        });
+        assert!(
+            bad.compute > good.compute,
+            "bad {} good {}",
+            bad.compute,
+            good.compute
+        );
     }
 
     #[test]
     #[should_panic(expected = "exceeds")]
     fn oversubscribed_parallelism_panics() {
-        setup(Parallelism { hp: 96, wp: 2, kp: 1, fp: 1 });
+        setup(Parallelism {
+            hp: 96,
+            wp: 2,
+            kp: 1,
+            fp: 1,
+        });
     }
 
     #[test]

@@ -26,12 +26,30 @@ pub struct DimSpec {
 impl DimSpec {
     /// A channel-like dimension (`C`, `K`): no window, no padding.
     pub fn channel(extent: usize) -> Self {
-        Self { out_extent: extent, stride: 1, kernel: 1, pad: 0, in_extent: extent }
+        Self {
+            out_extent: extent,
+            stride: 1,
+            kernel: 1,
+            pad: 0,
+            in_extent: extent,
+        }
     }
 
     /// A sliding-window dimension (`H`, `W`, `F`).
-    pub fn window(out_extent: usize, stride: usize, kernel: usize, pad: usize, in_extent: usize) -> Self {
-        Self { out_extent, stride, kernel, pad, in_extent }
+    pub fn window(
+        out_extent: usize,
+        stride: usize,
+        kernel: usize,
+        pad: usize,
+        in_extent: usize,
+    ) -> Self {
+        Self {
+            out_extent,
+            stride,
+            kernel,
+            pad,
+            in_extent,
+        }
     }
 
     /// Clipped input-coordinate extent of an output-coordinate range
@@ -39,8 +57,12 @@ impl DimSpec {
     pub fn in_span(&self, offset: usize, size: usize) -> (i64, i64) {
         debug_assert!(size >= 1);
         let start = offset as i64 * self.stride as i64 - self.pad as i64;
-        let end = (offset + size - 1) as i64 * self.stride as i64 + self.kernel as i64 - self.pad as i64;
-        (start.clamp(0, self.in_extent as i64), end.clamp(0, self.in_extent as i64))
+        let end =
+            (offset + size - 1) as i64 * self.stride as i64 + self.kernel as i64 - self.pad as i64;
+        (
+            start.clamp(0, self.in_extent as i64),
+            end.clamp(0, self.in_extent as i64),
+        )
     }
 
     /// Clipped input extent (element count) of an output range.
@@ -81,8 +103,14 @@ impl DimPieces {
     /// Each level's tile size is clamped to its parent's.
     pub fn build(extent: usize, level_tiles: &[usize]) -> Self {
         assert!(extent >= 1, "dimension extent must be >= 1");
-        assert!(level_tiles.iter().all(|&t| t >= 1), "tile extents must be >= 1");
-        let mut pieces = vec![Piece { offset: 0, size: extent }];
+        assert!(
+            level_tiles.iter().all(|&t| t >= 1),
+            "tile extents must be >= 1"
+        );
+        let mut pieces = vec![Piece {
+            offset: 0,
+            size: extent,
+        }];
         let mut counts = Vec::with_capacity(level_tiles.len());
         let mut effective = Vec::with_capacity(level_tiles.len());
         for &tile in level_tiles {
@@ -101,7 +129,11 @@ impl DimPieces {
             counts.push(pieces.len());
             effective.push(tile);
         }
-        Self { level_tiles: effective, counts, pieces }
+        Self {
+            level_tiles: effective,
+            counts,
+            pieces,
+        }
     }
 
     /// Piece count after nesting levels `0..=j`; `count_at(-1)` (i.e.
@@ -113,7 +145,11 @@ impl DimPieces {
     /// Whether the loop of this dimension at `level` has more than one
     /// trip anywhere in the iteration space.
     pub fn trips_at(&self, level: usize) -> usize {
-        let parent = if level == 0 { 1 } else { self.counts[level - 1] };
+        let parent = if level == 0 {
+            1
+        } else {
+            self.counts[level - 1]
+        };
         self.counts[level].div_ceil(parent)
     }
 
@@ -124,12 +160,15 @@ impl DimPieces {
             return idx == 0;
         }
         let parent_tile = self.level_tiles[level - 1];
-        self.pieces[idx].offset % parent_tile == 0
+        self.pieces[idx].offset.is_multiple_of(parent_tile)
     }
 
     /// Σ over final pieces of clipped input extents (no slide reuse).
     pub fn input_sum_full(&self, spec: &DimSpec) -> u64 {
-        self.pieces.iter().map(|p| spec.in_extent_of(p.offset, p.size)).sum()
+        self.pieces
+            .iter()
+            .map(|p| spec.in_extent_of(p.offset, p.size))
+            .sum()
     }
 
     /// Σ over final pieces of clipped input extents with slide reuse

@@ -158,7 +158,10 @@ pub fn layer_traffic(shape: &ConvShape, cfg: &TilingConfig) -> LayerTraffic {
             let pieces_per_boundary = (0..nlevels)
                 .map(|b| DimPieces::build(specs[di].out_extent, &tiles[..=b]))
                 .collect();
-            DimState { spec: specs[di], pieces_per_boundary }
+            DimState {
+                spec: specs[di],
+                pieces_per_boundary,
+            }
         })
         .collect();
 
@@ -171,19 +174,32 @@ pub fn layer_traffic(shape: &ConvShape, cfg: &TilingConfig) -> LayerTraffic {
             // five loops in its configured order.
             let nest: Vec<NestLoop> = (0..=b)
                 .flat_map(|lvl| {
-                    cfg.levels[lvl].order.dims().into_iter().map(move |dim| NestLoop { level: lvl, dim })
+                    cfg.levels[lvl]
+                        .order
+                        .dims()
+                        .into_iter()
+                        .map(move |dim| NestLoop { level: lvl, dim })
                 })
                 .collect();
 
-            let count_at = |d: Dim, lvl: usize| states[dim_index(d)].pieces_per_boundary[b].count_at(lvl);
+            let count_at =
+                |d: Dim, lvl: usize| states[dim_index(d)].pieces_per_boundary[b].count_at(lvl);
             let multi_trip = |nl: &NestLoop| {
-                let prev = if nl.level == 0 { 1 } else { count_at(nl.dim, nl.level - 1) };
+                let prev = if nl.level == 0 {
+                    1
+                } else {
+                    count_at(nl.dim, nl.level - 1)
+                };
                 count_at(nl.dim, nl.level) > prev
             };
 
             // Innermost relevant loop with >1 trips, per data type.
             let find_p = |ty: DataType| {
-                nest.iter().enumerate().rev().find(|(_, nl)| relevant(nl.dim, ty) && multi_trip(nl)).map(|(i, _)| i)
+                nest.iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(_, nl)| relevant(nl.dim, ty) && multi_trip(nl))
+                    .map(|(i, _)| i)
             };
             // Refetch multiplier: product over irrelevant dims of the piece
             // count at their deepest loop outside position p.
@@ -216,7 +232,9 @@ pub fn layer_traffic(shape: &ConvShape, cfg: &TilingConfig) -> LayerTraffic {
                     let st = &states[dim_index(d)];
                     let pieces = &st.pieces_per_boundary[b];
                     let sum = match slide {
-                        Some(nl) if nl.dim == d && d != Dim::C => pieces.input_sum_slide(&st.spec, nl.level),
+                        Some(nl) if nl.dim == d && d != Dim::C => {
+                            pieces.input_sum_slide(&st.spec, nl.level)
+                        }
                         _ => pieces.input_sum_full(&st.spec),
                     };
                     bytes *= sum;
@@ -237,11 +255,21 @@ pub fn layer_traffic(shape: &ConvShape, cfg: &TilingConfig) -> LayerTraffic {
             let psum_up = (rho - 1) * outputs * psum_bytes;
             let output_up = outputs * ACT_BYTES;
 
-            BoundaryTraffic { input_down, weight_down, psum_down, psum_up, output_up }
+            BoundaryTraffic {
+                input_down,
+                weight_down,
+                psum_down,
+                psum_up,
+                output_up,
+            }
         })
         .collect();
 
-    LayerTraffic { boundaries, maccs: shape.maccs(), outputs }
+    LayerTraffic {
+        boundaries,
+        maccs: shape.maccs(),
+        outputs,
+    }
 }
 
 #[cfg(test)]
@@ -258,7 +286,10 @@ mod tests {
 
     fn single_level(order: &str, tile: Tile) -> TilingConfig {
         TilingConfig {
-            levels: vec![crate::config::LevelConfig { order: order.parse().unwrap(), tile }],
+            levels: vec![crate::config::LevelConfig {
+                order: order.parse().unwrap(),
+                tile,
+            }],
         }
     }
 
@@ -294,7 +325,9 @@ mod tests {
         // Split K in 2 *and* H in 4 with K outermost: every K iteration
         // re-streams the input tiles (H-slide reuse inside each pass).
         let sh = layer();
-        let tile = Tile::whole(&sh).with_extent(Dim::K, 4).with_extent(Dim::H, 2);
+        let tile = Tile::whole(&sh)
+            .with_extent(Dim::K, 4)
+            .with_extent(Dim::H, 2);
         let cfg = single_level("KWCFH", tile);
         let t = layer_traffic(&sh, &cfg);
         assert_eq!(t.dram().input_down, 2 * sh.input_bytes());
@@ -338,7 +371,9 @@ mod tests {
         // W tiled in 5, order [WHCKF]: weights reload for every W tile
         // (K's innermost multi-trip loop is outside ... W outside K).
         let sh = layer();
-        let tile = Tile::whole(&sh).with_extent(Dim::W, 2).with_extent(Dim::K, 4);
+        let tile = Tile::whole(&sh)
+            .with_extent(Dim::W, 2)
+            .with_extent(Dim::K, 4);
         let cfg = single_level("WHCKF", tile);
         let t = layer_traffic(&sh, &cfg);
         assert_eq!(t.dram().weight_down, 4 * sh.weight_bytes());
@@ -361,7 +396,9 @@ mod tests {
         // C split in 4 outside a tiled H loop: each output tile round-trips
         // once per extra C iteration at full psum width.
         let sh = layer();
-        let tile = Tile::whole(&sh).with_extent(Dim::C, 1).with_extent(Dim::H, 2);
+        let tile = Tile::whole(&sh)
+            .with_extent(Dim::C, 1)
+            .with_extent(Dim::H, 2);
         let cfg = single_level("CWKFH", tile);
         let t = layer_traffic(&sh, &cfg);
         let out = sh.output_elems();
@@ -390,8 +427,14 @@ mod tests {
         let l1 = Tile::whole(&sh).with_extent(Dim::K, 2); // L1 holds whole input too
         let cfg = TilingConfig {
             levels: vec![
-                crate::config::LevelConfig { order: "WHCFK".parse().unwrap(), tile: l2 },
-                crate::config::LevelConfig { order: "whcfk".parse().unwrap(), tile: l1 },
+                crate::config::LevelConfig {
+                    order: "WHCFK".parse().unwrap(),
+                    tile: l2,
+                },
+                crate::config::LevelConfig {
+                    order: "whcfk".parse().unwrap(),
+                    tile: l1,
+                },
             ],
         };
         let t = layer_traffic(&sh, &cfg);
@@ -407,11 +450,19 @@ mod tests {
         // (H-slide reuse makes one stream equal the input footprint), but
         // DRAM sees the inputs exactly once.
         let sh = layer();
-        let l1 = Tile::whole(&sh).with_extent(Dim::K, 2).with_extent(Dim::H, 2);
+        let l1 = Tile::whole(&sh)
+            .with_extent(Dim::K, 2)
+            .with_extent(Dim::H, 2);
         let cfg = TilingConfig {
             levels: vec![
-                crate::config::LevelConfig { order: "WHCKF".parse().unwrap(), tile: Tile::whole(&sh) },
-                crate::config::LevelConfig { order: "kwcfh".parse().unwrap(), tile: l1 },
+                crate::config::LevelConfig {
+                    order: "WHCKF".parse().unwrap(),
+                    tile: Tile::whole(&sh),
+                },
+                crate::config::LevelConfig {
+                    order: "kwcfh".parse().unwrap(),
+                    tile: l1,
+                },
             ],
         };
         let t = layer_traffic(&sh, &cfg);

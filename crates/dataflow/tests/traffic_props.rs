@@ -1,0 +1,201 @@
+//! Property tests on the traffic engine's invariants, swept over seeded
+//! pseudo-random shapes and configurations.
+
+use morph_dataflow::prelude::*;
+use morph_tensor::prelude::*;
+use morph_tensor::rng::XorShift as Rng;
+
+fn arb_shape(rng: &mut Rng) -> ConvShape {
+    loop {
+        let h = rng.range(2, 12);
+        let f = rng.range(1, 6);
+        let c = rng.range(1, 8);
+        let k = rng.range(1, 24);
+        let t = rng.range(1, 3).min(f);
+        let stride = rng.range(1, 3);
+        let pad = rng.range(0, 2);
+        let r = 3.min(h + 2 * pad);
+        let sh = ConvShape::new_3d(h, h, f, c, k, r, r, t)
+            .with_stride(stride, 1)
+            .with_pad(pad, 0);
+        if sh.h_padded() >= r && sh.f_padded() >= t {
+            return sh;
+        }
+    }
+}
+
+fn arb_config(rng: &mut Rng, shape: &ConvShape) -> TilingConfig {
+    let whole = Tile::whole(shape);
+    let orders = LoopOrder::all();
+    let outer = orders[rng.range(0, orders.len())];
+    let inner = orders[rng.range(0, orders.len())];
+    let h2 = rng.range(1, whole.h + 1);
+    let f2 = rng.range(1, whole.f + 1);
+    let c2 = rng.range(1, whole.c + 1);
+    let k2 = rng.range(1, whole.k + 1);
+    let h0 = rng.range(1, whole.h + 1);
+    let k0 = rng.range(1, whole.k + 1);
+    let l2 = Tile {
+        h: h2,
+        w: h2.min(whole.w),
+        f: f2,
+        c: c2,
+        k: k2,
+    };
+    let l0 = Tile {
+        h: h0.min(h2),
+        w: h0.min(h2),
+        f: 1.max(f2 / 2),
+        c: 1.max(c2 / 2),
+        k: k0.min(k2),
+    };
+    TilingConfig::morph(outer, inner, l2, l0, l0, 8).normalize(shape)
+}
+
+/// Weights cross the DRAM boundary an integer number of times, at least
+/// once; outputs leave exactly once at every boundary; psum refills equal
+/// psum spills.
+#[test]
+fn conservation_laws() {
+    let mut rng = Rng::new(0x7AF1);
+    for _ in 0..128 {
+        let shape = arb_shape(&mut rng);
+        let cfg = arb_config(&mut rng, &shape);
+        let t = layer_traffic(&shape, &cfg);
+        assert_eq!(t.maccs, shape.maccs());
+        for b in &t.boundaries {
+            assert_eq!(b.output_up, shape.output_elems());
+            assert_eq!(b.psum_down, b.psum_up);
+        }
+        let w = t.dram().weight_down;
+        assert!(w >= shape.weight_bytes());
+        assert_eq!(w % shape.weight_bytes(), 0, "integer weight refetch");
+    }
+}
+
+/// The untiled (whole-layer) configuration achieves the footprint minimum
+/// at DRAM: every byte fetched exactly once, no psum spills.
+#[test]
+fn whole_tile_is_minimal() {
+    let mut rng = Rng::new(0x3A11);
+    let orders = LoopOrder::all();
+    for _ in 0..128 {
+        let shape = arb_shape(&mut rng);
+        let outer = orders[rng.range(0, orders.len())];
+        let whole = Tile::whole(&shape);
+        let cfg = TilingConfig::morph(outer, LoopOrder::base_inner(), whole, whole, whole, 8)
+            .normalize(&shape);
+        let t = layer_traffic(&shape, &cfg);
+        // The fetched footprint is the input region actually covered by
+        // output windows (stride can skip edge rows; padding is generated,
+        // not fetched).
+        let hs = DimSpec::window(shape.h_out(), shape.stride, shape.r, shape.pad, shape.h);
+        let ws = DimSpec::window(shape.w_out(), shape.stride, shape.s, shape.pad, shape.w);
+        let fs = DimSpec::window(shape.f_out(), shape.stride_f, shape.t, shape.pad_f, shape.f);
+        let covered = hs.in_extent_of(0, shape.h_out())
+            * ws.in_extent_of(0, shape.w_out())
+            * fs.in_extent_of(0, shape.f_out())
+            * shape.c as u64;
+        assert_eq!(t.dram().input_down, covered);
+        assert_eq!(t.dram().weight_down, shape.weight_bytes());
+        assert_eq!(t.dram().psum_up, 0);
+    }
+}
+
+/// Any tiled configuration fetches at least as much as the untiled one at
+/// DRAM (tiling can only add refetch and halo).
+#[test]
+fn tiling_never_reduces_dram() {
+    let mut rng = Rng::new(0xD8A0);
+    for _ in 0..128 {
+        let shape = arb_shape(&mut rng);
+        let cfg = arb_config(&mut rng, &shape);
+        let t = layer_traffic(&shape, &cfg);
+        // Padding-clipped inputs can legitimately be below input_bytes only
+        // when stride skips rows entirely; guard the common stride-1 case.
+        if shape.stride == 1 && shape.pad == 0 {
+            assert!(t.dram().input_down >= shape.input_bytes());
+        }
+        assert!(t.dram().weight_down >= shape.weight_bytes());
+    }
+}
+
+/// Multicast amortization only ever reduces traffic, never below the
+/// per-PE share, and leaves DRAM and register boundaries untouched.
+#[test]
+fn multicast_is_a_contraction() {
+    let mut rng = Rng::new(0x4CA7);
+    for _ in 0..128 {
+        let shape = arb_shape(&mut rng);
+        let cfg = arb_config(&mut rng, &shape);
+        let hp = rng.range(1, 8);
+        let kp = rng.range(1, 8);
+        let before = layer_traffic(&shape, &cfg);
+        let mut after = before.clone();
+        apply_multicast(&mut after, hp, 1, 1, kp);
+        assert_eq!(after.boundaries[0], before.boundaries[0]);
+        let last = before.boundaries.len() - 1;
+        assert_eq!(after.boundaries[last], before.boundaries[last]);
+        for (a, b) in after.boundaries.iter().zip(&before.boundaries) {
+            assert!(a.input_down <= b.input_down);
+            assert!(a.weight_down <= b.weight_down);
+            assert!(a.input_down >= b.input_down / kp as u64);
+            assert!(a.weight_down >= b.weight_down / hp as u64);
+        }
+    }
+}
+
+/// Compute cycles are bounded below by perfect parallelism and above by
+/// fully serial execution.
+#[test]
+fn cycle_bounds() {
+    let mut rng = Rng::new(0xC1C1);
+    let arch = ArchSpec::morph();
+    let par = Parallelism {
+        hp: 4,
+        wp: 4,
+        kp: 6,
+        fp: 1,
+    };
+    for _ in 0..128 {
+        let shape = arb_shape(&mut rng);
+        let cfg = arb_config(&mut rng, &shape);
+        let c = morph_dataflow::perf::compute_cycles(&shape, &cfg, &par, &arch);
+        let perfect = shape
+            .maccs()
+            .div_ceil((par.pes() * arch.vector_width) as u64);
+        assert!(c >= perfect, "cycles {c} below perfect {perfect}");
+        let serial =
+            morph_dataflow::perf::compute_cycles(&shape, &cfg, &Parallelism::serial(), &arch);
+        assert!(c <= serial, "parallel {c} slower than serial {serial}");
+    }
+}
+
+/// Buffer-fit checking accepts minimal tiles for every shape.
+#[test]
+fn fit_is_monotone() {
+    let mut rng = Rng::new(0xF17);
+    let arch = ArchSpec::morph();
+    for _ in 0..128 {
+        let shape = arb_shape(&mut rng);
+        let k = rng.range(1, 8);
+        let whole = Tile::whole(&shape);
+        let small = Tile {
+            h: 1,
+            w: 1,
+            f: 1,
+            c: 1,
+            k: k.min(whole.k),
+        };
+        let cfg = TilingConfig::morph(
+            LoopOrder::base_outer(),
+            LoopOrder::base_inner(),
+            small,
+            small,
+            small,
+            8,
+        )
+        .normalize(&shape);
+        assert!(cfg.fits(&shape, &arch).is_ok(), "minimal tiles always fit");
+    }
+}

@@ -74,8 +74,16 @@ mod tests {
         let base = pe_area_base(&arch);
         let morph = pe_area_morph(&arch);
         // Paper: base 0.04526 mm², Morph 0.04751 mm².
-        assert!((base.total() / 0.04526 - 1.0).abs() < 0.02, "base {}", base.total());
-        assert!((morph.total() / 0.04751 - 1.0).abs() < 0.02, "morph {}", morph.total());
+        assert!(
+            (base.total() / 0.04526 - 1.0).abs() < 0.02,
+            "base {}",
+            base.total()
+        );
+        assert!(
+            (morph.total() / 0.04751 - 1.0).abs() < 0.02,
+            "morph {}",
+            morph.total()
+        );
     }
 
     #[test]

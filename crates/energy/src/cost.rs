@@ -3,8 +3,8 @@
 
 use crate::cacti::sram_pj_per_byte;
 use crate::tech::{
-    CHIP_STANDBY_MW, DRAM_PJ_PER_BYTE, MACC_PJ, NOC_PJ_PER_BYTE, NOC_STATIC_PJ_PER_CYCLE_PER_BUS,
-    SRAM_LEAKAGE_UW_PER_KB,
+    TechNode, CHIP_STANDBY_MW, DRAM_PJ_PER_BYTE, MACC_PJ, NOC_PJ_PER_BYTE,
+    NOC_STATIC_PJ_PER_CYCLE_PER_BUS, SRAM_LEAKAGE_UW_PER_KB,
 };
 use morph_dataflow::arch::{ArchSpec, OnChipLevel};
 use morph_dataflow::config::{tile_bytes, TilingConfig};
@@ -37,10 +37,16 @@ impl BufferMode {
     /// Morph_base's Table I partitioning for a level.
     pub fn table1(level: OnChipLevel) -> Self {
         match level {
-            OnChipLevel::L2 => BufferMode::Partitioned { input: 0.385, output: 0.40, weight: 0.215 },
-            OnChipLevel::L1 | OnChipLevel::L0 => {
-                BufferMode::Partitioned { input: 0.40, output: 0.10, weight: 0.50 }
-            }
+            OnChipLevel::L2 => BufferMode::Partitioned {
+                input: 0.385,
+                output: 0.40,
+                weight: 0.215,
+            },
+            OnChipLevel::L1 | OnChipLevel::L0 => BufferMode::Partitioned {
+                input: 0.40,
+                output: 0.10,
+                weight: 0.50,
+            },
         }
     }
 
@@ -48,7 +54,11 @@ impl BufferMode {
     fn array_bytes(&self, level_bytes: usize, ty: TrafficClass) -> usize {
         match *self {
             BufferMode::Banked { banks } => (level_bytes / banks).max(1),
-            BufferMode::Partitioned { input, output, weight } => {
+            BufferMode::Partitioned {
+                input,
+                output,
+                weight,
+            } => {
                 let frac = match ty {
                     TrafficClass::Input => input,
                     TrafficClass::Weight => weight,
@@ -80,6 +90,8 @@ pub struct EnergyModel {
     pub modes: [BufferMode; 3],
     /// SRAM access word width per level in bytes (L2, L1, L0).
     pub word_bytes: [usize; 3],
+    /// Process node; all constants are 32 nm natives scaled by this.
+    pub tech: TechNode,
 }
 
 impl EnergyModel {
@@ -90,6 +102,7 @@ impl EnergyModel {
             arch,
             modes: [BufferMode::Banked { banks }; 3],
             word_bytes: [8, 8, 4],
+            tech: TechNode::Nm32,
         }
     }
 
@@ -103,7 +116,14 @@ impl EnergyModel {
                 BufferMode::table1(OnChipLevel::L0),
             ],
             word_bytes: [8, 8, 4],
+            tech: TechNode::Nm32,
         }
+    }
+
+    /// Evaluate at a different process node (builder style).
+    pub fn with_tech(mut self, tech: TechNode) -> Self {
+        self.tech = tech;
+        self
     }
 
     /// pJ per byte for a data type at an on-chip level.
@@ -133,14 +153,24 @@ impl EnergyModel {
     }
 
     /// Evaluate a layer under a configuration and parallelism.
-    pub fn evaluate(&self, shape: &ConvShape, cfg: &TilingConfig, par: &Parallelism) -> EnergyReport {
+    pub fn evaluate(
+        &self,
+        shape: &ConvShape,
+        cfg: &TilingConfig,
+        par: &Parallelism,
+    ) -> EnergyReport {
         let traffic = layer_traffic(shape, cfg);
         let cycles = layer_cycles(shape, cfg, par, &self.arch, &traffic);
         self.attribute(shape, &traffic, cycles)
     }
 
     /// Attribute energies given precomputed traffic/cycles.
-    pub fn attribute(&self, _shape: &ConvShape, traffic: &LayerTraffic, cycles: CycleReport) -> EnergyReport {
+    pub fn attribute(
+        &self,
+        _shape: &ConvShape,
+        traffic: &LayerTraffic,
+        cycles: CycleReport,
+    ) -> EnergyReport {
         let b = &traffic.boundaries;
         let nb = b.len();
         // Per-boundary, per-class byte totals.
@@ -154,7 +184,11 @@ impl EnergyModel {
                 TrafficClass::Psum => b[i].psum_down + b[i].psum_up + b[i].output_up,
             }
         };
-        let classes = [TrafficClass::Input, TrafficClass::Weight, TrafficClass::Psum];
+        let classes = [
+            TrafficClass::Input,
+            TrafficClass::Weight,
+            TrafficClass::Psum,
+        ];
 
         // DRAM: everything crossing boundary 0.
         let dram_pj = b[0].total() as f64 * DRAM_PJ_PER_BYTE;
@@ -173,12 +207,13 @@ impl EnergyModel {
         // NoC dynamic energy rides the boundary transfers between on-chip
         // levels (L2→L1 and L1→L0 broadcast buses).
         let mut noc_pj = 0.0;
-        for i in 1..nb.min(3) {
-            noc_pj += b[i].total() as f64 * NOC_PJ_PER_BYTE;
+        for boundary in b.iter().take(nb.min(3)).skip(1) {
+            noc_pj += boundary.total() as f64 * NOC_PJ_PER_BYTE;
         }
 
         let compute_pj = traffic.maccs as f64 * MACC_PJ;
-        let static_pj = self.static_mw() * 1e-3 * cycles.total as f64 / self.arch.clock_hz as f64 * 1e12;
+        let static_pj =
+            self.static_mw() * 1e-3 * cycles.total as f64 / self.arch.clock_hz as f64 * 1e12;
 
         EnergyReport {
             dram_pj,
@@ -191,6 +226,7 @@ impl EnergyModel {
             cycles,
             maccs: traffic.maccs,
         }
+        .scaled_to(self.tech)
     }
 }
 
@@ -220,7 +256,13 @@ pub struct EnergyReport {
 impl EnergyReport {
     /// Total energy in pJ.
     pub fn total_pj(&self) -> f64 {
-        self.dram_pj + self.l2_pj + self.l1_pj + self.l0_pj + self.noc_pj + self.compute_pj + self.static_pj
+        self.dram_pj
+            + self.l2_pj
+            + self.l1_pj
+            + self.l0_pj
+            + self.noc_pj
+            + self.compute_pj
+            + self.static_pj
     }
 
     /// Dynamic (access + compute) energy only, as plotted in Fig. 9.
@@ -273,6 +315,25 @@ impl EnergyReport {
         }
     }
 
+    /// Rescale the on-chip energies from their native 32 nm calibration to
+    /// another process node. DRAM energy is an off-chip interface cost and
+    /// is left untouched; SRAM/NoC/compute scale with dynamic energy,
+    /// leakage/standby with static power.
+    pub fn scaled_to(&self, tech: TechNode) -> EnergyReport {
+        let dy = tech.dynamic_scale();
+        EnergyReport {
+            dram_pj: self.dram_pj,
+            l2_pj: self.l2_pj * dy,
+            l1_pj: self.l1_pj * dy,
+            l0_pj: self.l0_pj * dy,
+            noc_pj: self.noc_pj * dy,
+            compute_pj: self.compute_pj * dy,
+            static_pj: self.static_pj * tech.static_scale(),
+            cycles: self.cycles,
+            maccs: self.maccs,
+        }
+    }
+
     /// A zero report (sum identity).
     pub fn zero() -> EnergyReport {
         EnergyReport {
@@ -283,29 +344,88 @@ impl EnergyReport {
             noc_pj: 0.0,
             compute_pj: 0.0,
             static_pj: 0.0,
-            cycles: CycleReport { compute: 0, dram: 0, l2_l1: 0, l1_l0: 0, total: 0, ideal: 0 },
+            cycles: CycleReport {
+                compute: 0,
+                dram: 0,
+                l2_l1: 0,
+                l1_l0: 0,
+                total: 0,
+                ideal: 0,
+            },
             maccs: 0,
         }
     }
 }
 
+impl morph_json::ToJson for EnergyReport {
+    fn to_json(&self) -> morph_json::Value {
+        use morph_json::Value;
+        Value::obj([
+            ("dram_pj", Value::Float(self.dram_pj)),
+            ("l2_pj", Value::Float(self.l2_pj)),
+            ("l1_pj", Value::Float(self.l1_pj)),
+            ("l0_pj", Value::Float(self.l0_pj)),
+            ("noc_pj", Value::Float(self.noc_pj)),
+            ("compute_pj", Value::Float(self.compute_pj)),
+            ("static_pj", Value::Float(self.static_pj)),
+            ("cycles", self.cycles.to_json()),
+            ("maccs", Value::Int(self.maccs as i64)),
+        ])
+    }
+}
+
+impl morph_json::FromJson for EnergyReport {
+    fn from_json(v: &morph_json::Value) -> Result<Self, String> {
+        use morph_json::{field, field_f64, field_u64};
+        Ok(EnergyReport {
+            dram_pj: field_f64(v, "dram_pj")?,
+            l2_pj: field_f64(v, "l2_pj")?,
+            l1_pj: field_f64(v, "l1_pj")?,
+            l0_pj: field_f64(v, "l0_pj")?,
+            noc_pj: field_f64(v, "noc_pj")?,
+            compute_pj: field_f64(v, "compute_pj")?,
+            static_pj: field_f64(v, "static_pj")?,
+            cycles: CycleReport::from_json(field(v, "cycles")?)?,
+            maccs: field_u64(v, "maccs")?,
+        })
+    }
+}
+
 /// Check a tile against Morph_base's static partitions: each data type must
 /// fit its Table I partition (halved for double buffering).
-pub fn fits_partitioned(shape: &ConvShape, cfg: &TilingConfig, arch: &ArchSpec) -> Result<(), String> {
+pub fn fits_partitioned(
+    shape: &ConvShape,
+    cfg: &TilingConfig,
+    arch: &ArchSpec,
+) -> Result<(), String> {
     for (level, onchip) in cfg.levels.iter().zip(OnChipLevel::ALL) {
         let bytes = tile_bytes(shape, &level.tile);
         let cap = arch.level_bytes(onchip) as f64 / 2.0;
-        let BufferMode::Partitioned { input, output, weight } = BufferMode::table1(onchip) else {
+        let BufferMode::Partitioned {
+            input,
+            output,
+            weight,
+        } = BufferMode::table1(onchip)
+        else {
             unreachable!()
         };
         if bytes.input as f64 > cap * input {
-            return Err(format!("{onchip:?}: input tile {} exceeds partition", bytes.input));
+            return Err(format!(
+                "{onchip:?}: input tile {} exceeds partition",
+                bytes.input
+            ));
         }
         if bytes.weight as f64 > cap * weight {
-            return Err(format!("{onchip:?}: weight tile {} exceeds partition", bytes.weight));
+            return Err(format!(
+                "{onchip:?}: weight tile {} exceeds partition",
+                bytes.weight
+            ));
         }
         if bytes.psum as f64 > cap * output {
-            return Err(format!("{onchip:?}: psum tile {} exceeds partition", bytes.psum));
+            return Err(format!(
+                "{onchip:?}: psum tile {} exceeds partition",
+                bytes.psum
+            ));
         }
     }
     Ok(())
@@ -325,9 +445,27 @@ mod tests {
         TilingConfig::morph(
             LoopOrder::base_outer(),
             LoopOrder::base_inner(),
-            Tile { h: 28, w: 28, f: 2, c: 32, k: 32 },
-            Tile { h: 7, w: 7, f: 2, c: 16, k: 16 },
-            Tile { h: 7, w: 7, f: 1, c: 4, k: 8 },
+            Tile {
+                h: 28,
+                w: 28,
+                f: 2,
+                c: 32,
+                k: 32,
+            },
+            Tile {
+                h: 7,
+                w: 7,
+                f: 2,
+                c: 16,
+                k: 16,
+            },
+            Tile {
+                h: 7,
+                w: 7,
+                f: 1,
+                c: 4,
+                k: 8,
+            },
             8,
         )
         .normalize(sh)
@@ -337,7 +475,16 @@ mod tests {
     fn evaluate_produces_positive_components() {
         let sh = layer();
         let model = EnergyModel::morph(ArchSpec::morph());
-        let r = model.evaluate(&sh, &cfg(&sh), &Parallelism { hp: 4, wp: 4, kp: 6, fp: 1 });
+        let r = model.evaluate(
+            &sh,
+            &cfg(&sh),
+            &Parallelism {
+                hp: 4,
+                wp: 4,
+                kp: 6,
+                fp: 1,
+            },
+        );
         assert!(r.dram_pj > 0.0 && r.l2_pj > 0.0 && r.l1_pj > 0.0 && r.l0_pj > 0.0);
         assert!(r.compute_pj > 0.0 && r.static_pj > 0.0);
         assert!(r.total_pj() > r.dynamic_pj());
@@ -347,8 +494,10 @@ mod tests {
     fn banked_access_cheaper_than_partitioned_l2() {
         // Banked 1 MB (64 KB banks) beats a 400 KB monolithic partition.
         let arch = ArchSpec::morph();
-        let banked = EnergyModel::morph(arch).level_pj_per_byte(OnChipLevel::L2, TrafficClass::Psum);
-        let mono = EnergyModel::morph_base(arch).level_pj_per_byte(OnChipLevel::L2, TrafficClass::Psum);
+        let banked =
+            EnergyModel::morph(arch).level_pj_per_byte(OnChipLevel::L2, TrafficClass::Psum);
+        let mono =
+            EnergyModel::morph_base(arch).level_pj_per_byte(OnChipLevel::L2, TrafficClass::Psum);
         assert!(banked < mono);
     }
 
@@ -356,7 +505,16 @@ mod tests {
     fn perf_per_watt_penalizes_low_utilization() {
         let sh = layer();
         let model = EnergyModel::morph(ArchSpec::morph());
-        let good = model.evaluate(&sh, &cfg(&sh), &Parallelism { hp: 4, wp: 4, kp: 6, fp: 1 });
+        let good = model.evaluate(
+            &sh,
+            &cfg(&sh),
+            &Parallelism {
+                hp: 4,
+                wp: 4,
+                kp: 6,
+                fp: 1,
+            },
+        );
         let bad = model.evaluate(&sh, &cfg(&sh), &Parallelism::serial());
         assert!(good.perf_per_watt() > bad.perf_per_watt());
         // Dynamic access energy is the same; only static differs.
@@ -367,7 +525,16 @@ mod tests {
     fn fig9_components_cover_dynamic_energy() {
         let sh = layer();
         let model = EnergyModel::morph(ArchSpec::morph());
-        let r = model.evaluate(&sh, &cfg(&sh), &Parallelism { hp: 4, wp: 4, kp: 6, fp: 1 });
+        let r = model.evaluate(
+            &sh,
+            &cfg(&sh),
+            &Parallelism {
+                hp: 4,
+                wp: 4,
+                kp: 6,
+                fp: 1,
+            },
+        );
         let sum: f64 = r.fig9_components().iter().sum();
         assert!((sum - r.dynamic_pj()).abs() < 1e-6);
     }
@@ -376,7 +543,16 @@ mod tests {
     fn report_sum_is_elementwise() {
         let sh = layer();
         let model = EnergyModel::morph(ArchSpec::morph());
-        let r = model.evaluate(&sh, &cfg(&sh), &Parallelism { hp: 4, wp: 4, kp: 6, fp: 1 });
+        let r = model.evaluate(
+            &sh,
+            &cfg(&sh),
+            &Parallelism {
+                hp: 4,
+                wp: 4,
+                kp: 6,
+                fp: 1,
+            },
+        );
         let s = r.add(&r);
         assert!((s.total_pj() - 2.0 * r.total_pj()).abs() < 1e-6);
         assert_eq!(s.maccs, 2 * r.maccs);
@@ -390,9 +566,27 @@ mod tests {
         let big = TilingConfig::morph(
             LoopOrder::base_outer(),
             LoopOrder::base_inner(),
-            Tile { h: 4, w: 4, f: 2, c: 128, k: 256 }, // weights = 256·128·27 ≈ 864 KB
-            Tile { h: 4, w: 4, f: 1, c: 8, k: 8 },
-            Tile { h: 4, w: 4, f: 1, c: 4, k: 8 },
+            Tile {
+                h: 4,
+                w: 4,
+                f: 2,
+                c: 128,
+                k: 256,
+            }, // weights = 256·128·27 ≈ 864 KB
+            Tile {
+                h: 4,
+                w: 4,
+                f: 1,
+                c: 8,
+                k: 8,
+            },
+            Tile {
+                h: 4,
+                w: 4,
+                f: 1,
+                c: 4,
+                k: 8,
+            },
             8,
         )
         .normalize(&sh);

@@ -15,3 +15,4 @@ pub mod cost;
 pub mod tech;
 
 pub use cost::{BufferMode, EnergyModel, EnergyReport, TrafficClass};
+pub use tech::TechNode;

@@ -27,7 +27,7 @@ use morph_dataflow::perf::{layer_cycles, Parallelism};
 use morph_dataflow::traffic::layer_traffic;
 use morph_energy::cacti::sram_pj_per_byte;
 use morph_energy::tech::{DRAM_PJ_PER_BYTE, MACC_PJ, NOC_PJ_PER_BYTE};
-use morph_energy::{EnergyModel, EnergyReport};
+use morph_energy::{EnergyModel, EnergyReport, TechNode};
 use morph_nets::Network;
 use morph_tensor::order::LoopOrder;
 use morph_tensor::shape::ConvShape;
@@ -38,6 +38,8 @@ use morph_tensor::tiled::Tile;
 pub struct Eyeriss {
     /// Provisioning (Table II column "Eyeriss").
     pub arch: ArchSpec,
+    /// Process node (32 nm native, like the Morph models).
+    pub tech: TechNode,
 }
 
 impl Default for Eyeriss {
@@ -63,7 +65,14 @@ impl Eyeriss {
                 bus_dram_bits: 64,
                 clock_hz: 1_000_000_000,
             },
+            tech: TechNode::Nm32,
         }
+    }
+
+    /// Evaluate at a different process node (builder style).
+    pub fn with_tech(mut self, tech: TechNode) -> Self {
+        self.tech = tech;
+        self
     }
 
     /// Decompose a (possibly 3D) layer into the 2D slices Eyeriss actually
@@ -73,7 +82,13 @@ impl Eyeriss {
         if shape.is_2d() {
             return vec![*shape];
         }
-        let slice = ConvShape { f: 1, t: 1, pad_f: 0, stride_f: 1, ..*shape };
+        let slice = ConvShape {
+            f: 1,
+            t: 1,
+            pad_f: 0,
+            stride_f: 1,
+            ..*shape
+        };
         // F_out output frames × T taps each.
         vec![slice; shape.f_out() * shape.t]
     }
@@ -89,7 +104,13 @@ impl Eyeriss {
 
         let mut h = slice.h_out();
         while h > 1 {
-            let t = Tile { h, w: slice.w_out(), f: 1, c: slice.c, k: 1 };
+            let t = Tile {
+                h,
+                w: slice.w_out(),
+                f: 1,
+                c: slice.c,
+                k: 1,
+            };
             if morph_dataflow::config::tile_bytes(slice, &t).input <= input_share {
                 break;
             }
@@ -104,23 +125,55 @@ impl Eyeriss {
             }
             k = k.div_ceil(2);
         }
-        let glb = Tile { h, w: slice.w_out(), f: 1, c: slice.c, k };
+        let glb = Tile {
+            h,
+            w: slice.w_out(),
+            f: 1,
+            c: slice.c,
+            k,
+        };
         // RF level: a row segment with a few channels, one filter.
-        let rf = Tile { h: 1, w: slice.w_out().min(16), f: 1, c: slice.c.min(16).max(1), k: 1 };
+        let rf = Tile {
+            h: 1,
+            w: slice.w_out().min(16),
+            f: 1,
+            c: slice.c.clamp(1, 16),
+            k: 1,
+        };
         // Fixed orders: filters held at PEs, inputs streamed row by row.
         let outer: LoopOrder = "KWHCF".parse().unwrap();
         let inner: LoopOrder = "kcwhf".parse().unwrap();
         let cfg = TilingConfig {
             levels: vec![
-                LevelConfig { order: outer, tile: glb },
-                LevelConfig { order: inner, tile: rf },
-                LevelConfig { order: inner, tile: Tile { h: 1, w: 1, f: 1, c: 1, k: 1 } },
+                LevelConfig {
+                    order: outer,
+                    tile: glb,
+                },
+                LevelConfig {
+                    order: inner,
+                    tile: rf,
+                },
+                LevelConfig {
+                    order: inner,
+                    tile: Tile {
+                        h: 1,
+                        w: 1,
+                        f: 1,
+                        c: 1,
+                        k: 1,
+                    },
+                },
             ],
         }
         .normalize(slice);
         // Spatial mapping: PE rows take filter rows, PE columns take output
         // rows — effectively H×K parallelism.
-        let par = Parallelism { hp: 24.min(slice.h_out()).max(1), wp: 1, kp: 32.min(slice.k), fp: 1 };
+        let par = Parallelism {
+            hp: 24.min(slice.h_out()).max(1),
+            wp: 1,
+            kp: 32.min(slice.k),
+            fp: 1,
+        };
         (cfg, par)
     }
 
@@ -166,18 +219,23 @@ impl Eyeriss {
             arch: self.arch,
             modes: [morph_energy::BufferMode::Banked { banks: 1 }; 3],
             word_bytes: [8, 8, 2],
+            tech: self.tech,
         };
         let total_cycles = cycles.total * nslices;
-        let static_pj =
-            model.static_mw() * 1e-3 * total_cycles as f64 / self.arch.clock_hz as f64 * 1e12;
+        let static_pj = model.static_mw() * 1e-3 * total_cycles as f64 / self.arch.clock_hz as f64
+            * 1e12
+            * self.tech.static_scale();
 
+        // The static term already carries its node via `model.tech`; the
+        // hand-computed dynamic terms are 32 nm natives, so scale those.
+        let dy = self.tech.dynamic_scale();
         EnergyReport {
             dram_pj: dram * nslices as f64 + merge_dram,
-            l2_pj: glb * nslices as f64 + merge_glb,
+            l2_pj: (glb * nslices as f64 + merge_glb) * dy,
             l1_pj: 0.0,
-            l0_pj: rf * nslices as f64,
-            noc_pj: noc * nslices as f64,
-            compute_pj: compute * nslices as f64,
+            l0_pj: rf * nslices as f64 * dy,
+            noc_pj: noc * nslices as f64 * dy,
+            compute_pj: compute * nslices as f64 * dy,
             static_pj,
             cycles: morph_dataflow::perf::CycleReport {
                 compute: cycles.compute * nslices,
@@ -239,7 +297,10 @@ mod tests {
         let r2 = e.evaluate_layer(&sh2d);
         let per_macc_3d = r3.dynamic_pj() / r3.maccs as f64;
         let per_macc_2d = r2.dynamic_pj() / r2.maccs as f64;
-        assert!(per_macc_3d > per_macc_2d, "3D {per_macc_3d} vs 2D {per_macc_2d}");
+        assert!(
+            per_macc_3d > per_macc_2d,
+            "3D {per_macc_3d} vs 2D {per_macc_2d}"
+        );
     }
 
     #[test]

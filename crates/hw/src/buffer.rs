@@ -79,7 +79,11 @@ impl ConfigurableBuffer {
         Self {
             banks: vec![vec![0u8; bank_bytes]; banks],
             bank_bytes,
-            assign: BankAssignment { input_banks: banks, weight_banks: 0, psum_banks: 0 },
+            assign: BankAssignment {
+                input_banks: banks,
+                weight_banks: 0,
+                psum_banks: 0,
+            },
             stats: BufferStats::default(),
         }
     }
@@ -155,7 +159,11 @@ mod tests {
 
     fn buf() -> ConfigurableBuffer {
         let mut b = ConfigurableBuffer::new(16, 64);
-        b.assign_banks(BankAssignment { input_banks: 8, weight_banks: 4, psum_banks: 4 });
+        b.assign_banks(BankAssignment {
+            input_banks: 8,
+            weight_banks: 4,
+            psum_banks: 4,
+        });
         b
     }
 
@@ -190,7 +198,11 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn overallocation_rejected() {
         let mut b = ConfigurableBuffer::new(4, 16);
-        b.assign_banks(BankAssignment { input_banks: 3, weight_banks: 2, psum_banks: 0 });
+        b.assign_banks(BankAssignment {
+            input_banks: 3,
+            weight_banks: 2,
+            psum_banks: 0,
+        });
     }
 
     #[test]
@@ -198,7 +210,11 @@ mod tests {
         let mut b = buf();
         assert_eq!(b.capacity(TrafficClass::Input), 512);
         // Later layer: weights need more space (Fig. 4b behaviour).
-        b.assign_banks(BankAssignment { input_banks: 2, weight_banks: 10, psum_banks: 4 });
+        b.assign_banks(BankAssignment {
+            input_banks: 2,
+            weight_banks: 10,
+            psum_banks: 4,
+        });
         assert_eq!(b.capacity(TrafficClass::Weight), 640);
         assert_eq!(b.capacity(TrafficClass::Input), 128);
     }

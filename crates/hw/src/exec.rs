@@ -68,10 +68,22 @@ impl MorphChip {
         let l0s = (0..arch.total_pes())
             .map(|_| ConfigurableBuffer::new(arch.banks, (arch.l0_bytes / arch.banks).max(1)))
             .collect();
-        let pes = (0..arch.total_pes()).map(|_| VectorPe::new(arch.vector_width)).collect();
+        let pes = (0..arch.total_pes())
+            .map(|_| VectorPe::new(arch.vector_width))
+            .collect();
         let l2_l1_bus = BroadcastBus::new(arch.clusters);
-        let l1_l0_buses = (0..arch.clusters).map(|_| BroadcastBus::new(arch.pes_per_cluster)).collect();
-        Self { arch, l2, l1s, l0s, pes, l2_l1_bus, l1_l0_buses }
+        let l1_l0_buses = (0..arch.clusters)
+            .map(|_| BroadcastBus::new(arch.pes_per_cluster))
+            .collect();
+        Self {
+            arch,
+            l2,
+            l1s,
+            l0s,
+            pes,
+            l2_l1_bus,
+            l1_l0_buses,
+        }
     }
 
     /// Configure bank assignments at every level for a layer's tiles
@@ -79,7 +91,10 @@ impl MorphChip {
     pub fn configure(&mut self, shape: &ConvShape, cfg: &TilingConfig) -> Result<(), String> {
         cfg.validate(shape)?;
         cfg.fits(shape, &self.arch)?;
-        for (level, onchip) in [OnChipLevel::L2, OnChipLevel::L1, OnChipLevel::L0].into_iter().enumerate() {
+        for (level, onchip) in [OnChipLevel::L2, OnChipLevel::L1, OnChipLevel::L0]
+            .into_iter()
+            .enumerate()
+        {
             let bytes = tile_bytes(shape, &cfg.levels[level].tile);
             let bank = self.arch.bank_bytes(onchip).max(1) as u64;
             let assign = BankAssignment {
@@ -89,7 +104,10 @@ impl MorphChip {
             };
             // Give any spare banks to inputs (largest halo variability).
             let spare = self.arch.banks - assign.total().min(self.arch.banks);
-            let assign = BankAssignment { input_banks: assign.input_banks + spare, ..assign };
+            let assign = BankAssignment {
+                input_banks: assign.input_banks + spare,
+                ..assign
+            };
             match onchip {
                 OnChipLevel::L2 => self.l2.assign_banks(assign),
                 OnChipLevel::L1 => self.l1s.iter_mut().for_each(|b| b.assign_banks(assign)),
@@ -109,7 +127,8 @@ impl MorphChip {
         filters: &Filters<i8>,
     ) -> (Activations<Acc>, HwCounters) {
         let mut counters = HwCounters::default();
-        let mut out = Activations::<Acc>::zeros(shape.k, shape.f_out(), shape.h_out(), shape.w_out());
+        let mut out =
+            Activations::<Acc>::zeros(shape.k, shape.f_out(), shape.h_out(), shape.w_out());
 
         let l2_tile = cfg.levels[0].tile;
         let l1_tile = cfg.levels.get(1).map(|l| l.tile).unwrap_or(l2_tile);
@@ -140,7 +159,11 @@ impl MorphChip {
                 l2_w_key = Some(w_key);
             }
 
-            let inner_order = cfg.levels.get(1).map(|l| l.order).unwrap_or(cfg.levels[0].order);
+            let inner_order = cfg
+                .levels
+                .get(1)
+                .map(|l| l.order)
+                .unwrap_or(cfg.levels[0].order);
             let l2_ext = tile_extent_arr(&l2_clip);
             for l1_rel in tile_origins(&l2_ext, &l1_tile, inner_order) {
                 let l1_origin = add(&l2_origin, &l1_rel);
@@ -162,7 +185,14 @@ impl MorphChip {
                     let pe = cluster * self.arch.pes_per_cluster
                         + pick_cluster(&l0_rel, self.arch.pes_per_cluster);
                     self.run_l0_tile(
-                        shape, pe, cluster, input, filters, &l0_origin, &l0_clip, &mut out,
+                        shape,
+                        pe,
+                        cluster,
+                        input,
+                        filters,
+                        &l0_origin,
+                        &l0_clip,
+                        &mut out,
                         &mut counters,
                     );
                 }
@@ -203,9 +233,30 @@ impl MorphChip {
         counters: &mut HwCounters,
     ) {
         let mut addr = 0usize;
-        let (f_lo, f_hi) = in_span(origin[4], clip[4], shape.stride_f, shape.t, shape.pad_f, shape.f);
-        let (h_lo, h_hi) = in_span(origin[1], clip[1], shape.stride, shape.r, shape.pad, shape.h);
-        let (w_lo, w_hi) = in_span(origin[0], clip[0], shape.stride, shape.s, shape.pad, shape.w);
+        let (f_lo, f_hi) = in_span(
+            origin[4],
+            clip[4],
+            shape.stride_f,
+            shape.t,
+            shape.pad_f,
+            shape.f,
+        );
+        let (h_lo, h_hi) = in_span(
+            origin[1],
+            clip[1],
+            shape.stride,
+            shape.r,
+            shape.pad,
+            shape.h,
+        );
+        let (w_lo, w_hi) = in_span(
+            origin[0],
+            clip[0],
+            shape.stride,
+            shape.s,
+            shape.pad,
+            shape.w,
+        );
         for c in origin[2]..origin[2] + clip[2] {
             for f in f_lo..f_hi {
                 for h in h_lo..h_hi {
@@ -230,8 +281,13 @@ impl MorphChip {
         counters: &mut HwCounters,
     ) {
         // Stream the K×C×T×R×S block through an FSM-generated row-major walk.
-        let extents =
-            [shape.s as u32, shape.r as u32, shape.t as u32, clip[2] as u32, clip[3] as u32];
+        let extents = [
+            shape.s as u32,
+            shape.r as u32,
+            shape.t as u32,
+            clip[2] as u32,
+            clip[3] as u32,
+        ];
         let strides = row_major_strides(&extents);
         let fsm = ProgrammableFsm::new(row_major_program(&extents, &strides), 0);
         for state in fsm {
@@ -260,9 +316,30 @@ impl MorphChip {
         clip: &[usize; 5],
         counters: &mut HwCounters,
     ) {
-        let (f_lo, f_hi) = in_span(origin[4], clip[4], shape.stride_f, shape.t, shape.pad_f, shape.f);
-        let (h_lo, h_hi) = in_span(origin[1], clip[1], shape.stride, shape.r, shape.pad, shape.h);
-        let (w_lo, w_hi) = in_span(origin[0], clip[0], shape.stride, shape.s, shape.pad, shape.w);
+        let (f_lo, f_hi) = in_span(
+            origin[4],
+            clip[4],
+            shape.stride_f,
+            shape.t,
+            shape.pad_f,
+            shape.f,
+        );
+        let (h_lo, h_hi) = in_span(
+            origin[1],
+            clip[1],
+            shape.stride,
+            shape.r,
+            shape.pad,
+            shape.h,
+        );
+        let (w_lo, w_hi) = in_span(
+            origin[0],
+            clip[0],
+            shape.stride,
+            shape.s,
+            shape.pad,
+            shape.w,
+        );
         let in_bytes = clip[2] * (f_hi - f_lo) * (h_hi - h_lo) * (w_lo..w_hi).len();
         let w_bytes = clip[3] * clip[2] * shape.r * shape.s * shape.t;
         // Model: bus carries the L1 tile once; L2 is read and L1 written.
@@ -316,7 +393,11 @@ impl MorphChip {
             for f in f_lo..f_hi {
                 for h in h_lo..h_hi {
                     for w in w_lo..w_hi {
-                        l0.write(TrafficClass::Input, addr % in_cap, input.get(c, f, h, w) as u8);
+                        l0.write(
+                            TrafficClass::Input,
+                            addr % in_cap,
+                            input.get(c, f, h, w) as u8,
+                        );
                         addr += 1;
                     }
                 }
@@ -328,7 +409,11 @@ impl MorphChip {
                 for t in 0..shape.t {
                     for r in 0..shape.r {
                         for s in 0..shape.s {
-                            l0.write(TrafficClass::Weight, waddr % w_cap, filters.get(k, c, t, r, s) as u8);
+                            l0.write(
+                                TrafficClass::Weight,
+                                waddr % w_cap,
+                                filters.get(k, c, t, r, s) as u8,
+                            );
                             waddr += 1;
                         }
                     }
@@ -352,20 +437,34 @@ impl MorphChip {
                                 for r in 0..shape.r {
                                     let hi = (h * shape.stride + r) as isize - shape.pad as isize;
                                     for s in 0..shape.s {
-                                        let wi = (w * shape.stride + s) as isize - shape.pad as isize;
+                                        let wi =
+                                            (w * shape.stride + s) as isize - shape.pad as isize;
                                         // One L0 input read feeds all lanes;
                                         // each lane reads its weight.
                                         let iv = read_input(
-                                            &mut self.l0s[pe_idx], shape, input, c, fi, hi, wi,
-                                            (f_lo, h_lo, w_lo), (fd, hd, wd), c0, in_cap,
+                                            &mut self.l0s[pe_idx],
+                                            shape,
+                                            input,
+                                            c,
+                                            fi,
+                                            hi,
+                                            wi,
+                                            (f_lo, h_lo, w_lo),
+                                            (fd, hd, wd),
+                                            c0,
+                                            in_cap,
                                         );
                                         let mut ws = Vec::with_capacity(lanes);
                                         for lane in 0..lanes {
                                             let k = kg + lane;
-                                            let widx = ((k - k0) * cn + (c - c0)) * shape.t * shape.r * shape.s
+                                            let widx = ((k - k0) * cn + (c - c0))
+                                                * shape.t
+                                                * shape.r
+                                                * shape.s
                                                 + (t * shape.r + r) * shape.s
                                                 + s;
-                                            let b = self.l0s[pe_idx].read(TrafficClass::Weight, widx % w_cap);
+                                            let b = self.l0s[pe_idx]
+                                                .read(TrafficClass::Weight, widx % w_cap);
                                             let _ = b;
                                             ws.push(filters.get(k, c, t, r, s));
                                         }
@@ -424,12 +523,21 @@ fn read_input(
     input.get(c, fi, hi, wi)
 }
 
-
 /// Clipped input-coordinate span of an output tile along one dimension.
-fn in_span(origin: usize, size: usize, stride: usize, kernel: usize, pad: usize, in_extent: usize) -> (usize, usize) {
+fn in_span(
+    origin: usize,
+    size: usize,
+    stride: usize,
+    kernel: usize,
+    pad: usize,
+    in_extent: usize,
+) -> (usize, usize) {
     let start = (origin * stride) as i64 - pad as i64;
     let end = ((origin + size - 1) * stride + kernel) as i64 - pad as i64;
-    (start.clamp(0, in_extent as i64) as usize, end.clamp(0, in_extent as i64) as usize)
+    (
+        start.clamp(0, in_extent as i64) as usize,
+        end.clamp(0, in_extent as i64) as usize,
+    )
 }
 
 /// Row-major strides (innermost first) for the given extents.
@@ -443,7 +551,11 @@ fn row_major_strides(extents: &[u32]) -> Vec<i64> {
 
 /// Enumerate tile origins over `extents` in the given loop order
 /// (outermost first), in `Dim::ALL` component order `[W,H,C,K,F]`.
-fn tile_origins(extents: &[usize; 5], tile: &Tile, order: morph_tensor::order::LoopOrder) -> Vec<[usize; 5]> {
+fn tile_origins(
+    extents: &[usize; 5],
+    tile: &Tile,
+    order: morph_tensor::order::LoopOrder,
+) -> Vec<[usize; 5]> {
     let dims = order.dims();
     let trips: Vec<usize> = dims
         .iter()
@@ -493,11 +605,17 @@ fn tile_extent_arr(clip: &[usize; 5]) -> [usize; 5] {
 }
 
 fn add(a: &[usize; 5], b: &[usize; 5]) -> [usize; 5] {
-    [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]]
+    [
+        a[0] + b[0],
+        a[1] + b[1],
+        a[2] + b[2],
+        a[3] + b[3],
+        a[4] + b[4],
+    ]
 }
 
 fn pick_cluster(rel: &[usize; 5], n: usize) -> usize {
-    (rel[0] / 1 + rel[1] * 3 + rel[3] * 7 + rel[4] * 11) % n.max(1)
+    (rel[0] + rel[1] * 3 + rel[3] * 7 + rel[4] * 11) % n.max(1)
 }
 
 #[cfg(test)]
@@ -522,8 +640,15 @@ mod tests {
     fn whole_layer_one_tile() {
         let sh = ConvShape::new_3d(6, 6, 4, 3, 8, 3, 3, 3);
         let whole = Tile::whole(&sh);
-        let cfg = TilingConfig::morph(LoopOrder::base_outer(), LoopOrder::base_inner(), whole, whole, whole, 8)
-            .normalize(&sh);
+        let cfg = TilingConfig::morph(
+            LoopOrder::base_outer(),
+            LoopOrder::base_inner(),
+            whole,
+            whole,
+            whole,
+            8,
+        )
+        .normalize(&sh);
         run(&sh, &cfg);
     }
 
@@ -533,9 +658,27 @@ mod tests {
         let cfg = TilingConfig::morph(
             "KWFHC".parse().unwrap(),
             "cfwhk".parse().unwrap(),
-            Tile { h: 4, w: 6, f: 2, c: 2, k: 4 },
-            Tile { h: 2, w: 3, f: 1, c: 2, k: 4 },
-            Tile { h: 2, w: 3, f: 1, c: 1, k: 2 },
+            Tile {
+                h: 4,
+                w: 6,
+                f: 2,
+                c: 2,
+                k: 4,
+            },
+            Tile {
+                h: 2,
+                w: 3,
+                f: 1,
+                c: 2,
+                k: 4,
+            },
+            Tile {
+                h: 2,
+                w: 3,
+                f: 1,
+                c: 1,
+                k: 2,
+            },
             8,
         )
         .normalize(&sh);
@@ -548,9 +691,27 @@ mod tests {
         let cfg = TilingConfig::morph(
             "WHCKF".parse().unwrap(),
             "whckf".parse().unwrap(),
-            Tile { h: 2, w: 2, f: 2, c: 2, k: 2 },
-            Tile { h: 2, w: 2, f: 1, c: 1, k: 2 },
-            Tile { h: 1, w: 2, f: 1, c: 1, k: 2 },
+            Tile {
+                h: 2,
+                w: 2,
+                f: 2,
+                c: 2,
+                k: 2,
+            },
+            Tile {
+                h: 2,
+                w: 2,
+                f: 1,
+                c: 1,
+                k: 2,
+            },
+            Tile {
+                h: 1,
+                w: 2,
+                f: 1,
+                c: 1,
+                k: 2,
+            },
             8,
         )
         .normalize(&sh);
@@ -565,7 +726,10 @@ mod tests {
         let once = TilingConfig::morph(
             "WHCFK".parse().unwrap(),
             "cfwhk".parse().unwrap(),
-            whole, whole, whole, 8,
+            whole,
+            whole,
+            whole,
+            8,
         )
         .normalize(&sh);
         let refetch = TilingConfig::morph(
@@ -585,6 +749,11 @@ mod tests {
         let mut chip2 = MorphChip::new(ArchSpec::morph());
         chip2.configure(&sh, &refetch).unwrap();
         let (_, c2) = chip2.run_layer(&sh, &refetch, &input, &filters);
-        assert!(c2.dram_reads > c1.dram_reads, "{} vs {}", c2.dram_reads, c1.dram_reads);
+        assert!(
+            c2.dram_reads > c1.dram_reads,
+            "{} vs {}",
+            c2.dram_reads,
+            c1.dram_reads
+        );
     }
 }

@@ -54,9 +54,19 @@ impl ProgrammableFsm {
     /// Panics if any bound is zero or there are no loops.
     pub fn new(loops: Vec<LoopSpec>, base_addr: i64) -> Self {
         assert!(!loops.is_empty(), "FSM needs at least one loop");
-        assert!(loops.iter().all(|l| l.bound >= 1), "loop bounds must be >= 1");
+        assert!(
+            loops.iter().all(|l| l.bound >= 1),
+            "loop bounds must be >= 1"
+        );
         let n = loops.len();
-        Self { loops, indices: vec![0; n], addr: base_addr, wrapped: 0, started: false, done: false }
+        Self {
+            loops,
+            indices: vec![0; n],
+            addr: base_addr,
+            wrapped: 0,
+            started: false,
+            done: false,
+        }
     }
 
     /// Total number of states (product of bounds).
@@ -105,13 +115,19 @@ impl Iterator for ProgrammableFsm {
         }
         if !self.started {
             self.started = true;
-            return Some(FsmState { addr: self.addr, wrapped: 0 });
+            return Some(FsmState {
+                addr: self.addr,
+                wrapped: 0,
+            });
         }
         self.advance();
         if self.done {
             return None;
         }
-        Some(FsmState { addr: self.addr, wrapped: self.wrapped })
+        Some(FsmState {
+            addr: self.addr,
+            wrapped: self.wrapped,
+        })
     }
 }
 

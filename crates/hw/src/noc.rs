@@ -20,9 +20,19 @@ pub struct BroadcastBus {
 impl BroadcastBus {
     /// A bus with `destinations` endpoints, initially broadcasting to all.
     pub fn new(destinations: usize) -> Self {
-        assert!(destinations >= 1 && destinations <= 64);
-        let all = if destinations == 64 { u64::MAX } else { (1u64 << destinations) - 1 };
-        Self { destinations, mask: all, last_round_mask: all, bytes_transferred: 0, transfers: 0 }
+        assert!((1..=64).contains(&destinations));
+        let all = if destinations == 64 {
+            u64::MAX
+        } else {
+            (1u64 << destinations) - 1
+        };
+        Self {
+            destinations,
+            mask: all,
+            last_round_mask: all,
+            bytes_transferred: 0,
+            transfers: 0,
+        }
     }
 
     /// Configure the steady-state destination mask.
@@ -42,10 +52,16 @@ impl BroadcastBus {
     /// destination indices. The bus carries the payload once regardless of
     /// fan-out (that is the energy argument for broadcast reuse).
     pub fn send(&mut self, payload: &[u8], last_round: bool) -> Vec<usize> {
-        let mask = if last_round { self.last_round_mask } else { self.mask };
+        let mask = if last_round {
+            self.last_round_mask
+        } else {
+            self.mask
+        };
         self.bytes_transferred += payload.len() as u64;
         self.transfers += 1;
-        (0..self.destinations).filter(|i| mask & (1 << i) != 0).collect()
+        (0..self.destinations)
+            .filter(|i| mask & (1 << i) != 0)
+            .collect()
     }
 
     /// Number of endpoints.

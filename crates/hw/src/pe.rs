@@ -18,7 +18,11 @@ impl VectorPe {
     /// A PE with `vw` lanes.
     pub fn new(vw: usize) -> Self {
         assert!(vw >= 1);
-        Self { acc: vec![0; vw], maccs: 0, acc_spills: 0 }
+        Self {
+            acc: vec![0; vw],
+            maccs: 0,
+            acc_spills: 0,
+        }
     }
 
     /// Vector width.

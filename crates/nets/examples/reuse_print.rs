@@ -3,6 +3,9 @@ use morph_nets::{stats, zoo};
 fn main() {
     for n in zoo::figure1_networks() {
         let r = stats::reuse_summary(&n);
-        println!("{:10} 3d={} reuse={:.1} maccs={:.2e} bytes={:.2e}", r.name, r.is_3d, r.reuse, r.maccs as f64, r.footprint_bytes as f64);
+        println!(
+            "{:10} 3d={} reuse={:.1} maccs={:.2e} bytes={:.2e}",
+            r.name, r.is_3d, r.reuse, r.maccs as f64, r.footprint_bytes as f64
+        );
     }
 }

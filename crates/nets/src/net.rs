@@ -49,18 +49,27 @@ pub struct Network {
 impl Network {
     /// Create an empty network.
     pub fn new(name: &'static str) -> Self {
-        Self { name, ops: Vec::new() }
+        Self {
+            name,
+            ops: Vec::new(),
+        }
     }
 
     /// Append a convolution layer.
     pub fn conv(&mut self, name: impl Into<String>, shape: ConvShape) -> &mut Self {
-        self.ops.push(Op::Conv(Layer { name: name.into(), shape }));
+        self.ops.push(Op::Conv(Layer {
+            name: name.into(),
+            shape,
+        }));
         self
     }
 
     /// Append a pooling stage.
     pub fn pool(&mut self, name: impl Into<String>, pool: PoolShape) -> &mut Self {
-        self.ops.push(Op::Pool { name: name.into(), pool });
+        self.ops.push(Op::Pool {
+            name: name.into(),
+            pool,
+        });
         self
     }
 

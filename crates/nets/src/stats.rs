@@ -66,7 +66,10 @@ pub fn reuse_summary(net: &Network) -> ReuseSummary {
 /// bytes (quantifies Observation 1: working sets exceed on-chip memory).
 pub fn fraction_exceeding(net: &Network, capacity: u64) -> f64 {
     let layers = layer_footprints(net);
-    let over = layers.iter().filter(|l| l.input_bytes + l.weight_bytes > capacity).count();
+    let over = layers
+        .iter()
+        .filter(|l| l.input_bytes + l.weight_bytes > capacity)
+        .count();
     over as f64 / layers.len() as f64
 }
 
@@ -74,7 +77,10 @@ pub fn fraction_exceeding(net: &Network, capacity: u64) -> f64 {
 /// Observation 2: requirements vary dramatically across layers).
 pub fn working_set_spread(net: &Network) -> f64 {
     let layers = layer_footprints(net);
-    let sizes: Vec<u64> = layers.iter().map(|l| l.input_bytes + l.weight_bytes).collect();
+    let sizes: Vec<u64> = layers
+        .iter()
+        .map(|l| l.input_bytes + l.weight_bytes)
+        .collect();
     let max = *sizes.iter().max().unwrap_or(&1);
     let min = *sizes.iter().min().unwrap_or(&1);
     max as f64 / min as f64
@@ -104,14 +110,23 @@ mod tests {
         let a = reuse_summary(&alexnet());
         let c = reuse_summary(&c3d());
         let i = reuse_summary(&i3d());
-        assert!(c.reuse > 2.0 * a.reuse, "C3D {} vs AlexNet {}", c.reuse, a.reuse);
+        assert!(
+            c.reuse > 2.0 * a.reuse,
+            "C3D {} vs AlexNet {}",
+            c.reuse,
+            a.reuse
+        );
         assert!(i.reuse > a.reuse);
     }
 
     #[test]
     fn footprints_are_positive_and_ordered() {
         for lf in layer_footprints(&c3d()) {
-            assert!(lf.input_bytes > 0 && lf.weight_bytes > 0 && lf.maccs > 0, "{}", lf.name);
+            assert!(
+                lf.input_bytes > 0 && lf.weight_bytes > 0 && lf.maccs > 0,
+                "{}",
+                lf.name
+            );
         }
     }
 

@@ -14,13 +14,28 @@ use morph_tensor::shape::ConvShape;
 /// Build AlexNet.
 pub fn alexnet() -> Network {
     let mut net = Network::new("AlexNet");
-    net.conv("conv1", ConvShape::new_2d(227, 227, 3, 96, 11, 11).with_stride(4, 1));
+    net.conv(
+        "conv1",
+        ConvShape::new_2d(227, 227, 3, 96, 11, 11).with_stride(4, 1),
+    );
     net.pool("pool1", PoolShape::new(1, 3, 3).with_stride(2, 1));
-    net.conv("conv2", ConvShape::new_2d(27, 27, 96, 256, 5, 5).with_pad(2, 0));
+    net.conv(
+        "conv2",
+        ConvShape::new_2d(27, 27, 96, 256, 5, 5).with_pad(2, 0),
+    );
     net.pool("pool2", PoolShape::new(1, 3, 3).with_stride(2, 1));
-    net.conv("conv3", ConvShape::new_2d(13, 13, 256, 384, 3, 3).with_pad(1, 0));
-    net.conv("conv4", ConvShape::new_2d(13, 13, 384, 384, 3, 3).with_pad(1, 0));
-    net.conv("conv5", ConvShape::new_2d(13, 13, 384, 256, 3, 3).with_pad(1, 0));
+    net.conv(
+        "conv3",
+        ConvShape::new_2d(13, 13, 256, 384, 3, 3).with_pad(1, 0),
+    );
+    net.conv(
+        "conv4",
+        ConvShape::new_2d(13, 13, 384, 384, 3, 3).with_pad(1, 0),
+    );
+    net.conv(
+        "conv5",
+        ConvShape::new_2d(13, 13, 384, 256, 3, 3).with_pad(1, 0),
+    );
     net.pool("pool5", PoolShape::new(1, 3, 3).with_stride(2, 1));
     net
 }

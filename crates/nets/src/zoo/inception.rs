@@ -52,14 +52,15 @@ fn build(name: &'static str, temporal: bool) -> Network {
     net.conv("Conv2d_1a_7x7", conv1);
     let mut f = conv1.f_out(); // 32 for I3D
     let mut h = conv1.h_out(); // 112
-    // MaxPool 3×3 stride 2 (no temporal pooling this early in I3D).
+                               // MaxPool 3×3 stride 2 (no temporal pooling this early in I3D).
     net.pool("MaxPool_2a_3x3", PoolShape::new(1, 3, 3).with_stride(2, 1));
     h = (h - 3) / 2 + 1; // 55
     let mut c = 64;
 
     net.conv("Conv2d_2b_1x1", ConvShape::new_3d(h, h, f, c, 64, 1, 1, 1));
     c = 64;
-    let conv2c = ConvShape::new_3d(h, h, f, c, 192, 3, 3, t(3)).with_pad(1, if temporal { 1 } else { 0 });
+    let conv2c =
+        ConvShape::new_3d(h, h, f, c, 192, 3, 3, t(3)).with_pad(1, if temporal { 1 } else { 0 });
     net.conv("Conv2d_2c_3x3", conv2c);
     c = 192;
     net.pool("MaxPool_3a_3x3", PoolShape::new(1, 3, 3).with_stride(2, 1));
@@ -92,7 +93,8 @@ fn build(name: &'static str, temporal: bool) -> Network {
         net.conv(format!("{mname}/b1_reduce"), one(b1r));
         net.conv(
             format!("{mname}/b1_3x3"),
-            ConvShape::new_3d(h, h, f, b1r, b1o, 3, 3, t(3)).with_pad(1, if temporal { 1 } else { 0 }),
+            ConvShape::new_3d(h, h, f, b1r, b1o, 3, 3, t(3))
+                .with_pad(1, if temporal { 1 } else { 0 }),
         );
         net.conv(format!("{mname}/b2_reduce"), one(b2r));
         let (kr, ks, pad) = if temporal { (3, 3, 1) } else { (5, 5, 2) };

@@ -24,7 +24,14 @@ pub fn evaluation_networks() -> Vec<Network> {
 
 /// The six networks of Fig. 1 (three 2D, three 3D).
 pub fn figure1_networks() -> Vec<Network> {
-    vec![alexnet(), googlenet(), resnet50(), c3d(), resnet3d_50(), i3d()]
+    vec![
+        alexnet(),
+        googlenet(),
+        resnet50(),
+        c3d(),
+        resnet3d_50(),
+        i3d(),
+    ]
 }
 
 #[cfg(test)]
@@ -43,7 +50,11 @@ mod tests {
             assert!(net.num_conv_layers() >= 5, "{} too small", net.name);
             for layer in net.conv_layers() {
                 let sh = &layer.shape;
-                assert!(sh.h_out() >= 1 && sh.w_out() >= 1 && sh.f_out() >= 1, "{}", layer.name);
+                assert!(
+                    sh.h_out() >= 1 && sh.w_out() >= 1 && sh.f_out() >= 1,
+                    "{}",
+                    layer.name
+                );
             }
         }
     }

@@ -31,9 +31,15 @@ fn bottleneck(
     net.conv(tag("conv1"), reduce);
     let (h2, f2) = (reduce.h_out(), reduce.f_out());
     // 3×3×3 spatial-temporal.
-    net.conv(tag("conv2"), ConvShape::new_3d(h2, h2, f2, c_mid, c_mid, 3, 3, 3).with_pad(1, 1));
+    net.conv(
+        tag("conv2"),
+        ConvShape::new_3d(h2, h2, f2, c_mid, c_mid, 3, 3, 3).with_pad(1, 1),
+    );
     // 1×1×1 expand.
-    net.conv(tag("conv3"), ConvShape::new_3d(h2, h2, f2, c_mid, 4 * c_mid, 1, 1, 1));
+    net.conv(
+        tag("conv3"),
+        ConvShape::new_3d(h2, h2, f2, c_mid, 4 * c_mid, 1, 1, 1),
+    );
     if block == 0 {
         // Projection shortcut on the stage's first block.
         net.conv(

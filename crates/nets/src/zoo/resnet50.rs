@@ -6,15 +6,32 @@ use morph_tensor::pool::PoolShape;
 use morph_tensor::shape::ConvShape;
 
 /// Append one 2D bottleneck block.
-fn bottleneck(net: &mut Network, stage: usize, block: usize, h: usize, c_in: usize, c_mid: usize, stride: usize) -> (usize, usize) {
+fn bottleneck(
+    net: &mut Network,
+    stage: usize,
+    block: usize,
+    h: usize,
+    c_in: usize,
+    c_mid: usize,
+    stride: usize,
+) -> (usize, usize) {
     let tag = |part: &str| format!("res{stage}{}/{part}", (b'a' + block as u8) as char);
     let reduce = ConvShape::new_2d(h, h, c_in, c_mid, 1, 1).with_stride(stride, 1);
     net.conv(tag("conv1"), reduce);
     let h2 = reduce.h_out();
-    net.conv(tag("conv2"), ConvShape::new_2d(h2, h2, c_mid, c_mid, 3, 3).with_pad(1, 0));
-    net.conv(tag("conv3"), ConvShape::new_2d(h2, h2, c_mid, 4 * c_mid, 1, 1));
+    net.conv(
+        tag("conv2"),
+        ConvShape::new_2d(h2, h2, c_mid, c_mid, 3, 3).with_pad(1, 0),
+    );
+    net.conv(
+        tag("conv3"),
+        ConvShape::new_2d(h2, h2, c_mid, 4 * c_mid, 1, 1),
+    );
     if block == 0 {
-        net.conv(tag("proj"), ConvShape::new_2d(h, h, c_in, 4 * c_mid, 1, 1).with_stride(stride, 1));
+        net.conv(
+            tag("proj"),
+            ConvShape::new_2d(h, h, c_in, 4 * c_mid, 1, 1).with_stride(stride, 1),
+        );
     }
     (h2, 4 * c_mid)
 }
@@ -22,7 +39,9 @@ fn bottleneck(net: &mut Network, stage: usize, block: usize, h: usize, c_in: usi
 /// Build 2D ResNet-50 on 224×224×3 input.
 pub fn resnet50() -> Network {
     let mut net = Network::new("ResNet");
-    let conv1 = ConvShape::new_2d(224, 224, 3, 64, 7, 7).with_stride(2, 1).with_pad(3, 0);
+    let conv1 = ConvShape::new_2d(224, 224, 3, 64, 7, 7)
+        .with_stride(2, 1)
+        .with_pad(3, 0);
     net.conv("conv1", conv1);
     net.pool("pool1", PoolShape::new(1, 3, 3).with_stride(2, 1));
     let (mut h, mut c) = (56usize, 64usize); // (112+2−3)/2+1 = 56 with pad 1; use canonical 56

@@ -18,15 +18,26 @@ fn cnn_m(net: &mut Network, stream: &str, c_in: usize) {
     net.conv(tag("conv1"), conv1);
     net.pool(tag("pool1"), PoolShape::new(1, 2, 2).with_stride(2, 1));
     let h1 = conv1.h_out() / 2; // 109 → 54
-    // conv2: 5×5, 256, stride 2, pad 1.
-    let conv2 = ConvShape::new_2d(h1, h1, 96, 256, 5, 5).with_stride(2, 1).with_pad(1, 0);
+                                // conv2: 5×5, 256, stride 2, pad 1.
+    let conv2 = ConvShape::new_2d(h1, h1, 96, 256, 5, 5)
+        .with_stride(2, 1)
+        .with_pad(1, 0);
     net.conv(tag("conv2"), conv2);
     net.pool(tag("pool2"), PoolShape::new(1, 2, 2).with_stride(2, 1));
     let h2 = conv2.h_out() / 2; // 26 → 13
-    // conv3–conv5: 3×3, 512, pad 1.
-    net.conv(tag("conv3"), ConvShape::new_2d(h2, h2, 256, 512, 3, 3).with_pad(1, 0));
-    net.conv(tag("conv4"), ConvShape::new_2d(h2, h2, 512, 512, 3, 3).with_pad(1, 0));
-    net.conv(tag("conv5"), ConvShape::new_2d(h2, h2, 512, 512, 3, 3).with_pad(1, 0));
+                                // conv3–conv5: 3×3, 512, pad 1.
+    net.conv(
+        tag("conv3"),
+        ConvShape::new_2d(h2, h2, 256, 512, 3, 3).with_pad(1, 0),
+    );
+    net.conv(
+        tag("conv4"),
+        ConvShape::new_2d(h2, h2, 512, 512, 3, 3).with_pad(1, 0),
+    );
+    net.conv(
+        tag("conv5"),
+        ConvShape::new_2d(h2, h2, 512, 512, 3, 3).with_pad(1, 0),
+    );
     net.pool(tag("pool5"), PoolShape::new(1, 2, 2).with_stride(2, 1));
 }
 

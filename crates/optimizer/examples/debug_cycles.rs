@@ -11,15 +11,19 @@ fn main() {
     for l in zoo::alexnet().conv_layers() {
         let r = e.evaluate_layer(&l.shape);
         let c = r.cycles;
-        println!("{:12} total {:10} compute {:10} dram {:10} l2l1 {:10} l1l0 {:10} ideal {:10}",
-            l.name, c.total, c.compute, c.dram, c.l2_l1, c.l1_l0, c.ideal);
+        println!(
+            "{:12} total {:10} compute {:10} dram {:10} l2l1 {:10} l1l0 {:10} ideal {:10}",
+            l.name, c.total, c.compute, c.dram, c.l2_l1, c.l1_l0, c.ideal
+        );
     }
     println!("--- Morph C3D ---");
     let opt = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Fast);
     for l in zoo::c3d().conv_layers() {
         let d = opt.search_layer(&l.shape, Objective::Energy);
         let c = d.report.cycles;
-        println!("{:12} total {:10} compute {:10} dram {:10} l2l1 {:10} l1l0 {:10} ideal {:10} par {:?}",
-            l.name, c.total, c.compute, c.dram, c.l2_l1, c.l1_l0, c.ideal, d.par);
+        println!(
+            "{:12} total {:10} compute {:10} dram {:10} l2l1 {:10} l1l0 {:10} ideal {:10} par {:?}",
+            l.name, c.total, c.compute, c.dram, c.l2_l1, c.l1_l0, c.ideal, d.par
+        );
     }
 }

@@ -7,7 +7,13 @@ use morph_optimizer::{Effort, Objective, Optimizer};
 fn main() {
     let arch = ArchSpec::morph();
     let opt = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast);
-    for lname in ["Conv2d_1a_7x7", "Conv2d_2c_3x3", "Mixed_3b/b1_3x3", "Mixed_4d/b1_3x3", "Mixed_5b/b1_3x3"] {
+    for lname in [
+        "Conv2d_1a_7x7",
+        "Conv2d_2c_3x3",
+        "Mixed_3b/b1_3x3",
+        "Mixed_4d/b1_3x3",
+        "Mixed_5b/b1_3x3",
+    ] {
         let net = zoo::i3d();
         let l = net.layer(lname).unwrap();
         let d = opt.search_layer(&l.shape, Objective::Energy);
@@ -15,9 +21,15 @@ fn main() {
         let min = sh.input_bytes() + sh.weight_bytes() + sh.output_bytes();
         let t = &d.report;
         let dram_bytes = t.dram_pj / 160.0;
-        println!("{:18} min {:9.2e} dram {:9.2e} ({:4.1}x)  outer {} inner {} l2 {:?}",
-            lname, min as f64, dram_bytes, dram_bytes / min as f64,
-            d.config.outer_order(), d.config.inner_order().to_lowercase(),
-            d.config.levels[0].tile);
+        println!(
+            "{:18} min {:9.2e} dram {:9.2e} ({:4.1}x)  outer {} inner {} l2 {:?}",
+            lname,
+            min as f64,
+            dram_bytes,
+            dram_bytes / min as f64,
+            d.config.outer_order(),
+            d.config.inner_order().to_lowercase(),
+            d.config.levels[0].tile
+        );
     }
 }

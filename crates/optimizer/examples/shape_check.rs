@@ -23,9 +23,21 @@ fn main() {
                 r.cycles.total as f64, r.cycles.utilization()
             );
         }
-        println!("morph/base energy gain: {:.2}x", rb.total_pj() / rm.total_pj());
-        println!("eyeriss/morph energy gain: {:.2}x", re.total_pj() / rm.total_pj());
-        println!("eyeriss/base  energy gain: {:.2}x", re.total_pj() / rb.total_pj());
-        println!("perf/watt morph vs base: {:.2}x", rm.perf_per_watt() / rb.perf_per_watt());
+        println!(
+            "morph/base energy gain: {:.2}x",
+            rb.total_pj() / rm.total_pj()
+        );
+        println!(
+            "eyeriss/morph energy gain: {:.2}x",
+            re.total_pj() / rm.total_pj()
+        );
+        println!(
+            "eyeriss/base  energy gain: {:.2}x",
+            re.total_pj() / rb.total_pj()
+        );
+        println!(
+            "perf/watt morph vs base: {:.2}x",
+            rm.perf_per_watt() / rb.perf_per_watt()
+        );
     }
 }

@@ -9,9 +9,17 @@ fn main() {
     let opt = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Fast);
     let t0 = std::time::Instant::now();
     let d = opt.search_layer(&sh, Objective::Energy);
-    println!("fast: {:?} energy {:.3e} pJ", t0.elapsed(), d.report.total_pj());
+    println!(
+        "fast: {:?} energy {:.3e} pJ",
+        t0.elapsed(),
+        d.report.total_pj()
+    );
     let big = ConvShape::new_3d(112, 112, 16, 3, 64, 3, 3, 3).with_pad(1, 1);
     let t1 = std::time::Instant::now();
     let d2 = opt.search_layer(&big, Objective::Energy);
-    println!("c3d-l1: {:?} energy {:.3e} pJ", t1.elapsed(), d2.report.total_pj());
+    println!(
+        "c3d-l1: {:?} energy {:.3e} pJ",
+        t1.elapsed(),
+        d2.report.total_pj()
+    );
 }

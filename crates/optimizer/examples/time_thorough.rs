@@ -11,7 +11,12 @@ fn main() {
         let l = net.layer(name).unwrap();
         let t0 = std::time::Instant::now();
         let d = opt.search_layer(&l.shape, Objective::Energy);
-        println!("{name}: {:?} outer {} inner {} total {:.3e}",
-            t0.elapsed(), d.config.outer_order(), d.config.inner_order().to_lowercase(), d.report.total_pj());
+        println!(
+            "{name}: {:?} outer {} inner {} total {:.3e}",
+            t0.elapsed(),
+            d.config.outer_order(),
+            d.config.inner_order().to_lowercase(),
+            d.report.total_pj()
+        );
     }
 }

@@ -25,7 +25,13 @@ pub enum FitPolicy {
 }
 
 /// Check one tile against a level's capacity under a policy.
-pub fn tile_fits(shape: &ConvShape, tile: &Tile, level: OnChipLevel, arch: &ArchSpec, policy: FitPolicy) -> bool {
+pub fn tile_fits(
+    shape: &ConvShape,
+    tile: &Tile,
+    level: OnChipLevel,
+    arch: &ArchSpec,
+    policy: FitPolicy,
+) -> bool {
     let bytes = tile_bytes(shape, tile);
     match policy {
         FitPolicy::Banked => {
@@ -39,7 +45,12 @@ pub fn tile_fits(shape: &ConvShape, tile: &Tile, level: OnChipLevel, arch: &Arch
         FitPolicy::Partitioned => {
             let cap = arch.level_bytes(level) as f64 / 2.0;
             let part = morph_energy::BufferMode::table1(level);
-            let morph_energy::BufferMode::Partitioned { input, output, weight } = part else {
+            let morph_energy::BufferMode::Partitioned {
+                input,
+                output,
+                weight,
+            } = part
+            else {
                 return false;
             };
             (bytes.input as f64) <= cap * input
@@ -53,7 +64,9 @@ pub fn tile_fits(shape: &ConvShape, tile: &Tile, level: OnChipLevel, arch: &Arch
 /// the level (higher is better). Fill bytes come from the generic traffic
 /// engine run on the partially-built hierarchy.
 pub fn f_reuse(shape: &ConvShape, levels: &[LevelConfig]) -> f64 {
-    let cfg = TilingConfig { levels: levels.to_vec() };
+    let cfg = TilingConfig {
+        levels: levels.to_vec(),
+    };
     let t = layer_traffic(shape, &cfg);
     let fill = t.boundaries.last().unwrap();
     shape.maccs() as f64 / fill.total().max(1) as f64
@@ -102,7 +115,10 @@ pub fn allocate_level(
     arch: &ArchSpec,
     policy: FitPolicy,
 ) -> Option<Tile> {
-    let parent = upper.last().map(|l| l.tile).unwrap_or_else(|| Tile::whole(shape));
+    let parent = upper
+        .last()
+        .map(|l| l.tile)
+        .unwrap_or_else(|| Tile::whole(shape));
     let mut best: Option<(f64, u64, Tile)> = None;
     for cand in corner_candidates(&parent) {
         if !tile_fits(shape, &cand, level, arch, policy) {
@@ -134,18 +150,35 @@ pub fn allocate_hierarchy(
     arch: &ArchSpec,
     policy: FitPolicy,
 ) -> Option<TilingConfig> {
-    let mut levels = vec![LevelConfig { order: outer, tile: l2 }];
+    let mut levels = vec![LevelConfig {
+        order: outer,
+        tile: l2,
+    }];
     let l1 = allocate_level(shape, &levels, inner, OnChipLevel::L1, arch, policy)?;
-    levels.push(LevelConfig { order: inner, tile: l1 });
+    levels.push(LevelConfig {
+        order: inner,
+        tile: l1,
+    });
     let l0 = allocate_level(shape, &levels, inner, OnChipLevel::L0, arch, policy)?;
-    levels.push(LevelConfig { order: inner, tile: l0 });
-    let reg = Tile { h: 1, w: 1, f: 1, c: 1, k: arch.vector_width.min(l0.k).max(1) };
-    levels.push(LevelConfig { order: inner, tile: reg });
+    levels.push(LevelConfig {
+        order: inner,
+        tile: l0,
+    });
+    let reg = Tile {
+        h: 1,
+        w: 1,
+        f: 1,
+        c: 1,
+        k: arch.vector_width.min(l0.k).max(1),
+    };
+    levels.push(LevelConfig {
+        order: inner,
+        tile: reg,
+    });
     let cfg = TilingConfig { levels }.normalize(shape);
     cfg.validate(shape).ok()?;
     Some(cfg)
 }
-
 
 /// Morph_base's fixed tiling policy: start from the whole parent tile and
 /// halve dimensions in a fixed rotation (H/W first, then F, K, C) until the
@@ -179,13 +212,31 @@ pub fn base_hierarchy(shape: &ConvShape, arch: &ArchSpec) -> TilingConfig {
     let l2 = policy_tile(shape, &whole, OnChipLevel::L2, arch);
     let l1 = policy_tile(shape, &l2, OnChipLevel::L1, arch);
     let l0 = policy_tile(shape, &l1, OnChipLevel::L0, arch);
-    let reg = Tile { h: 1, w: 1, f: 1, c: 1, k: arch.vector_width.min(l0.k).max(1) };
+    let reg = Tile {
+        h: 1,
+        w: 1,
+        f: 1,
+        c: 1,
+        k: arch.vector_width.min(l0.k).max(1),
+    };
     TilingConfig {
         levels: vec![
-            LevelConfig { order: outer, tile: l2 },
-            LevelConfig { order: inner, tile: l1 },
-            LevelConfig { order: inner, tile: l0 },
-            LevelConfig { order: inner, tile: reg },
+            LevelConfig {
+                order: outer,
+                tile: l2,
+            },
+            LevelConfig {
+                order: inner,
+                tile: l1,
+            },
+            LevelConfig {
+                order: inner,
+                tile: l0,
+            },
+            LevelConfig {
+                order: inner,
+                tile: reg,
+            },
         ],
     }
     .normalize(shape)
@@ -203,7 +254,13 @@ mod tests {
     fn allocate_produces_fitting_hierarchy() {
         let sh = layer();
         let arch = ArchSpec::morph();
-        let l2 = Tile { h: 28, w: 28, f: 4, c: 64, k: 32 };
+        let l2 = Tile {
+            h: 28,
+            w: 28,
+            f: 4,
+            c: 64,
+            k: 32,
+        };
         let cfg = allocate_hierarchy(
             &sh,
             LoopOrder::base_outer(),
@@ -214,22 +271,49 @@ mod tests {
         )
         .expect("allocation succeeds");
         assert_eq!(cfg.levels.len(), 4);
-        assert!(tile_fits(&sh, cfg.tile(OnChipLevel::L1), OnChipLevel::L1, &arch, FitPolicy::Banked));
-        assert!(tile_fits(&sh, cfg.tile(OnChipLevel::L0), OnChipLevel::L0, &arch, FitPolicy::Banked));
+        assert!(tile_fits(
+            &sh,
+            cfg.tile(OnChipLevel::L1),
+            OnChipLevel::L1,
+            &arch,
+            FitPolicy::Banked
+        ));
+        assert!(tile_fits(
+            &sh,
+            cfg.tile(OnChipLevel::L0),
+            OnChipLevel::L0,
+            &arch,
+            FitPolicy::Banked
+        ));
     }
 
     #[test]
     fn freuse_prefers_larger_reuse_tiles() {
         // A tile that covers more of the layer yields more MACCs per fill.
         let sh = layer();
-        let outer = LevelConfig { order: LoopOrder::base_outer(), tile: Tile::whole(&sh) };
+        let outer = LevelConfig {
+            order: LoopOrder::base_outer(),
+            tile: Tile::whole(&sh),
+        };
         let small = LevelConfig {
             order: LoopOrder::base_inner(),
-            tile: Tile { h: 1, w: 1, f: 1, c: 1, k: 1 },
+            tile: Tile {
+                h: 1,
+                w: 1,
+                f: 1,
+                c: 1,
+                k: 1,
+            },
         };
         let big = LevelConfig {
             order: LoopOrder::base_inner(),
-            tile: Tile { h: 14, w: 14, f: 4, c: 32, k: 16 },
+            tile: Tile {
+                h: 14,
+                w: 14,
+                f: 4,
+                c: 32,
+                k: 16,
+            },
         };
         let f_small = f_reuse(&sh, &[outer, small]);
         let f_big = f_reuse(&sh, &[outer, big]);
@@ -242,10 +326,34 @@ mod tests {
         // weight partition.
         let sh = layer();
         let arch = ArchSpec::morph();
-        let weighty = Tile { h: 2, w: 2, f: 1, c: 128, k: 256 }; // 864 KB weights? no: 256·128·27 = 884k... pick smaller
-        let t = Tile { h: 2, w: 2, f: 1, c: 128, k: 40 }; // 138 KB weights > 110 KB partition
-        assert!(tile_fits(&sh, &t, OnChipLevel::L2, &arch, FitPolicy::Banked));
-        assert!(!tile_fits(&sh, &t, OnChipLevel::L2, &arch, FitPolicy::Partitioned));
+        let weighty = Tile {
+            h: 2,
+            w: 2,
+            f: 1,
+            c: 128,
+            k: 256,
+        }; // 864 KB weights? no: 256·128·27 = 884k... pick smaller
+        let t = Tile {
+            h: 2,
+            w: 2,
+            f: 1,
+            c: 128,
+            k: 40,
+        }; // 138 KB weights > 110 KB partition
+        assert!(tile_fits(
+            &sh,
+            &t,
+            OnChipLevel::L2,
+            &arch,
+            FitPolicy::Banked
+        ));
+        assert!(!tile_fits(
+            &sh,
+            &t,
+            OnChipLevel::L2,
+            &arch,
+            FitPolicy::Partitioned
+        ));
         let _ = weighty;
     }
 
@@ -253,7 +361,13 @@ mod tests {
     fn minimum_tile_always_fits() {
         let sh = layer();
         let arch = ArchSpec::morph();
-        let min = Tile { h: 1, w: 1, f: 1, c: 1, k: 1 };
+        let min = Tile {
+            h: 1,
+            w: 1,
+            f: 1,
+            c: 1,
+            k: 1,
+        };
         for level in OnChipLevel::ALL {
             assert!(tile_fits(&sh, &min, level, &arch, FitPolicy::Banked));
             assert!(tile_fits(&sh, &min, level, &arch, FitPolicy::Partitioned));

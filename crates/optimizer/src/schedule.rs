@@ -29,12 +29,22 @@ fn tile_str(t: &Tile) -> String {
 fn parse_tile(s: &str) -> Result<Tile, String> {
     let v: Vec<usize> = s
         .split(',')
-        .map(|x| x.trim().parse().map_err(|e| format!("bad tile number {x:?}: {e}")))
+        .map(|x| {
+            x.trim()
+                .parse()
+                .map_err(|e| format!("bad tile number {x:?}: {e}"))
+        })
         .collect::<Result<_, _>>()?;
     if v.len() != 5 {
         return Err(format!("tile needs 5 extents, got {}", v.len()));
     }
-    Ok(Tile { h: v[0], w: v[1], f: v[2], c: v[3], k: v[4] })
+    Ok(Tile {
+        h: v[0],
+        w: v[1],
+        f: v[2],
+        c: v[3],
+        k: v[4],
+    })
 }
 
 /// Serialize entries to the schedule text format.
@@ -45,7 +55,12 @@ pub fn to_text(entries: &[ScheduleEntry]) -> String {
         for (i, lvl) in e.config.levels.iter().enumerate() {
             writeln!(out, "level{i} = {} {}", lvl.order, tile_str(&lvl.tile)).unwrap();
         }
-        writeln!(out, "par = {},{},{},{}", e.par.hp, e.par.wp, e.par.kp, e.par.fp).unwrap();
+        writeln!(
+            out,
+            "par = {},{},{},{}",
+            e.par.hp, e.par.wp, e.par.kp, e.par.fp
+        )
+        .unwrap();
         out.push('\n');
     }
     out
@@ -61,7 +76,10 @@ pub fn from_text(text: &str) -> Result<Vec<ScheduleEntry>, String> {
             continue;
         }
         let err = |m: String| format!("line {}: {m}", ln + 1);
-        if let Some(name) = line.strip_prefix("[layer ").and_then(|s| s.strip_suffix(']')) {
+        if let Some(name) = line
+            .strip_prefix("[layer ")
+            .and_then(|s| s.strip_suffix(']'))
+        {
             if let Some(e) = cur.take() {
                 entries.push(e);
             }
@@ -72,18 +90,28 @@ pub fn from_text(text: &str) -> Result<Vec<ScheduleEntry>, String> {
             });
             continue;
         }
-        let entry = cur.as_mut().ok_or_else(|| err("record before [layer]".into()))?;
-        let (key, value) = line.split_once('=').ok_or_else(|| err(format!("no '=' in {line:?}")))?;
+        let entry = cur
+            .as_mut()
+            .ok_or_else(|| err("record before [layer]".into()))?;
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(format!("no '=' in {line:?}")))?;
         let (key, value) = (key.trim(), value.trim());
         if key.starts_with("level") {
-            let (order, tile) =
-                value.split_once(' ').ok_or_else(|| err(format!("bad level value {value:?}")))?;
+            let (order, tile) = value
+                .split_once(' ')
+                .ok_or_else(|| err(format!("bad level value {value:?}")))?;
             let order: LoopOrder = order.parse().map_err(|e| err(format!("{e}")))?;
             let tile = parse_tile(tile).map_err(err)?;
             entry.config.levels.push(LevelConfig { order, tile });
         } else if key == "par" {
             let t = parse_tile(&format!("{value},0")).map_err(err)?; // reuse 5-number parser
-            entry.par = Parallelism { hp: t.h, wp: t.w, kp: t.f, fp: t.c };
+            entry.par = Parallelism {
+                hp: t.h,
+                wp: t.w,
+                kp: t.f,
+                fp: t.c,
+            };
         } else {
             return Err(err(format!("unknown key {key:?}")));
         }
@@ -105,14 +133,31 @@ mod tests {
             "WFKHC".parse().unwrap(),
             "whckf".parse().unwrap(),
             Tile::whole(&sh),
-            Tile { h: 7, w: 7, f: 2, c: 32, k: 16 },
-            Tile { h: 7, w: 7, f: 1, c: 8, k: 8 },
+            Tile {
+                h: 7,
+                w: 7,
+                f: 2,
+                c: 32,
+                k: 16,
+            },
+            Tile {
+                h: 7,
+                w: 7,
+                f: 1,
+                c: 8,
+                k: 8,
+            },
             8,
         );
         vec![ScheduleEntry {
             layer: "layer4a".into(),
             config: cfg,
-            par: Parallelism { hp: 12, wp: 1, kp: 8, fp: 1 },
+            par: Parallelism {
+                hp: 12,
+                wp: 1,
+                kp: 8,
+                fp: 1,
+            },
         }]
     }
 

@@ -13,8 +13,8 @@ use morph_energy::{EnergyModel, EnergyReport};
 use morph_nets::Network;
 use morph_tensor::order::LoopOrder;
 use morph_tensor::shape::ConvShape;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// What to optimize for (§V-E: "best performance, best performance/watt,
 /// etc.").
@@ -26,6 +26,42 @@ pub enum Objective {
     Performance,
     /// Maximize MACCs per joule including static energy.
     PerfPerWatt,
+}
+
+impl Objective {
+    /// Stable identifier used in serialized reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Objective::Energy => "energy",
+            Objective::Performance => "performance",
+            Objective::PerfPerWatt => "perf_per_watt",
+        }
+    }
+
+    /// Inverse of [`Objective::label`].
+    pub fn from_label(label: &str) -> Result<Self, String> {
+        match label {
+            "energy" => Ok(Objective::Energy),
+            "performance" => Ok(Objective::Performance),
+            "perf_per_watt" => Ok(Objective::PerfPerWatt),
+            other => Err(format!("unknown objective {other:?}")),
+        }
+    }
+}
+
+impl morph_json::ToJson for Objective {
+    fn to_json(&self) -> morph_json::Value {
+        morph_json::Value::Str(self.label().to_string())
+    }
+}
+
+impl morph_json::FromJson for Objective {
+    fn from_json(v: &morph_json::Value) -> Result<Self, String> {
+        Objective::from_label(
+            v.as_str()
+                .ok_or_else(|| "objective must be a string".to_string())?,
+        )
+    }
 }
 
 /// The chosen configuration for one layer plus its evaluated cost.
@@ -92,21 +128,21 @@ impl Optimizer {
     /// Restrict the outer-order candidate set (builder style).
     pub fn with_outer_orders(mut self, orders: Vec<LoopOrder>) -> Self {
         self.outer_orders = Some(orders);
-        self.cache.lock().clear();
+        self.cache.lock().unwrap().clear();
         self
     }
 
     /// Restrict the inner-order candidate set (builder style).
     pub fn with_inner_orders(mut self, orders: Vec<LoopOrder>) -> Self {
         self.inner_orders = Some(orders);
-        self.cache.lock().clear();
+        self.cache.lock().unwrap().clear();
         self
     }
 
     /// Fix the parallelism (builder style).
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.parallelism = Some(par);
-        self.cache.lock().clear();
+        self.cache.lock().unwrap().clear();
         self
     }
 
@@ -114,7 +150,7 @@ impl Optimizer {
     /// baseline variant, used by the flexibility ablation.
     pub fn with_fixed_tile_policy(mut self) -> Self {
         self.fixed_tile_policy = true;
-        self.cache.lock().clear();
+        self.cache.lock().unwrap().clear();
         self
     }
 
@@ -129,7 +165,7 @@ impl Optimizer {
     /// Search one layer; results are cached by shape (repeated blocks in
     /// ResNets hit the cache).
     pub fn search_layer(&self, shape: &ConvShape, objective: Objective) -> LayerDecision {
-        if let Some(hit) = self.cache.lock().get(&(*shape, objective)) {
+        if let Some(hit) = self.cache.lock().unwrap().get(&(*shape, objective)) {
             return hit.clone();
         }
         let arch = &self.model.arch;
@@ -140,8 +176,15 @@ impl Optimizer {
             morph_dataflow::traffic::apply_multicast(&mut traffic, par.hp, par.wp, par.fp, par.kp);
             let cycles = layer_cycles(shape, &cfg, &par, arch, &traffic);
             let report = self.model.attribute(shape, &traffic, cycles);
-            let decision = LayerDecision { config: cfg, par, report };
-            self.cache.lock().insert((*shape, objective), decision.clone());
+            let decision = LayerDecision {
+                config: cfg,
+                par,
+                report,
+            };
+            self.cache
+                .lock()
+                .unwrap()
+                .insert((*shape, objective), decision.clone());
             return decision;
         }
         let outer_cands = self
@@ -163,7 +206,13 @@ impl Optimizer {
             .collect();
         if l2_cands.is_empty() {
             // Fall back to the minimum tile so every layer is schedulable.
-            l2_cands.push(morph_tensor::tiled::Tile { h: 1, w: 1, f: 1, c: 1, k: 1 });
+            l2_cands.push(morph_tensor::tiled::Tile {
+                h: 1,
+                w: 1,
+                f: 1,
+                c: 1,
+                k: 1,
+            });
         }
 
         let mut best: Option<(f64, LayerDecision)> = None;
@@ -179,7 +228,14 @@ impl Optimizer {
                 let base_cfg = alloc_memo
                     .entry((*l2, *inner))
                     .or_insert_with(|| {
-                        allocate_hierarchy(shape, LoopOrder::base_outer(), *inner, *l2, arch, self.policy)
+                        allocate_hierarchy(
+                            shape,
+                            LoopOrder::base_outer(),
+                            *inner,
+                            *l2,
+                            arch,
+                            self.policy,
+                        )
                     })
                     .clone();
                 let Some(base_cfg) = base_cfg else { continue };
@@ -194,24 +250,42 @@ impl Optimizer {
                     let mut cfg = base_cfg.clone();
                     cfg.levels[0].order = *outer;
                     let mut traffic = layer_traffic(shape, &cfg);
-                    morph_dataflow::traffic::apply_multicast(&mut traffic, par.hp, par.wp, par.fp, par.kp);
+                    morph_dataflow::traffic::apply_multicast(
+                        &mut traffic,
+                        par.hp,
+                        par.wp,
+                        par.fp,
+                        par.kp,
+                    );
                     let cycles = layer_cycles(shape, &cfg, &par, arch, &traffic);
                     let report = self.model.attribute(shape, &traffic, cycles);
                     let s = Self::score(objective, &report);
                     if best.as_ref().is_none_or(|(bs, _)| s < *bs) {
-                        best = Some((s, LayerDecision { config: cfg, par, report }));
+                        best = Some((
+                            s,
+                            LayerDecision {
+                                config: cfg,
+                                par,
+                                report,
+                            },
+                        ));
                     }
                 }
             }
         }
         let decision = best.expect("search space never empty").1;
-        self.cache.lock().insert((*shape, objective), decision.clone());
+        self.cache
+            .lock()
+            .unwrap()
+            .insert((*shape, objective), decision.clone());
         decision
     }
 
     /// Search every convolution layer of a network.
     pub fn search_network(&self, net: &Network, objective: Objective) -> Vec<LayerDecision> {
-        net.conv_layers().map(|l| self.search_layer(&l.shape, objective)).collect()
+        net.conv_layers()
+            .map(|l| self.search_layer(&l.shape, objective))
+            .collect()
     }
 
     /// Aggregate network cost under an objective.

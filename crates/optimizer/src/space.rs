@@ -106,7 +106,9 @@ pub fn dedup_orders(orders: &[LoopOrder], shape: &ConvShape, tile: &Tile) -> Vec
 /// The inner-order candidate set: the paper's three reference inner orders
 /// (§III-B) plus a spread of qualitatively distinct orders.
 pub fn inner_order_candidates(effort: Effort) -> Vec<LoopOrder> {
-    let fast = ["cfwhk", "kfwhc", "whkfc", "cfkwh", "kcfwh", "whckf", "fwhck", "ckfwh"];
+    let fast = [
+        "cfwhk", "kfwhc", "whkfc", "cfkwh", "kcfwh", "whckf", "fwhck", "ckfwh",
+    ];
     match effort {
         Effort::Fast => fast.iter().map(|s| s.parse().unwrap()).collect(),
         Effort::Thorough => LoopOrder::all(),
@@ -115,7 +117,9 @@ pub fn inner_order_candidates(effort: Effort) -> Vec<LoopOrder> {
 
 /// The outer-order candidate set.
 pub fn outer_order_candidates(effort: Effort) -> Vec<LoopOrder> {
-    let fast = ["WHCKF", "KWHCF", "WFHCK", "CKWHF", "KWFHC", "WFKHC", "FWHCK", "WHCFK"];
+    let fast = [
+        "WHCKF", "KWHCF", "WFHCK", "CKWHF", "KWFHC", "WFKHC", "FWHCK", "WHCFK",
+    ];
     match effort {
         Effort::Fast => fast.iter().map(|s| s.parse().unwrap()).collect(),
         Effort::Thorough => LoopOrder::all(),

@@ -20,7 +20,11 @@ pub type Acc = i32;
 /// # Panics
 ///
 /// Panics if the tensor shapes disagree with `shape`.
-pub fn conv3d_reference(shape: &ConvShape, input: &Activations<i8>, filters: &Filters<i8>) -> Activations<Acc> {
+pub fn conv3d_reference(
+    shape: &ConvShape,
+    input: &Activations<i8>,
+    filters: &Filters<i8>,
+) -> Activations<Acc> {
     check_shapes(shape, input, filters);
     let (ho, wo, fo) = (shape.h_out(), shape.w_out(), shape.f_out());
     let mut out = Activations::<Acc>::zeros(shape.k, fo, ho, wo);
@@ -70,7 +74,9 @@ pub fn check_shapes(shape: &ConvShape, input: &Activations<i8>, filters: &Filter
 pub fn synth_input(shape: &ConvShape, seed: u64) -> Activations<i8> {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
     Activations::from_fn(shape.c, shape.f, shape.h, shape.w, |_, _, _, _| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) & 0xFF) as u8 as i8
     })
 }
@@ -78,10 +84,19 @@ pub fn synth_input(shape: &ConvShape, seed: u64) -> Activations<i8> {
 /// Deterministic pseudo-random filters for a layer.
 pub fn synth_filters(shape: &ConvShape, seed: u64) -> Filters<i8> {
     let mut state = seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(3);
-    Filters::from_fn(shape.k, shape.c, shape.t, shape.r, shape.s, |_, _, _, _, _| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((state >> 37) & 0xFF) as u8 as i8
-    })
+    Filters::from_fn(
+        shape.k,
+        shape.c,
+        shape.t,
+        shape.r,
+        shape.s,
+        |_, _, _, _, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 37) & 0xFF) as u8 as i8
+        },
+    )
 }
 
 #[cfg(test)]
@@ -161,8 +176,17 @@ mod tests {
     #[test]
     fn synth_deterministic() {
         let sh = ConvShape::new_3d(5, 5, 3, 2, 3, 3, 3, 2);
-        assert_eq!(synth_input(&sh, 9).as_slice(), synth_input(&sh, 9).as_slice());
-        assert_ne!(synth_input(&sh, 9).as_slice(), synth_input(&sh, 10).as_slice());
-        assert_eq!(synth_filters(&sh, 9).as_slice(), synth_filters(&sh, 9).as_slice());
+        assert_eq!(
+            synth_input(&sh, 9).as_slice(),
+            synth_input(&sh, 9).as_slice()
+        );
+        assert_ne!(
+            synth_input(&sh, 9).as_slice(),
+            synth_input(&sh, 10).as_slice()
+        );
+        assert_eq!(
+            synth_filters(&sh, 9).as_slice(),
+            synth_filters(&sh, 9).as_slice()
+        );
     }
 }

@@ -23,6 +23,7 @@ pub mod conv;
 pub mod order;
 pub mod pool;
 pub mod quant;
+pub mod rng;
 pub mod shape;
 pub mod tensor;
 pub mod tiled;

@@ -78,7 +78,11 @@ pub struct ParseLoopOrderError(String);
 
 impl fmt::Display for ParseLoopOrderError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid loop order {:?}: must be a permutation of WHCKF", self.0)
+        write!(
+            f,
+            "invalid loop order {:?}: must be a permutation of WHCKF",
+            self.0
+        )
     }
 }
 
@@ -117,7 +121,10 @@ impl LoopOrder {
 
     /// Position of a dimension, `0` = outermost … `4` = innermost.
     pub fn position(&self, d: Dim) -> usize {
-        self.dims.iter().position(|&x| x == d).expect("all dims present")
+        self.dims
+            .iter()
+            .position(|&x| x == d)
+            .expect("all dims present")
     }
 
     /// All `5! = 120` loop orders.
@@ -139,19 +146,39 @@ impl LoopOrder {
 
     /// Format in lower case (inner-loop-order convention).
     pub fn to_lowercase(self) -> String {
-        self.dims.iter().map(|d| d.letter().to_ascii_lowercase()).collect()
+        self.dims
+            .iter()
+            .map(|d| d.letter().to_ascii_lowercase())
+            .collect()
     }
 }
 
 fn permute(dims: &mut Vec<Dim>, start: usize, out: &mut Vec<LoopOrder>) {
     if start == dims.len() {
-        out.push(LoopOrder::new([dims[0], dims[1], dims[2], dims[3], dims[4]]));
+        out.push(LoopOrder::new([
+            dims[0], dims[1], dims[2], dims[3], dims[4],
+        ]));
         return;
     }
     for i in start..dims.len() {
         dims.swap(start, i);
         permute(dims, start + 1, out);
         dims.swap(start, i);
+    }
+}
+
+impl morph_json::ToJson for LoopOrder {
+    fn to_json(&self) -> morph_json::Value {
+        morph_json::Value::Str(self.to_string())
+    }
+}
+
+impl morph_json::FromJson for LoopOrder {
+    fn from_json(v: &morph_json::Value) -> Result<Self, String> {
+        v.as_str()
+            .ok_or_else(|| "loop order must be a string".to_string())?
+            .parse()
+            .map_err(|e: ParseLoopOrderError| e.to_string())
     }
 }
 

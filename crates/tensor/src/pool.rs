@@ -25,7 +25,13 @@ impl PoolShape {
     /// A cubic pooling window with stride equal to the window (the common
     /// case in C3D, e.g. `2×2×2` stride 2 or `1×2×2` stride `(1,2,2)`).
     pub fn new(pf: usize, ph: usize, pw: usize) -> Self {
-        Self { ph, pw, pf, stride: pw.max(ph), stride_f: pf }
+        Self {
+            ph,
+            pw,
+            pf,
+            stride: pw.max(ph),
+            stride_f: pf,
+        }
     }
 
     /// Override the strides.
@@ -54,7 +60,12 @@ pub fn maxpool3d(input: &Activations<i32>, pool: &PoolShape) -> Activations<i32>
         for df in 0..pool.pf {
             for dh in 0..pool.ph {
                 for dw in 0..pool.pw {
-                    let v = input.get(ci, fi * pool.stride_f + df, hi * pool.stride + dh, wi * pool.stride + dw);
+                    let v = input.get(
+                        ci,
+                        fi * pool.stride_f + df,
+                        hi * pool.stride + dh,
+                        wi * pool.stride + dw,
+                    );
                     best = best.max(v);
                 }
             }

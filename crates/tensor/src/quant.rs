@@ -21,7 +21,12 @@ pub fn requantize_relu(acc: &Activations<i32>, shift: u32) -> Activations<i8> {
 /// Choose a shift so the largest accumulator magnitude fits in `i8` after
 /// shifting (per-layer static scaling).
 pub fn choose_shift(acc: &Activations<i32>) -> u32 {
-    let max = acc.as_slice().iter().map(|v| v.unsigned_abs()).max().unwrap_or(0);
+    let max = acc
+        .as_slice()
+        .iter()
+        .map(|v| v.unsigned_abs())
+        .max()
+        .unwrap_or(0);
     let mut shift = 0;
     while (max >> shift) > i8::MAX as u32 {
         shift += 1;

@@ -47,8 +47,31 @@ pub struct ConvShape {
 
 impl ConvShape {
     /// A 3D convolution with stride 1 and no padding.
-    pub fn new_3d(h: usize, w: usize, f: usize, c: usize, k: usize, r: usize, s: usize, t: usize) -> Self {
-        Self { h, w, f, c, k, r, s, t, stride: 1, stride_f: 1, pad: 0, pad_f: 0 }
+    #[allow(clippy::too_many_arguments)] // the eight §II-B dimensions
+    pub fn new_3d(
+        h: usize,
+        w: usize,
+        f: usize,
+        c: usize,
+        k: usize,
+        r: usize,
+        s: usize,
+        t: usize,
+    ) -> Self {
+        Self {
+            h,
+            w,
+            f,
+            c,
+            k,
+            r,
+            s,
+            t,
+            stride: 1,
+            stride_f: 1,
+            pad: 0,
+            pad_f: 0,
+        }
     }
 
     /// A 2D convolution (`F = T = 1`) with stride 1 and no padding.
@@ -163,6 +186,46 @@ impl ConvShape {
     /// the network zoo to chain layers).
     pub fn output_as_input(&self) -> (usize, usize, usize, usize) {
         (self.h_out(), self.w_out(), self.f_out(), self.k)
+    }
+}
+
+impl morph_json::ToJson for ConvShape {
+    fn to_json(&self) -> morph_json::Value {
+        use morph_json::Value;
+        Value::obj([
+            ("h", Value::Int(self.h as i64)),
+            ("w", Value::Int(self.w as i64)),
+            ("f", Value::Int(self.f as i64)),
+            ("c", Value::Int(self.c as i64)),
+            ("k", Value::Int(self.k as i64)),
+            ("r", Value::Int(self.r as i64)),
+            ("s", Value::Int(self.s as i64)),
+            ("t", Value::Int(self.t as i64)),
+            ("stride", Value::Int(self.stride as i64)),
+            ("stride_f", Value::Int(self.stride_f as i64)),
+            ("pad", Value::Int(self.pad as i64)),
+            ("pad_f", Value::Int(self.pad_f as i64)),
+        ])
+    }
+}
+
+impl morph_json::FromJson for ConvShape {
+    fn from_json(v: &morph_json::Value) -> Result<Self, String> {
+        use morph_json::field_usize;
+        Ok(ConvShape {
+            h: field_usize(v, "h")?,
+            w: field_usize(v, "w")?,
+            f: field_usize(v, "f")?,
+            c: field_usize(v, "c")?,
+            k: field_usize(v, "k")?,
+            r: field_usize(v, "r")?,
+            s: field_usize(v, "s")?,
+            t: field_usize(v, "t")?,
+            stride: field_usize(v, "stride")?,
+            stride_f: field_usize(v, "stride_f")?,
+            pad: field_usize(v, "pad")?,
+            pad_f: field_usize(v, "pad_f")?,
+        })
     }
 }
 

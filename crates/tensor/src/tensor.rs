@@ -19,11 +19,23 @@ pub struct Activations<T> {
 impl<T: Copy + Default> Activations<T> {
     /// Zero-initialized tensor of the given shape.
     pub fn zeros(c: usize, f: usize, h: usize, w: usize) -> Self {
-        Self { c, f, h, w, data: vec![T::default(); c * f * h * w] }
+        Self {
+            c,
+            f,
+            h,
+            w,
+            data: vec![T::default(); c * f * h * w],
+        }
     }
 
     /// Build from a generator function of `(c, f, h, w)`.
-    pub fn from_fn(c: usize, f: usize, h: usize, w: usize, mut g: impl FnMut(usize, usize, usize, usize) -> T) -> Self {
+    pub fn from_fn(
+        c: usize,
+        f: usize,
+        h: usize,
+        w: usize,
+        mut g: impl FnMut(usize, usize, usize, usize) -> T,
+    ) -> Self {
         let mut data = Vec::with_capacity(c * f * h * w);
         for ci in 0..c {
             for fi in 0..f {
@@ -68,7 +80,13 @@ impl<T: Copy + Default> Activations<T> {
     /// (used for zero padding).
     #[inline]
     pub fn get_padded(&self, c: usize, f: isize, h: isize, w: isize) -> T {
-        if f < 0 || h < 0 || w < 0 || f as usize >= self.f || h as usize >= self.h || w as usize >= self.w {
+        if f < 0
+            || h < 0
+            || w < 0
+            || f as usize >= self.f
+            || h as usize >= self.h
+            || w as usize >= self.w
+        {
             T::default()
         } else {
             self.get(c, f as usize, h as usize, w as usize)
@@ -100,7 +118,11 @@ impl<T: Copy + Default> Activations<T> {
 
 impl<T> fmt::Debug for Activations<T> {
     fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(fm, "Activations({}x{}x{}x{})", self.c, self.f, self.h, self.w)
+        write!(
+            fm,
+            "Activations({}x{}x{}x{})",
+            self.c, self.f, self.h, self.w
+        )
     }
 }
 
@@ -118,11 +140,25 @@ pub struct Filters<T> {
 impl<T: Copy + Default> Filters<T> {
     /// Zero-initialized filters of the given shape.
     pub fn zeros(k: usize, c: usize, t: usize, r: usize, s: usize) -> Self {
-        Self { k, c, t, r, s, data: vec![T::default(); k * c * t * r * s] }
+        Self {
+            k,
+            c,
+            t,
+            r,
+            s,
+            data: vec![T::default(); k * c * t * r * s],
+        }
     }
 
     /// Build from a generator function of `(k, c, t, r, s)`.
-    pub fn from_fn(k: usize, c: usize, t: usize, r: usize, s: usize, mut g: impl FnMut(usize, usize, usize, usize, usize) -> T) -> Self {
+    pub fn from_fn(
+        k: usize,
+        c: usize,
+        t: usize,
+        r: usize,
+        s: usize,
+        mut g: impl FnMut(usize, usize, usize, usize, usize) -> T,
+    ) -> Self {
         let mut data = Vec::with_capacity(k * c * t * r * s);
         for ki in 0..k {
             for ci in 0..c {
@@ -135,7 +171,14 @@ impl<T: Copy + Default> Filters<T> {
                 }
             }
         }
-        Self { k, c, t, r, s, data }
+        Self {
+            k,
+            c,
+            t,
+            r,
+            s,
+            data,
+        }
     }
 
     /// (filters, channels, temporal depth, height, width).
@@ -180,7 +223,11 @@ impl<T: Copy + Default> Filters<T> {
 
 impl<T> fmt::Debug for Filters<T> {
     fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(fm, "Filters({}x{}x{}x{}x{})", self.k, self.c, self.t, self.r, self.s)
+        write!(
+            fm,
+            "Filters({}x{}x{}x{}x{})",
+            self.k, self.c, self.t, self.r, self.s
+        )
     }
 }
 
@@ -207,7 +254,9 @@ mod tests {
 
     #[test]
     fn filters_roundtrip() {
-        let f = Filters::from_fn(2, 3, 1, 3, 3, |k, c, _, r, s| (k * 1000 + c * 100 + r * 10 + s) as i32);
+        let f = Filters::from_fn(2, 3, 1, 3, 3, |k, c, _, r, s| {
+            (k * 1000 + c * 100 + r * 10 + s) as i32
+        });
         assert_eq!(f.get(1, 2, 0, 2, 1), 1221);
         assert_eq!(f.len(), 2 * 3 * 9);
     }

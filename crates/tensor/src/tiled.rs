@@ -32,7 +32,13 @@ pub struct Tile {
 impl Tile {
     /// A tile covering the whole layer (no tiling).
     pub fn whole(shape: &ConvShape) -> Self {
-        Self { h: shape.h_out(), w: shape.w_out(), f: shape.f_out(), c: shape.c, k: shape.k }
+        Self {
+            h: shape.h_out(),
+            w: shape.w_out(),
+            f: shape.f_out(),
+            c: shape.c,
+            k: shape.k,
+        }
     }
 
     /// Tile extent along a dimension.
@@ -71,10 +77,42 @@ impl Tile {
     }
 }
 
+impl morph_json::ToJson for Tile {
+    fn to_json(&self) -> morph_json::Value {
+        use morph_json::Value;
+        Value::obj([
+            ("h", Value::Int(self.h as i64)),
+            ("w", Value::Int(self.w as i64)),
+            ("f", Value::Int(self.f as i64)),
+            ("c", Value::Int(self.c as i64)),
+            ("k", Value::Int(self.k as i64)),
+        ])
+    }
+}
+
+impl morph_json::FromJson for Tile {
+    fn from_json(v: &morph_json::Value) -> Result<Self, String> {
+        use morph_json::field_usize;
+        Ok(Tile {
+            h: field_usize(v, "h")?,
+            w: field_usize(v, "w")?,
+            f: field_usize(v, "f")?,
+            c: field_usize(v, "c")?,
+            k: field_usize(v, "k")?,
+        })
+    }
+}
+
 /// Full extents of the tiled iteration space of a layer, in [`Dim::ALL`]
 /// order (`W`, `H`, `C`, `K`, `F`).
 pub fn layer_extents(shape: &ConvShape) -> [usize; 5] {
-    [shape.w_out(), shape.h_out(), shape.c, shape.k, shape.f_out()]
+    [
+        shape.w_out(),
+        shape.h_out(),
+        shape.c,
+        shape.k,
+        shape.f_out(),
+    ]
 }
 
 /// Tiled 3D convolution: identical math to the reference, but evaluated
@@ -183,7 +221,11 @@ mod tests {
         let filters = synth_filters(shape, 22);
         let reference = conv3d_reference(shape, &input, &filters);
         let tiled = conv3d_tiled(shape, &input, &filters, tile, order.parse().unwrap());
-        assert_eq!(reference.as_slice(), tiled.as_slice(), "tile {tile:?} order {order}");
+        assert_eq!(
+            reference.as_slice(),
+            tiled.as_slice(),
+            "tile {tile:?} order {order}"
+        );
     }
 
     #[test]
@@ -195,7 +237,13 @@ mod tests {
     #[test]
     fn small_tiles_all_base_orders() {
         let sh = ConvShape::new_3d(6, 5, 4, 3, 4, 3, 3, 2).with_pad(1, 0);
-        let tile = Tile { h: 2, w: 3, f: 2, c: 2, k: 3 };
+        let tile = Tile {
+            h: 2,
+            w: 3,
+            f: 2,
+            c: 2,
+            k: 3,
+        };
         for order in ["WHCKF", "KWHCF", "WFHCK", "CFWHK", "FKCHW"] {
             check(&sh, tile, order);
         }
@@ -205,14 +253,26 @@ mod tests {
     fn ragged_tiles_cover_edges() {
         // Tile sizes that do not divide the extents exercise edge clipping.
         let sh = ConvShape::new_3d(7, 7, 5, 3, 5, 3, 3, 3).with_pad(1, 1);
-        let tile = Tile { h: 3, w: 4, f: 2, c: 2, k: 2 };
+        let tile = Tile {
+            h: 3,
+            w: 4,
+            f: 2,
+            c: 2,
+            k: 2,
+        };
         check(&sh, tile, "FCKHW");
     }
 
     #[test]
     fn strided_tiled_conv() {
         let sh = ConvShape::new_3d(9, 9, 4, 2, 3, 3, 3, 2).with_stride(2, 1);
-        let tile = Tile { h: 2, w: 2, f: 2, c: 1, k: 2 };
+        let tile = Tile {
+            h: 2,
+            w: 2,
+            f: 2,
+            c: 1,
+            k: 2,
+        };
         check(&sh, tile, "KFCWH");
     }
 
@@ -220,14 +280,26 @@ mod tests {
     fn channel_tiling_accumulates() {
         // c-tiles of 1 force cross-tile psum accumulation.
         let sh = ConvShape::new_2d(5, 5, 4, 2, 3, 3);
-        let tile = Tile { h: 5, w: 5, f: 1, c: 1, k: 1 };
+        let tile = Tile {
+            h: 5,
+            w: 5,
+            f: 1,
+            c: 1,
+            k: 1,
+        };
         check(&sh, tile, "WHCKF");
     }
 
     #[test]
     fn trip_counts_round_up() {
         let sh = ConvShape::new_3d(10, 10, 5, 7, 9, 3, 3, 3).with_pad(1, 1);
-        let tile = Tile { h: 4, w: 4, f: 2, c: 3, k: 4 };
+        let tile = Tile {
+            h: 4,
+            w: 4,
+            f: 2,
+            c: 3,
+            k: 4,
+        };
         assert_eq!(tile.trip_counts(&sh), [3, 3, 3, 3, 3]);
     }
 }

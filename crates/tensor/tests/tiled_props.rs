@@ -1,0 +1,90 @@
+//! Property tests: any tiling of any loop order reproduces the reference
+//! convolution bit-exactly (§II-E commutativity + §II-D halo correctness).
+//!
+//! Cases are drawn from a seeded xorshift generator so the sweep is
+//! deterministic and dependency-free.
+
+use morph_tensor::prelude::*;
+use morph_tensor::rng::XorShift as Rng;
+
+fn arb_shape(rng: &mut Rng) -> ConvShape {
+    loop {
+        let (h, w) = (rng.range(2, 8), rng.range(2, 8));
+        let f = rng.range(1, 5);
+        let (c, k) = (rng.range(1, 4), rng.range(1, 4));
+        let t = rng.range(1, 3).min(f);
+        let stride = rng.range(1, 3);
+        let pad = rng.range(0, 2);
+        let r = 3.min(h + 2 * pad);
+        let s = 3.min(w + 2 * pad);
+        let shape = ConvShape::new_3d(h, w, f, c, k, r, s, t)
+            .with_stride(stride, 1)
+            .with_pad(pad, 0);
+        if shape.h_padded() >= r && shape.w_padded() >= s && shape.f_padded() >= t {
+            return shape;
+        }
+    }
+}
+
+fn arb_tile(rng: &mut Rng, shape: &ConvShape) -> Tile {
+    let whole = Tile::whole(shape);
+    Tile {
+        h: rng.range(1, whole.h + 1),
+        w: rng.range(1, whole.w + 1),
+        f: rng.range(1, whole.f + 1),
+        c: rng.range(1, whole.c + 1),
+        k: rng.range(1, whole.k + 1),
+    }
+}
+
+#[test]
+fn tiled_matches_reference() {
+    let mut rng = Rng::new(0xC3D);
+    let orders = LoopOrder::all();
+    for _ in 0..64 {
+        let shape = arb_shape(&mut rng);
+        let tile = arb_tile(&mut rng, &shape);
+        let order = orders[rng.range(0, orders.len())];
+        let seed = rng.next_u64();
+        let input = synth_input(&shape, seed);
+        let filters = synth_filters(&shape, seed ^ 0xABCD);
+        let reference = conv3d_reference(&shape, &input, &filters);
+        let tiled = conv3d_tiled(&shape, &input, &filters, tile, order);
+        assert_eq!(
+            reference.as_slice(),
+            tiled.as_slice(),
+            "shape {shape:?} tile {tile:?} order {order}"
+        );
+    }
+}
+
+#[test]
+fn output_dims_match_paper_formula() {
+    // §II-B with stride/pad generalization.
+    let mut rng = Rng::new(0xF16);
+    for _ in 0..200 {
+        let shape = arb_shape(&mut rng);
+        assert_eq!(
+            shape.h_out(),
+            (shape.h + 2 * shape.pad - shape.r) / shape.stride + 1
+        );
+        assert_eq!(
+            shape.w_out(),
+            (shape.w + 2 * shape.pad - shape.s) / shape.stride + 1
+        );
+        assert_eq!(
+            shape.f_out(),
+            (shape.f + 2 * shape.pad_f - shape.t) / shape.stride_f + 1
+        );
+    }
+}
+
+#[test]
+fn maccs_scale_with_output() {
+    let mut rng = Rng::new(0xACC);
+    for _ in 0..200 {
+        let shape = arb_shape(&mut rng);
+        let per_output = (shape.r * shape.s * shape.t * shape.c) as u64;
+        assert_eq!(shape.maccs(), shape.output_elems() * per_output);
+    }
+}

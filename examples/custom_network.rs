@@ -1,12 +1,12 @@
 //! Define a custom 3D CNN (a small surveillance-style action recognizer,
 //! the kind of edge workload the paper's introduction motivates) and
-//! compare the three accelerators on it.
+//! compare the three accelerators on it through a `Session`.
 //!
 //! ```sh
 //! cargo run --release -p morph-core --example custom_network
 //! ```
 
-use morph_core::{Accelerator, Objective};
+use morph_core::{Eyeriss, Morph, MorphBase, Session};
 use morph_nets::Network;
 use morph_tensor::pool::PoolShape;
 use morph_tensor::shape::ConvShape;
@@ -14,14 +14,29 @@ use morph_tensor::shape::ConvShape;
 /// A compact 3D CNN for 8-frame 64×64 clips (e.g. drone footage).
 fn drone_net() -> Network {
     let mut net = Network::new("DroneNet");
-    net.conv("conv1", ConvShape::new_3d(64, 64, 8, 3, 32, 3, 3, 3).with_pad(1, 1));
+    net.conv(
+        "conv1",
+        ConvShape::new_3d(64, 64, 8, 3, 32, 3, 3, 3).with_pad(1, 1),
+    );
     net.pool("pool1", PoolShape::new(1, 2, 2).with_stride(2, 1));
-    net.conv("conv2", ConvShape::new_3d(32, 32, 8, 32, 64, 3, 3, 3).with_pad(1, 1));
+    net.conv(
+        "conv2",
+        ConvShape::new_3d(32, 32, 8, 32, 64, 3, 3, 3).with_pad(1, 1),
+    );
     net.pool("pool2", PoolShape::new(2, 2, 2));
-    net.conv("conv3a", ConvShape::new_3d(16, 16, 4, 64, 128, 3, 3, 3).with_pad(1, 1));
-    net.conv("conv3b", ConvShape::new_3d(16, 16, 4, 128, 128, 3, 3, 3).with_pad(1, 1));
+    net.conv(
+        "conv3a",
+        ConvShape::new_3d(16, 16, 4, 64, 128, 3, 3, 3).with_pad(1, 1),
+    );
+    net.conv(
+        "conv3b",
+        ConvShape::new_3d(16, 16, 4, 128, 128, 3, 3, 3).with_pad(1, 1),
+    );
     net.pool("pool3", PoolShape::new(2, 2, 2));
-    net.conv("conv4", ConvShape::new_3d(8, 8, 2, 128, 256, 3, 3, 3).with_pad(1, 1));
+    net.conv(
+        "conv4",
+        ConvShape::new_3d(8, 8, 2, 128, 256, 3, 3, 3).with_pad(1, 1),
+    );
     net
 }
 
@@ -36,17 +51,26 @@ fn main() {
         net.avg_reuse()
     );
 
-    let accs = [Accelerator::eyeriss(), Accelerator::morph_base(), Accelerator::morph()];
-    let reports: Vec<_> = accs.iter().map(|a| a.run_network(&net, Objective::Energy)).collect();
+    let report = Session::builder()
+        .backend(Eyeriss::builder().build())
+        .backend(MorphBase::builder().build())
+        .backend(Morph::builder().build())
+        .network(net)
+        .build()
+        .run();
 
-    println!("{:12} {:>12} {:>10} {:>26}", "accelerator", "energy (uJ)", "norm", "breakdown DRAM/L2/L1/L0/MAC");
-    for r in &reports {
+    println!(
+        "{:12} {:>12} {:>10} {:>26}",
+        "accelerator", "energy (uJ)", "norm", "breakdown DRAM/L2/L1/L0/MAC"
+    );
+    let baseline = &report.runs[0];
+    for r in &report.runs {
         let b = r.breakdown_percent();
         println!(
             "{:12} {:>12.1} {:>9.2}x   {:>4.0}%/{:>3.0}%/{:>3.0}%/{:>3.0}%/{:>3.0}%",
-            r.accelerator,
+            r.backend,
             r.total.total_pj() / 1e6,
-            r.normalized_energy(&reports[0]),
+            r.normalized_energy(baseline),
             b[0],
             b[1],
             b[2],
@@ -56,6 +80,6 @@ fn main() {
     }
     println!(
         "\nMorph perf/W vs Morph_base: {:.2}x",
-        reports[2].normalized_perf_per_watt(&reports[1])
+        report.runs[2].normalized_perf_per_watt(&report.runs[1])
     );
 }

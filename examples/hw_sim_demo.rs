@@ -22,27 +22,71 @@ fn main() {
     let input_stationary = TilingConfig::morph(
         "WHCFK".parse().unwrap(),
         "cfwhk".parse().unwrap(),
-        Tile { h: 12, w: 12, f: 6, c: 8, k: 4 },
-        Tile { h: 6, w: 6, f: 3, c: 8, k: 4 },
-        Tile { h: 3, w: 3, f: 3, c: 4, k: 4 },
+        Tile {
+            h: 12,
+            w: 12,
+            f: 6,
+            c: 8,
+            k: 4,
+        },
+        Tile {
+            h: 6,
+            w: 6,
+            f: 3,
+            c: 8,
+            k: 4,
+        },
+        Tile {
+            h: 3,
+            w: 3,
+            f: 3,
+            c: 4,
+            k: 4,
+        },
         8,
     )
     .normalize(&layer);
     let weight_stationary = TilingConfig::morph(
         "KCWHF".parse().unwrap(),
         "whcfk".parse().unwrap(),
-        Tile { h: 6, w: 6, f: 3, c: 8, k: 16 },
-        Tile { h: 3, w: 3, f: 3, c: 8, k: 16 },
-        Tile { h: 3, w: 3, f: 1, c: 4, k: 8 },
+        Tile {
+            h: 6,
+            w: 6,
+            f: 3,
+            c: 8,
+            k: 16,
+        },
+        Tile {
+            h: 3,
+            w: 3,
+            f: 3,
+            c: 8,
+            k: 16,
+        },
+        Tile {
+            h: 3,
+            w: 3,
+            f: 1,
+            c: 4,
+            k: 8,
+        },
         8,
     )
     .normalize(&layer);
 
-    for (name, cfg) in [("input-stationary", input_stationary), ("weight-stationary", weight_stationary)] {
+    for (name, cfg) in [
+        ("input-stationary", input_stationary),
+        ("weight-stationary", weight_stationary),
+    ] {
         let mut chip = MorphChip::new(ArchSpec::morph());
-        chip.configure(&layer, &cfg).expect("tiles fit the banked buffers");
+        chip.configure(&layer, &cfg)
+            .expect("tiles fit the banked buffers");
         let (out, counters) = chip.run_layer(&layer, &cfg, &input, &filters);
-        assert_eq!(out.as_slice(), reference.as_slice(), "bit-exact vs Algorithm 1");
+        assert_eq!(
+            out.as_slice(),
+            reference.as_slice(),
+            "bit-exact vs Algorithm 1"
+        );
         println!(
             "{:17} outer [{}] inner [{}]: DRAM reads {:>8} B, L2 traffic {:>9} B, MACCs {}",
             name,

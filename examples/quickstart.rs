@@ -4,7 +4,7 @@
 //! cargo run --release -p morph-core --example quickstart
 //! ```
 
-use morph_core::{Accelerator, Objective};
+use morph_core::{Backend, Eyeriss, Morph, MorphBase};
 use morph_tensor::shape::ConvShape;
 
 fn main() {
@@ -20,32 +20,37 @@ fn main() {
         layer.maccs() as f64 / 1e9
     );
 
-    let morph = Accelerator::morph();
-    let base = Accelerator::morph_base();
-    let eyeriss = Accelerator::eyeriss();
+    let backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(Eyeriss::builder().build()),
+        Box::new(MorphBase::builder().build()),
+        Box::new(Morph::builder().build()),
+    ];
 
-    println!("{:12} {:>12} {:>12} {:>10} {:>8}", "accelerator", "energy (uJ)", "dynamic (uJ)", "cycles", "util %");
-    let mut reports = Vec::new();
-    for acc in [&eyeriss, &base, &morph] {
-        let r = acc.run_layer(&layer, Objective::Energy);
+    println!(
+        "{:12} {:>12} {:>12} {:>10} {:>8}",
+        "accelerator", "energy (uJ)", "dynamic (uJ)", "cycles", "util %"
+    );
+    let mut totals = Vec::new();
+    for b in &backends {
+        let r = b.run_layer(&layer);
         println!(
             "{:12} {:>12.1} {:>12.1} {:>10} {:>8.1}",
-            acc.name(),
+            b.name(),
             r.total_pj() / 1e6,
             r.dynamic_pj() / 1e6,
             r.cycles.total,
             100.0 * r.cycles.utilization()
         );
-        reports.push(r.total_pj());
+        totals.push(r.total_pj());
     }
     println!(
         "\nMorph vs Morph_base: {:.2}x energy | Morph vs Eyeriss: {:.2}x energy",
-        reports[1] / reports[2],
-        reports[0] / reports[2]
+        totals[1] / totals[2],
+        totals[0] / totals[2]
     );
 
     // Show the configuration the optimizer chose (Table III row style).
-    let d = morph.decide_layer(&layer, Objective::Energy).unwrap();
+    let d = backends[2].evaluate_layer(&layer).decision.unwrap();
     println!(
         "\nChosen config: outer [{}], inner [{}], L2 tile {:?}, par {:?}",
         d.config.outer_order(),

@@ -1,4 +1,4 @@
-//! Schedule C3D with the Morph optimizer and persist the result —
+//! Schedule C3D with the Morph backend and persist the result —
 //! the §V "configuration file can be saved and recalled" workflow and the
 //! source of the paper's Table III.
 //!
@@ -6,13 +6,17 @@
 //! cargo run --release -p morph-core --example schedule_c3d
 //! ```
 
-use morph_core::{Accelerator, Objective};
+use morph_core::{Morph, Session};
 use morph_nets::zoo;
 use morph_optimizer::schedule::{from_text, to_text, ScheduleEntry};
 
 fn main() {
-    let net = zoo::c3d();
-    let morph = Accelerator::morph();
+    let report = Session::builder()
+        .backend(Morph::builder().build())
+        .network(zoo::c3d())
+        .build()
+        .run();
+    let run = &report.runs[0];
 
     println!("C3D configuration optimized for energy (Table III analogue):\n");
     println!(
@@ -20,8 +24,11 @@ fn main() {
         "layer", "outer", "inner", "Kt", "Ht", "Ft", "Kp*Vw"
     );
     let mut entries = Vec::new();
-    for layer in net.conv_layers() {
-        let d = morph.decide_layer(&layer.shape, Objective::Energy).unwrap();
+    for layer in &run.layers {
+        let d = layer
+            .decision
+            .as_ref()
+            .expect("Morph always reports a mapping");
         let l2 = d.config.levels[0].tile;
         // The paper reports Ht in input coordinates (incl. halo/pad).
         let ht_in = (l2.h - 1) * layer.shape.stride + layer.shape.r;
@@ -35,7 +42,11 @@ fn main() {
             l2.f,
             d.par.kp * 8
         );
-        entries.push(ScheduleEntry { layer: layer.name.clone(), config: d.config, par: d.par });
+        entries.push(ScheduleEntry {
+            layer: layer.name.clone(),
+            config: d.config.clone(),
+            par: d.par,
+        });
     }
 
     // Persist and recall (§V).
@@ -44,5 +55,9 @@ fn main() {
     std::fs::write(&path, &text).expect("write schedule");
     let recalled = from_text(&std::fs::read_to_string(&path).unwrap()).expect("parse schedule");
     assert_eq!(recalled, entries);
-    println!("\nSchedule saved to {} and round-tripped ({} layers).", path.display(), recalled.len());
+    println!(
+        "\nSchedule saved to {} and round-tripped ({} layers).",
+        path.display(),
+        recalled.len()
+    );
 }

@@ -1,0 +1,147 @@
+//! Integration tests for the `Backend` trait / `Session` / `RunReport`
+//! API: trait-object dispatch parity with directly-driven models, JSON
+//! round-tripping, and decision-cache behavior on repeated layer shapes.
+
+use morph_core::{
+    ArchSpec, Backend, Effort, EnergyModel, Eyeriss, Morph, MorphBase, Objective, Optimizer,
+    RunReport, Session, TechNode,
+};
+use morph_nets::Network;
+use morph_tensor::shape::ConvShape;
+
+fn layer() -> ConvShape {
+    ConvShape::new_3d(14, 14, 4, 32, 64, 3, 3, 3).with_pad(1, 1)
+}
+
+/// A network whose middle block repeats one shape three times.
+fn resnet_like() -> Network {
+    let stem = ConvShape::new_3d(16, 16, 4, 8, 16, 3, 3, 3).with_pad(1, 1);
+    let block = ConvShape::new_3d(16, 16, 4, 16, 16, 3, 3, 3).with_pad(1, 1);
+    let head = ConvShape::new_3d(8, 8, 2, 16, 32, 3, 3, 2).with_pad(1, 0);
+    let mut n = Network::new("resnet-like");
+    n.conv("stem", stem)
+        .conv("block1", block)
+        .conv("block2", block)
+        .conv("block3", block)
+        .conv("head", head);
+    n
+}
+
+/// Trait-object dispatch produces exactly the numbers of the directly
+/// driven optimizer — the redesign changed the API surface, not the math.
+#[test]
+fn morph_dispatch_parity_with_direct_optimizer() {
+    let sh = layer();
+    let via_trait: Box<dyn Backend> = Box::new(Morph::new());
+    let r_trait = via_trait.run_layer(&sh);
+
+    let direct = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Fast)
+        .search_layer(&sh, Objective::Energy);
+    assert_eq!(r_trait, direct.report);
+
+    let d_trait = via_trait.evaluate_layer(&sh).decision.unwrap();
+    assert_eq!(d_trait.config, direct.config);
+    assert_eq!(d_trait.par, direct.par);
+}
+
+/// Morph_base parity with the directly driven baseline optimizer.
+#[test]
+fn morph_base_dispatch_parity_with_direct_optimizer() {
+    let sh = layer();
+    let via_trait: Box<dyn Backend> = Box::new(MorphBase::new());
+    let direct = Optimizer::morph_base(EnergyModel::morph_base(ArchSpec::morph()))
+        .search_layer(&sh, Objective::Energy);
+    assert_eq!(via_trait.run_layer(&sh), direct.report);
+}
+
+/// Eyeriss parity with the directly driven frame-by-frame model.
+#[test]
+fn eyeriss_dispatch_parity_with_direct_model() {
+    let sh = layer();
+    let via_trait: Box<dyn Backend> = Box::new(Eyeriss::new());
+    let direct = morph_eyeriss::Eyeriss::table2().evaluate_layer(&sh);
+    assert_eq!(via_trait.run_layer(&sh), direct);
+    assert!(via_trait.evaluate_layer(&sh).decision.is_none());
+}
+
+/// A session over trait objects matches per-backend direct evaluation,
+/// layer by layer.
+#[test]
+fn session_matches_per_layer_direct_evaluation() {
+    let net = resnet_like();
+    let report = Session::builder()
+        .backend(Morph::new())
+        .backend(Eyeriss::new())
+        .network(net.clone())
+        .build()
+        .run();
+
+    let morph = Morph::new();
+    let eyeriss = morph_eyeriss::Eyeriss::table2();
+    for (layer, rec) in net.conv_layers().zip(&report.runs[0].layers) {
+        assert_eq!(rec.report, morph.run_layer(&layer.shape), "{}", layer.name);
+    }
+    for (layer, rec) in net.conv_layers().zip(&report.runs[1].layers) {
+        assert_eq!(
+            rec.report,
+            eyeriss.evaluate_layer(&layer.shape),
+            "{}",
+            layer.name
+        );
+    }
+}
+
+/// RunReport → JSON → RunReport is the identity, including mapping
+/// decisions, shapes, cycle counts and float-exact energies.
+#[test]
+fn run_report_json_round_trip() {
+    let report = Session::builder()
+        .backend(Morph::builder().objective(Objective::PerfPerWatt).build())
+        .backend(Eyeriss::builder().tech(TechNode::Nm22).build())
+        .network(resnet_like())
+        .build()
+        .run();
+    let json = report.to_json_string();
+    let back = RunReport::from_json_str(&json).unwrap();
+    assert_eq!(report, back);
+
+    // Spot-check that decisions really are carried through the text form.
+    let run = back.find("Morph", "resnet-like").unwrap();
+    assert_eq!(run.objective, Objective::PerfPerWatt);
+    assert!(run.layers.iter().all(|l| l.decision.is_some()));
+    let eyeriss_run = back.find("Eyeriss", "resnet-like").unwrap();
+    assert!(eyeriss_run.layers.iter().all(|l| l.decision.is_none()));
+}
+
+/// Repeated layer shapes are decided once: the three identical residual
+/// blocks produce two cache hits, and their records are identical.
+#[test]
+fn decision_cache_hits_on_repeated_shapes() {
+    let session = Session::builder()
+        .backend(Morph::new())
+        .network(resnet_like())
+        .build();
+    let report = session.run();
+    let run = &report.runs[0];
+    assert_eq!(run.layers.len(), 5);
+    assert_eq!(run.cache_hits, 2, "block2/block3 repeat block1's shape");
+    assert_eq!(session.cached_decisions(), 3, "stem, block, head");
+    assert_eq!(run.layers[1], run.layers[2].clone_named("block1"));
+    // A second run of the same session is served entirely from the cache
+    // and reproduces the exact same report.
+    let again = session.run();
+    assert_eq!(again.runs[0].cache_hits, 5);
+    assert_eq!(again.runs[0].layers, run.layers);
+}
+
+trait CloneNamed {
+    fn clone_named(&self, name: &str) -> Self;
+}
+
+impl CloneNamed for morph_core::LayerRecord {
+    fn clone_named(&self, name: &str) -> Self {
+        let mut c = self.clone();
+        c.name = name.to_string();
+        c
+    }
+}

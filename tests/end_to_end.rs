@@ -3,7 +3,7 @@
 //! engine agrees with the hardware counters where their assumptions
 //! coincide.
 
-use morph_core::{Accelerator, ArchSpec, Objective};
+use morph_core::{ArchSpec, Backend as _, Morph};
 use morph_dataflow::config::{LevelConfig, TilingConfig};
 use morph_dataflow::traffic::layer_traffic;
 use morph_hw::MorphChip;
@@ -14,13 +14,14 @@ use morph_tensor::prelude::*;
 #[test]
 fn optimizer_decision_executes_bit_exactly() {
     let shape = ConvShape::new_3d(10, 10, 4, 6, 16, 3, 3, 3).with_pad(1, 1);
-    let morph = Accelerator::morph();
-    let d = morph.decide_layer(&shape, Objective::Energy).unwrap();
+    let morph = Morph::new();
+    let d = morph.evaluate_layer(&shape).decision.unwrap();
 
     let input = synth_input(&shape, 77);
     let filters = synth_filters(&shape, 78);
     let mut chip = MorphChip::new(ArchSpec::morph());
-    chip.configure(&shape, &d.config).expect("chosen config fits the hardware");
+    chip.configure(&shape, &d.config)
+        .expect("chosen config fits the hardware");
     let (out, counters) = chip.run_layer(&shape, &d.config, &input, &filters);
 
     let reference = conv3d_reference(&shape, &input, &filters);
@@ -38,10 +39,37 @@ fn analytical_traffic_matches_hw_counters_without_halo() {
     // Tile only K and C so no sliding-window reuse is involved.
     let cfg = TilingConfig {
         levels: vec![
-            LevelConfig { order: "CKWHF".parse().unwrap(), tile: whole.with_extent(Dim::K, 4).with_extent(Dim::C, 3).with_extent(Dim::H, 4) },
-            LevelConfig { order: "ckwhf".parse().unwrap(), tile: whole.with_extent(Dim::K, 4).with_extent(Dim::C, 3).with_extent(Dim::H, 4) },
-            LevelConfig { order: "ckwhf".parse().unwrap(), tile: whole.with_extent(Dim::K, 2).with_extent(Dim::C, 1).with_extent(Dim::H, 2) },
-            LevelConfig { order: "ckwhf".parse().unwrap(), tile: Tile { h: 1, w: 1, f: 1, c: 1, k: 2 } },
+            LevelConfig {
+                order: "CKWHF".parse().unwrap(),
+                tile: whole
+                    .with_extent(Dim::K, 4)
+                    .with_extent(Dim::C, 3)
+                    .with_extent(Dim::H, 4),
+            },
+            LevelConfig {
+                order: "ckwhf".parse().unwrap(),
+                tile: whole
+                    .with_extent(Dim::K, 4)
+                    .with_extent(Dim::C, 3)
+                    .with_extent(Dim::H, 4),
+            },
+            LevelConfig {
+                order: "ckwhf".parse().unwrap(),
+                tile: whole
+                    .with_extent(Dim::K, 2)
+                    .with_extent(Dim::C, 1)
+                    .with_extent(Dim::H, 2),
+            },
+            LevelConfig {
+                order: "ckwhf".parse().unwrap(),
+                tile: Tile {
+                    h: 1,
+                    w: 1,
+                    f: 1,
+                    c: 1,
+                    k: 2,
+                },
+            },
         ],
     }
     .normalize(&shape);
@@ -67,8 +95,12 @@ fn analytical_traffic_matches_hw_counters_without_halo() {
 fn recalled_schedule_drives_hardware() {
     use morph_optimizer::schedule::{from_text, to_text, ScheduleEntry};
     let shape = ConvShape::new_3d(8, 8, 3, 4, 8, 3, 3, 2).with_pad(1, 0);
-    let d = Accelerator::morph().decide_layer(&shape, Objective::Energy).unwrap();
-    let text = to_text(&[ScheduleEntry { layer: "l".into(), config: d.config, par: d.par }]);
+    let d = Morph::new().evaluate_layer(&shape).decision.unwrap();
+    let text = to_text(&[ScheduleEntry {
+        layer: "l".into(),
+        config: d.config,
+        par: d.par,
+    }]);
     let recalled = from_text(&text).unwrap();
 
     let input = synth_input(&shape, 9);
@@ -76,7 +108,10 @@ fn recalled_schedule_drives_hardware() {
     let mut chip = MorphChip::new(ArchSpec::morph());
     chip.configure(&shape, &recalled[0].config).unwrap();
     let (out, _) = chip.run_layer(&shape, &recalled[0].config, &input, &filters);
-    assert_eq!(out.as_slice(), conv3d_reference(&shape, &input, &filters).as_slice());
+    assert_eq!(
+        out.as_slice(),
+        conv3d_reference(&shape, &input, &filters).as_slice()
+    );
 }
 
 /// The three accelerator presets agree on the work performed (MACCs) for
@@ -84,12 +119,25 @@ fn recalled_schedule_drives_hardware() {
 #[test]
 fn presets_agree_on_work_disagree_on_cost() {
     let mut net = morph_nets::Network::new("mini");
-    net.conv("a", ConvShape::new_3d(14, 14, 4, 16, 32, 3, 3, 3).with_pad(1, 1));
-    net.conv("b", ConvShape::new_3d(14, 14, 4, 32, 32, 3, 3, 3).with_pad(1, 1));
+    net.conv(
+        "a",
+        ConvShape::new_3d(14, 14, 4, 16, 32, 3, 3, 3).with_pad(1, 1),
+    );
+    net.conv(
+        "b",
+        ConvShape::new_3d(14, 14, 4, 32, 32, 3, 3, 3).with_pad(1, 1),
+    );
 
-    let rm = Accelerator::morph().run_network(&net, Objective::Energy);
-    let rb = Accelerator::morph_base().run_network(&net, Objective::Energy);
-    let re = Accelerator::eyeriss().run_network(&net, Objective::Energy);
+    let report = morph_core::Session::builder()
+        .backend(Morph::new())
+        .backend(morph_core::MorphBase::new())
+        .backend(morph_core::Eyeriss::new())
+        .network(net)
+        .build()
+        .run();
+    let [rm, rb, re] = &report.runs[..] else {
+        panic!("three runs")
+    };
     assert_eq!(rm.total.maccs, rb.total.maccs);
     assert_eq!(rm.total.maccs, re.total.maccs);
     assert!(rm.total.total_pj() <= rb.total.total_pj());

@@ -2,7 +2,7 @@
 //! (conv → pool → requantize → conv) through the tensor substrate, with
 //! each convolution also executed on the functional Morph chip.
 
-use morph_core::{Accelerator, ArchSpec, Objective};
+use morph_core::{ArchSpec, Backend as _, Morph};
 use morph_hw::MorphChip;
 use morph_tensor::prelude::*;
 
@@ -13,12 +13,15 @@ fn two_layer_network_runs_on_chip() {
     let input = synth_input(&l1, 1);
     let f1 = synth_filters(&l1, 2);
 
-    let morph = Accelerator::morph();
-    let d1 = morph.decide_layer(&l1, Objective::Energy).unwrap();
+    let morph = Morph::new();
+    let d1 = morph.evaluate_layer(&l1).decision.unwrap();
     let mut chip = MorphChip::new(ArchSpec::morph());
     chip.configure(&l1, &d1.config).unwrap();
     let (acc1, _) = chip.run_layer(&l1, &d1.config, &input, &f1);
-    assert_eq!(acc1.as_slice(), conv3d_reference(&l1, &input, &f1).as_slice());
+    assert_eq!(
+        acc1.as_slice(),
+        conv3d_reference(&l1, &input, &f1).as_slice()
+    );
 
     // Pool 2×2×2 then requantize to 8 bits for the next layer.
     let pooled = maxpool3d(&acc1, &PoolShape::new(2, 2, 2));
@@ -29,11 +32,14 @@ fn two_layer_network_runs_on_chip() {
     // Layer 2 consumes the produced activations.
     let l2 = ConvShape::new_3d(h2, w2, f2_frames, c2, 4, 3, 3, 3).with_pad(1, 1);
     let f2 = synth_filters(&l2, 3);
-    let d2 = morph.decide_layer(&l2, Objective::Energy).unwrap();
+    let d2 = morph.evaluate_layer(&l2).decision.unwrap();
     let mut chip2 = MorphChip::new(ArchSpec::morph());
     chip2.configure(&l2, &d2.config).unwrap();
     let (acc2, counters) = chip2.run_layer(&l2, &d2.config, &act2, &f2);
-    assert_eq!(acc2.as_slice(), conv3d_reference(&l2, &act2, &f2).as_slice());
+    assert_eq!(
+        acc2.as_slice(),
+        conv3d_reference(&l2, &act2, &f2).as_slice()
+    );
     assert_eq!(counters.maccs, l2.maccs());
 }
 

@@ -1,7 +1,7 @@
 //! The paper's qualitative claims, asserted as integration tests.
 //! Each test names the paper section/figure it guards.
 
-use morph_core::{Accelerator, Objective};
+use morph_core::{Backend, Eyeriss, Morph, MorphBase};
 use morph_dataflow::arch::ArchSpec;
 use morph_energy::area::{pe_area_base, pe_area_morph};
 use morph_nets::zoo;
@@ -11,9 +11,9 @@ use morph_tensor::shape::ConvShape;
 #[test]
 fn fig9_ordering_on_3d_layer() {
     let layer = ConvShape::new_3d(28, 28, 8, 128, 256, 3, 3, 3).with_pad(1, 1);
-    let m = Accelerator::morph().run_layer(&layer, Objective::Energy).total_pj();
-    let b = Accelerator::morph_base().run_layer(&layer, Objective::Energy).total_pj();
-    let e = Accelerator::eyeriss().run_layer(&layer, Objective::Energy).total_pj();
+    let m = Morph::new().run_layer(&layer).total_pj();
+    let b = MorphBase::new().run_layer(&layer).total_pj();
+    let e = Eyeriss::new().run_layer(&layer).total_pj();
     assert!(m < b, "Morph {m} !< base {b}");
     assert!(b < e, "base {b} !< Eyeriss {e}");
 }
@@ -25,13 +25,16 @@ fn temporal_reuse_gap_widens_with_frames() {
     let few = ConvShape::new_3d(28, 28, 4, 64, 64, 3, 3, 3).with_pad(1, 1);
     let many = ConvShape::new_3d(28, 28, 32, 64, 64, 3, 3, 3).with_pad(1, 1);
     let gap = |sh: &ConvShape| {
-        let m = Accelerator::morph().run_layer(sh, Objective::Energy).dynamic_pj();
-        let e = Accelerator::eyeriss().run_layer(sh, Objective::Energy).dynamic_pj();
+        let m = Morph::new().run_layer(sh).dynamic_pj();
+        let e = Eyeriss::new().run_layer(sh).dynamic_pj();
         e / m
     };
     let g_few = gap(&few);
     let g_many = gap(&many);
-    assert!(g_many > g_few, "gap {g_many} at 32 frames !> {g_few} at 4 frames");
+    assert!(
+        g_many > g_few,
+        "gap {g_many} at 32 frames !> {g_few} at 4 frames"
+    );
 }
 
 /// §VI-D: on 2D AlexNet-style layers, Eyeriss is competitive with
@@ -40,11 +43,14 @@ fn temporal_reuse_gap_widens_with_frames() {
 #[test]
 fn two_d_crossover() {
     let layer = ConvShape::new_2d(13, 13, 256, 384, 3, 3).with_pad(1, 0);
-    let m = Accelerator::morph().run_layer(&layer, Objective::Energy).total_pj();
-    let b = Accelerator::morph_base().run_layer(&layer, Objective::Energy).total_pj();
-    let e = Accelerator::eyeriss().run_layer(&layer, Objective::Energy).total_pj();
+    let m = Morph::new().run_layer(&layer).total_pj();
+    let b = MorphBase::new().run_layer(&layer).total_pj();
+    let e = Eyeriss::new().run_layer(&layer).total_pj();
     assert!(m < b, "Morph must beat base on 2D too");
-    assert!(e < 2.0 * b, "Eyeriss must be competitive with the 3D-provisioned base on 2D");
+    assert!(
+        e < 2.0 * b,
+        "Eyeriss must be competitive with the 3D-provisioned base on 2D"
+    );
 }
 
 /// §VI-F / Table IV: flexibility costs ≈5 % PE area, dominated by control.
@@ -52,7 +58,10 @@ fn two_d_crossover() {
 fn table4_area_overhead() {
     let arch = ArchSpec::morph();
     let overhead = pe_area_morph(&arch).total() / pe_area_base(&arch).total() - 1.0;
-    assert!(overhead > 0.03 && overhead < 0.07, "area overhead {overhead}");
+    assert!(
+        overhead > 0.03 && overhead < 0.07,
+        "area overhead {overhead}"
+    );
 }
 
 /// §III-A Fig. 4a: no single outer loop order is optimal for every C3D
@@ -67,12 +76,20 @@ fn no_single_outer_order_wins_everywhere() {
     // For each of the two extreme orders, find a layer where it beats the
     // other on DRAM traffic.
     let dram = |layer: &ConvShape, order: &str| {
-        let l2 = morph_optimizer::space::l2_tile_candidates(layer, &arch, morph_optimizer::Effort::Fast)
-            .into_iter()
-            .next()
-            .unwrap();
-        let cfg = allocate_hierarchy(layer, order.parse().unwrap(), "cfwhk".parse().unwrap(), l2, &arch, FitPolicy::Banked)
-            .unwrap();
+        let l2 =
+            morph_optimizer::space::l2_tile_candidates(layer, &arch, morph_optimizer::Effort::Fast)
+                .into_iter()
+                .next()
+                .unwrap();
+        let cfg = allocate_hierarchy(
+            layer,
+            order.parse().unwrap(),
+            "cfwhk".parse().unwrap(),
+            l2,
+            &arch,
+            FitPolicy::Banked,
+        )
+        .unwrap();
         layer_traffic(layer, &cfg).dram().total()
     };
     let early = &net.layer("layer1").unwrap().shape;
@@ -97,7 +114,10 @@ fn fig1b_reuse_ordering() {
     let reuse: Vec<f64> = nets.iter().map(|n| n.avg_reuse()).collect();
     let avg2d = reuse[..3].iter().sum::<f64>() / 3.0;
     let avg3d = reuse[3..].iter().sum::<f64>() / 3.0;
-    assert!(avg3d > 2.0 * avg2d, "avg 3D reuse {avg3d} !> 2× avg 2D reuse {avg2d}");
+    assert!(
+        avg3d > 2.0 * avg2d,
+        "avg 3D reuse {avg3d} !> 2× avg 2D reuse {avg2d}"
+    );
     // C3D and I3D individually dominate every 2D network.
     for &three_d in &[reuse[3], reuse[5]] {
         for two_d in &reuse[..3] {
@@ -111,8 +131,8 @@ fn fig1b_reuse_ordering() {
 #[test]
 fn fig10_perf_per_watt_improvement() {
     let layer = ConvShape::new_3d(7, 7, 2, 512, 512, 3, 3, 3).with_pad(1, 1);
-    let m = Accelerator::morph().run_layer(&layer, Objective::Energy);
-    let b = Accelerator::morph_base().run_layer(&layer, Objective::Energy);
+    let m = Morph::new().run_layer(&layer);
+    let b = MorphBase::new().run_layer(&layer);
     assert!(m.perf_per_watt() > b.perf_per_watt());
     assert!(m.cycles.utilization() > b.cycles.utilization());
 }
