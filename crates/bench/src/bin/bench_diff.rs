@@ -1,0 +1,261 @@
+//! Compare `experiments_out/bench.json` against the committed perf
+//! baseline and fail on regressions, making the recorded trajectory a CI
+//! gate rather than an artifact.
+//!
+//! The baseline (`crates/bench/baseline.json`) is a compact summary — one
+//! `(backend, network, objective, occurrence)` row per run with its total
+//! cycles and energy — so it stays reviewable in version control. Runs are
+//! matched by key; a >2 % increase in cycles or total energy, or a run
+//! that disappeared, exits non-zero. New runs are reported informationally.
+//!
+//! Usage:
+//!   bench_diff            compare (run `run_all` first)
+//!   bench_diff --update   regenerate the baseline from the current bench.json
+
+use morph_bench::load_report;
+use morph_core::RunReport;
+use morph_json::{field_arr, field_f64, field_str, field_u64, ToJson, Value};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Committed baseline summary, relative to the repository root.
+const BASELINE_PATH: &str = "crates/bench/baseline.json";
+/// Version stamp of the baseline summary format itself.
+const BASELINE_SCHEMA: u64 = 1;
+/// Relative growth in cycles or energy that counts as a regression.
+const TOLERANCE: f64 = 0.02;
+
+/// One run's perf summary. `occurrence` disambiguates runs that share
+/// backend/network/objective across experiment binaries (bench.json is a
+/// merge, and `run_all` keeps a stable order).
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    backend: String,
+    network: String,
+    objective: String,
+    occurrence: u64,
+    cycles: u64,
+    total_pj: f64,
+}
+
+impl Entry {
+    fn key(&self) -> (String, String, String, u64) {
+        (
+            self.backend.clone(),
+            self.network.clone(),
+            self.objective.clone(),
+            self.occurrence,
+        )
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{} on {} [{} #{}]",
+            self.network, self.backend, self.objective, self.occurrence
+        )
+    }
+}
+
+fn summarize(report: &RunReport) -> Vec<Entry> {
+    let mut seen: HashMap<(String, String, String), u64> = HashMap::new();
+    report
+        .runs
+        .iter()
+        .map(|r| {
+            let base = (
+                r.backend.clone(),
+                r.network.clone(),
+                r.objective.label().to_string(),
+            );
+            let occurrence = *seen
+                .entry(base.clone())
+                .and_modify(|n| *n += 1)
+                .or_insert(0);
+            Entry {
+                backend: base.0,
+                network: base.1,
+                objective: base.2,
+                occurrence,
+                cycles: r.total.cycles.total,
+                total_pj: r.total.total_pj(),
+            }
+        })
+        .collect()
+}
+
+fn baseline_json(entries: &[Entry], report_schema: u32) -> Value {
+    Value::obj([
+        ("baseline_schema", Value::Int(BASELINE_SCHEMA as i64)),
+        ("report_schema", Value::Int(report_schema as i64)),
+        (
+            "entries",
+            Value::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Value::obj([
+                            ("backend", Value::Str(e.backend.clone())),
+                            ("network", Value::Str(e.network.clone())),
+                            ("objective", Value::Str(e.objective.clone())),
+                            ("occurrence", Value::Int(e.occurrence as i64)),
+                            ("cycles", Value::Int(e.cycles as i64)),
+                            ("total_pj", e.total_pj.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parse the baseline; `report_schema` records which RunReport schema the
+/// totals were summarized from, and comparing across schemas would be
+/// comparing different semantics.
+fn parse_baseline(text: &str, current_report_schema: u32) -> Result<Vec<Entry>, String> {
+    let v = Value::parse(text).map_err(|e| e.to_string())?;
+    let schema = field_u64(&v, "baseline_schema")?;
+    if schema != BASELINE_SCHEMA {
+        return Err(format!(
+            "baseline schema {schema}, this binary expects {BASELINE_SCHEMA}"
+        ));
+    }
+    let report_schema = field_u64(&v, "report_schema")?;
+    if report_schema != u64::from(current_report_schema) {
+        return Err(format!(
+            "baseline summarizes RunReport schema {report_schema} but bench.json is schema \
+             {current_report_schema}; regenerate with `bench_diff --update`"
+        ));
+    }
+    field_arr(&v, "entries")?
+        .iter()
+        .map(|e| {
+            Ok(Entry {
+                backend: field_str(e, "backend")?.to_string(),
+                network: field_str(e, "network")?.to_string(),
+                objective: field_str(e, "objective")?.to_string(),
+                occurrence: field_u64(e, "occurrence")?,
+                cycles: field_u64(e, "cycles")?,
+                total_pj: field_f64(e, "total_pj")?,
+            })
+        })
+        .collect()
+}
+
+/// Relative growth of `current` over `baseline` (0.0 when both are zero).
+fn growth(current: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        if current == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        current / baseline - 1.0
+    }
+}
+
+fn main() -> ExitCode {
+    let update = std::env::args().any(|a| a == "--update");
+    let report = match load_report("bench") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "bench_diff: cannot load experiments_out/bench.json ({e}); run `run_all` first"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let current = summarize(&report);
+
+    if update {
+        std::fs::write(
+            BASELINE_PATH,
+            baseline_json(&current, report.schema).pretty(),
+        )
+        .unwrap_or_else(|e| panic!("write {BASELINE_PATH}: {e}"));
+        println!(
+            "bench_diff: baseline regenerated at {BASELINE_PATH} ({} runs)",
+            current.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench_diff: cannot read {BASELINE_PATH} ({e}); regenerate with `bench_diff --update` from the repository root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match parse_baseline(&text, report.schema) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_diff: malformed baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let current_by_key: HashMap<_, &Entry> = current.iter().map(|e| (e.key(), e)).collect();
+    let baseline_keys: std::collections::HashSet<_> = baseline.iter().map(|e| e.key()).collect();
+    let mut regressions = Vec::new();
+    let mut improved = 0usize;
+    for base in &baseline {
+        let Some(cur) = current_by_key.get(&base.key()) else {
+            regressions.push(format!("{}: run disappeared from bench.json", base.label()));
+            continue;
+        };
+        let dc = growth(cur.cycles as f64, base.cycles as f64);
+        let de = growth(cur.total_pj, base.total_pj);
+        if dc > TOLERANCE {
+            regressions.push(format!(
+                "{}: cycles {} -> {} (+{:.1}%)",
+                base.label(),
+                base.cycles,
+                cur.cycles,
+                100.0 * dc
+            ));
+        }
+        if de > TOLERANCE {
+            regressions.push(format!(
+                "{}: energy {:.3e} -> {:.3e} pJ (+{:.1}%)",
+                base.label(),
+                base.total_pj,
+                cur.total_pj,
+                100.0 * de
+            ));
+        }
+        if dc < -TOLERANCE || de < -TOLERANCE {
+            improved += 1;
+        }
+    }
+    let new_runs = current
+        .iter()
+        .filter(|e| !baseline_keys.contains(&e.key()))
+        .count();
+
+    println!(
+        "bench_diff: {} baseline runs checked, {} improved >{:.0}%, {} new (unchecked)",
+        baseline.len(),
+        improved,
+        100.0 * TOLERANCE,
+        new_runs,
+    );
+    if new_runs > 0 {
+        println!("bench_diff: refresh the baseline with `bench_diff --update` to cover new runs");
+    }
+    if regressions.is_empty() {
+        println!(
+            "bench_diff: no regressions beyond {:.0}%",
+            100.0 * TOLERANCE
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_diff: {} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

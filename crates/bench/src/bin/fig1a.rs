@@ -5,7 +5,9 @@ use morph_bench::print_table;
 use morph_nets::{stats, zoo};
 
 fn main() {
-    for net in [zoo::c3d(), zoo::alexnet(), zoo::resnet3d_50(), zoo::i3d()] {
+    let nets =
+        ["C3D", "AlexNet", "ResNet-3D", "I3D"].map(|name| zoo::by_name(name).expect("zoo network"));
+    for net in nets {
         let rows: Vec<Vec<String>> = stats::layer_footprints(&net)
             .into_iter()
             .map(|l| {

@@ -8,7 +8,7 @@ use morph_core::RunReport;
 use std::process::Command;
 
 /// All experiment binaries, in dependency-free execution order.
-const BINS: [&str; 15] = [
+const BINS: [&str; 16] = [
     "tables",
     "table4",
     "fig1a",
@@ -24,10 +24,11 @@ const BINS: [&str; 15] = [
     "fig9",
     "fig10",
     "ablate_flex",
+    "pipeline",
 ];
 
 /// The subset that persists a structured `RunReport`.
-const REPORTING_BINS: [&str; 7] = [
+const REPORTING_BINS: [&str; 8] = [
     "fig4a",
     "fig4b",
     "fig4c",
@@ -35,6 +36,7 @@ const REPORTING_BINS: [&str; 7] = [
     "fig9",
     "fig10",
     "ablate_flex",
+    "pipeline",
 ];
 
 fn main() {
@@ -68,9 +70,18 @@ fn main() {
     let back = RunReport::from_json_str(&std::fs::read_to_string(&path).expect("read bench.json"))
         .expect("bench.json deserializes into RunReports");
     assert_eq!(back, merged, "bench.json round-trip");
+    let piped = back.runs.iter().filter_map(|r| r.pipeline.as_ref());
+    assert!(
+        piped.clone().count() > 0,
+        "bench.json carries pipeline sections"
+    );
+    for p in piped {
+        assert!(p.steady_fps >= p.serial_fps, "pipelining can only help");
+    }
     eprintln!(
-        ">>> all experiments written to {OUT_DIR}/ ({} runs, {} layer records in bench.json)",
+        ">>> all experiments written to {OUT_DIR}/ ({} runs, {} layer records, {} pipeline sections in bench.json)",
         back.runs.len(),
-        back.runs.iter().map(|r| r.layers.len()).sum::<usize>()
+        back.runs.iter().map(|r| r.layers.len()).sum::<usize>(),
+        back.runs.iter().filter(|r| r.pipeline.is_some()).count(),
     );
 }

@@ -13,6 +13,7 @@ use morph_dataflow::config::TilingConfig;
 use morph_dataflow::perf::Parallelism;
 use morph_energy::{EnergyModel, EnergyReport, TechNode};
 use morph_optimizer::{Effort, Objective, Optimizer};
+use morph_pipeline::PipelineCaps;
 use morph_tensor::order::LoopOrder;
 use morph_tensor::shape::ConvShape;
 
@@ -54,6 +55,22 @@ pub trait Backend: Send + Sync {
 
     /// Evaluate one layer, returning cost and (if searched) the mapping.
     fn evaluate_layer(&self, shape: &ConvShape) -> LayerEval;
+
+    /// Evaluate one layer under an explicit objective, overriding the
+    /// backend's own. The pipeline rebalancer uses this to ask for
+    /// latency-optimal mappings of bottleneck stages; fixed-dataflow
+    /// backends ignore the objective (the default).
+    fn evaluate_layer_for(&self, shape: &ConvShape, _objective: Objective) -> LayerEval {
+        self.evaluate_layer(shape)
+    }
+
+    /// Channel provisioning for cross-layer pipelined scheduling: how much
+    /// buffer the backend stages inter-layer frames in. Default: half the
+    /// last-level buffer (the other half stays with the layer tiles),
+    /// double buffered.
+    fn pipeline_caps(&self) -> PipelineCaps {
+        PipelineCaps::from_l2(self.arch().l2_bytes)
+    }
 
     /// Cost-only convenience wrapper around [`Backend::evaluate_layer`].
     fn run_layer(&self, shape: &ConvShape) -> EnergyReport {
@@ -201,7 +218,11 @@ impl Backend for Morph {
     }
 
     fn evaluate_layer(&self, shape: &ConvShape) -> LayerEval {
-        let d = self.opt.search_layer(shape, self.objective);
+        self.evaluate_layer_for(shape, self.objective)
+    }
+
+    fn evaluate_layer_for(&self, shape: &ConvShape, objective: Objective) -> LayerEval {
+        let d = self.opt.search_layer(shape, objective);
         LayerEval {
             report: d.report,
             decision: Some(MappingDecision {
@@ -323,7 +344,11 @@ impl Backend for MorphBase {
     }
 
     fn evaluate_layer(&self, shape: &ConvShape) -> LayerEval {
-        let d = self.opt.search_layer(shape, self.objective);
+        self.evaluate_layer_for(shape, self.objective)
+    }
+
+    fn evaluate_layer_for(&self, shape: &ConvShape, objective: Objective) -> LayerEval {
+        let d = self.opt.search_layer(shape, objective);
         LayerEval {
             report: d.report,
             decision: Some(MappingDecision {

@@ -16,10 +16,10 @@
 //!   frame by frame.
 //!
 //! A [`Session`] runs any set of backends over any set of networks with
-//! parallel per-layer evaluation and a memoized decision cache (identical
-//! layer shapes are decided once), producing a JSON-serializable
-//! [`RunReport`] with per-layer decisions, cycle counts and energy
-//! breakdowns:
+//! concurrent pair execution (every pair's layers fan out over one worker
+//! pool) and a memoized decision cache (identical layer shapes are decided
+//! once), producing a JSON-serializable [`RunReport`] with per-layer
+//! decisions, cycle counts and energy breakdowns:
 //!
 //! ```no_run
 //! use morph_core::{Eyeriss, Morph, MorphBase, RunReport, Session};
@@ -56,6 +56,26 @@
 //! let layer = ConvShape::new_3d(14, 14, 4, 32, 64, 3, 3, 3).with_pad(1, 1);
 //! assert!(perf.run_layer(&layer).total_pj() > 0.0);
 //! ```
+//!
+//! For streaming-video workloads, a session can additionally schedule each
+//! network as a cross-layer pipeline ([`PipelineMode`], backed by the
+//! `morph-pipeline` event engine); every run then carries a
+//! [`PipelineReport`] with steady-state frames/sec, fill/drain latency,
+//! per-stage utilization and the bottleneck stage:
+//!
+//! ```no_run
+//! use morph_core::{Morph, PipelineMode, Session};
+//! use morph_nets::zoo;
+//!
+//! let report = Session::builder()
+//!     .backend(Morph::builder().build())
+//!     .network(zoo::c3d())
+//!     .pipeline(PipelineMode::Rebalanced)
+//!     .build()
+//!     .run();
+//! let p = report.runs[0].pipeline.as_ref().unwrap();
+//! println!("{:.1} frames/s, bottleneck {}", p.steady_fps, p.bottleneck);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -72,5 +92,6 @@ pub use morph_dataflow::arch::{ArchSpec, OnChipLevel};
 pub use morph_dataflow::perf::Parallelism;
 pub use morph_energy::{EnergyModel, EnergyReport, TechNode};
 pub use morph_optimizer::{Effort, LayerDecision, Objective, Optimizer};
+pub use morph_pipeline::{PipelineCaps, PipelineMode, PipelineReport, StageReport};
 pub use report::{LayerRecord, NetworkRun, RunReport, SCHEMA_VERSION};
-pub use session::{Session, SessionBuilder};
+pub use session::{Session, SessionBuilder, DEFAULT_PIPELINE_FRAMES};

@@ -11,10 +11,13 @@ use crate::backend::MappingDecision;
 use morph_energy::EnergyReport;
 use morph_json::{FromJson, ToJson, Value};
 use morph_optimizer::Objective;
+use morph_pipeline::PipelineReport;
 use morph_tensor::shape::ConvShape;
 
 /// Version stamp written into every serialized report.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the optional per-run `pipeline` section ([`PipelineReport`]).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One evaluated layer inside a [`NetworkRun`].
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +48,9 @@ pub struct NetworkRun {
     pub layers: Vec<LayerRecord>,
     /// Sum over layers.
     pub total: EnergyReport,
+    /// Streaming-pipeline schedule and throughput (`None` when the session
+    /// ran with [`morph_pipeline::PipelineMode::Off`]).
+    pub pipeline: Option<PipelineReport>,
 }
 
 impl NetworkRun {
@@ -181,6 +187,7 @@ impl ToJson for NetworkRun {
             ("cache_hits", Value::Int(self.cache_hits as i64)),
             ("layers", self.layers.to_json()),
             ("total", self.total.to_json()),
+            ("pipeline", self.pipeline.to_json()),
         ])
     }
 }
@@ -188,6 +195,10 @@ impl ToJson for NetworkRun {
 impl FromJson for NetworkRun {
     fn from_json(v: &Value) -> Result<Self, String> {
         use morph_json::{field, field_arr, field_str, field_u64};
+        let pipeline = match field(v, "pipeline")? {
+            Value::Null => None,
+            p => Some(PipelineReport::from_json(p)?),
+        };
         Ok(NetworkRun {
             backend: field_str(v, "backend")?.to_string(),
             network: field_str(v, "network")?.to_string(),
@@ -198,6 +209,7 @@ impl FromJson for NetworkRun {
                 .map(LayerRecord::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
             total: EnergyReport::from_json(field(v, "total")?)?,
+            pipeline,
         })
     }
 }

@@ -3,31 +3,52 @@
 //! A session owns a set of [`Backend`] trait objects and a set of
 //! networks. [`Session::run`] evaluates every (backend, network) pair with
 //!
-//! * **parallel per-layer evaluation** — distinct layer shapes fan out
-//!   across a scoped worker pool ([`crate::par`]), and
+//! * **concurrent pair execution** — the fresh layer shapes of *all*
+//!   (backend, network) pairs are deduplicated into one flat work list and
+//!   fan out together across a scoped worker pool ([`crate::par`]), so
+//!   distinct backends and networks evaluate concurrently, not just the
+//!   layers within one pair;
 //! * **a memoized decision cache keyed by [`ConvShape`]** — identical
 //!   layers (repeated ResNet blocks, the two Two-Stream towers, repeated
 //!   networks) are decided once per backend/objective and replayed from
-//!   the cache thereafter. Cache behavior is observable: each
-//!   [`NetworkRun`] reports its `cache_hits`.
+//!   the cache thereafter. Cache accounting keeps *sequential semantics*
+//!   (pairs are walked in session order before any evaluation starts), so
+//!   reports — including per-pair `cache_hits`, also queryable via
+//!   [`Session::cache_hits`] — are identical at any thread count; and
+//! * **optional cross-layer pipelined scheduling** ([`PipelineMode`]) —
+//!   each run gains a [`morph_pipeline::PipelineReport`] simulating the
+//!   network as a streaming pipeline of layer stages over bounded channels
+//!   provisioned by [`Backend::pipeline_caps`]; in
+//!   [`PipelineMode::Rebalanced`] a greedy pass re-optimizes bottleneck
+//!   stages with a latency objective to flatten the pipeline.
 
 use crate::backend::{Backend, LayerEval};
 use crate::par;
 use crate::report::{LayerRecord, NetworkRun, RunReport, SCHEMA_VERSION};
 use morph_nets::Network;
 use morph_optimizer::Objective;
+use morph_pipeline::{simulate, PipelineMode, PipelineReport, PipelineSpec, StageSpec};
 use morph_tensor::shape::ConvShape;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
 type CacheKey = (usize, Objective, ConvShape);
+
+/// Frames simulated per pipeline run unless overridden by
+/// [`SessionBuilder::pipeline_frames`]: long enough to reach steady state
+/// on every zoo network, short enough to keep scheduling instant.
+pub const DEFAULT_PIPELINE_FRAMES: u64 = 32;
 
 /// Runs one or more backends over one or more networks.
 pub struct Session {
     backends: Vec<Box<dyn Backend>>,
     networks: Vec<Network>,
     threads: usize,
+    pipeline: PipelineMode,
+    pipeline_frames: u64,
     cache: Mutex<HashMap<CacheKey, LayerEval>>,
+    /// Per-pair cache hits of the last [`Session::run`], `[backend][network]`.
+    last_hits: Mutex<Vec<Vec<u64>>>,
 }
 
 /// Builder for [`Session`].
@@ -36,6 +57,8 @@ pub struct SessionBuilder {
     backends: Vec<Box<dyn Backend>>,
     networks: Vec<Network>,
     threads: Option<usize>,
+    pipeline: PipelineMode,
+    pipeline_frames: Option<u64>,
 }
 
 impl SessionBuilder {
@@ -70,13 +93,29 @@ impl SessionBuilder {
         self
     }
 
+    /// Cross-layer pipelined scheduling mode (default: [`PipelineMode::Off`]).
+    pub fn pipeline(mut self, mode: PipelineMode) -> Self {
+        self.pipeline = mode;
+        self
+    }
+
+    /// Frames per simulated streaming run ([`DEFAULT_PIPELINE_FRAMES`]
+    /// unless set; clamped to at least 1).
+    pub fn pipeline_frames(mut self, frames: u64) -> Self {
+        self.pipeline_frames = Some(frames.max(1));
+        self
+    }
+
     /// Construct the session.
     pub fn build(self) -> Session {
         Session {
             backends: self.backends,
             networks: self.networks,
             threads: self.threads.unwrap_or_else(par::default_threads),
+            pipeline: self.pipeline,
+            pipeline_frames: self.pipeline_frames.unwrap_or(DEFAULT_PIPELINE_FRAMES),
             cache: Mutex::new(HashMap::new()),
+            last_hits: Mutex::new(Vec::new()),
         }
     }
 }
@@ -103,47 +142,97 @@ impl Session {
         self.cache.lock().unwrap().len()
     }
 
+    /// Cache hits of one (backend, network) pair in the last
+    /// [`Session::run`], by session indices. `None` before the first run.
+    pub fn cache_hits(&self, backend_index: usize, network_index: usize) -> Option<u64> {
+        self.last_hits
+            .lock()
+            .unwrap()
+            .get(backend_index)?
+            .get(network_index)
+            .copied()
+    }
+
     /// Evaluate every (backend, network) pair and assemble the report.
     ///
-    /// The decision cache persists across calls, so re-running a session
-    /// (or running a second network with shared shapes) is nearly free.
+    /// All pairs execute concurrently: their fresh shapes are deduplicated
+    /// up front (in session order, giving deterministic per-pair cache
+    /// accounting) and decided in one flat parallel pool. The decision
+    /// cache persists across calls, so re-running a session (or running a
+    /// second network with shared shapes) is nearly free.
     pub fn run(&self) -> RunReport {
-        let mut runs = Vec::with_capacity(self.backends.len() * self.networks.len());
-        for (bi, backend) in self.backends.iter().enumerate() {
-            for net in &self.networks {
-                runs.push(self.run_one(bi, backend.as_ref(), net));
+        // Phase 1: walk pairs in session order, splitting layers into
+        // cache hits and a globally deduplicated work list. This is the
+        // same accounting a sequential pair-by-pair run would produce.
+        let mut work: Vec<(usize, ConvShape)> = Vec::new();
+        let mut hits = vec![vec![0u64; self.networks.len()]; self.backends.len()];
+        {
+            let cache = self.cache.lock().unwrap();
+            let mut decided: HashSet<CacheKey> = cache.keys().copied().collect();
+            for (bi, backend) in self.backends.iter().enumerate() {
+                let objective = backend.objective();
+                for (ni, net) in self.networks.iter().enumerate() {
+                    for layer in net.conv_layers() {
+                        if decided.insert((bi, objective, layer.shape)) {
+                            work.push((bi, layer.shape));
+                        } else {
+                            hits[bi][ni] += 1;
+                        }
+                    }
+                }
             }
         }
+
+        // Phase 2: every pair's fresh shapes evaluate in one flat pool —
+        // backend × network concurrency, not just per-layer threads.
+        let fresh = par::par_map(self.threads, &work, |(bi, sh)| {
+            self.backends[*bi].evaluate_layer(sh)
+        });
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for ((bi, sh), eval) in work.iter().zip(fresh) {
+                cache.insert((*bi, self.backends[*bi].objective(), *sh), eval);
+            }
+        }
+
+        // Phase 3: assemble runs (and pipeline schedules) in session
+        // order. Pairs are independent, so rebalance-mode optimizer
+        // re-searches also fan out over the pool; results stay
+        // deterministic because every evaluation is, whichever pair
+        // publishes a shared decision first.
+        let pairs: Vec<(usize, usize)> = (0..self.backends.len())
+            .flat_map(|bi| (0..self.networks.len()).map(move |ni| (bi, ni)))
+            .collect();
+        let runs = par::par_map(self.threads, &pairs, |&(bi, ni)| {
+            self.assemble(bi, &self.networks[ni], hits[bi][ni])
+        });
+        *self.last_hits.lock().unwrap() = hits;
         RunReport {
             schema: SCHEMA_VERSION,
             runs,
         }
     }
 
-    /// Evaluate one backend over one network.
+    /// Evaluate one backend over one network (the network need not be one
+    /// of the session's own; per-pair accounting is not recorded).
     pub fn run_network(&self, backend_index: usize, net: &Network) -> NetworkRun {
         let backend = self.backends[backend_index].as_ref();
-        self.run_one(backend_index, backend, net)
-    }
-
-    fn run_one(&self, backend_index: usize, backend: &dyn Backend, net: &Network) -> NetworkRun {
         let objective = backend.objective();
-        let layers: Vec<_> = net.conv_layers().collect();
 
         // Partition this network's shapes into cached ones and a deduped
         // work list: identical layers are decided exactly once.
         let mut pending: Vec<ConvShape> = Vec::new();
         {
             let cache = self.cache.lock().unwrap();
-            let mut seen: std::collections::HashSet<ConvShape> = Default::default();
-            for layer in &layers {
+            let mut seen: HashSet<ConvShape> = Default::default();
+            for layer in net.conv_layers() {
                 let sh = layer.shape;
                 if !cache.contains_key(&(backend_index, objective, sh)) && seen.insert(sh) {
                     pending.push(sh);
                 }
             }
         }
-        let cache_hits = (layers.len() - pending.len()) as u64;
+        let cache_hits = (net.num_conv_layers() - pending.len()) as u64;
 
         // Decide all fresh shapes in parallel, then publish them.
         let fresh = par::par_map(self.threads, &pending, |sh| backend.evaluate_layer(sh));
@@ -153,28 +242,35 @@ impl Session {
                 cache.insert((backend_index, objective, *sh), eval);
             }
         }
+        self.assemble(backend_index, net, cache_hits)
+    }
 
-        // Assemble per-layer records in network order from the cache.
-        let cache = self.cache.lock().unwrap();
-        let records: Vec<LayerRecord> = layers
-            .iter()
-            .map(|layer| {
-                let eval = cache
-                    .get(&(backend_index, objective, layer.shape))
-                    .expect("every shape was just decided");
-                LayerRecord {
-                    name: layer.name.clone(),
-                    shape: layer.shape,
-                    decision: eval.decision.clone(),
-                    report: eval.report,
-                }
-            })
-            .collect();
+    /// Build one [`NetworkRun`] from the (fully populated) decision cache.
+    fn assemble(&self, backend_index: usize, net: &Network, cache_hits: u64) -> NetworkRun {
+        let backend = self.backends[backend_index].as_ref();
+        let objective = backend.objective();
+        let records: Vec<LayerRecord> = {
+            let cache = self.cache.lock().unwrap();
+            net.conv_layers()
+                .map(|layer| {
+                    let eval = cache
+                        .get(&(backend_index, objective, layer.shape))
+                        .expect("every shape was just decided");
+                    LayerRecord {
+                        name: layer.name.clone(),
+                        shape: layer.shape,
+                        decision: eval.decision.clone(),
+                        report: eval.report,
+                    }
+                })
+                .collect()
+        };
         let total = records
             .iter()
             .fold(morph_energy::EnergyReport::zero(), |acc, l| {
                 acc.add(&l.report)
             });
+        let pipeline = self.pipeline_report(backend_index, &records);
 
         NetworkRun {
             backend: backend.name().to_string(),
@@ -183,7 +279,91 @@ impl Session {
             cache_hits,
             layers: records,
             total,
+            pipeline,
         }
+    }
+
+    /// Schedule the network as a streaming pipeline: one stage per layer,
+    /// service times from the per-layer decisions, channel capacities from
+    /// the backend's buffer hierarchy. In [`PipelineMode::Rebalanced`],
+    /// greedily re-optimize the bottleneck stage with a latency objective
+    /// until the bottleneck stops moving.
+    fn pipeline_report(
+        &self,
+        backend_index: usize,
+        records: &[LayerRecord],
+    ) -> Option<PipelineReport> {
+        if self.pipeline == PipelineMode::Off || records.is_empty() {
+            return None;
+        }
+        let backend = self.backends[backend_index].as_ref();
+        let caps = backend.pipeline_caps();
+        let base: Vec<u64> = records
+            .iter()
+            .map(|r| r.report.cycles.total.max(1))
+            .collect();
+        let capacities: Vec<usize> = records[..records.len() - 1]
+            .iter()
+            .map(|r| caps.channel_capacity(r.shape.output_bytes()))
+            .collect();
+        let spec_of = |services: &[u64]| PipelineSpec {
+            stages: records
+                .iter()
+                .zip(services)
+                .map(|(r, &s)| StageSpec {
+                    name: r.name.clone(),
+                    service_cycles: s,
+                })
+                .collect(),
+            capacities: capacities.clone(),
+        };
+
+        let mut services = base.clone();
+        let mut rebalanced = vec![false; records.len()];
+        if self.pipeline == PipelineMode::Rebalanced {
+            for _ in 0..records.len() {
+                let stats = simulate(&spec_of(&services), self.pipeline_frames);
+                let b = stats.bottleneck();
+                if rebalanced[b] {
+                    break; // already latency-optimal and still the bottleneck
+                }
+                let eval =
+                    self.evaluate_for(backend_index, &records[b].shape, Objective::Performance);
+                let better = eval.report.cycles.total.max(1);
+                if better < services[b] {
+                    services[b] = better;
+                    rebalanced[b] = true;
+                } else {
+                    break; // the bottleneck cannot be flattened further
+                }
+            }
+        }
+
+        let stats = simulate(&spec_of(&services), self.pipeline_frames);
+        Some(PipelineReport::from_stats(
+            &stats,
+            self.pipeline,
+            backend.arch().clock_hz,
+            &base,
+            &rebalanced,
+        ))
+    }
+
+    /// Cached layer evaluation under an explicit objective (used by the
+    /// pipeline rebalancer; shares the session decision cache).
+    fn evaluate_for(
+        &self,
+        backend_index: usize,
+        shape: &ConvShape,
+        objective: Objective,
+    ) -> LayerEval {
+        let key = (backend_index, objective, *shape);
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        let eval = self.backends[backend_index].evaluate_layer_for(shape, objective);
+        self.cache.lock().unwrap().insert(key, eval.clone());
+        eval
     }
 }
 
@@ -269,6 +449,81 @@ mod tests {
         // served entirely from the cache.
         assert_eq!(rep.runs[1].cache_hits, 5);
         assert!(rep.find("Eyeriss", "other").is_some());
+    }
+
+    #[test]
+    fn pipeline_is_off_by_default() {
+        let rep = Session::builder()
+            .backend(Morph::new())
+            .network(repeated_net())
+            .build()
+            .run();
+        assert!(rep.runs[0].pipeline.is_none());
+    }
+
+    #[test]
+    fn analytic_pipeline_reports_streaming_throughput() {
+        let rep = Session::builder()
+            .backend(Morph::new())
+            .network(repeated_net())
+            .pipeline(PipelineMode::Analytic)
+            .pipeline_frames(16)
+            .build()
+            .run();
+        let run = &rep.runs[0];
+        let p = run.pipeline.as_ref().unwrap();
+        assert_eq!(p.mode, PipelineMode::Analytic);
+        assert_eq!(p.frames, 16);
+        assert_eq!(p.stages.len(), run.layers.len());
+        // Stage services are exactly the per-layer decision latencies.
+        for (stage, layer) in p.stages.iter().zip(&run.layers) {
+            assert_eq!(stage.name, layer.name);
+            assert_eq!(stage.service_cycles, layer.report.cycles.total.max(1));
+            assert!(!stage.rebalanced);
+        }
+        // Pipelining can only help, and the bottleneck is a real layer.
+        assert!(p.steady_fps >= p.serial_fps);
+        assert!(run.layer(&p.bottleneck).is_some());
+    }
+
+    #[test]
+    fn rebalanced_pipeline_is_never_slower() {
+        let build = |mode| {
+            Session::builder()
+                .backend(Morph::new())
+                .network(repeated_net())
+                .pipeline(mode)
+                .build()
+                .run()
+        };
+        let analytic = build(PipelineMode::Analytic);
+        let rebalanced = build(PipelineMode::Rebalanced);
+        let a = analytic.runs[0].pipeline.as_ref().unwrap();
+        let r = rebalanced.runs[0].pipeline.as_ref().unwrap();
+        // Same baseline, no worse throughput once bottlenecks re-optimize
+        // for latency; per-layer records keep the original objective.
+        assert_eq!(a.serial_fps, r.serial_fps);
+        assert!(r.steady_fps >= a.steady_fps);
+        assert_eq!(analytic.runs[0].layers, rebalanced.runs[0].layers);
+    }
+
+    #[test]
+    fn per_pair_cache_hits_are_queryable() {
+        let mut other = repeated_net();
+        other.name = "other";
+        let session = Session::builder()
+            .backend(Morph::new())
+            .backend(Eyeriss::new())
+            .network(repeated_net())
+            .network(other)
+            .build();
+        assert_eq!(session.cache_hits(0, 0), None, "no run recorded yet");
+        let rep = session.run();
+        for (i, run) in rep.runs.iter().enumerate() {
+            let (bi, ni) = (i / 2, i % 2);
+            assert_eq!(session.cache_hits(bi, ni), Some(run.cache_hits));
+        }
+        assert_eq!(session.cache_hits(5, 0), None, "out of range");
     }
 
     #[test]

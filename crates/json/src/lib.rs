@@ -23,6 +23,29 @@
 //! let round = Value::parse(&v.pretty()).unwrap();
 //! assert_eq!(v, round);
 //! ```
+//!
+//! ## Report schemas
+//!
+//! The top-level document the workspace persists is `morph-core`'s
+//! `RunReport` (`experiments_out/*.json`, merged into `bench.json`). Its
+//! `schema` stamp is currently **2**:
+//!
+//! * v1 — `{schema, runs: [{backend, network, objective, cache_hits,
+//!   layers: [{name, shape, decision, report}], total}]}`.
+//! * v2 — each run additionally carries `pipeline`: `null`, or the
+//!   `morph-pipeline` crate's `PipelineReport` with the cross-layer
+//!   streaming schedule: `{mode: "analytic" | "rebalanced", frames,
+//!   clock_hz, makespan_cycles, fill_cycles, drain_cycles, steady_fps,
+//!   serial_fps, bottleneck, stages: [{name, service_cycles,
+//!   base_service_cycles, rebalanced, utilization, blocked_cycles,
+//!   out_capacity, max_occupancy, mean_occupancy}]}`. Cycle counts and
+//!   capacities are `Int`; throughputs, utilization and mean occupancy
+//!   are `Float`.
+//!
+//! `crates/bench/baseline.json` (the `bench_diff` perf gate) is a
+//! separate, deliberately compact summary: `{baseline_schema: 1,
+//! report_schema, entries: [{backend, network, objective, occurrence,
+//! cycles, total_pj}]}`.
 
 #![warn(missing_docs)]
 

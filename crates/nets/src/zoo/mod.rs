@@ -16,14 +16,9 @@ pub use twostream::two_stream;
 
 use crate::net::Network;
 
-/// The five networks of the paper's main evaluation (Fig. 9 / Fig. 10),
-/// in figure order.
-pub fn evaluation_networks() -> Vec<Network> {
-    vec![c3d(), resnet3d_50(), i3d(), two_stream(), alexnet()]
-}
-
-/// The six networks of Fig. 1 (three 2D, three 3D).
-pub fn figure1_networks() -> Vec<Network> {
+/// Every network in the zoo, one instance each (2D networks first, then
+/// 3D), keyed by the display name each carries.
+pub fn all() -> Vec<Network> {
     vec![
         alexnet(),
         googlenet(),
@@ -31,7 +26,39 @@ pub fn figure1_networks() -> Vec<Network> {
         c3d(),
         resnet3d_50(),
         i3d(),
+        two_stream(),
     ]
+}
+
+/// Look up a zoo network by its display name (`"C3D"`, `"ResNet-3D"`, …).
+pub fn by_name(name: &str) -> Option<Network> {
+    all().into_iter().find(|n| n.name == name)
+}
+
+/// Curated subset in the requested order, built from one [`all`] pass.
+fn subset(names: &[&str]) -> Vec<Network> {
+    let mut pool = all();
+    names
+        .iter()
+        .map(|&name| {
+            let i = pool
+                .iter()
+                .position(|n| n.name == name)
+                .unwrap_or_else(|| panic!("no zoo network named {name:?}"));
+            pool.swap_remove(i)
+        })
+        .collect()
+}
+
+/// The five networks of the paper's main evaluation (Fig. 9 / Fig. 10),
+/// in figure order.
+pub fn evaluation_networks() -> Vec<Network> {
+    subset(&["C3D", "ResNet-3D", "I3D", "Two_Stream", "AlexNet"])
+}
+
+/// The six networks of Fig. 1 (three 2D, three 3D).
+pub fn figure1_networks() -> Vec<Network> {
+    subset(&["AlexNet", "Inception", "ResNet", "C3D", "ResNet-3D", "I3D"])
 }
 
 #[cfg(test)]
@@ -56,6 +83,28 @@ mod tests {
                     layer.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn zoo_names_are_unique_and_resolvable() {
+        let nets = all();
+        assert_eq!(nets.len(), 7);
+        let mut names: Vec<_> = nets.iter().map(|n| n.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), nets.len(), "duplicate display name");
+        for net in &nets {
+            assert_eq!(by_name(net.name).unwrap().name, net.name);
+        }
+        assert!(by_name("NoSuchNet").is_none());
+    }
+
+    #[test]
+    fn curated_subsets_come_from_the_zoo() {
+        for net in evaluation_networks().iter().chain(&figure1_networks()) {
+            let fresh = by_name(net.name).unwrap();
+            assert_eq!(net, &fresh, "{} diverges from zoo::all()", net.name);
         }
     }
 

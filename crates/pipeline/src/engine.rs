@@ -1,0 +1,481 @@
+//! The discrete-event pipeline engine.
+//!
+//! A [`PipelineSpec`] is a linear chain of stages connected by bounded
+//! channels; [`simulate`] advances it with time-stamped completion events
+//! (DAM-style) and returns [`PipelineStats`]: makespan, fill/drain
+//! latency, steady-state throughput, per-stage utilization and per-channel
+//! occupancy.
+//!
+//! Semantics are blocking-after-service: a stage pops one frame from its
+//! input channel, occupies itself for `service_cycles`, then pushes the
+//! result downstream — holding both the frame and the stage if the output
+//! channel is full. Pops, pushes and starts cascade within a timestamp
+//! until a fixpoint, so simultaneous events resolve deterministically.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How a backend provisions its buffer hierarchy for cross-layer
+/// pipelining (the `Backend::pipeline_caps` hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineCaps {
+    /// Last-level bytes available for staging inter-stage frames.
+    pub staging_bytes: usize,
+    /// Whether the staging buffers are double buffered (adds one in-flight
+    /// slot per channel).
+    pub double_buffered: bool,
+}
+
+impl PipelineCaps {
+    /// Upper bound on slots per channel regardless of frame size: tiny
+    /// activations must not imply unbounded queues.
+    pub const MAX_SLOTS: usize = 8;
+
+    /// Default provisioning from a last-level buffer: half the capacity is
+    /// staging (the other half stays with the layer tiles), double
+    /// buffered — mirroring the §III double-buffering convention.
+    pub fn from_l2(l2_bytes: usize) -> Self {
+        Self {
+            staging_bytes: l2_bytes / 2,
+            double_buffered: true,
+        }
+    }
+
+    /// Bounded capacity of the channel fed by a producer whose per-frame
+    /// output footprint is `slot_bytes`. Always at least one slot.
+    pub fn channel_capacity(&self, slot_bytes: u64) -> usize {
+        let slots = (self.staging_bytes as u64 / slot_bytes.max(1)).min(Self::MAX_SLOTS as u64);
+        (slots as usize).max(1) + usize::from(self.double_buffered)
+    }
+}
+
+/// One pipeline stage: a layer with a deterministic per-frame service time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Stage (layer) name.
+    pub name: String,
+    /// Cycles to process one frame (must be ≥ 1).
+    pub service_cycles: u64,
+}
+
+/// A linear pipeline: `stages[i]` feeds `stages[i + 1]` through a bounded
+/// channel of `capacities[i]` frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineSpec {
+    /// Stages in dataflow order.
+    pub stages: Vec<StageSpec>,
+    /// Channel capacities; `capacities.len() == stages.len() - 1`.
+    pub capacities: Vec<usize>,
+}
+
+impl PipelineSpec {
+    /// Structural checks: at least one stage, matching channel count,
+    /// nonzero service times and capacities.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("pipeline has no stages".into());
+        }
+        if self.capacities.len() + 1 != self.stages.len() {
+            return Err(format!(
+                "{} stages need {} channels, got {}",
+                self.stages.len(),
+                self.stages.len() - 1,
+                self.capacities.len()
+            ));
+        }
+        for s in &self.stages {
+            if s.service_cycles == 0 {
+                return Err(format!("stage {:?} has zero service time", s.name));
+            }
+        }
+        if let Some(i) = self.capacities.iter().position(|&c| c == 0) {
+            return Err(format!("channel {i} has zero capacity"));
+        }
+        Ok(())
+    }
+
+    /// Serial (non-pipelined) cycles per frame: the sum of all services.
+    pub fn serial_cycles_per_frame(&self) -> u64 {
+        self.stages.iter().map(|s| s.service_cycles).sum()
+    }
+}
+
+/// Per-stage outcome of a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage name (copied from the spec).
+    pub name: String,
+    /// Service time simulated.
+    pub service_cycles: u64,
+    /// Frames fully processed.
+    pub frames: u64,
+    /// Cycles spent in service.
+    pub busy_cycles: u64,
+    /// Cycles spent holding a finished frame because the output channel
+    /// was full (back-pressure).
+    pub blocked_cycles: u64,
+}
+
+/// Per-channel occupancy outcome of a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Peak frames simultaneously buffered.
+    pub max_occupancy: usize,
+    /// Time-weighted mean occupancy over the makespan.
+    pub mean_occupancy: f64,
+}
+
+/// The product of [`simulate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStats {
+    /// Frames injected at the source.
+    pub frames_in: u64,
+    /// Frames that exited the last stage (conservation: `== frames_in`).
+    pub frames_out: u64,
+    /// Cycle at which the last frame exited.
+    pub makespan_cycles: u64,
+    /// Cycle at which the first frame exited (pipeline fill latency).
+    pub fill_cycles: u64,
+    /// Makespan minus the last frame's entry into stage 0 (drain latency).
+    pub drain_cycles: u64,
+    /// Per-stage statistics, in dataflow order.
+    pub stages: Vec<StageStats>,
+    /// Per-channel statistics (`stages.len() - 1` entries).
+    pub channels: Vec<ChannelStats>,
+}
+
+impl PipelineStats {
+    /// Index of the bottleneck stage: most busy cycles, earliest on ties.
+    pub fn bottleneck(&self) -> usize {
+        let mut best = 0;
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.busy_cycles > self.stages[best].busy_cycles {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Steady-state cycles per frame, measured between the first and last
+    /// exit (falls back to the makespan for a single frame).
+    pub fn steady_cycles_per_frame(&self) -> f64 {
+        if self.frames_out >= 2 {
+            (self.makespan_cycles - self.fill_cycles) as f64 / (self.frames_out - 1) as f64
+        } else {
+            self.makespan_cycles as f64
+        }
+    }
+
+    /// Utilization of stage `i`: busy cycles over the makespan.
+    pub fn utilization(&self, i: usize) -> f64 {
+        self.stages[i].busy_cycles as f64 / (self.makespan_cycles.max(1)) as f64
+    }
+}
+
+/// Bounded-channel state with time-weighted occupancy accounting.
+struct Chan {
+    cap: usize,
+    occ: usize,
+    max: usize,
+    integral: u128,
+    last_t: u64,
+}
+
+impl Chan {
+    fn set(&mut self, now: u64, occ: usize) {
+        self.integral += self.occ as u128 * u128::from(now - self.last_t);
+        self.last_t = now;
+        self.occ = occ;
+        self.max = self.max.max(occ);
+    }
+}
+
+struct Sim<'a> {
+    spec: &'a PipelineSpec,
+    frames: u64,
+    now: u64,
+    /// Frames still waiting at the source in front of stage 0.
+    source: u64,
+    chans: Vec<Chan>,
+    busy: Vec<bool>,
+    holding: Vec<bool>,
+    hold_since: Vec<u64>,
+    done: Vec<u64>,
+    busy_cycles: Vec<u64>,
+    blocked_cycles: Vec<u64>,
+    frames_out: u64,
+    first_exit: u64,
+    last_exit: u64,
+    last_entry: u64,
+    /// Pending completion events: (time, sequence, stage).
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    seq: u64,
+}
+
+impl Sim<'_> {
+    fn input_ready(&self, i: usize) -> bool {
+        if i == 0 {
+            self.source > 0
+        } else {
+            self.chans[i - 1].occ > 0
+        }
+    }
+
+    fn output_has_space(&self, i: usize) -> bool {
+        i + 1 == self.spec.stages.len() || self.chans[i].occ < self.chans[i].cap
+    }
+
+    fn pop_input(&mut self, i: usize) {
+        if i == 0 {
+            self.source -= 1;
+            self.last_entry = self.now;
+        } else {
+            let occ = self.chans[i - 1].occ - 1;
+            self.chans[i - 1].set(self.now, occ);
+        }
+    }
+
+    /// Push stage `i`'s finished frame downstream (the caller checked for
+    /// space); the last stage exits into an unbounded sink.
+    fn push_output(&mut self, i: usize) {
+        if i + 1 == self.spec.stages.len() {
+            if self.frames_out == 0 {
+                self.first_exit = self.now;
+            }
+            self.frames_out += 1;
+            self.last_exit = self.now;
+        } else {
+            let occ = self.chans[i].occ + 1;
+            self.chans[i].set(self.now, occ);
+        }
+    }
+
+    /// Cascade deliveries and starts at the current timestamp until no
+    /// stage can make progress.
+    fn relax(&mut self) {
+        let n = self.spec.stages.len();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if self.holding[i] && self.output_has_space(i) {
+                    self.push_output(i);
+                    self.holding[i] = false;
+                    self.blocked_cycles[i] += self.now - self.hold_since[i];
+                    changed = true;
+                }
+                if !self.busy[i] && !self.holding[i] && self.input_ready(i) {
+                    self.pop_input(i);
+                    self.busy[i] = true;
+                    let t = self.now + self.spec.stages[i].service_cycles;
+                    self.heap.push(Reverse((t, self.seq, i)));
+                    self.seq += 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        self.relax();
+        while let Some(Reverse((t, _, i))) = self.heap.pop() {
+            debug_assert!(t >= self.now, "events must be processed in time order");
+            self.now = t;
+            self.busy[i] = false;
+            self.done[i] += 1;
+            self.busy_cycles[i] += self.spec.stages[i].service_cycles;
+            if self.output_has_space(i) {
+                self.push_output(i);
+            } else {
+                self.holding[i] = true;
+                self.hold_since[i] = self.now;
+            }
+            self.relax();
+        }
+    }
+}
+
+/// Run `frames` identical frames through the pipeline and collect stats.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`PipelineSpec::validate`].
+pub fn simulate(spec: &PipelineSpec, frames: u64) -> PipelineStats {
+    spec.validate().expect("invalid pipeline spec");
+    let n = spec.stages.len();
+    let mut sim = Sim {
+        spec,
+        frames,
+        now: 0,
+        source: frames,
+        chans: spec
+            .capacities
+            .iter()
+            .map(|&cap| Chan {
+                cap,
+                occ: 0,
+                max: 0,
+                integral: 0,
+                last_t: 0,
+            })
+            .collect(),
+        busy: vec![false; n],
+        holding: vec![false; n],
+        hold_since: vec![0; n],
+        done: vec![0; n],
+        busy_cycles: vec![0; n],
+        blocked_cycles: vec![0; n],
+        frames_out: 0,
+        first_exit: 0,
+        last_exit: 0,
+        last_entry: 0,
+        heap: BinaryHeap::new(),
+        seq: 0,
+    };
+    sim.run();
+    assert_eq!(sim.frames_out, frames, "conservation: frames in == out");
+
+    let makespan = sim.last_exit;
+    let stages = (0..n)
+        .map(|i| StageStats {
+            name: spec.stages[i].name.clone(),
+            service_cycles: spec.stages[i].service_cycles,
+            frames: sim.done[i],
+            busy_cycles: sim.busy_cycles[i],
+            blocked_cycles: sim.blocked_cycles[i],
+        })
+        .collect();
+    let channels = sim
+        .chans
+        .iter_mut()
+        .map(|c| {
+            c.set(makespan, c.occ); // close the occupancy integral
+            ChannelStats {
+                capacity: c.cap,
+                max_occupancy: c.max,
+                mean_occupancy: if makespan > 0 {
+                    c.integral as f64 / makespan as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    PipelineStats {
+        frames_in: sim.frames,
+        frames_out: sim.frames_out,
+        makespan_cycles: makespan,
+        fill_cycles: sim.first_exit,
+        drain_cycles: makespan - sim.last_entry,
+        stages,
+        channels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(services: &[u64], caps: &[usize]) -> PipelineSpec {
+        PipelineSpec {
+            stages: services
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| StageSpec {
+                    name: format!("s{i}"),
+                    service_cycles: s,
+                })
+                .collect(),
+            capacities: caps.to_vec(),
+        }
+    }
+
+    #[test]
+    fn single_stage_is_serial() {
+        let st = simulate(&spec(&[7], &[]), 5);
+        assert_eq!(st.makespan_cycles, 35);
+        assert_eq!(st.fill_cycles, 7);
+        assert_eq!(st.frames_out, 5);
+        assert_eq!(st.stages[0].busy_cycles, 35);
+        assert!((st.utilization(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_stage_matches_closed_form() {
+        // With any capacity ≥ 1, a two-stage pipeline completes N frames in
+        // s0 + s1 + (N - 1) · max(s0, s1) cycles.
+        for (a, b, cap) in [(3u64, 10u64, 1usize), (10, 3, 1), (4, 4, 2), (1, 9, 4)] {
+            for frames in [1u64, 2, 7] {
+                let st = simulate(&spec(&[a, b], &[cap]), frames);
+                assert_eq!(
+                    st.makespan_cycles,
+                    a + b + (frames - 1) * a.max(b),
+                    "a={a} b={b} cap={cap} frames={frames}"
+                );
+                assert_eq!(st.fill_cycles, a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_tracks_the_bottleneck() {
+        let st = simulate(&spec(&[2, 9, 4], &[2, 2]), 64);
+        assert_eq!(st.bottleneck(), 1);
+        assert!((st.steady_cycles_per_frame() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_channels_add_back_pressure() {
+        // Slow tail, capacity 1: the head blocks, but throughput still
+        // equals the bottleneck rate.
+        let st = simulate(&spec(&[1, 1, 12], &[1, 1]), 32);
+        assert!(st.stages[0].blocked_cycles > 0);
+        assert!((st.steady_cycles_per_frame() - 12.0).abs() < 1e-9);
+        // Occupancy never exceeds capacity.
+        for c in &st.channels {
+            assert!(c.max_occupancy <= c.capacity);
+            assert!(c.mean_occupancy <= c.capacity as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_buffers_never_slow_the_pipeline() {
+        let services = [5u64, 3, 8, 2];
+        let tight = simulate(&spec(&services, &[1, 1, 1]), 40);
+        let roomy = simulate(&spec(&services, &[4, 4, 4]), 40);
+        assert!(roomy.makespan_cycles <= tight.makespan_cycles);
+    }
+
+    #[test]
+    fn zero_frames_is_a_quiet_no_op() {
+        let st = simulate(&spec(&[3, 4], &[1]), 0);
+        assert_eq!(st.frames_out, 0);
+        assert_eq!(st.makespan_cycles, 0);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(spec(&[], &[]).validate().is_err());
+        assert!(spec(&[1, 1], &[]).validate().is_err());
+        assert!(spec(&[1, 0], &[1]).validate().is_err());
+        assert!(spec(&[1, 1], &[0]).validate().is_err());
+    }
+
+    #[test]
+    fn capacity_derivation_is_bounded_and_double_buffered() {
+        let caps = PipelineCaps::from_l2(1024 << 10);
+        assert_eq!(caps.staging_bytes, 512 << 10);
+        // Huge frames: one slot plus the double buffer.
+        assert_eq!(caps.channel_capacity(10 << 20), 2);
+        // Tiny frames: clamped at MAX_SLOTS plus the double buffer.
+        assert_eq!(caps.channel_capacity(1), PipelineCaps::MAX_SLOTS + 1);
+        let single = PipelineCaps {
+            staging_bytes: 4096,
+            double_buffered: false,
+        };
+        assert_eq!(single.channel_capacity(2048), 2);
+        assert_eq!(single.channel_capacity(8192), 1);
+    }
+}

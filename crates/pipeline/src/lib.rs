@@ -1,0 +1,50 @@
+//! # morph-pipeline
+//!
+//! Event-driven cross-layer pipeline scheduling for streaming video
+//! workloads.
+//!
+//! The paper's evaluation (and `morph-core`'s per-layer scoring) treats
+//! every layer in isolation, but Morph's target workload is *streaming*
+//! video understanding: frames flow through C3D / Two-Stream networks
+//! continuously, so end-to-end throughput is set by inter-layer
+//! pipelining, not by the sum of per-layer optima. This crate models a
+//! network as a chain of layer stages connected by **bounded,
+//! double-buffered channels** (capacities derived from the backend's
+//! buffer hierarchy via [`PipelineCaps`]) and advances it with a
+//! dependency-free **discrete-event engine** — time-stamped completion
+//! events with deterministic same-cycle cascading, in the style of the
+//! Dataflow Abstract Machine simulator's stage/channel decomposition.
+//!
+//! ```
+//! use morph_pipeline::{simulate, PipelineSpec, StageSpec};
+//!
+//! let spec = PipelineSpec {
+//!     stages: vec![
+//!         StageSpec { name: "conv1".into(), service_cycles: 30 },
+//!         StageSpec { name: "conv2".into(), service_cycles: 50 },
+//!     ],
+//!     capacities: vec![2],
+//! };
+//! let stats = simulate(&spec, 8);
+//! assert_eq!(stats.frames_out, 8);
+//! // Steady state runs at the bottleneck's rate, not the serial sum.
+//! assert!((stats.steady_cycles_per_frame() - 50.0).abs() < 1e-9);
+//! assert_eq!(stats.stages[stats.bottleneck()].name, "conv2");
+//! ```
+//!
+//! `morph-core` builds on this: `Backend::pipeline_caps` provisions the
+//! channels, `Session` (in `PipelineMode::Analytic` / `Rebalanced`)
+//! schedules each stage with the per-layer decision the optimizer already
+//! produced, and the resulting [`PipelineReport`] — throughput, fill and
+//! drain latency, utilization, occupancy, bottleneck — rides inside the
+//! serialized `RunReport`.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod report;
+
+pub use engine::{
+    simulate, ChannelStats, PipelineCaps, PipelineSpec, PipelineStats, StageSpec, StageStats,
+};
+pub use report::{PipelineMode, PipelineReport, StageReport};

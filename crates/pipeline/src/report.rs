@@ -1,0 +1,320 @@
+//! Serializable pipeline scheduling reports.
+//!
+//! A [`PipelineReport`] summarizes one simulated streaming run of a
+//! network on a backend: steady-state throughput, fill/drain latency, the
+//! bottleneck stage, and per-stage utilization/occupancy. It round-trips
+//! through `morph-json` exactly, so it can ride inside a `RunReport`.
+
+use crate::engine::PipelineStats;
+use morph_json::{field, field_arr, field_f64, field_str, field_u64, FromJson, ToJson, Value};
+
+/// How a session schedules layers across the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Per-layer scoring only (the paper's methodology); no pipeline.
+    #[default]
+    Off,
+    /// Simulate the pipeline over the per-layer decisions as-is.
+    Analytic,
+    /// Simulate, then greedily re-optimize bottleneck stages with a
+    /// latency objective to flatten the pipeline.
+    Rebalanced,
+}
+
+impl PipelineMode {
+    /// Stable identifier used in serialized reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineMode::Off => "off",
+            PipelineMode::Analytic => "analytic",
+            PipelineMode::Rebalanced => "rebalanced",
+        }
+    }
+
+    /// Inverse of [`PipelineMode::label`].
+    pub fn from_label(label: &str) -> Result<Self, String> {
+        match label {
+            "off" => Ok(PipelineMode::Off),
+            "analytic" => Ok(PipelineMode::Analytic),
+            "rebalanced" => Ok(PipelineMode::Rebalanced),
+            other => Err(format!("unknown pipeline mode {other:?}")),
+        }
+    }
+}
+
+impl ToJson for PipelineMode {
+    fn to_json(&self) -> Value {
+        Value::Str(self.label().to_string())
+    }
+}
+
+impl FromJson for PipelineMode {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        PipelineMode::from_label(
+            v.as_str()
+                .ok_or_else(|| "pipeline mode must be a string".to_string())?,
+        )
+    }
+}
+
+/// One stage of a [`PipelineReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage (layer) name.
+    pub name: String,
+    /// Scheduled per-frame service cycles (after any rebalancing).
+    pub service_cycles: u64,
+    /// Service cycles of the backend's original per-layer decision.
+    pub base_service_cycles: u64,
+    /// True if the rebalancer replaced this stage's mapping.
+    pub rebalanced: bool,
+    /// Busy cycles over the makespan.
+    pub utilization: f64,
+    /// Cycles spent blocked on a full output channel.
+    pub blocked_cycles: u64,
+    /// Output channel capacity (0 for the last stage: it exits the chip).
+    pub out_capacity: u64,
+    /// Peak occupancy of the output channel.
+    pub max_occupancy: u64,
+    /// Time-weighted mean occupancy of the output channel.
+    pub mean_occupancy: f64,
+}
+
+/// Streaming-throughput summary of one (backend, network) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Scheduling mode that produced this report.
+    pub mode: PipelineMode,
+    /// Frames simulated.
+    pub frames: u64,
+    /// Clock the cycle counts are converted at.
+    pub clock_hz: u64,
+    /// Cycle at which the last frame exited.
+    pub makespan_cycles: u64,
+    /// Cycle at which the first frame exited (fill latency).
+    pub fill_cycles: u64,
+    /// Makespan minus the last frame's entry (drain latency).
+    pub drain_cycles: u64,
+    /// Steady-state throughput in frames per second.
+    pub steady_fps: f64,
+    /// Non-pipelined throughput: clock over the summed per-layer latency.
+    pub serial_fps: f64,
+    /// Name of the bottleneck stage.
+    pub bottleneck: String,
+    /// Per-stage detail, in dataflow order.
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelineReport {
+    /// Assemble a report from simulation stats.
+    ///
+    /// `base_services[i]` is stage `i`'s pre-rebalance latency (equal to
+    /// the simulated service unless `rebalanced[i]`); `serial_fps` is
+    /// derived from their sum — the throughput of scoring every layer in
+    /// isolation, which pipelining can only improve.
+    pub fn from_stats(
+        stats: &PipelineStats,
+        mode: PipelineMode,
+        clock_hz: u64,
+        base_services: &[u64],
+        rebalanced: &[bool],
+    ) -> Self {
+        assert_eq!(stats.stages.len(), base_services.len());
+        assert_eq!(stats.stages.len(), rebalanced.len());
+        let serial_cycles: u64 = base_services.iter().sum();
+        let stages: Vec<StageReport> = stats
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let chan = stats.channels.get(i);
+                StageReport {
+                    name: s.name.clone(),
+                    service_cycles: s.service_cycles,
+                    base_service_cycles: base_services[i],
+                    rebalanced: rebalanced[i],
+                    utilization: stats.utilization(i),
+                    blocked_cycles: s.blocked_cycles,
+                    out_capacity: chan.map_or(0, |c| c.capacity as u64),
+                    max_occupancy: chan.map_or(0, |c| c.max_occupancy as u64),
+                    mean_occupancy: chan.map_or(0.0, |c| c.mean_occupancy),
+                }
+            })
+            .collect();
+        PipelineReport {
+            mode,
+            frames: stats.frames_out,
+            clock_hz,
+            makespan_cycles: stats.makespan_cycles,
+            fill_cycles: stats.fill_cycles,
+            drain_cycles: stats.drain_cycles,
+            steady_fps: clock_hz as f64 / stats.steady_cycles_per_frame().max(1.0),
+            serial_fps: clock_hz as f64 / (serial_cycles.max(1)) as f64,
+            bottleneck: stats.stages[stats.bottleneck()].name.clone(),
+            stages,
+        }
+    }
+
+    /// Streaming speedup over per-layer-serial execution.
+    pub fn speedup(&self) -> f64 {
+        self.steady_fps / self.serial_fps
+    }
+
+    /// Number of stages the rebalancer changed.
+    pub fn rebalanced_stages(&self) -> usize {
+        self.stages.iter().filter(|s| s.rebalanced).count()
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.1} frames/s steady ({:.2}x over serial), fill {:.2} ms, bottleneck {}",
+            self.steady_fps,
+            self.speedup(),
+            self.fill_cycles as f64 / self.clock_hz as f64 * 1e3,
+            self.bottleneck,
+        )
+    }
+}
+
+impl ToJson for StageReport {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("name", Value::Str(self.name.clone())),
+            ("service_cycles", Value::Int(self.service_cycles as i64)),
+            (
+                "base_service_cycles",
+                Value::Int(self.base_service_cycles as i64),
+            ),
+            ("rebalanced", Value::Bool(self.rebalanced)),
+            ("utilization", Value::Float(self.utilization)),
+            ("blocked_cycles", Value::Int(self.blocked_cycles as i64)),
+            ("out_capacity", Value::Int(self.out_capacity as i64)),
+            ("max_occupancy", Value::Int(self.max_occupancy as i64)),
+            ("mean_occupancy", Value::Float(self.mean_occupancy)),
+        ])
+    }
+}
+
+impl FromJson for StageReport {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(StageReport {
+            name: field_str(v, "name")?.to_string(),
+            service_cycles: field_u64(v, "service_cycles")?,
+            base_service_cycles: field_u64(v, "base_service_cycles")?,
+            rebalanced: field(v, "rebalanced")?
+                .as_bool()
+                .ok_or_else(|| "field \"rebalanced\" is not a bool".to_string())?,
+            utilization: field_f64(v, "utilization")?,
+            blocked_cycles: field_u64(v, "blocked_cycles")?,
+            out_capacity: field_u64(v, "out_capacity")?,
+            max_occupancy: field_u64(v, "max_occupancy")?,
+            mean_occupancy: field_f64(v, "mean_occupancy")?,
+        })
+    }
+}
+
+impl ToJson for PipelineReport {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("mode", self.mode.to_json()),
+            ("frames", Value::Int(self.frames as i64)),
+            ("clock_hz", Value::Int(self.clock_hz as i64)),
+            ("makespan_cycles", Value::Int(self.makespan_cycles as i64)),
+            ("fill_cycles", Value::Int(self.fill_cycles as i64)),
+            ("drain_cycles", Value::Int(self.drain_cycles as i64)),
+            ("steady_fps", Value::Float(self.steady_fps)),
+            ("serial_fps", Value::Float(self.serial_fps)),
+            ("bottleneck", Value::Str(self.bottleneck.clone())),
+            ("stages", self.stages.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PipelineReport {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(PipelineReport {
+            mode: PipelineMode::from_json(field(v, "mode")?)?,
+            frames: field_u64(v, "frames")?,
+            clock_hz: field_u64(v, "clock_hz")?,
+            makespan_cycles: field_u64(v, "makespan_cycles")?,
+            fill_cycles: field_u64(v, "fill_cycles")?,
+            drain_cycles: field_u64(v, "drain_cycles")?,
+            steady_fps: field_f64(v, "steady_fps")?,
+            serial_fps: field_f64(v, "serial_fps")?,
+            bottleneck: field_str(v, "bottleneck")?.to_string(),
+            stages: field_arr(v, "stages")?
+                .iter()
+                .map(StageReport::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, PipelineSpec, StageSpec};
+
+    fn sample() -> PipelineReport {
+        let spec = PipelineSpec {
+            stages: vec![
+                StageSpec {
+                    name: "conv1".into(),
+                    service_cycles: 40,
+                },
+                StageSpec {
+                    name: "conv2".into(),
+                    service_cycles: 100,
+                },
+                StageSpec {
+                    name: "conv3".into(),
+                    service_cycles: 25,
+                },
+            ],
+            capacities: vec![2, 2],
+        };
+        let stats = simulate(&spec, 16);
+        PipelineReport::from_stats(
+            &stats,
+            PipelineMode::Rebalanced,
+            1_000_000_000,
+            &[40, 130, 25],
+            &[false, true, false],
+        )
+    }
+
+    #[test]
+    fn pipelining_only_helps() {
+        let r = sample();
+        assert!(r.steady_fps >= r.serial_fps);
+        assert!(r.speedup() >= 1.0);
+        assert_eq!(r.bottleneck, "conv2");
+        assert_eq!(r.rebalanced_stages(), 1);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let r = sample();
+        let back =
+            PipelineReport::from_json(&Value::parse(&r.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for m in [
+            PipelineMode::Off,
+            PipelineMode::Analytic,
+            PipelineMode::Rebalanced,
+        ] {
+            assert_eq!(PipelineMode::from_label(m.label()).unwrap(), m);
+        }
+        assert!(PipelineMode::from_label("bogus").is_err());
+    }
+
+    #[test]
+    fn summary_names_the_bottleneck() {
+        assert!(sample().summary().contains("conv2"));
+    }
+}

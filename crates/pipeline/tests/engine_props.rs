@@ -1,0 +1,142 @@
+//! Property tests on the discrete-event engine, swept over seeded
+//! pseudo-random pipelines (the workspace's xorshift harness).
+//!
+//! The strongest check is an independent oracle: the blocking-after-service
+//! recurrence for tandem queues with deterministic service times and
+//! finite buffers. The event engine and the recurrence are entirely
+//! separate formulations of the same semantics, so agreement across the
+//! sweep pins both down.
+
+use morph_pipeline::{simulate, PipelineSpec, StageSpec};
+use morph_tensor::rng::XorShift as Rng;
+
+fn arb_spec(rng: &mut Rng) -> PipelineSpec {
+    let n = rng.range(1, 8);
+    PipelineSpec {
+        stages: (0..n)
+            .map(|i| StageSpec {
+                name: format!("s{i}"),
+                service_cycles: rng.range(1, 50) as u64,
+            })
+            .collect(),
+        capacities: (0..n.saturating_sub(1)).map(|_| rng.range(1, 5)).collect(),
+    }
+}
+
+/// Closed-form recurrence for the same semantics:
+/// * `pop[i][j]` — stage `i` starts frame `j` when its input has arrived
+///   and the stage has released frame `j - 1`;
+/// * `rel[i][j]` — stage `i` releases (pushes) frame `j` when service is
+///   done and the output channel has a slot, i.e. the consumer has popped
+///   frame `j - cap`.
+///
+/// Returns every frame's exit time from the last stage.
+fn oracle_exits(spec: &PipelineSpec, frames: usize) -> Vec<u64> {
+    let n = spec.stages.len();
+    let mut pop = vec![vec![0u64; frames]; n];
+    let mut rel = vec![vec![0u64; frames]; n];
+    for j in 0..frames {
+        for i in 0..n {
+            let input_ready = if i == 0 { 0 } else { rel[i - 1][j] };
+            let stage_free = if j == 0 { 0 } else { rel[i][j - 1] };
+            pop[i][j] = input_ready.max(stage_free);
+            let done = pop[i][j] + spec.stages[i].service_cycles;
+            rel[i][j] = if i + 1 < n {
+                let cap = spec.capacities[i];
+                if j >= cap {
+                    done.max(pop[i + 1][j - cap])
+                } else {
+                    done
+                }
+            } else {
+                done
+            };
+        }
+    }
+    rel[n - 1].clone()
+}
+
+#[test]
+fn engine_matches_the_blocking_recurrence() {
+    let mut rng = Rng::new(0x9199);
+    for case in 0..400 {
+        let spec = arb_spec(&mut rng);
+        let frames = rng.range(1, 40);
+        let stats = simulate(&spec, frames as u64);
+        let exits = oracle_exits(&spec, frames);
+        assert_eq!(
+            stats.makespan_cycles,
+            *exits.last().unwrap(),
+            "case {case}: makespan, spec {spec:?} frames {frames}"
+        );
+        assert_eq!(
+            stats.fill_cycles, exits[0],
+            "case {case}: fill latency, spec {spec:?} frames {frames}"
+        );
+    }
+}
+
+#[test]
+fn conservation_and_busy_time_bounds() {
+    let mut rng = Rng::new(2026);
+    for case in 0..400 {
+        let spec = arb_spec(&mut rng);
+        let frames = rng.range(1, 40) as u64;
+        let stats = simulate(&spec, frames);
+
+        // Frames in == frames out, at every stage.
+        assert_eq!(stats.frames_in, frames, "case {case}");
+        assert_eq!(stats.frames_out, frames, "case {case}");
+        for s in &stats.stages {
+            assert_eq!(s.frames, frames, "case {case}: stage {}", s.name);
+            // A stage is a serial server: busy time is exactly
+            // frames x service and never exceeds the makespan.
+            assert_eq!(s.busy_cycles, frames * s.service_cycles, "case {case}");
+            assert!(
+                s.busy_cycles <= stats.makespan_cycles,
+                "case {case}: stage {} busy {} > makespan {}",
+                s.name,
+                s.busy_cycles,
+                stats.makespan_cycles
+            );
+        }
+
+        // Channels respect their bounds.
+        for (ci, c) in stats.channels.iter().enumerate() {
+            assert!(c.max_occupancy <= c.capacity, "case {case}: channel {ci}");
+            assert!(
+                c.mean_occupancy <= c.capacity as f64 + 1e-9,
+                "case {case}: channel {ci}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelining_never_loses_to_serial_execution() {
+    let mut rng = Rng::new(7);
+    for case in 0..400 {
+        let spec = arb_spec(&mut rng);
+        let frames = rng.range(2, 40) as u64;
+        let stats = simulate(&spec, frames);
+        let serial = spec.serial_cycles_per_frame();
+        let max_service = spec.stages.iter().map(|s| s.service_cycles).max().unwrap();
+
+        // Steady state is no slower than running layers back to back, and
+        // no faster than the bottleneck stage permits.
+        let steady = stats.steady_cycles_per_frame();
+        assert!(
+            steady <= serial as f64 + 1e-9,
+            "case {case}: steady {steady} > serial {serial}"
+        );
+        assert!(
+            steady >= max_service as f64 - 1e-9,
+            "case {case}: steady {steady} < bottleneck {max_service}"
+        );
+
+        // Whole-run bounds: can't beat the bottleneck, can't lose to
+        // fully serial execution.
+        assert!(stats.makespan_cycles >= frames * max_service);
+        assert!(stats.makespan_cycles <= frames * serial);
+    }
+}

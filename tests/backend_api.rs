@@ -4,7 +4,7 @@
 
 use morph_core::{
     ArchSpec, Backend, Effort, EnergyModel, Eyeriss, Morph, MorphBase, Objective, Optimizer,
-    RunReport, Session, TechNode,
+    PipelineMode, RunReport, Session, TechNode,
 };
 use morph_nets::Network;
 use morph_tensor::shape::ConvShape;
@@ -132,6 +132,106 @@ fn decision_cache_hits_on_repeated_shapes() {
     let again = session.run();
     assert_eq!(again.runs[0].cache_hits, 5);
     assert_eq!(again.runs[0].layers, run.layers);
+}
+
+/// A second network sharing one shape with `resnet_like` (its stem).
+fn pool_like() -> Network {
+    let stem = ConvShape::new_3d(16, 16, 4, 8, 16, 3, 3, 3).with_pad(1, 1);
+    let tail = ConvShape::new_3d(16, 16, 4, 16, 8, 3, 3, 3).with_pad(1, 1);
+    let mut n = Network::new("pool-like");
+    n.conv("stem", stem).conv("tail", tail);
+    n
+}
+
+/// Concurrent pair execution (all backend × network pairs fan out over one
+/// worker pool) must produce reports identical to sequential execution —
+/// including per-pair `cache_hits`, which keep sequential semantics.
+#[test]
+fn concurrent_pair_execution_matches_sequential() {
+    let build = |threads: usize| {
+        Session::builder()
+            .backend(Morph::new())
+            .backend(MorphBase::new())
+            .backend(Eyeriss::new())
+            .network(resnet_like())
+            .network(pool_like())
+            .threads(threads)
+            .pipeline(PipelineMode::Rebalanced)
+            .build()
+    };
+    let concurrent = build(8).run();
+    let sequential = build(1).run();
+    assert_eq!(concurrent, sequential);
+    assert_eq!(concurrent.runs.len(), 6);
+    // Cross-pair sharing still registers: pool-like's stem repeats
+    // resnet-like's stem on every backend.
+    for pair in concurrent.runs.chunks(2) {
+        assert!(pair[1].cache_hits >= 1, "{}", pair[1].backend);
+    }
+}
+
+/// `Session::cache_hits` exposes the per-pair accounting of the last run,
+/// matching what the report records.
+#[test]
+fn per_pair_cache_hits_match_the_report() {
+    let session = Session::builder()
+        .backend(Morph::new())
+        .backend(Eyeriss::new())
+        .network(resnet_like())
+        .network(pool_like())
+        .build();
+    assert_eq!(session.cache_hits(0, 0), None, "nothing recorded yet");
+    let report = session.run();
+    for (i, run) in report.runs.iter().enumerate() {
+        let (bi, ni) = (i / 2, i % 2);
+        assert_eq!(
+            session.cache_hits(bi, ni),
+            Some(run.cache_hits),
+            "{} on {}",
+            run.network,
+            run.backend
+        );
+    }
+}
+
+/// The pipeline section rides inside the `RunReport` JSON exactly, and the
+/// schedule it reports can only improve on per-layer-serial throughput.
+#[test]
+fn pipeline_report_round_trips_and_only_helps() {
+    let report = Session::builder()
+        .backend(Morph::new())
+        .backend(Eyeriss::new())
+        .network(resnet_like())
+        .pipeline(PipelineMode::Rebalanced)
+        .build()
+        .run();
+    for run in &report.runs {
+        let p = run.pipeline.as_ref().unwrap();
+        assert_eq!(p.stages.len(), run.layers.len());
+        assert!(p.steady_fps >= p.serial_fps, "{}", run.backend);
+        assert!(run.layer(&p.bottleneck).is_some());
+    }
+    let back = RunReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(report, back);
+}
+
+/// `evaluate_layer_for` overrides the backend's built-time objective: a
+/// latency-objective search is at least as fast as the energy-optimal one.
+#[test]
+fn objective_override_reaches_latency_optimal_mappings() {
+    let sh = layer();
+    let energy_opt = Morph::new();
+    let base = energy_opt.evaluate_layer(&sh).report;
+    let perf = energy_opt
+        .evaluate_layer_for(&sh, Objective::Performance)
+        .report;
+    assert!(perf.cycles.total <= base.cycles.total);
+    // Fixed-dataflow backends ignore the override.
+    let ey = Eyeriss::new();
+    assert_eq!(
+        ey.evaluate_layer_for(&sh, Objective::Performance).report,
+        ey.evaluate_layer(&sh).report
+    );
 }
 
 trait CloneNamed {
