@@ -57,11 +57,22 @@
 //! assert!(perf.run_layer(&layer).total_pj() > 0.0);
 //! ```
 //!
+//! Networks are **graph-native**: `morph_nets::Network` is a DAG of conv,
+//! pool and explicit concat/add join nodes with typed `NodeId` edges, a
+//! fluent `conv`/`pool` chain builder plus `fork()`/branch builders for
+//! real Inception modules, residual bypasses and parallel input streams —
+//! every connection is shape-checked exactly, and the deterministic
+//! linearization keeps per-layer totals identical to the flat-list era.
+//!
 //! For streaming-video workloads, a session can additionally schedule each
-//! network as a cross-layer pipeline ([`PipelineMode`], backed by the
-//! `morph-pipeline` event engine); every run then carries a
-//! [`PipelineReport`] with steady-state frames/sec, fill/drain latency,
-//! per-stage utilization and the bottleneck stage:
+//! network's conv-level dependency DAG as a cross-layer pipeline
+//! ([`PipelineMode`], backed by the `morph-pipeline` event engine):
+//! fork/join branches run as genuinely parallel stages on disjoint cluster
+//! subsets (each branch channel takes a proportional split of the staging
+//! buffer), and every run carries a [`PipelineReport`] with steady-state
+//! frames/sec, fill/drain latency, per-stage utilization, per-edge
+//! occupancy, the cross-branch bottleneck and the linearized-chain
+//! baseline it improves on:
 //!
 //! ```no_run
 //! use morph_core::{Morph, PipelineMode, Session};
@@ -69,12 +80,17 @@
 //!
 //! let report = Session::builder()
 //!     .backend(Morph::builder().build())
-//!     .network(zoo::c3d())
+//!     .network(zoo::by_name("Two_Stream").unwrap()) // two parallel streams
 //!     .pipeline(PipelineMode::Rebalanced)
 //!     .build()
 //!     .run();
 //! let p = report.runs[0].pipeline.as_ref().unwrap();
-//! println!("{:.1} frames/s, bottleneck {}", p.steady_fps, p.bottleneck);
+//! println!(
+//!     "{:.1} frames/s, bottleneck {}, fill {:.2}x faster than the chain",
+//!     p.steady_fps,
+//!     p.bottleneck,
+//!     p.fill_speedup()
+//! );
 //! ```
 
 #![warn(missing_docs)]
@@ -92,6 +108,6 @@ pub use morph_dataflow::arch::{ArchSpec, OnChipLevel};
 pub use morph_dataflow::perf::Parallelism;
 pub use morph_energy::{EnergyModel, EnergyReport, TechNode};
 pub use morph_optimizer::{Effort, LayerDecision, Objective, Optimizer};
-pub use morph_pipeline::{PipelineCaps, PipelineMode, PipelineReport, StageReport};
-pub use report::{LayerRecord, NetworkRun, RunReport, SCHEMA_VERSION};
+pub use morph_pipeline::{EdgeReport, PipelineCaps, PipelineMode, PipelineReport, StageReport};
+pub use report::{LayerRecord, NetworkRun, RunReport, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 pub use session::{Session, SessionBuilder, DEFAULT_PIPELINE_FRAMES};

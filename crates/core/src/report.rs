@@ -17,7 +17,16 @@ use morph_tensor::shape::ConvShape;
 /// Version stamp written into every serialized report.
 ///
 /// v2 added the optional per-run `pipeline` section ([`PipelineReport`]).
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3 made networks graph-native: each run carries its conv-level
+/// dependency `edges`, and the pipeline section gained explicit DAG
+/// `edges` plus the linearized-chain baseline (`chain_fps`,
+/// `chain_fill_cycles`). v2 documents still parse and are upgraded on
+/// the fly (chain edges are reconstructed from the linear layer order).
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Oldest schema [`RunReport::from_json_str`] still accepts (upgrading it
+/// to [`SCHEMA_VERSION`] in memory).
+pub const MIN_SCHEMA_VERSION: u32 = 2;
 
 /// One evaluated layer inside a [`NetworkRun`].
 #[derive(Debug, Clone, PartialEq)]
@@ -44,8 +53,13 @@ pub struct NetworkRun {
     /// Layer evaluations served from the session's decision cache
     /// (repeated shapes are decided once).
     pub cache_hits: u64,
-    /// Per-layer records, in network order.
+    /// Per-layer records, in the network's linearized (topological) order.
     pub layers: Vec<LayerRecord>,
+    /// Conv-level dependency edges `(producer, consumer)` as indices into
+    /// `layers` — the network graph with pools and joins collapsed. A
+    /// linear chain is `[(0,1), (1,2), …]`; fork/join networks carry
+    /// their real branch structure.
+    pub edges: Vec<(usize, usize)>,
     /// Sum over layers.
     pub total: EnergyReport,
     /// Streaming-pipeline schedule and throughput (`None` when the session
@@ -180,12 +194,19 @@ impl FromJson for LayerRecord {
 
 impl ToJson for NetworkRun {
     fn to_json(&self) -> Value {
+        let edges = Value::Arr(
+            self.edges
+                .iter()
+                .map(|&(from, to)| Value::Arr(vec![Value::Int(from as i64), Value::Int(to as i64)]))
+                .collect(),
+        );
         Value::obj([
             ("backend", Value::Str(self.backend.clone())),
             ("network", Value::Str(self.network.clone())),
             ("objective", self.objective.to_json()),
             ("cache_hits", Value::Int(self.cache_hits as i64)),
             ("layers", self.layers.to_json()),
+            ("edges", edges),
             ("total", self.total.to_json()),
             ("pipeline", self.pipeline.to_json()),
         ])
@@ -199,15 +220,34 @@ impl FromJson for NetworkRun {
             Value::Null => None,
             p => Some(PipelineReport::from_json(p)?),
         };
+        let layers: Vec<LayerRecord> = field_arr(v, "layers")?
+            .iter()
+            .map(LayerRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let edges = match v.get("edges") {
+            // v3: explicit conv-level edge list.
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(|pair| match pair {
+                    Value::Arr(e) if e.len() == 2 => {
+                        let from = e[0].as_u64().ok_or("edge endpoint must be an int")?;
+                        let to = e[1].as_u64().ok_or("edge endpoint must be an int")?;
+                        Ok((from as usize, to as usize))
+                    }
+                    other => Err(format!("edge must be a [from, to] pair, got {other:?}")),
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            Some(other) => return Err(format!("field \"edges\" is not an array: {other:?}")),
+            // v2: networks were linear chains; reconstruct the chain.
+            None => (1..layers.len()).map(|i| (i - 1, i)).collect(),
+        };
         Ok(NetworkRun {
             backend: field_str(v, "backend")?.to_string(),
             network: field_str(v, "network")?.to_string(),
             objective: Objective::from_json(field(v, "objective")?)?,
             cache_hits: field_u64(v, "cache_hits")?,
-            layers: field_arr(v, "layers")?
-                .iter()
-                .map(LayerRecord::from_json)
-                .collect::<Result<Vec<_>, _>>()?,
+            layers,
+            edges,
             total: EnergyReport::from_json(field(v, "total")?)?,
             pipeline,
         })
@@ -227,13 +267,16 @@ impl FromJson for RunReport {
     fn from_json(v: &Value) -> Result<Self, String> {
         use morph_json::{field_arr, field_u64};
         let schema = field_u64(v, "schema")? as u32;
-        if schema != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(format!(
-                "unsupported report schema {schema}, expected {SCHEMA_VERSION}"
+                "unsupported report schema {schema}, expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
             ));
         }
+        // v2 documents upgrade in place: runs gain reconstructed chain
+        // edges and the pipeline sections gain their chain baselines, so
+        // the in-memory report is always at SCHEMA_VERSION.
         Ok(RunReport {
-            schema,
+            schema: SCHEMA_VERSION,
             runs: field_arr(v, "runs")?
                 .iter()
                 .map(NetworkRun::from_json)
@@ -316,6 +359,91 @@ mod tests {
         let text = rep.to_json_string();
         let back = RunReport::from_json_str(&text).unwrap();
         assert_eq!(rep, back);
+    }
+
+    /// Rewrite a current (v3) report document into the v2 shape: schema
+    /// stamp 2, no run-level `edges`, pipeline channel stats inlined per
+    /// stage instead of the `edges` array, no chain-baseline fields.
+    fn downgrade_to_v2(v: &mut Value) {
+        let Value::Obj(top) = v else {
+            panic!("report is an object")
+        };
+        top.insert("schema".into(), Value::Int(2));
+        let Some(Value::Arr(runs)) = top.get_mut("runs") else {
+            panic!("runs array")
+        };
+        for run in runs {
+            let Value::Obj(run) = run else {
+                panic!("run object")
+            };
+            run.remove("edges");
+            let Some(p) = run.get_mut("pipeline") else {
+                continue;
+            };
+            if let Value::Obj(p) = p {
+                p.remove("chain_fps");
+                p.remove("chain_fill_cycles");
+                let Some(Value::Arr(edges)) = p.remove("edges") else {
+                    panic!("pipeline edges")
+                };
+                let Some(Value::Arr(stages)) = p.get_mut("stages") else {
+                    panic!("pipeline stages")
+                };
+                for (i, stage) in stages.iter_mut().enumerate() {
+                    let Value::Obj(stage) = stage else { panic!() };
+                    // v2 pipelines were chains: stage i's out-channel is
+                    // edge i -> i+1 (zeros on the last stage).
+                    let edge = edges
+                        .iter()
+                        .find(|e| e.get("from").and_then(Value::as_u64) == Some(i as u64));
+                    let get = |k: &str| {
+                        edge.and_then(|e| e.get(k))
+                            .cloned()
+                            .unwrap_or(Value::Int(0))
+                    };
+                    stage.insert("out_capacity".into(), get("capacity"));
+                    stage.insert("max_occupancy".into(), get("max_occupancy"));
+                    stage.insert(
+                        "mean_occupancy".into(),
+                        edge.and_then(|e| e.get("mean_occupancy"))
+                            .cloned()
+                            .unwrap_or(Value::Float(0.0)),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_documents_upgrade_and_round_trip() {
+        // A pipeline-bearing chain run, serialized, downgraded to the v2
+        // document shape, parsed back: the report must come back at
+        // schema v3 with reconstructed chain edges, identical numbers,
+        // and survive a further round trip exactly.
+        let rep = Session::builder()
+            .backend(Morph::new())
+            .network(tiny_net())
+            .pipeline(morph_pipeline::PipelineMode::Analytic)
+            .build()
+            .run();
+        let mut doc = Value::parse(&rep.to_json_string()).unwrap();
+        downgrade_to_v2(&mut doc);
+        let upgraded = RunReport::from_json_str(&doc.pretty()).unwrap();
+        assert_eq!(upgraded.schema, SCHEMA_VERSION);
+        // tiny_net is a chain, so the v2 upgrade reconstructs the exact
+        // report the v3 serialization carried.
+        assert_eq!(upgraded, rep);
+        let again = RunReport::from_json_str(&upgraded.to_json_string()).unwrap();
+        assert_eq!(again, upgraded);
+    }
+
+    #[test]
+    fn too_old_or_future_schemas_are_rejected() {
+        let mut rep = tiny_report();
+        rep.schema = 1;
+        assert!(RunReport::from_json_str(&rep.to_json_string()).is_err());
+        rep.schema = SCHEMA_VERSION + 1;
+        assert!(RunReport::from_json_str(&rep.to_json_string()).is_err());
     }
 
     #[test]

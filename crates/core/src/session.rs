@@ -17,17 +17,23 @@
 //!   [`Session::cache_hits`] — are identical at any thread count; and
 //! * **optional cross-layer pipelined scheduling** ([`PipelineMode`]) —
 //!   each run gains a [`morph_pipeline::PipelineReport`] simulating the
-//!   network as a streaming pipeline of layer stages over bounded channels
-//!   provisioned by [`Backend::pipeline_caps`]; in
-//!   [`PipelineMode::Rebalanced`] a greedy pass re-optimizes bottleneck
-//!   stages with a latency objective to flatten the pipeline.
+//!   network's **conv-level dependency DAG** as a streaming pipeline:
+//!   one stage per layer, one bounded channel per graph edge
+//!   ([`morph_nets::Network::layer_edges`]), with fork/join branches
+//!   running as genuinely parallel stages on disjoint cluster subsets —
+//!   each branch channel gets a proportional split of
+//!   [`Backend::pipeline_caps`]'s staging buffer. The report also carries
+//!   the linearized-chain baseline (the pre-DAG schedule) for comparison;
+//!   in [`PipelineMode::Rebalanced`] a greedy pass re-optimizes
+//!   bottleneck stages (measured across branches) with a latency
+//!   objective to flatten the pipeline.
 
 use crate::backend::{Backend, LayerEval};
 use crate::par;
 use crate::report::{LayerRecord, NetworkRun, RunReport, SCHEMA_VERSION};
 use morph_nets::Network;
 use morph_optimizer::Objective;
-use morph_pipeline::{simulate, PipelineMode, PipelineReport, PipelineSpec, StageSpec};
+use morph_pipeline::{simulate, EdgeSpec, PipelineMode, PipelineReport, PipelineSpec, StageSpec};
 use morph_tensor::shape::ConvShape;
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
@@ -270,7 +276,8 @@ impl Session {
             .fold(morph_energy::EnergyReport::zero(), |acc, l| {
                 acc.add(&l.report)
             });
-        let pipeline = self.pipeline_report(backend_index, &records);
+        let edges = net.layer_edges();
+        let pipeline = self.pipeline_report(backend_index, &records, &edges);
 
         NetworkRun {
             backend: backend.name().to_string(),
@@ -278,20 +285,26 @@ impl Session {
             objective,
             cache_hits,
             layers: records,
+            edges,
             total,
             pipeline,
         }
     }
 
-    /// Schedule the network as a streaming pipeline: one stage per layer,
-    /// service times from the per-layer decisions, channel capacities from
-    /// the backend's buffer hierarchy. In [`PipelineMode::Rebalanced`],
-    /// greedily re-optimize the bottleneck stage with a latency objective
-    /// until the bottleneck stops moving.
+    /// Schedule the network's conv-level DAG as a streaming pipeline: one
+    /// stage per layer, service times from the per-layer decisions, one
+    /// bounded channel per dependency edge. Parallel branch channels split
+    /// the backend's staging buffer (branch stages occupy disjoint cluster
+    /// subsets, so their staging slices shrink proportionally); the report
+    /// also carries the linearized-chain schedule of the same services as
+    /// the comparison baseline. In [`PipelineMode::Rebalanced`], greedily
+    /// re-optimize the bottleneck stage — wherever it sits across the
+    /// branches — with a latency objective until it stops moving.
     fn pipeline_report(
         &self,
         backend_index: usize,
         records: &[LayerRecord],
+        edges: &[(usize, usize)],
     ) -> Option<PipelineReport> {
         if self.pipeline == PipelineMode::Off || records.is_empty() {
             return None;
@@ -302,20 +315,70 @@ impl Session {
             .iter()
             .map(|r| r.report.cycles.total.max(1))
             .collect();
-        let capacities: Vec<usize> = records[..records.len() - 1]
+
+        // Per-edge capacities: an edge inside a `ways`-wide parallel
+        // region (fan-out at its producer or fan-in at its consumer)
+        // stages through 1/ways of the staging buffer. A skip edge that
+        // bypasses a deeper parallel path (a residual shortcut) must
+        // additionally buffer one frame per stage the main path holds in
+        // flight, or it would throttle the whole pipeline below the
+        // bottleneck rate — that staging spills to DRAM when the on-chip
+        // slice is too small, so its capacity floor is the bypassed
+        // depth.
+        let n = records.len();
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; n];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(from, to) in edges {
+            out_deg[from] += 1;
+            in_deg[to] += 1;
+            consumers[from].push(to);
+        }
+        // Longest path (in hops) from `u` to `v` over the conv DAG; layer
+        // indices are topological, so one forward sweep suffices.
+        let longest_hops = |u: usize, v: usize| -> usize {
+            let mut d = vec![usize::MAX; n];
+            d[u] = 0;
+            for i in u..v {
+                if d[i] == usize::MAX {
+                    continue;
+                }
+                for &j in &consumers[i] {
+                    if d[j] == usize::MAX || d[j] < d[i] + 1 {
+                        d[j] = d[i] + 1;
+                    }
+                }
+            }
+            if d[v] == usize::MAX {
+                1
+            } else {
+                d[v]
+            }
+        };
+        let edge_specs: Vec<EdgeSpec> = edges
             .iter()
-            .map(|r| caps.channel_capacity(r.shape.output_bytes()))
+            .map(|&(from, to)| EdgeSpec {
+                from,
+                to,
+                capacity: caps
+                    .split(out_deg[from].max(in_deg[to]))
+                    .channel_capacity(records[from].shape.output_bytes())
+                    .max(longest_hops(from, to)),
+            })
             .collect();
-        let spec_of = |services: &[u64]| PipelineSpec {
-            stages: records
+        let stages_of = |services: &[u64]| -> Vec<StageSpec> {
+            records
                 .iter()
                 .zip(services)
                 .map(|(r, &s)| StageSpec {
                     name: r.name.clone(),
                     service_cycles: s,
                 })
-                .collect(),
-            capacities: capacities.clone(),
+                .collect()
+        };
+        let spec_of = |services: &[u64]| PipelineSpec {
+            stages: stages_of(services),
+            edges: edge_specs.clone(),
         };
 
         let mut services = base.clone();
@@ -340,13 +403,29 @@ impl Session {
         }
 
         let stats = simulate(&spec_of(&services), self.pipeline_frames);
-        Some(PipelineReport::from_stats(
-            &stats,
-            self.pipeline,
-            backend.arch().clock_hz,
-            &base,
-            &rebalanced,
-        ))
+
+        // The pre-DAG baseline: the same services scheduled as a
+        // linearized chain with undivided staging channels.
+        let chain_caps: Vec<usize> = records[..records.len() - 1]
+            .iter()
+            .map(|r| caps.channel_capacity(r.shape.output_bytes()))
+            .collect();
+        let chain_spec = PipelineSpec::chain(stages_of(&services), &chain_caps);
+        let chain_stats = simulate(&chain_spec, self.pipeline_frames);
+
+        Some(
+            PipelineReport::from_stats(
+                &stats,
+                self.pipeline,
+                backend.arch().clock_hz,
+                &base,
+                &rebalanced,
+            )
+            .with_chain_baseline(
+                backend.arch().clock_hz as f64 / chain_stats.steady_cycles_per_frame().max(1.0),
+                chain_stats.fill_cycles,
+            ),
+        )
     }
 
     /// Cached layer evaluation under an explicit objective (used by the

@@ -28,7 +28,8 @@
 //!
 //! The top-level document the workspace persists is `morph-core`'s
 //! `RunReport` (`experiments_out/*.json`, merged into `bench.json`). Its
-//! `schema` stamp is currently **2**:
+//! `schema` stamp is currently **3**; v2 documents still parse (the
+//! reader upgrades them in memory), v1 does not:
 //!
 //! * v1 — `{schema, runs: [{backend, network, objective, cache_hits,
 //!   layers: [{name, shape, decision, report}], total}]}`.
@@ -41,6 +42,20 @@
 //!   out_capacity, max_occupancy, mean_occupancy}]}`. Cycle counts and
 //!   capacities are `Int`; throughputs, utilization and mean occupancy
 //!   are `Float`.
+//! * v3 — networks are graph-native. Each run gains `edges`: an array of
+//!   `[producer, consumer]` index pairs into `layers` — the conv-level
+//!   dependency DAG (a chain serializes as `[[0,1],[1,2],…]`; Inception
+//!   modules, residual bypasses and parallel streams carry their real
+//!   fork/join structure). The `pipeline` section schedules that DAG:
+//!   per-stage channel fields move to a top-level `edges` array
+//!   (`[{from, to, capacity, max_occupancy, mean_occupancy}]`, one entry
+//!   per dependency edge), and two branch-parallel baseline fields are
+//!   added — `chain_fps` / `chain_fill_cycles` (`Float` / `Int`), the
+//!   steady throughput and fill latency of the same services scheduled
+//!   as a linearized chain (the pre-DAG pipeline model). On v2 input the
+//!   reader reconstructs chain edges from the linear layer order, lifts
+//!   per-stage channel stats into `i -> i+1` edge entries, and sets the
+//!   chain baseline to the schedule itself.
 //!
 //! `crates/bench/baseline.json` (the `bench_diff` perf gate) is a
 //! separate, deliberately compact summary: `{baseline_schema: 1,

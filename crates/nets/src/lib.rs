@@ -19,4 +19,4 @@ pub mod net;
 pub mod stats;
 pub mod zoo;
 
-pub use net::{Layer, Network, Op};
+pub use net::{Dims, Fork, Layer, Network, Node, NodeId, NodeOp};

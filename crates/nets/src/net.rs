@@ -1,11 +1,36 @@
 //! Network description types.
 //!
-//! A [`Network`] is an ordered list of operations — 3D/2D convolutions and
-//! pooling — sufficient to (a) drive the analytical accelerator model layer
-//! by layer and (b) execute the network functionally on synthetic tensors.
-//! Fully connected layers, ReLU and preprocessing are omitted: they are
-//! <0.2 % of 3D CNN inference compute (§II-C) and are not accelerated by
-//! Morph.
+//! A [`Network`] is a **DAG** of operations — 3D/2D convolutions, pooling,
+//! and the explicit join ops [`NodeOp::Concat`] (channel-wise, Inception
+//! modules) and [`NodeOp::Add`] (element-wise, residual bypasses) — with
+//! typed [`NodeId`] edges. The graph is sufficient to (a) drive the
+//! analytical accelerator model layer by layer (via the deterministic
+//! [`Network::linearize`] order), (b) schedule real fork/join streaming
+//! pipelines over the conv-level dependency edges
+//! ([`Network::layer_edges`]), and (c) execute chains functionally on
+//! synthetic tensors. Fully connected layers, ReLU and preprocessing are
+//! omitted: they are <0.2 % of 3D CNN inference compute (§II-C) and are
+//! not accelerated by Morph.
+//!
+//! Linear networks build exactly as before ([`Network::conv`] /
+//! [`Network::pool`] chain from the tail); branching structure uses
+//! [`Network::fork`]:
+//!
+//! ```
+//! use morph_nets::Network;
+//! use morph_tensor::shape::ConvShape;
+//!
+//! let mut net = Network::new("toy-inception");
+//! net.conv("stem", ConvShape::new_2d(8, 8, 3, 16, 3, 3).with_pad(1, 0));
+//! let mut f = net.fork();
+//! f.branch().conv("b0", ConvShape::new_2d(8, 8, 16, 8, 1, 1));
+//! f.branch()
+//!     .conv("b1_reduce", ConvShape::new_2d(8, 8, 16, 4, 1, 1))
+//!     .conv("b1_3x3", ConvShape::new_2d(8, 8, 4, 8, 3, 3).with_pad(1, 0));
+//! f.concat("mix");
+//! assert!(net.validate().is_ok());
+//! assert_eq!(net.num_conv_layers(), 4);
+//! ```
 
 use morph_tensor::pool::PoolShape;
 use morph_tensor::shape::ConvShape;
@@ -19,13 +44,24 @@ pub struct Layer {
     pub shape: ConvShape,
 }
 
-/// One operation in a network's dataflow graph, linearized.
+/// Typed handle to one node of a [`Network`] graph.
 ///
-/// Parallel branches (Inception modules, residual bypasses) are linearized:
-/// each branch's convolutions appear consecutively; the accelerator
-/// evaluates them one at a time, which is also what the paper models.
+/// Ids index the network's node list in insertion order; the builder only
+/// ever wires edges from earlier to later nodes, so the node list is
+/// always a topological order of the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Position of the node in [`Network::nodes`] (== insertion order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One operation in a network's dataflow graph.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Op {
+pub enum NodeOp {
     /// A convolution layer.
     Conv(Layer),
     /// A max-pooling stage (named for bookkeeping).
@@ -35,49 +71,198 @@ pub enum Op {
         /// Pooling parameters.
         pool: PoolShape,
     },
+    /// Channel-wise concatenation of ≥ 2 inputs with identical `(H, W, F)`
+    /// extents (an Inception module's merge).
+    Concat {
+        /// Join name (e.g. `"Mixed_3b/concat"`).
+        name: String,
+    },
+    /// Element-wise sum of ≥ 2 identically-shaped inputs (a residual
+    /// block's merge).
+    Add {
+        /// Join name (e.g. `"res2a/add"`).
+        name: String,
+    },
 }
 
-/// A full network: name + linearized operation list.
+impl NodeOp {
+    /// The node's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            NodeOp::Conv(layer) => &layer.name,
+            NodeOp::Pool { name, .. } => name,
+            NodeOp::Concat { name } => name,
+            NodeOp::Add { name } => name,
+        }
+    }
+
+    /// True for the explicit join ops ([`NodeOp::Concat`] / [`NodeOp::Add`]).
+    pub fn is_join(&self) -> bool {
+        matches!(self, NodeOp::Concat { .. } | NodeOp::Add { .. })
+    }
+}
+
+/// One node of the graph: an operation plus its data-dependency edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// The operation.
+    pub op: NodeOp,
+    /// Producers this node consumes (empty for source nodes).
+    pub inputs: Vec<NodeId>,
+}
+
+/// A full network: name + operation DAG.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     /// Network name as used in the paper's figures.
     pub name: &'static str,
-    /// True for 3D CNNs (`F > 1` somewhere).
-    pub ops: Vec<Op>,
+    nodes: Vec<Node>,
+    tail: Option<NodeId>,
 }
+
+/// Tensor extents at a node's output: `(h, w, f, channels)`.
+pub type Dims = (usize, usize, usize, usize);
 
 impl Network {
     /// Create an empty network.
     pub fn new(name: &'static str) -> Self {
         Self {
             name,
-            ops: Vec::new(),
+            nodes: Vec::new(),
+            tail: None,
         }
     }
 
-    /// Append a convolution layer.
+    /// Append a node with explicit inputs (the low-level graph API; the
+    /// fluent [`Network::conv`] / [`Network::pool`] / [`Network::fork`]
+    /// methods cover the common shapes). Moves the build cursor to the new
+    /// node and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input id is out of bounds — edges always point from
+    /// earlier to later nodes, which keeps the graph acyclic by
+    /// construction.
+    pub fn push_node(&mut self, op: NodeOp, inputs: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        for input in &inputs {
+            assert!(
+                input.0 < id.0,
+                "node {:?} input {:?} must reference an earlier node",
+                op.name(),
+                input
+            );
+        }
+        self.nodes.push(Node { op, inputs });
+        self.tail = Some(id);
+        id
+    }
+
+    /// Append a convolution layer chained from the current tail (a source
+    /// if the network is empty).
     pub fn conv(&mut self, name: impl Into<String>, shape: ConvShape) -> &mut Self {
-        self.ops.push(Op::Conv(Layer {
-            name: name.into(),
-            shape,
-        }));
+        let inputs = self.tail.into_iter().collect();
+        self.push_node(
+            NodeOp::Conv(Layer {
+                name: name.into(),
+                shape,
+            }),
+            inputs,
+        );
         self
     }
 
-    /// Append a pooling stage.
+    /// Append a pooling stage chained from the current tail.
     pub fn pool(&mut self, name: impl Into<String>, pool: PoolShape) -> &mut Self {
-        self.ops.push(Op::Pool {
-            name: name.into(),
-            pool,
-        });
+        let inputs = self.tail.into_iter().collect();
+        self.push_node(
+            NodeOp::Pool {
+                name: name.into(),
+                pool,
+            },
+            inputs,
+        );
         self
     }
 
-    /// Iterator over convolution layers only (what the accelerator runs).
+    /// Open a fork at the current tail: each [`Fork::branch`] restarts from
+    /// this point (or from nothing, for parallel input streams on an empty
+    /// network), and [`Fork::concat`] / [`Fork::add`] close the fork with
+    /// an explicit join node, which becomes the new tail.
+    pub fn fork(&mut self) -> Fork<'_> {
+        let base = self.tail;
+        Fork {
+            net: self,
+            base,
+            tails: Vec::new(),
+            cur: None,
+            started: false,
+        }
+    }
+
+    /// The node subsequent [`Network::conv`] / [`Network::pool`] calls
+    /// chain from (`None` for an empty network).
+    pub fn tail(&self) -> Option<NodeId> {
+        self.tail
+    }
+
+    /// All nodes, in insertion (== topological) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Look up a node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes (convs, pools and joins).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has real fork/join structure: a join node, a node
+    /// feeding several consumers, or parallel source streams.
+    pub fn is_branching(&self) -> bool {
+        if self.nodes.iter().any(|n| n.inputs.len() > 1) {
+            return true;
+        }
+        let sources = self.nodes.iter().filter(|n| n.inputs.is_empty()).count();
+        if sources > 1 {
+            return true;
+        }
+        let mut out_deg = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            for i in &n.inputs {
+                out_deg[i.0] += 1;
+            }
+        }
+        out_deg.iter().any(|&d| d > 1)
+    }
+
+    /// Deterministic topological order of the graph. [`Network::push_node`]
+    /// only accepts edges from earlier to later nodes (the graph is acyclic
+    /// by construction), so insertion order *is* a topological order —
+    /// min-id Kahn over such a graph provably releases 0, 1, 2, … — which
+    /// is why [`Network::linearize`]d evaluation reproduces the pre-graph
+    /// per-layer order bit for bit.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).map(NodeId).collect()
+    }
+
+    /// The nodes in deterministic topological order (see
+    /// [`Network::topo_order`]): the sequence every linearized consumer
+    /// (per-layer evaluation, decision cache, figures) walks.
+    pub fn linearize(&self) -> Vec<&Node> {
+        self.nodes.iter().collect()
+    }
+
+    /// Iterator over convolution layers only (what the accelerator runs),
+    /// in linearized order.
     pub fn conv_layers(&self) -> impl Iterator<Item = &Layer> {
-        self.ops.iter().filter_map(|op| match op {
-            Op::Conv(layer) => Some(layer),
-            Op::Pool { .. } => None,
+        self.nodes.iter().filter_map(|node| match &node.op {
+            NodeOp::Conv(layer) => Some(layer),
+            _ => None,
         })
     }
 
@@ -117,52 +302,256 @@ impl Network {
         self.conv_layers().find(|l| l.name == name)
     }
 
-    /// Check that consecutive shapes chain: each conv/pool consumes exactly
-    /// the previous op's output. Returns the first mismatch description.
-    pub fn validate_chaining(&self) -> Result<(), String> {
-        let mut cur: Option<(usize, usize, usize, usize)> = None; // (h, w, f, c)
-        let mut branch_input: Option<(usize, usize, usize, usize)> = None;
-        for op in &self.ops {
-            match op {
-                Op::Conv(layer) => {
+    /// Output extents `(h, w, f, channels)` of every node, in node order.
+    ///
+    /// Fails with the first arity or shape mismatch — this is the exact
+    /// per-edge validation (each consumer must match its producer's output
+    /// extents precisely; no name-based exceptions).
+    pub fn node_output_dims(&self) -> Result<Vec<Dims>, String> {
+        let mut dims: Vec<Dims> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let ins: Vec<Dims> = node.inputs.iter().map(|i| dims[i.0]).collect();
+            let name = node.op.name();
+            let out = match &node.op {
+                NodeOp::Conv(layer) => {
                     let sh = &layer.shape;
+                    if ins.len() > 1 {
+                        return Err(format!(
+                            "conv {name} has {} inputs; join tensors with concat/add first",
+                            ins.len()
+                        ));
+                    }
                     let expect = (sh.h, sh.w, sh.f, sh.c);
-                    if let Some(prev) = cur {
-                        // Branches restart from the same input: accept either
-                        // chaining from the previous output or from the last
-                        // recorded branch point.
-                        if prev != expect && branch_input != Some(expect) {
-                            // Record a new branch point if this layer re-reads
-                            // an earlier tensor; strict nets will simply never
-                            // hit this arm.
-                            if !layer.name.contains('/') && !layer.name.contains("proj") {
-                                return Err(format!(
-                                    "layer {} expects input {:?} but previous output is {:?}",
-                                    layer.name, expect, prev
-                                ));
-                            }
+                    if let Some(&got) = ins.first() {
+                        if got != expect {
+                            return Err(format!(
+                                "layer {name} expects input {expect:?} but its producer outputs {got:?}"
+                            ));
                         }
                     }
-                    if layer.name.contains('/') || layer.name.contains("proj") {
-                        if branch_input.is_none() {
-                            branch_input = Some(expect);
+                    sh.output_as_input()
+                }
+                NodeOp::Pool { pool, .. } => {
+                    let &(h, w, f, c) = ins
+                        .first()
+                        .filter(|_| ins.len() == 1)
+                        .ok_or_else(|| format!("pool {name} needs exactly one input"))?;
+                    let (fo, ho, wo) = pool.out_dims(f, h, w);
+                    (ho, wo, fo, c)
+                }
+                NodeOp::Concat { .. } => {
+                    if ins.len() < 2 {
+                        return Err(format!("concat {name} needs at least two inputs"));
+                    }
+                    let (h, w, f, _) = ins[0];
+                    for &(bh, bw, bf, _) in &ins[1..] {
+                        if (bh, bw, bf) != (h, w, f) {
+                            return Err(format!(
+                                "concat {name} branches disagree on extents: {:?} vs {:?}",
+                                (h, w, f),
+                                (bh, bw, bf)
+                            ));
                         }
-                    } else {
-                        branch_input = None;
                     }
-                    let (h, w, f, k) = sh.output_as_input();
-                    cur = Some((h, w, f, k));
+                    (h, w, f, ins.iter().map(|d| d.3).sum())
                 }
-                Op::Pool { pool, .. } => {
-                    if let Some((h, w, f, c)) = cur {
-                        let (fo, ho, wo) = pool.out_dims(f, h, w);
-                        cur = Some((ho, wo, fo, c));
-                        branch_input = None;
+                NodeOp::Add { .. } => {
+                    if ins.len() < 2 {
+                        return Err(format!("add {name} needs at least two inputs"));
                     }
+                    for &b in &ins[1..] {
+                        if b != ins[0] {
+                            return Err(format!(
+                                "add {name} branches disagree on shape: {:?} vs {:?}",
+                                ins[0], b
+                            ));
+                        }
+                    }
+                    ins[0]
                 }
+            };
+            dims.push(out);
+        }
+        Ok(dims)
+    }
+
+    /// Output extents of one node (recomputes the whole graph; use
+    /// [`Network::node_output_dims`] for bulk queries).
+    pub fn output_dims(&self, id: NodeId) -> Result<Dims, String> {
+        Ok(self.node_output_dims()?[id.0])
+    }
+
+    /// Exact per-edge validation of the whole graph: every conv/pool
+    /// consumes precisely its producer's output extents, concat branches
+    /// agree on `(H, W, F)`, add branches are identical. Returns the first
+    /// mismatch description.
+    pub fn validate(&self) -> Result<(), String> {
+        self.node_output_dims().map(|_| ())
+    }
+
+    /// Conv-level dependency edges `(producer, consumer)` as indices into
+    /// the [`Network::conv_layers`] sequence, with pools and joins
+    /// collapsed (pooling and element-wise joins are not accelerated
+    /// stages; an add is fused into its consumers, so every conv feeding
+    /// the join stays a live producer). Sorted and deduplicated —
+    /// deterministic for a given graph.
+    pub fn layer_edges(&self) -> Vec<(usize, usize)> {
+        // Conv index per node, in node order.
+        let mut conv_idx = vec![usize::MAX; self.nodes.len()];
+        let mut next = 0usize;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node.op, NodeOp::Conv(_)) {
+                conv_idx[i] = next;
+                next += 1;
             }
         }
-        Ok(())
+        // Producers visible at each node's output: the conv(s) whose data
+        // the node's output carries.
+        let mut producers: Vec<Vec<usize>> = Vec::with_capacity(self.nodes.len());
+        let mut edges = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mine = if conv_idx[i] != usize::MAX {
+                for input in &node.inputs {
+                    for &p in &producers[input.0] {
+                        edges.push((p, conv_idx[i]));
+                    }
+                }
+                vec![conv_idx[i]]
+            } else {
+                let mut union: Vec<usize> = node
+                    .inputs
+                    .iter()
+                    .flat_map(|input| producers[input.0].iter().copied())
+                    .collect();
+                union.sort_unstable();
+                union.dedup();
+                union
+            };
+            producers.push(mine);
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+}
+
+/// Branch builder returned by [`Network::fork`].
+///
+/// Call [`Fork::branch`] to start each parallel branch (an immediately
+/// closed branch is an identity edge from the fork point — a residual
+/// shortcut), append ops with [`Fork::conv`] / [`Fork::pool`], and close
+/// the fork with [`Fork::concat`] or [`Fork::add`]. Dropping a fork with
+/// open branches panics: the branch nodes are already in the graph, so
+/// forgetting the join would silently degrade the fork to a chain.
+pub struct Fork<'net> {
+    net: &'net mut Network,
+    base: Option<NodeId>,
+    tails: Vec<Option<NodeId>>,
+    cur: Option<NodeId>,
+    started: bool,
+}
+
+impl Fork<'_> {
+    /// Start a new branch from the fork point. A branch closed without ops
+    /// contributes the fork point itself to the join (identity shortcut).
+    pub fn branch(&mut self) -> &mut Self {
+        if self.started {
+            self.tails.push(self.cur);
+        }
+        self.cur = self.base;
+        self.started = true;
+        self
+    }
+
+    /// Append a convolution to the current branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the first [`Fork::branch`].
+    pub fn conv(&mut self, name: impl Into<String>, shape: ConvShape) -> &mut Self {
+        assert!(self.started, "call branch() before adding ops to a fork");
+        let inputs = self.cur.into_iter().collect();
+        let id = self.net.push_node(
+            NodeOp::Conv(Layer {
+                name: name.into(),
+                shape,
+            }),
+            inputs,
+        );
+        self.cur = Some(id);
+        self
+    }
+
+    /// Append a pooling stage to the current branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the first [`Fork::branch`].
+    pub fn pool(&mut self, name: impl Into<String>, pool: PoolShape) -> &mut Self {
+        assert!(self.started, "call branch() before adding ops to a fork");
+        let inputs = self.cur.into_iter().collect();
+        let id = self.net.push_node(
+            NodeOp::Pool {
+                name: name.into(),
+                pool,
+            },
+            inputs,
+        );
+        self.cur = Some(id);
+        self
+    }
+
+    fn join_inputs(&mut self) -> Vec<NodeId> {
+        if self.started {
+            self.tails.push(self.cur);
+            self.started = false;
+        }
+        let inputs: Vec<NodeId> = self
+            .tails
+            .drain(..)
+            .map(|t| t.expect("an identity branch needs a fork point (non-empty network)"))
+            .collect();
+        assert!(inputs.len() >= 2, "a join needs at least two branches");
+        inputs
+    }
+
+    /// Close the fork with a channel-wise [`NodeOp::Concat`] join; the
+    /// join becomes the network tail. Returns the join's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two branches, or if an identity branch was
+    /// taken on a fork with no fork point.
+    pub fn concat(mut self, name: impl Into<String>) -> NodeId {
+        let inputs = self.join_inputs();
+        self.net
+            .push_node(NodeOp::Concat { name: name.into() }, inputs)
+    }
+
+    /// Close the fork with an element-wise [`NodeOp::Add`] join; the join
+    /// becomes the network tail. Returns the join's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two branches, or if an identity branch was
+    /// taken on a fork with no fork point.
+    // Not `std::ops::Add`: this consumes the fork to emit a join node.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, name: impl Into<String>) -> NodeId {
+        let inputs = self.join_inputs();
+        self.net
+            .push_node(NodeOp::Add { name: name.into() }, inputs)
+    }
+}
+
+impl Drop for Fork<'_> {
+    fn drop(&mut self) {
+        if (self.started || !self.tails.is_empty()) && !std::thread::panicking() {
+            panic!(
+                "fork on network {:?} dropped with open branches — close it with concat() or add()",
+                self.net.name
+            );
+        }
     }
 }
 
@@ -177,10 +566,12 @@ mod tests {
         net.pool("p1", PoolShape::new(1, 2, 2));
         net.conv("c2", ConvShape::new_2d(4, 4, 4, 8, 3, 3).with_pad(1, 0));
         assert_eq!(net.num_conv_layers(), 2);
+        assert_eq!(net.num_nodes(), 3);
         assert!(!net.is_3d());
+        assert!(!net.is_branching());
         assert!(net.layer("c2").is_some());
         assert!(net.layer("c3").is_none());
-        assert!(net.validate_chaining().is_ok());
+        assert!(net.validate().is_ok());
     }
 
     #[test]
@@ -197,6 +588,154 @@ mod tests {
         let mut net = Network::new("broken");
         net.conv("c1", ConvShape::new_2d(8, 8, 3, 4, 3, 3)); // out 6x6x4
         net.conv("c2", ConvShape::new_2d(9, 9, 4, 4, 3, 3)); // expects 9x9
-        assert!(net.validate_chaining().is_err());
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn slash_and_proj_names_get_no_exemption() {
+        // The pre-graph validator silently accepted shape mismatches for
+        // any layer named with '/' or "proj"; the edge validator must not.
+        let mut net = Network::new("sneaky");
+        net.conv("stem", ConvShape::new_2d(8, 8, 3, 4, 3, 3)); // out 6x6x4
+        net.conv("mixed/b0_proj", ConvShape::new_2d(9, 9, 4, 4, 3, 3));
+        assert!(net.validate().is_err(), "name heuristic must be gone");
+    }
+
+    fn diamond() -> Network {
+        let mut net = Network::new("diamond");
+        net.conv("stem", ConvShape::new_2d(8, 8, 3, 8, 3, 3).with_pad(1, 0));
+        let mut f = net.fork();
+        f.branch().conv("b0", ConvShape::new_2d(8, 8, 8, 4, 1, 1));
+        f.branch()
+            .conv("b1_reduce", ConvShape::new_2d(8, 8, 8, 2, 1, 1))
+            .conv("b1_3x3", ConvShape::new_2d(8, 8, 2, 4, 3, 3).with_pad(1, 0));
+        f.concat("mix");
+        net.conv("head", ConvShape::new_2d(8, 8, 8, 8, 1, 1));
+        net
+    }
+
+    #[test]
+    fn fork_concat_validates_and_linearizes_in_insertion_order() {
+        let net = diamond();
+        assert!(net.validate().is_ok());
+        assert!(net.is_branching());
+        let names: Vec<_> = net.conv_layers().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, ["stem", "b0", "b1_reduce", "b1_3x3", "head"]);
+        // Topo order == insertion order for builder graphs.
+        let order: Vec<_> = net.topo_order().iter().map(|id| id.index()).collect();
+        assert_eq!(order, (0..net.num_nodes()).collect::<Vec<_>>());
+        assert_eq!(net.linearize().len(), net.num_nodes());
+    }
+
+    #[test]
+    fn concat_sums_channels_and_rejects_mismatched_extents() {
+        let net = diamond();
+        let dims = net.node_output_dims().unwrap();
+        // Node 4 is the concat: 4 + 4 channels at 8x8.
+        assert_eq!(dims[4], (8, 8, 1, 8));
+
+        let mut bad = Network::new("bad");
+        bad.conv("stem", ConvShape::new_2d(8, 8, 3, 8, 3, 3).with_pad(1, 0));
+        let mut f = bad.fork();
+        f.branch().conv("b0", ConvShape::new_2d(8, 8, 8, 4, 1, 1)); // 8x8
+        f.branch().conv("b1", ConvShape::new_2d(8, 8, 8, 4, 3, 3)); // 6x6
+        f.concat("mix");
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn residual_add_with_identity_branch() {
+        let mut net = Network::new("res");
+        net.conv("stem", ConvShape::new_2d(8, 8, 3, 4, 3, 3).with_pad(1, 0));
+        let mut f = net.fork();
+        f.branch()
+            .conv("conv1", ConvShape::new_2d(8, 8, 4, 4, 3, 3).with_pad(1, 0))
+            .conv("conv2", ConvShape::new_2d(8, 8, 4, 4, 3, 3).with_pad(1, 0));
+        f.branch(); // identity shortcut
+        f.add("add");
+        assert!(net.validate().is_ok());
+        let dims = net.node_output_dims().unwrap();
+        assert_eq!(dims[3], (8, 8, 1, 4)); // the add keeps the shape
+                                           // Mismatched add is rejected.
+        let mut bad = Network::new("bad-res");
+        bad.conv("stem", ConvShape::new_2d(8, 8, 3, 4, 3, 3).with_pad(1, 0));
+        let mut f = bad.fork();
+        f.branch()
+            .conv("conv1", ConvShape::new_2d(8, 8, 4, 8, 3, 3).with_pad(1, 0));
+        f.branch(); // identity: 4 channels vs conv1's 8
+        f.add("add");
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn parallel_source_streams() {
+        let mut net = Network::new("streams");
+        let mut f = net.fork();
+        f.branch()
+            .conv("a/conv", ConvShape::new_2d(8, 8, 3, 4, 3, 3).with_pad(1, 0));
+        f.branch().conv(
+            "b/conv",
+            ConvShape::new_2d(8, 8, 20, 4, 3, 3).with_pad(1, 0),
+        );
+        f.concat("fusion");
+        assert!(net.validate().is_ok());
+        assert!(net.is_branching());
+        let sources = net.nodes().iter().filter(|n| n.inputs.is_empty()).count();
+        assert_eq!(sources, 2);
+        assert_eq!(net.output_dims(NodeId(2)).unwrap(), (8, 8, 1, 8));
+    }
+
+    #[test]
+    fn layer_edges_collapse_pools_and_joins() {
+        // Chain: pool between convs collapses into one conv->conv edge.
+        let mut chain = Network::new("chain");
+        chain.conv("c1", ConvShape::new_2d(8, 8, 3, 4, 3, 3).with_pad(1, 0));
+        chain.pool("p1", PoolShape::new(1, 2, 2));
+        chain.conv("c2", ConvShape::new_2d(4, 4, 4, 8, 3, 3).with_pad(1, 0));
+        assert_eq!(chain.layer_edges(), vec![(0, 1)]);
+
+        // Diamond: stem feeds both branch heads; both branch tails feed the
+        // head through the concat.
+        let net = diamond();
+        assert_eq!(
+            net.layer_edges(),
+            vec![(0, 1), (0, 2), (1, 4), (2, 3), (3, 4)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "open branches")]
+    fn dropping_an_unjoined_fork_panics() {
+        let mut net = Network::new("forgot-the-join");
+        net.conv("stem", ConvShape::new_2d(8, 8, 3, 4, 3, 3).with_pad(1, 0));
+        let mut f = net.fork();
+        f.branch().conv("b0", ConvShape::new_2d(8, 8, 4, 4, 1, 1));
+        f.branch();
+        // `f` dropped here without concat()/add(): the branch nodes are
+        // already in the graph, so this must fail loudly.
+    }
+
+    #[test]
+    fn unused_fork_drops_quietly() {
+        let mut net = Network::new("no-branches");
+        net.conv("stem", ConvShape::new_2d(8, 8, 3, 4, 3, 3).with_pad(1, 0));
+        let _ = net.fork(); // never branched: a harmless no-op
+        assert_eq!(net.num_nodes(), 1);
+    }
+
+    #[test]
+    fn join_arity_is_enforced() {
+        let mut net = Network::new("one-branch");
+        net.conv("stem", ConvShape::new_2d(8, 8, 3, 4, 3, 3).with_pad(1, 0));
+        net.push_node(
+            NodeOp::Concat {
+                name: "solo".into(),
+            },
+            vec![NodeId(0)],
+        );
+        assert!(net.validate().is_err());
+        let mut net2 = Network::new("pool-source");
+        net2.pool("p", PoolShape::new(1, 2, 2));
+        assert!(net2.validate().is_err());
     }
 }

@@ -61,7 +61,7 @@ mod tests {
 
     #[test]
     fn shapes_chain() {
-        assert_eq!(alexnet().validate_chaining(), Ok(()));
+        assert_eq!(alexnet().validate(), Ok(()));
     }
 
     #[test]

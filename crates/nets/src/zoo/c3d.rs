@@ -46,7 +46,7 @@ mod tests {
 
     #[test]
     fn shapes_chain() {
-        assert_eq!(c3d().validate_chaining(), Ok(()));
+        assert_eq!(c3d().validate(), Ok(()));
     }
 
     #[test]

@@ -7,8 +7,12 @@
 //!
 //! Both networks share one builder. Branch structure per Inception module:
 //! `b0`: 1×1; `b1`: 1×1 → 3×3; `b2`: 1×1 → 3×3 (I3D) or 1×1 → 5×5
-//! (original GoogLeNet); `b3`: pool → 1×1. Branch convolutions are
-//! linearized in `b0, b1, b2, b3` order.
+//! (original GoogLeNet); `b3`: pool → 1×1. Each module is a real
+//! four-branch fork joined by a channel-wise concat; branch convolutions
+//! appear in `b0, b1, b2, b3` insertion order, so linearized evaluation
+//! reproduces the pre-graph layer sequence exactly. `b3`'s 3×3 stride-1
+//! pad-1 max pool is shape-preserving and compute-free, so the branch is
+//! modeled as its 1×1 convolution directly off the fork point.
 
 use crate::net::Network;
 use morph_tensor::pool::PoolShape;
@@ -89,21 +93,25 @@ fn build(name: &'static str, temporal: bool) -> Network {
         }
         let Mix(b0, b1r, b1o, b2r, b2o, b3o) = *mix;
         let one = |k: usize| ConvShape::new_3d(h, h, f, c, k, 1, 1, 1);
-        net.conv(format!("{mname}/b0_1x1"), one(b0));
-        net.conv(format!("{mname}/b1_reduce"), one(b1r));
-        net.conv(
-            format!("{mname}/b1_3x3"),
-            ConvShape::new_3d(h, h, f, b1r, b1o, 3, 3, t(3))
-                .with_pad(1, if temporal { 1 } else { 0 }),
-        );
-        net.conv(format!("{mname}/b2_reduce"), one(b2r));
+        let mut fork = net.fork();
+        fork.branch().conv(format!("{mname}/b0_1x1"), one(b0));
+        fork.branch()
+            .conv(format!("{mname}/b1_reduce"), one(b1r))
+            .conv(
+                format!("{mname}/b1_3x3"),
+                ConvShape::new_3d(h, h, f, b1r, b1o, 3, 3, t(3))
+                    .with_pad(1, if temporal { 1 } else { 0 }),
+            );
         let (kr, ks, pad) = if temporal { (3, 3, 1) } else { (5, 5, 2) };
-        net.conv(
-            format!("{mname}/b2_conv"),
-            ConvShape::new_3d(h, h, f, b2r, b2o, kr, ks, t(3))
-                .with_pad(pad, if temporal { 1 } else { 0 }),
-        );
-        net.conv(format!("{mname}/b3_1x1"), one(b3o));
+        fork.branch()
+            .conv(format!("{mname}/b2_reduce"), one(b2r))
+            .conv(
+                format!("{mname}/b2_conv"),
+                ConvShape::new_3d(h, h, f, b2r, b2o, kr, ks, t(3))
+                    .with_pad(pad, if temporal { 1 } else { 0 }),
+            );
+        fork.branch().conv(format!("{mname}/b3_1x1"), one(b3o));
+        fork.concat(format!("{mname}/concat"));
         c = mix.out();
     }
     net
@@ -159,6 +167,28 @@ mod tests {
         // Temporal inflation multiplies compute by O(F·T) (§II-C Remark).
         let r = i3d().total_maccs() as f64 / googlenet().total_maccs() as f64;
         assert!(r > 30.0, "I3D/GoogLeNet MACC ratio = {r}");
+    }
+
+    #[test]
+    fn modules_are_real_fork_joins() {
+        for net in [i3d(), googlenet()] {
+            net.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name));
+            assert!(net.is_branching());
+            let concats = net.nodes().iter().filter(|n| n.op.is_join()).count();
+            assert_eq!(concats, 9, "{}: one concat per module", net.name);
+        }
+        // Concat output channels equal the module table's b0+b1+b2+b3 sums.
+        let net = i3d();
+        let dims = net.node_output_dims().unwrap();
+        let outs: Vec<usize> = net
+            .nodes()
+            .iter()
+            .zip(&dims)
+            .filter(|(n, _)| n.op.is_join())
+            .map(|(_, d)| d.3)
+            .collect();
+        assert_eq!(outs, [256, 480, 512, 512, 512, 528, 832, 832, 1024]);
     }
 
     #[test]

@@ -109,6 +109,59 @@ mod tests {
     }
 
     #[test]
+    fn every_network_validates_as_a_dag() {
+        for net in all() {
+            net.validate()
+                .unwrap_or_else(|e| panic!("{} fails edge validation: {e}", net.name));
+        }
+    }
+
+    #[test]
+    fn branching_networks_have_real_fork_join_structure() {
+        for name in ["Inception", "I3D", "ResNet", "ResNet-3D", "Two_Stream"] {
+            let net = by_name(name).unwrap();
+            assert!(net.is_branching(), "{name} should branch");
+            assert!(
+                net.nodes().iter().any(|n| n.op.is_join()),
+                "{name} should contain an explicit concat/add join"
+            );
+            assert!(
+                !net.layer_edges().is_empty(),
+                "{name} should expose conv-level dependency edges"
+            );
+        }
+        for name in ["AlexNet", "C3D"] {
+            let net = by_name(name).unwrap();
+            assert!(!net.is_branching(), "{name} is a chain");
+            // A chain's conv-level edges are exactly the linear sequence.
+            let n = net.num_conv_layers();
+            let expect: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+            assert_eq!(net.layer_edges(), expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn totals_match_pre_graph_linearization_exactly() {
+        // The graph redesign must not move a single MACC: these are the
+        // linearized `total_maccs` of every zoo network before the DAG
+        // API landed (and the layer counts the paper's tables imply).
+        let expected: [(&str, u64, usize); 7] = [
+            ("AlexNet", 1_076_634_144, 5),
+            ("Inception", 1_430_532_352, 57),
+            ("ResNet", 3_855_925_248, 53),
+            ("C3D", 38_496_632_832, 8),
+            ("ResNet-3D", 9_248_202_752, 53),
+            ("I3D", 103_598_130_944, 57),
+            ("Two_Stream", 4_109_703_072, 10),
+        ];
+        for (name, maccs, layers) in expected {
+            let net = by_name(name).unwrap();
+            assert_eq!(net.total_maccs(), maccs, "{name} MACCs moved");
+            assert_eq!(net.num_conv_layers(), layers, "{name} layer count");
+        }
+    }
+
+    #[test]
     fn three_d_sets_flag() {
         let flags: Vec<_> = figure1_networks().iter().map(|n| n.is_3d()).collect();
         assert_eq!(flags, [false, false, false, true, true, true]);

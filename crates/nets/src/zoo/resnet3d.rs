@@ -12,7 +12,10 @@ use morph_tensor::shape::ConvShape;
 
 /// Append one bottleneck block operating on an `(h, f, c_in)` feature map
 /// with `c_mid` bottleneck channels, producing `4·c_mid` channels at
-/// `(h/stride, f/stride_f)`.
+/// `(h/stride, f/stride_f)`. The block is a real fork: the main
+/// 1×1×1 → 3×3×3 → 1×1×1 path joins its shortcut (a 1×1×1 projection on
+/// the stage's first block, the identity otherwise) through an explicit
+/// element-wise add.
 #[allow(clippy::too_many_arguments)]
 fn bottleneck(
     net: &mut Network,
@@ -28,25 +31,31 @@ fn bottleneck(
     let tag = |part: &str| format!("res{stage}{}/{part}", (b'a' + block as u8) as char);
     // 1×1×1 reduce (carries the stride, per the torchvision/Hara convention).
     let reduce = ConvShape::new_3d(h, h, f, c_in, c_mid, 1, 1, 1).with_stride(stride, stride_f);
-    net.conv(tag("conv1"), reduce);
     let (h2, f2) = (reduce.h_out(), reduce.f_out());
-    // 3×3×3 spatial-temporal.
-    net.conv(
-        tag("conv2"),
-        ConvShape::new_3d(h2, h2, f2, c_mid, c_mid, 3, 3, 3).with_pad(1, 1),
-    );
-    // 1×1×1 expand.
-    net.conv(
-        tag("conv3"),
-        ConvShape::new_3d(h2, h2, f2, c_mid, 4 * c_mid, 1, 1, 1),
-    );
+    let mut fork = net.fork();
+    fork.branch()
+        .conv(tag("conv1"), reduce)
+        // 3×3×3 spatial-temporal.
+        .conv(
+            tag("conv2"),
+            ConvShape::new_3d(h2, h2, f2, c_mid, c_mid, 3, 3, 3).with_pad(1, 1),
+        )
+        // 1×1×1 expand.
+        .conv(
+            tag("conv3"),
+            ConvShape::new_3d(h2, h2, f2, c_mid, 4 * c_mid, 1, 1, 1),
+        );
     if block == 0 {
         // Projection shortcut on the stage's first block.
-        net.conv(
+        fork.branch().conv(
             tag("proj"),
             ConvShape::new_3d(h, h, f, c_in, 4 * c_mid, 1, 1, 1).with_stride(stride, stride_f),
         );
+    } else {
+        // Identity shortcut.
+        fork.branch();
     }
+    fork.add(tag("add"));
     (h2, f2, 4 * c_mid)
 }
 
@@ -88,6 +97,24 @@ mod tests {
         let net = resnet3d_50();
         assert_eq!(net.num_conv_layers(), 53);
         assert!(net.is_3d());
+    }
+
+    #[test]
+    fn residuals_are_real_fork_joins() {
+        let net = resnet3d_50();
+        net.validate().expect("exact per-edge validation");
+        assert!(net.is_branching());
+        // One add per bottleneck block: 3 + 4 + 6 + 3 = 16.
+        let adds = net.nodes().iter().filter(|n| n.op.is_join()).count();
+        assert_eq!(adds, 16);
+        // Identity shortcuts (blocks b > 0) join the previous add directly.
+        let identity_joins = net
+            .nodes()
+            .iter()
+            .filter(|n| n.op.is_join())
+            .filter(|n| n.inputs.iter().any(|&i| net.node(i).op.is_join()))
+            .count();
+        assert_eq!(identity_joins, 12, "16 blocks minus 4 projection blocks");
     }
 
     #[test]

@@ -5,7 +5,8 @@ use crate::net::Network;
 use morph_tensor::pool::PoolShape;
 use morph_tensor::shape::ConvShape;
 
-/// Append one 2D bottleneck block.
+/// Append one 2D bottleneck block: main path and (projection or identity)
+/// shortcut joined by an explicit element-wise add.
 fn bottleneck(
     net: &mut Network,
     stage: usize,
@@ -17,22 +18,27 @@ fn bottleneck(
 ) -> (usize, usize) {
     let tag = |part: &str| format!("res{stage}{}/{part}", (b'a' + block as u8) as char);
     let reduce = ConvShape::new_2d(h, h, c_in, c_mid, 1, 1).with_stride(stride, 1);
-    net.conv(tag("conv1"), reduce);
     let h2 = reduce.h_out();
-    net.conv(
-        tag("conv2"),
-        ConvShape::new_2d(h2, h2, c_mid, c_mid, 3, 3).with_pad(1, 0),
-    );
-    net.conv(
-        tag("conv3"),
-        ConvShape::new_2d(h2, h2, c_mid, 4 * c_mid, 1, 1),
-    );
+    let mut fork = net.fork();
+    fork.branch()
+        .conv(tag("conv1"), reduce)
+        .conv(
+            tag("conv2"),
+            ConvShape::new_2d(h2, h2, c_mid, c_mid, 3, 3).with_pad(1, 0),
+        )
+        .conv(
+            tag("conv3"),
+            ConvShape::new_2d(h2, h2, c_mid, 4 * c_mid, 1, 1),
+        );
     if block == 0 {
-        net.conv(
+        fork.branch().conv(
             tag("proj"),
             ConvShape::new_2d(h, h, c_in, 4 * c_mid, 1, 1).with_stride(stride, 1),
         );
+    } else {
+        fork.branch();
     }
+    fork.add(tag("add"));
     (h2, 4 * c_mid)
 }
 
@@ -43,8 +49,12 @@ pub fn resnet50() -> Network {
         .with_stride(2, 1)
         .with_pad(3, 0);
     net.conv("conv1", conv1);
-    net.pool("pool1", PoolShape::new(1, 3, 3).with_stride(2, 1));
-    let (mut h, mut c) = (56usize, 64usize); // (112+2−3)/2+1 = 56 with pad 1; use canonical 56
+    // 3×3 stride-2 pad-1 stem pool: (112 + 2 − 3)/2 + 1 = canonical 56.
+    net.pool(
+        "pool1",
+        PoolShape::new(1, 3, 3).with_stride(2, 1).with_pad(1, 0),
+    );
+    let (mut h, mut c) = (56usize, 64usize);
 
     let blocks = [3usize, 4, 6, 3];
     let mids = [64usize, 128, 256, 512];
@@ -77,6 +87,14 @@ mod tests {
         assert_eq!(net.layer("res3a/conv2").unwrap().shape.h, 28);
         assert_eq!(net.layer("res4a/conv2").unwrap().shape.h, 14);
         assert_eq!(net.layer("res5a/conv2").unwrap().shape.h, 7);
+    }
+
+    #[test]
+    fn residuals_validate_as_fork_joins() {
+        let net = resnet50();
+        net.validate().expect("exact per-edge validation");
+        assert!(net.is_branching());
+        assert_eq!(net.nodes().iter().filter(|n| n.op.is_join()).count(), 16);
     }
 
     #[test]

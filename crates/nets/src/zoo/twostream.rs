@@ -3,49 +3,56 @@
 //!
 //! Both streams use the CNN-M-2048 backbone. The spatial stream consumes a
 //! single RGB frame (C = 3); the temporal stream consumes a stack of
-//! L = 10 optical-flow frame pairs (C = 20). Both streams are linearized
-//! into one network, spatial first.
+//! L = 10 optical-flow frame pairs (C = 20). The streams are two parallel
+//! **source branches** of one DAG (each reads its own input tensor) joined
+//! by a channel-wise late-fusion concat — the paper's two-stream structure
+//! made explicit. Spatial convolutions precede temporal ones in the
+//! linearized order, matching the pre-graph layer sequence.
 
-use crate::net::Network;
+use crate::net::{Fork, Network};
 use morph_tensor::pool::PoolShape;
 use morph_tensor::shape::ConvShape;
 
-/// Append one CNN-M-2048 stream with `c_in` input channels.
-fn cnn_m(net: &mut Network, stream: &str, c_in: usize) {
+/// Append one CNN-M-2048 stream with `c_in` input channels as a fork
+/// branch.
+fn cnn_m(fork: &mut Fork<'_>, stream: &str, c_in: usize) {
     let tag = |layer: &str| format!("{stream}/{layer}");
+    let b = fork.branch();
     // conv1: 7×7, 96, stride 2.
     let conv1 = ConvShape::new_2d(224, 224, c_in, 96, 7, 7).with_stride(2, 1);
-    net.conv(tag("conv1"), conv1);
-    net.pool(tag("pool1"), PoolShape::new(1, 2, 2).with_stride(2, 1));
+    b.conv(tag("conv1"), conv1);
+    b.pool(tag("pool1"), PoolShape::new(1, 2, 2).with_stride(2, 1));
     let h1 = conv1.h_out() / 2; // 109 → 54
                                 // conv2: 5×5, 256, stride 2, pad 1.
     let conv2 = ConvShape::new_2d(h1, h1, 96, 256, 5, 5)
         .with_stride(2, 1)
         .with_pad(1, 0);
-    net.conv(tag("conv2"), conv2);
-    net.pool(tag("pool2"), PoolShape::new(1, 2, 2).with_stride(2, 1));
+    b.conv(tag("conv2"), conv2);
+    b.pool(tag("pool2"), PoolShape::new(1, 2, 2).with_stride(2, 1));
     let h2 = conv2.h_out() / 2; // 26 → 13
                                 // conv3–conv5: 3×3, 512, pad 1.
-    net.conv(
+    b.conv(
         tag("conv3"),
         ConvShape::new_2d(h2, h2, 256, 512, 3, 3).with_pad(1, 0),
     );
-    net.conv(
+    b.conv(
         tag("conv4"),
         ConvShape::new_2d(h2, h2, 512, 512, 3, 3).with_pad(1, 0),
     );
-    net.conv(
+    b.conv(
         tag("conv5"),
         ConvShape::new_2d(h2, h2, 512, 512, 3, 3).with_pad(1, 0),
     );
-    net.pool(tag("pool5"), PoolShape::new(1, 2, 2).with_stride(2, 1));
+    b.pool(tag("pool5"), PoolShape::new(1, 2, 2).with_stride(2, 1));
 }
 
 /// Build the Two-Stream network (spatial + temporal streams).
 pub fn two_stream() -> Network {
     let mut net = Network::new("Two_Stream");
-    cnn_m(&mut net, "spatial", 3);
-    cnn_m(&mut net, "temporal", 20);
+    let mut fork = net.fork();
+    cnn_m(&mut fork, "spatial", 3);
+    cnn_m(&mut fork, "temporal", 20);
+    fork.concat("fusion");
     net
 }
 
@@ -65,6 +72,26 @@ mod tests {
         let net = two_stream();
         assert_eq!(net.layer("temporal/conv1").unwrap().shape.c, 20);
         assert_eq!(net.layer("spatial/conv1").unwrap().shape.c, 3);
+    }
+
+    #[test]
+    fn streams_are_parallel_sources_with_late_fusion() {
+        let net = two_stream();
+        net.validate().expect("exact per-edge validation");
+        assert!(net.is_branching());
+        let sources = net.nodes().iter().filter(|n| n.inputs.is_empty()).count();
+        assert_eq!(sources, 2, "each stream reads its own input tensor");
+        // The fusion concat joins both streams' pooled conv5 outputs:
+        // 512 + 512 channels at 6×6.
+        let dims = net.node_output_dims().unwrap();
+        let (join, d) = net
+            .nodes()
+            .iter()
+            .zip(&dims)
+            .find(|(n, _)| n.op.is_join())
+            .expect("fusion join");
+        assert_eq!(join.op.name(), "fusion");
+        assert_eq!(*d, (6, 6, 1, 1024));
     }
 
     #[test]

@@ -1,16 +1,22 @@
 //! The discrete-event pipeline engine.
 //!
-//! A [`PipelineSpec`] is a linear chain of stages connected by bounded
-//! channels; [`simulate`] advances it with time-stamped completion events
-//! (DAM-style) and returns [`PipelineStats`]: makespan, fill/drain
-//! latency, steady-state throughput, per-stage utilization and per-channel
-//! occupancy.
+//! A [`PipelineSpec`] is a **DAG** of stages connected by bounded,
+//! directed channels ([`EdgeSpec`]); [`simulate`] advances it with
+//! time-stamped completion events (DAM-style) and returns
+//! [`PipelineStats`]: makespan, fill/drain latency, steady-state
+//! throughput, per-stage utilization and per-channel occupancy. Linear
+//! chains build through [`PipelineSpec::chain`]; fork/join networks list
+//! their edges explicitly.
 //!
-//! Semantics are blocking-after-service: a stage pops one frame from its
-//! input channel, occupies itself for `service_cycles`, then pushes the
-//! result downstream — holding both the frame and the stage if the output
-//! channel is full. Pops, pushes and starts cascade within a timestamp
-//! until a fixpoint, so simultaneous events resolve deterministically.
+//! Semantics are blocking-after-service: a stage pops one frame from
+//! **every** input channel (a join waits for all branches), occupies
+//! itself for `service_cycles`, then pushes the result into **every**
+//! output channel atomically (a fork replicates) — holding both the frame
+//! and the stage while any output channel is full. Source stages (no
+//! in-edges) draw from their own per-source frame supply; a frame is
+//! complete once every sink stage (no out-edges) has emitted it. Pops,
+//! pushes and starts cascade within a timestamp until a fixpoint, so
+//! simultaneous events resolve deterministically.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -41,6 +47,17 @@ impl PipelineCaps {
         }
     }
 
+    /// Provisioning for one of `ways` parallel branches: the staging
+    /// buffer is split evenly across branch channels that are live at the
+    /// same time (branch stages map onto disjoint cluster subsets, and
+    /// their staging slices follow). Double buffering is preserved.
+    pub fn split(self, ways: usize) -> Self {
+        Self {
+            staging_bytes: self.staging_bytes / ways.max(1),
+            double_buffered: self.double_buffered,
+        }
+    }
+
     /// Bounded capacity of the channel fed by a producer whose per-frame
     /// output footprint is `slot_bytes`. Always at least one slot.
     pub fn channel_capacity(&self, slot_bytes: u64) -> usize {
@@ -58,38 +75,71 @@ pub struct StageSpec {
     pub service_cycles: u64,
 }
 
-/// A linear pipeline: `stages[i]` feeds `stages[i + 1]` through a bounded
-/// channel of `capacities[i]` frames.
+/// A bounded channel from stage `from` to stage `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeSpec {
+    /// Producer stage index.
+    pub from: usize,
+    /// Consumer stage index (must be > `from`: stages are listed in
+    /// topological order).
+    pub to: usize,
+    /// Channel capacity in frames (≥ 1).
+    pub capacity: usize,
+}
+
+/// A pipeline DAG: stages in topological order plus bounded channels.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineSpec {
-    /// Stages in dataflow order.
+    /// Stages in (topological) dataflow order.
     pub stages: Vec<StageSpec>,
-    /// Channel capacities; `capacities.len() == stages.len() - 1`.
-    pub capacities: Vec<usize>,
+    /// Directed bounded channels between stages.
+    pub edges: Vec<EdgeSpec>,
 }
 
 impl PipelineSpec {
-    /// Structural checks: at least one stage, matching channel count,
-    /// nonzero service times and capacities.
+    /// A linear chain: `stages[i]` feeds `stages[i + 1]` through a channel
+    /// of `capacities[i]` frames (`capacities.len() == stages.len() - 1`).
+    pub fn chain(stages: Vec<StageSpec>, capacities: &[usize]) -> Self {
+        let edges = capacities
+            .iter()
+            .enumerate()
+            .map(|(i, &capacity)| EdgeSpec {
+                from: i,
+                to: i + 1,
+                capacity,
+            })
+            .collect();
+        Self { stages, edges }
+    }
+
+    /// Structural checks: at least one stage, nonzero service times,
+    /// in-bounds forward edges with nonzero capacity, no duplicate edges.
     pub fn validate(&self) -> Result<(), String> {
         if self.stages.is_empty() {
             return Err("pipeline has no stages".into());
-        }
-        if self.capacities.len() + 1 != self.stages.len() {
-            return Err(format!(
-                "{} stages need {} channels, got {}",
-                self.stages.len(),
-                self.stages.len() - 1,
-                self.capacities.len()
-            ));
         }
         for s in &self.stages {
             if s.service_cycles == 0 {
                 return Err(format!("stage {:?} has zero service time", s.name));
             }
         }
-        if let Some(i) = self.capacities.iter().position(|&c| c == 0) {
-            return Err(format!("channel {i} has zero capacity"));
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.edges {
+            if e.to >= self.stages.len() {
+                return Err(format!("edge {}->{} is out of bounds", e.from, e.to));
+            }
+            if e.from >= e.to {
+                return Err(format!(
+                    "edge {}->{} must point forward (stages are topologically ordered)",
+                    e.from, e.to
+                ));
+            }
+            if e.capacity == 0 {
+                return Err(format!("edge {}->{} has zero capacity", e.from, e.to));
+            }
+            if !seen.insert((e.from, e.to)) {
+                return Err(format!("duplicate edge {}->{}", e.from, e.to));
+            }
         }
         Ok(())
     }
@@ -97,6 +147,40 @@ impl PipelineSpec {
     /// Serial (non-pipelined) cycles per frame: the sum of all services.
     pub fn serial_cycles_per_frame(&self) -> u64 {
         self.stages.iter().map(|s| s.service_cycles).sum()
+    }
+
+    /// Stages with no in-edges (they draw frames from the source).
+    pub fn sources(&self) -> Vec<usize> {
+        let mut has_in = vec![false; self.stages.len()];
+        for e in &self.edges {
+            has_in[e.to] = true;
+        }
+        (0..self.stages.len()).filter(|&i| !has_in[i]).collect()
+    }
+
+    /// Stages with no out-edges (frames exit the pipeline through them).
+    pub fn sinks(&self) -> Vec<usize> {
+        let mut has_out = vec![false; self.stages.len()];
+        for e in &self.edges {
+            has_out[e.from] = true;
+        }
+        (0..self.stages.len()).filter(|&i| !has_out[i]).collect()
+    }
+
+    /// Longest service-weighted path through the DAG — the fill latency a
+    /// frame needs with unconstrained buffering (the chain equivalent is
+    /// the serial sum; branch parallelism shrinks it to the critical
+    /// path).
+    pub fn critical_path_cycles(&self) -> u64 {
+        let n = self.stages.len();
+        let mut dist: Vec<u64> = (0..n).map(|i| self.stages[i].service_cycles).collect();
+        // Stages are topologically ordered, so one forward sweep suffices.
+        for i in 0..n {
+            for e in self.edges.iter().filter(|e| e.to == i) {
+                dist[i] = dist[i].max(dist[e.from] + self.stages[i].service_cycles);
+            }
+        }
+        dist.into_iter().max().unwrap_or(0)
     }
 }
 
@@ -111,14 +195,19 @@ pub struct StageStats {
     pub frames: u64,
     /// Cycles spent in service.
     pub busy_cycles: u64,
-    /// Cycles spent holding a finished frame because the output channel
+    /// Cycles spent holding a finished frame because an output channel
     /// was full (back-pressure).
     pub blocked_cycles: u64,
 }
 
-/// Per-channel occupancy outcome of a simulation.
+/// Per-channel occupancy outcome of a simulation, aligned with
+/// [`PipelineSpec::edges`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChannelStats {
+    /// Producer stage index.
+    pub from: usize,
+    /// Consumer stage index.
+    pub to: usize,
     /// Configured capacity.
     pub capacity: usize,
     /// Peak frames simultaneously buffered.
@@ -130,24 +219,27 @@ pub struct ChannelStats {
 /// The product of [`simulate`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineStats {
-    /// Frames injected at the source.
+    /// Frames injected at each source.
     pub frames_in: u64,
-    /// Frames that exited the last stage (conservation: `== frames_in`).
+    /// Frames that exited every sink (conservation: `== frames_in`).
     pub frames_out: u64,
-    /// Cycle at which the last frame exited.
+    /// Cycle at which the last frame cleared the last sink.
     pub makespan_cycles: u64,
-    /// Cycle at which the first frame exited (pipeline fill latency).
+    /// Cycle at which the first frame cleared every sink (pipeline fill
+    /// latency).
     pub fill_cycles: u64,
-    /// Makespan minus the last frame's entry into stage 0 (drain latency).
+    /// Makespan minus the last frame's entry into the last source (drain
+    /// latency).
     pub drain_cycles: u64,
-    /// Per-stage statistics, in dataflow order.
+    /// Per-stage statistics, in stage order.
     pub stages: Vec<StageStats>,
-    /// Per-channel statistics (`stages.len() - 1` entries).
+    /// Per-channel statistics, aligned with the spec's edges.
     pub channels: Vec<ChannelStats>,
 }
 
 impl PipelineStats {
-    /// Index of the bottleneck stage: most busy cycles, earliest on ties.
+    /// Index of the bottleneck stage: most busy cycles, earliest on ties —
+    /// measured across every branch of the DAG.
     pub fn bottleneck(&self) -> usize {
         let mut best = 0;
         for (i, s) in self.stages.iter().enumerate() {
@@ -196,8 +288,11 @@ struct Sim<'a> {
     spec: &'a PipelineSpec,
     frames: u64,
     now: u64,
-    /// Frames still waiting at the source in front of stage 0.
-    source: u64,
+    /// In/out channel indices per stage.
+    ins: Vec<Vec<usize>>,
+    outs: Vec<Vec<usize>>,
+    /// Frames still waiting at each source stage (0 for non-sources).
+    source: Vec<u64>,
     chans: Vec<Chan>,
     busy: Vec<bool>,
     holding: Vec<bool>,
@@ -205,6 +300,10 @@ struct Sim<'a> {
     done: Vec<u64>,
     busy_cycles: Vec<u64>,
     blocked_cycles: Vec<u64>,
+    /// Frames emitted per sink stage (usize::MAX sentinel unused).
+    sink_exits: Vec<u64>,
+    is_source: Vec<bool>,
+    is_sink: Vec<bool>,
     frames_out: u64,
     first_exit: u64,
     last_exit: u64,
@@ -216,39 +315,61 @@ struct Sim<'a> {
 
 impl Sim<'_> {
     fn input_ready(&self, i: usize) -> bool {
-        if i == 0 {
-            self.source > 0
+        if self.is_source[i] {
+            self.source[i] > 0
         } else {
-            self.chans[i - 1].occ > 0
+            self.ins[i].iter().all(|&c| self.chans[c].occ > 0)
         }
     }
 
     fn output_has_space(&self, i: usize) -> bool {
-        i + 1 == self.spec.stages.len() || self.chans[i].occ < self.chans[i].cap
+        self.outs[i]
+            .iter()
+            .all(|&c| self.chans[c].occ < self.chans[c].cap)
     }
 
     fn pop_input(&mut self, i: usize) {
-        if i == 0 {
-            self.source -= 1;
+        if self.is_source[i] {
+            self.source[i] -= 1;
+            // The drain clock starts when the *last* source pop happens.
             self.last_entry = self.now;
         } else {
-            let occ = self.chans[i - 1].occ - 1;
-            self.chans[i - 1].set(self.now, occ);
+            for ci in 0..self.ins[i].len() {
+                let c = self.ins[i][ci];
+                let occ = self.chans[c].occ - 1;
+                self.chans[c].set(self.now, occ);
+            }
         }
     }
 
-    /// Push stage `i`'s finished frame downstream (the caller checked for
-    /// space); the last stage exits into an unbounded sink.
+    /// Push stage `i`'s finished frame into every output channel (the
+    /// caller checked space); sink stages exit into the completion
+    /// accounting instead.
     fn push_output(&mut self, i: usize) {
-        if i + 1 == self.spec.stages.len() {
-            if self.frames_out == 0 {
-                self.first_exit = self.now;
+        if self.is_sink[i] {
+            self.sink_exits[i] += 1;
+            // A frame is complete once every sink has emitted it.
+            let completed = self
+                .is_sink
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s)
+                .map(|(j, _)| self.sink_exits[j])
+                .min()
+                .unwrap_or(0);
+            if completed > self.frames_out {
+                if self.frames_out == 0 {
+                    self.first_exit = self.now;
+                }
+                self.frames_out = completed;
+                self.last_exit = self.now;
             }
-            self.frames_out += 1;
-            self.last_exit = self.now;
         } else {
-            let occ = self.chans[i].occ + 1;
-            self.chans[i].set(self.now, occ);
+            for ci in 0..self.outs[i].len() {
+                let c = self.outs[i][ci];
+                let occ = self.chans[c].occ + 1;
+                self.chans[c].set(self.now, occ);
+            }
         }
     }
 
@@ -297,7 +418,9 @@ impl Sim<'_> {
     }
 }
 
-/// Run `frames` identical frames through the pipeline and collect stats.
+/// Run `frames` identical frames through the pipeline DAG and collect
+/// stats. Every source stage draws `frames` frames; every sink must emit
+/// all of them.
 ///
 /// # Panics
 ///
@@ -305,16 +428,29 @@ impl Sim<'_> {
 pub fn simulate(spec: &PipelineSpec, frames: u64) -> PipelineStats {
     spec.validate().expect("invalid pipeline spec");
     let n = spec.stages.len();
+    let mut ins: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut outs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ei, e) in spec.edges.iter().enumerate() {
+        outs[e.from].push(ei);
+        ins[e.to].push(ei);
+    }
+    let is_source: Vec<bool> = (0..n).map(|i| ins[i].is_empty()).collect();
+    let is_sink: Vec<bool> = (0..n).map(|i| outs[i].is_empty()).collect();
+    let source: Vec<u64> = (0..n)
+        .map(|i| if is_source[i] { frames } else { 0 })
+        .collect();
     let mut sim = Sim {
         spec,
         frames,
         now: 0,
-        source: frames,
+        ins,
+        outs,
+        source,
         chans: spec
-            .capacities
+            .edges
             .iter()
-            .map(|&cap| Chan {
-                cap,
+            .map(|e| Chan {
+                cap: e.capacity,
                 occ: 0,
                 max: 0,
                 integral: 0,
@@ -327,6 +463,9 @@ pub fn simulate(spec: &PipelineSpec, frames: u64) -> PipelineStats {
         done: vec![0; n],
         busy_cycles: vec![0; n],
         blocked_cycles: vec![0; n],
+        sink_exits: vec![0; n],
+        is_source,
+        is_sink,
         frames_out: 0,
         first_exit: 0,
         last_exit: 0,
@@ -350,9 +489,12 @@ pub fn simulate(spec: &PipelineSpec, frames: u64) -> PipelineStats {
     let channels = sim
         .chans
         .iter_mut()
-        .map(|c| {
+        .zip(&spec.edges)
+        .map(|(c, e)| {
             c.set(makespan, c.occ); // close the occupancy integral
             ChannelStats {
+                from: e.from,
+                to: e.to,
                 capacity: c.cap,
                 max_occupancy: c.max,
                 mean_occupancy: if makespan > 0 {
@@ -379,6 +521,21 @@ mod tests {
     use super::*;
 
     fn spec(services: &[u64], caps: &[usize]) -> PipelineSpec {
+        PipelineSpec::chain(
+            services
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| StageSpec {
+                    name: format!("s{i}"),
+                    service_cycles: s,
+                })
+                .collect(),
+            caps,
+        )
+    }
+
+    /// A diamond DAG: s0 fans out to s1/s2, which join at s3.
+    fn diamond(services: [u64; 4], cap: usize) -> PipelineSpec {
         PipelineSpec {
             stages: services
                 .iter()
@@ -388,7 +545,28 @@ mod tests {
                     service_cycles: s,
                 })
                 .collect(),
-            capacities: caps.to_vec(),
+            edges: vec![
+                EdgeSpec {
+                    from: 0,
+                    to: 1,
+                    capacity: cap,
+                },
+                EdgeSpec {
+                    from: 0,
+                    to: 2,
+                    capacity: cap,
+                },
+                EdgeSpec {
+                    from: 1,
+                    to: 3,
+                    capacity: cap,
+                },
+                EdgeSpec {
+                    from: 2,
+                    to: 3,
+                    capacity: cap,
+                },
+            ],
         }
     }
 
@@ -458,9 +636,129 @@ mod tests {
     #[test]
     fn invalid_specs_are_rejected() {
         assert!(spec(&[], &[]).validate().is_err());
-        assert!(spec(&[1, 1], &[]).validate().is_err());
         assert!(spec(&[1, 0], &[1]).validate().is_err());
         assert!(spec(&[1, 1], &[0]).validate().is_err());
+        // Backward, out-of-bounds and duplicate edges.
+        let mut s = spec(&[1, 1], &[1]);
+        s.edges.push(EdgeSpec {
+            from: 1,
+            to: 1,
+            capacity: 1,
+        });
+        assert!(s.validate().is_err());
+        let mut s = spec(&[1, 1], &[1]);
+        s.edges.push(EdgeSpec {
+            from: 0,
+            to: 2,
+            capacity: 1,
+        });
+        assert!(s.validate().is_err());
+        let mut s = spec(&[1, 1], &[1]);
+        s.edges.push(EdgeSpec {
+            from: 0,
+            to: 1,
+            capacity: 2,
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn diamond_fill_is_the_critical_path() {
+        // Fork/join: the first frame exits after the *longest* branch, not
+        // after the branch sum — branch parallelism in action.
+        let d = diamond([2, 10, 3, 4], 2);
+        assert_eq!(d.critical_path_cycles(), 2 + 10 + 4);
+        let st = simulate(&d, 8);
+        assert_eq!(st.fill_cycles, 16);
+        // Steady state still tracks the slowest stage.
+        assert!((st.steady_cycles_per_frame() - 10.0).abs() < 1e-9);
+        assert_eq!(st.bottleneck(), 1);
+        assert_eq!(st.frames_out, 8);
+        // The same services as a chain fill in the serial sum instead.
+        let chain = spec(&[2, 10, 3, 4], &[2, 2, 2]);
+        let cst = simulate(&chain, 8);
+        assert_eq!(cst.fill_cycles, 19);
+        assert!(st.fill_cycles < cst.fill_cycles);
+        assert!(st.makespan_cycles <= cst.makespan_cycles);
+    }
+
+    #[test]
+    fn join_waits_for_all_branches() {
+        // s3 can only run when both s1 and s2 have delivered; with one
+        // frame the makespan is the critical path exactly.
+        let st = simulate(&diamond([1, 7, 2, 1], 1), 1);
+        assert_eq!(st.makespan_cycles, 1 + 7 + 1);
+        assert_eq!(st.stages[3].frames, 1);
+    }
+
+    #[test]
+    fn parallel_sources_and_sinks_conserve_frames() {
+        // Two independent two-stage streams (Two_Stream shape): two
+        // sources, two sinks; completion requires both sinks.
+        let s = PipelineSpec {
+            stages: [3u64, 5, 4, 2]
+                .iter()
+                .enumerate()
+                .map(|(i, &sv)| StageSpec {
+                    name: format!("s{i}"),
+                    service_cycles: sv,
+                })
+                .collect(),
+            edges: vec![
+                EdgeSpec {
+                    from: 0,
+                    to: 1,
+                    capacity: 2,
+                },
+                EdgeSpec {
+                    from: 2,
+                    to: 3,
+                    capacity: 2,
+                },
+            ],
+        };
+        assert_eq!(s.sources(), vec![0, 2]);
+        assert_eq!(s.sinks(), vec![1, 3]);
+        let st = simulate(&s, 10);
+        assert_eq!(st.frames_out, 10);
+        // Each stream fills independently; completion waits for the slower
+        // stream (0→1: fill 8, steady 5).
+        assert_eq!(st.fill_cycles, 8);
+        assert!((st.steady_cycles_per_frame() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fork_replicates_and_blocks_on_any_full_output() {
+        // s0 fans out to a fast and a slow consumer (both sinks). The slow
+        // sink throttles s0 through its bounded channel.
+        let s = PipelineSpec {
+            stages: [1u64, 1, 9]
+                .iter()
+                .enumerate()
+                .map(|(i, &sv)| StageSpec {
+                    name: format!("s{i}"),
+                    service_cycles: sv,
+                })
+                .collect(),
+            edges: vec![
+                EdgeSpec {
+                    from: 0,
+                    to: 1,
+                    capacity: 1,
+                },
+                EdgeSpec {
+                    from: 0,
+                    to: 2,
+                    capacity: 1,
+                },
+            ],
+        };
+        let st = simulate(&s, 16);
+        assert_eq!(st.frames_out, 16);
+        assert!((st.steady_cycles_per_frame() - 9.0).abs() < 1e-9);
+        assert!(st.stages[0].blocked_cycles > 0, "fork feels back-pressure");
+        assert_eq!(st.stages[1].frames, 16);
+        assert_eq!(st.stages[2].frames, 16);
     }
 
     #[test]
@@ -477,5 +775,10 @@ mod tests {
         };
         assert_eq!(single.channel_capacity(2048), 2);
         assert_eq!(single.channel_capacity(8192), 1);
+        // Splitting across parallel branches shares the staging pool.
+        let split = caps.split(4);
+        assert_eq!(split.staging_bytes, 128 << 10);
+        assert!(split.double_buffered);
+        assert_eq!(caps.split(0).staging_bytes, caps.staging_bytes);
     }
 }

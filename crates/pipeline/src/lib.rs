@@ -8,23 +8,26 @@
 //! video understanding: frames flow through C3D / Two-Stream networks
 //! continuously, so end-to-end throughput is set by inter-layer
 //! pipelining, not by the sum of per-layer optima. This crate models a
-//! network as a chain of layer stages connected by **bounded,
-//! double-buffered channels** (capacities derived from the backend's
-//! buffer hierarchy via [`PipelineCaps`]) and advances it with a
+//! network as a **DAG of layer stages** connected by **bounded,
+//! double-buffered channels** ([`EdgeSpec`]; capacities derived from the
+//! backend's buffer hierarchy via [`PipelineCaps`], split across parallel
+//! branches with [`PipelineCaps::split`]) and advances it with a
 //! dependency-free **discrete-event engine** — time-stamped completion
 //! events with deterministic same-cycle cascading, in the style of the
 //! Dataflow Abstract Machine simulator's stage/channel decomposition.
+//! Joins pop one frame from every branch, forks replicate into every
+//! output channel, parallel source streams draw frames independently.
 //!
 //! ```
 //! use morph_pipeline::{simulate, PipelineSpec, StageSpec};
 //!
-//! let spec = PipelineSpec {
-//!     stages: vec![
+//! let spec = PipelineSpec::chain(
+//!     vec![
 //!         StageSpec { name: "conv1".into(), service_cycles: 30 },
 //!         StageSpec { name: "conv2".into(), service_cycles: 50 },
 //!     ],
-//!     capacities: vec![2],
-//! };
+//!     &[2],
+//! );
 //! let stats = simulate(&spec, 8);
 //! assert_eq!(stats.frames_out, 8);
 //! // Steady state runs at the bottleneck's rate, not the serial sum.
@@ -34,10 +37,12 @@
 //!
 //! `morph-core` builds on this: `Backend::pipeline_caps` provisions the
 //! channels, `Session` (in `PipelineMode::Analytic` / `Rebalanced`)
-//! schedules each stage with the per-layer decision the optimizer already
-//! produced, and the resulting [`PipelineReport`] — throughput, fill and
-//! drain latency, utilization, occupancy, bottleneck — rides inside the
-//! serialized `RunReport`.
+//! schedules each conv-level dependency edge of the network graph with the
+//! per-layer decision the optimizer already produced, and the resulting
+//! [`PipelineReport`] — throughput, fill and drain latency, utilization,
+//! per-edge occupancy, the cross-branch bottleneck and the
+//! linearized-chain baseline — rides inside the serialized `RunReport`
+//! (schema v3).
 
 #![warn(missing_docs)]
 
@@ -45,6 +50,7 @@ pub mod engine;
 pub mod report;
 
 pub use engine::{
-    simulate, ChannelStats, PipelineCaps, PipelineSpec, PipelineStats, StageSpec, StageStats,
+    simulate, ChannelStats, EdgeSpec, PipelineCaps, PipelineSpec, PipelineStats, StageSpec,
+    StageStats,
 };
-pub use report::{PipelineMode, PipelineReport, StageReport};
+pub use report::{EdgeReport, PipelineMode, PipelineReport, StageReport};

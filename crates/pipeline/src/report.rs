@@ -2,8 +2,12 @@
 //!
 //! A [`PipelineReport`] summarizes one simulated streaming run of a
 //! network on a backend: steady-state throughput, fill/drain latency, the
-//! bottleneck stage, and per-stage utilization/occupancy. It round-trips
-//! through `morph-json` exactly, so it can ride inside a `RunReport`.
+//! bottleneck stage (measured across every branch), per-stage utilization,
+//! per-channel occupancy on the explicit DAG edges, and the
+//! linearized-chain baseline the branch-parallel schedule is compared
+//! against. It round-trips through `morph-json` exactly, so it can ride
+//! inside a `RunReport` (schema v3); v2 documents (linear chains only)
+//! still parse and are upgraded on the fly.
 
 use crate::engine::PipelineStats;
 use morph_json::{field, field_arr, field_f64, field_str, field_u64, FromJson, ToJson, Value};
@@ -72,11 +76,20 @@ pub struct StageReport {
     pub utilization: f64,
     /// Cycles spent blocked on a full output channel.
     pub blocked_cycles: u64,
-    /// Output channel capacity (0 for the last stage: it exits the chip).
-    pub out_capacity: u64,
-    /// Peak occupancy of the output channel.
+}
+
+/// One bounded channel of the scheduled DAG (a [`PipelineReport`] edge).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeReport {
+    /// Producer stage index.
+    pub from: u64,
+    /// Consumer stage index.
+    pub to: u64,
+    /// Configured capacity in frames.
+    pub capacity: u64,
+    /// Peak frames simultaneously buffered.
     pub max_occupancy: u64,
-    /// Time-weighted mean occupancy of the output channel.
+    /// Time-weighted mean occupancy over the makespan.
     pub mean_occupancy: f64,
 }
 
@@ -95,14 +108,23 @@ pub struct PipelineReport {
     pub fill_cycles: u64,
     /// Makespan minus the last frame's entry (drain latency).
     pub drain_cycles: u64,
-    /// Steady-state throughput in frames per second.
+    /// Steady-state throughput of the branch-parallel DAG schedule in
+    /// frames per second.
     pub steady_fps: f64,
     /// Non-pipelined throughput: clock over the summed per-layer latency.
     pub serial_fps: f64,
-    /// Name of the bottleneck stage.
+    /// Steady-state throughput of the same services scheduled as a
+    /// linearized chain (the pre-DAG pipeline model) — the baseline the
+    /// branch-parallel numbers are compared against.
+    pub chain_fps: f64,
+    /// Fill latency of the linearized-chain schedule.
+    pub chain_fill_cycles: u64,
+    /// Name of the bottleneck stage (across all branches).
     pub bottleneck: String,
-    /// Per-stage detail, in dataflow order.
+    /// Per-stage detail, in linearized order.
     pub stages: Vec<StageReport>,
+    /// The scheduled DAG's bounded channels with occupancy stats.
+    pub edges: Vec<EdgeReport>,
 }
 
 impl PipelineReport {
@@ -111,7 +133,10 @@ impl PipelineReport {
     /// `base_services[i]` is stage `i`'s pre-rebalance latency (equal to
     /// the simulated service unless `rebalanced[i]`); `serial_fps` is
     /// derived from their sum — the throughput of scoring every layer in
-    /// isolation, which pipelining can only improve.
+    /// isolation, which pipelining can only improve. The chain-baseline
+    /// fields default to the DAG numbers (exact for linear networks);
+    /// callers that also simulated the linearized chain override them with
+    /// [`PipelineReport::with_chain_baseline`].
     pub fn from_stats(
         stats: &PipelineStats,
         mode: PipelineMode,
@@ -126,21 +151,27 @@ impl PipelineReport {
             .stages
             .iter()
             .enumerate()
-            .map(|(i, s)| {
-                let chan = stats.channels.get(i);
-                StageReport {
-                    name: s.name.clone(),
-                    service_cycles: s.service_cycles,
-                    base_service_cycles: base_services[i],
-                    rebalanced: rebalanced[i],
-                    utilization: stats.utilization(i),
-                    blocked_cycles: s.blocked_cycles,
-                    out_capacity: chan.map_or(0, |c| c.capacity as u64),
-                    max_occupancy: chan.map_or(0, |c| c.max_occupancy as u64),
-                    mean_occupancy: chan.map_or(0.0, |c| c.mean_occupancy),
-                }
+            .map(|(i, s)| StageReport {
+                name: s.name.clone(),
+                service_cycles: s.service_cycles,
+                base_service_cycles: base_services[i],
+                rebalanced: rebalanced[i],
+                utilization: stats.utilization(i),
+                blocked_cycles: s.blocked_cycles,
             })
             .collect();
+        let edges: Vec<EdgeReport> = stats
+            .channels
+            .iter()
+            .map(|c| EdgeReport {
+                from: c.from as u64,
+                to: c.to as u64,
+                capacity: c.capacity as u64,
+                max_occupancy: c.max_occupancy as u64,
+                mean_occupancy: c.mean_occupancy,
+            })
+            .collect();
+        let steady_fps = clock_hz as f64 / stats.steady_cycles_per_frame().max(1.0);
         PipelineReport {
             mode,
             frames: stats.frames_out,
@@ -148,16 +179,33 @@ impl PipelineReport {
             makespan_cycles: stats.makespan_cycles,
             fill_cycles: stats.fill_cycles,
             drain_cycles: stats.drain_cycles,
-            steady_fps: clock_hz as f64 / stats.steady_cycles_per_frame().max(1.0),
+            steady_fps,
             serial_fps: clock_hz as f64 / (serial_cycles.max(1)) as f64,
+            chain_fps: steady_fps,
+            chain_fill_cycles: stats.fill_cycles,
             bottleneck: stats.stages[stats.bottleneck()].name.clone(),
             stages,
+            edges,
         }
+    }
+
+    /// Record the linearized-chain baseline (steady throughput and fill
+    /// latency of the same services scheduled as a chain).
+    pub fn with_chain_baseline(mut self, chain_fps: f64, chain_fill_cycles: u64) -> Self {
+        self.chain_fps = chain_fps;
+        self.chain_fill_cycles = chain_fill_cycles;
+        self
     }
 
     /// Streaming speedup over per-layer-serial execution.
     pub fn speedup(&self) -> f64 {
         self.steady_fps / self.serial_fps
+    }
+
+    /// Fill-latency speedup of the branch-parallel schedule over the
+    /// linearized chain (1.0 for linear networks).
+    pub fn fill_speedup(&self) -> f64 {
+        self.chain_fill_cycles as f64 / (self.fill_cycles.max(1)) as f64
     }
 
     /// Number of stages the rebalancer changed.
@@ -168,10 +216,11 @@ impl PipelineReport {
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:.1} frames/s steady ({:.2}x over serial), fill {:.2} ms, bottleneck {}",
+            "{:.1} frames/s steady ({:.2}x over serial), fill {:.2} ms ({:.2}x vs chain), bottleneck {}",
             self.steady_fps,
             self.speedup(),
             self.fill_cycles as f64 / self.clock_hz as f64 * 1e3,
+            self.fill_speedup(),
             self.bottleneck,
         )
     }
@@ -189,9 +238,6 @@ impl ToJson for StageReport {
             ("rebalanced", Value::Bool(self.rebalanced)),
             ("utilization", Value::Float(self.utilization)),
             ("blocked_cycles", Value::Int(self.blocked_cycles as i64)),
-            ("out_capacity", Value::Int(self.out_capacity as i64)),
-            ("max_occupancy", Value::Int(self.max_occupancy as i64)),
-            ("mean_occupancy", Value::Float(self.mean_occupancy)),
         ])
     }
 }
@@ -207,7 +253,28 @@ impl FromJson for StageReport {
                 .ok_or_else(|| "field \"rebalanced\" is not a bool".to_string())?,
             utilization: field_f64(v, "utilization")?,
             blocked_cycles: field_u64(v, "blocked_cycles")?,
-            out_capacity: field_u64(v, "out_capacity")?,
+        })
+    }
+}
+
+impl ToJson for EdgeReport {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("from", Value::Int(self.from as i64)),
+            ("to", Value::Int(self.to as i64)),
+            ("capacity", Value::Int(self.capacity as i64)),
+            ("max_occupancy", Value::Int(self.max_occupancy as i64)),
+            ("mean_occupancy", Value::Float(self.mean_occupancy)),
+        ])
+    }
+}
+
+impl FromJson for EdgeReport {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(EdgeReport {
+            from: field_u64(v, "from")?,
+            to: field_u64(v, "to")?,
+            capacity: field_u64(v, "capacity")?,
             max_occupancy: field_u64(v, "max_occupancy")?,
             mean_occupancy: field_f64(v, "mean_occupancy")?,
         })
@@ -225,14 +292,30 @@ impl ToJson for PipelineReport {
             ("drain_cycles", Value::Int(self.drain_cycles as i64)),
             ("steady_fps", Value::Float(self.steady_fps)),
             ("serial_fps", Value::Float(self.serial_fps)),
+            ("chain_fps", Value::Float(self.chain_fps)),
+            (
+                "chain_fill_cycles",
+                Value::Int(self.chain_fill_cycles as i64),
+            ),
             ("bottleneck", Value::Str(self.bottleneck.clone())),
             ("stages", self.stages.to_json()),
+            ("edges", self.edges.to_json()),
         ])
     }
 }
 
 impl FromJson for PipelineReport {
     fn from_json(v: &Value) -> Result<Self, String> {
+        if v.get("edges").is_some() {
+            Self::from_json_v3(v)
+        } else {
+            Self::from_json_v2(v)
+        }
+    }
+}
+
+impl PipelineReport {
+    fn from_json_v3(v: &Value) -> Result<Self, String> {
         Ok(PipelineReport {
             mode: PipelineMode::from_json(field(v, "mode")?)?,
             frames: field_u64(v, "frames")?,
@@ -242,11 +325,56 @@ impl FromJson for PipelineReport {
             drain_cycles: field_u64(v, "drain_cycles")?,
             steady_fps: field_f64(v, "steady_fps")?,
             serial_fps: field_f64(v, "serial_fps")?,
+            chain_fps: field_f64(v, "chain_fps")?,
+            chain_fill_cycles: field_u64(v, "chain_fill_cycles")?,
             bottleneck: field_str(v, "bottleneck")?.to_string(),
             stages: field_arr(v, "stages")?
                 .iter()
                 .map(StageReport::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
+            edges: field_arr(v, "edges")?
+                .iter()
+                .map(EdgeReport::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+
+    /// Upgrade a schema-v2 pipeline section (linear chain; channel stats
+    /// inlined on each stage as `out_capacity` / `max_occupancy` /
+    /// `mean_occupancy`): the per-stage channel fields become the chain's
+    /// `i -> i + 1` edges, and the chain baseline is the schedule itself.
+    fn from_json_v2(v: &Value) -> Result<Self, String> {
+        let stage_values = field_arr(v, "stages")?;
+        let mut stages = Vec::with_capacity(stage_values.len());
+        let mut edges = Vec::new();
+        for (i, sv) in stage_values.iter().enumerate() {
+            stages.push(StageReport::from_json(sv)?);
+            if i + 1 < stage_values.len() {
+                edges.push(EdgeReport {
+                    from: i as u64,
+                    to: i as u64 + 1,
+                    capacity: field_u64(sv, "out_capacity")?,
+                    max_occupancy: field_u64(sv, "max_occupancy")?,
+                    mean_occupancy: field_f64(sv, "mean_occupancy")?,
+                });
+            }
+        }
+        let steady_fps = field_f64(v, "steady_fps")?;
+        let fill_cycles = field_u64(v, "fill_cycles")?;
+        Ok(PipelineReport {
+            mode: PipelineMode::from_json(field(v, "mode")?)?,
+            frames: field_u64(v, "frames")?,
+            clock_hz: field_u64(v, "clock_hz")?,
+            makespan_cycles: field_u64(v, "makespan_cycles")?,
+            fill_cycles,
+            drain_cycles: field_u64(v, "drain_cycles")?,
+            steady_fps,
+            serial_fps: field_f64(v, "serial_fps")?,
+            chain_fps: steady_fps,
+            chain_fill_cycles: fill_cycles,
+            bottleneck: field_str(v, "bottleneck")?.to_string(),
+            stages,
+            edges,
         })
     }
 }
@@ -254,11 +382,11 @@ impl FromJson for PipelineReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{simulate, PipelineSpec, StageSpec};
+    use crate::engine::{simulate, EdgeSpec, PipelineSpec, StageSpec};
 
     fn sample() -> PipelineReport {
-        let spec = PipelineSpec {
-            stages: vec![
+        let spec = PipelineSpec::chain(
+            vec![
                 StageSpec {
                     name: "conv1".into(),
                     service_cycles: 40,
@@ -272,8 +400,8 @@ mod tests {
                     service_cycles: 25,
                 },
             ],
-            capacities: vec![2, 2],
-        };
+            &[2, 2],
+        );
         let stats = simulate(&spec, 16);
         PipelineReport::from_stats(
             &stats,
@@ -284,6 +412,56 @@ mod tests {
         )
     }
 
+    fn dag_sample() -> PipelineReport {
+        // stem -> {b0, b1} -> head, a real fork/join.
+        let spec = PipelineSpec {
+            stages: ["stem", "b0", "b1", "head"]
+                .iter()
+                .zip([10u64, 30, 45, 10])
+                .map(|(n, s)| StageSpec {
+                    name: (*n).into(),
+                    service_cycles: s,
+                })
+                .collect(),
+            edges: vec![
+                EdgeSpec {
+                    from: 0,
+                    to: 1,
+                    capacity: 2,
+                },
+                EdgeSpec {
+                    from: 0,
+                    to: 2,
+                    capacity: 2,
+                },
+                EdgeSpec {
+                    from: 1,
+                    to: 3,
+                    capacity: 2,
+                },
+                EdgeSpec {
+                    from: 2,
+                    to: 3,
+                    capacity: 2,
+                },
+            ],
+        };
+        let stats = simulate(&spec, 16);
+        let chain = PipelineSpec::chain(spec.stages.clone(), &[2, 2, 2]);
+        let chain_stats = simulate(&chain, 16);
+        PipelineReport::from_stats(
+            &stats,
+            PipelineMode::Analytic,
+            1_000_000_000,
+            &[10, 30, 45, 10],
+            &[false; 4],
+        )
+        .with_chain_baseline(
+            1e9 / chain_stats.steady_cycles_per_frame(),
+            chain_stats.fill_cycles,
+        )
+    }
+
     #[test]
     fn pipelining_only_helps() {
         let r = sample();
@@ -291,11 +469,60 @@ mod tests {
         assert!(r.speedup() >= 1.0);
         assert_eq!(r.bottleneck, "conv2");
         assert_eq!(r.rebalanced_stages(), 1);
+        // A chain is its own baseline.
+        assert_eq!(r.chain_fps, r.steady_fps);
+        assert_eq!(r.chain_fill_cycles, r.fill_cycles);
+        assert_eq!(r.edges.len(), 2);
+    }
+
+    #[test]
+    fn branch_parallel_beats_the_chain_on_fill() {
+        let r = dag_sample();
+        // Fork/join fill is the critical path (10+45+10), not the serial
+        // sum (95).
+        assert_eq!(r.fill_cycles, 65);
+        assert_eq!(r.chain_fill_cycles, 95);
+        assert!(r.fill_speedup() > 1.0);
+        // Steady state is bottleneck-limited either way.
+        assert!(r.steady_fps >= r.chain_fps - 1e-6);
+        assert_eq!(r.edges.len(), 4);
     }
 
     #[test]
     fn json_round_trip_is_exact() {
-        let r = sample();
+        for r in [sample(), dag_sample()] {
+            let back =
+                PipelineReport::from_json(&Value::parse(&r.to_json().pretty()).unwrap()).unwrap();
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn v2_documents_upgrade_to_edges() {
+        // A hand-built v2 pipeline section: channel stats ride on stages.
+        let text = r#"{
+            "mode": "analytic", "frames": 4, "clock_hz": 1000000000,
+            "makespan_cycles": 400, "fill_cycles": 70, "drain_cycles": 100,
+            "steady_fps": 10000000.0, "serial_fps": 9000000.0,
+            "bottleneck": "conv2",
+            "stages": [
+                {"name": "conv1", "service_cycles": 30,
+                 "base_service_cycles": 30, "rebalanced": false,
+                 "utilization": 0.3, "blocked_cycles": 0,
+                 "out_capacity": 3, "max_occupancy": 2, "mean_occupancy": 1.5},
+                {"name": "conv2", "service_cycles": 100,
+                 "base_service_cycles": 100, "rebalanced": false,
+                 "utilization": 1.0, "blocked_cycles": 0,
+                 "out_capacity": 0, "max_occupancy": 0, "mean_occupancy": 0.0}
+            ]
+        }"#;
+        let r = PipelineReport::from_json(&Value::parse(text).unwrap()).unwrap();
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!((r.edges[0].from, r.edges[0].to), (0, 1));
+        assert_eq!(r.edges[0].capacity, 3);
+        assert_eq!(r.chain_fps, r.steady_fps);
+        assert_eq!(r.chain_fill_cycles, r.fill_cycles);
+        // Re-serializing produces a v3 section that round-trips exactly.
         let back =
             PipelineReport::from_json(&Value::parse(&r.to_json().pretty()).unwrap()).unwrap();
         assert_eq!(r, back);

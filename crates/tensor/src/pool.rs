@@ -19,6 +19,11 @@ pub struct PoolShape {
     pub stride: usize,
     /// Temporal stride.
     pub stride_f: usize,
+    /// Spatial padding (both sides; the window is clamped to valid
+    /// elements, the max-pool equivalent of `-inf` padding).
+    pub pad: usize,
+    /// Temporal padding (both sides).
+    pub pad_f: usize,
 }
 
 impl PoolShape {
@@ -31,6 +36,8 @@ impl PoolShape {
             pf,
             stride: pw.max(ph),
             stride_f: pf,
+            pad: 0,
+            pad_f: 0,
         }
     }
 
@@ -41,12 +48,19 @@ impl PoolShape {
         self
     }
 
+    /// Override the padding (e.g. ResNet's `3×3` stride-2 pad-1 stem pool).
+    pub fn with_pad(mut self, spatial: usize, temporal: usize) -> Self {
+        self.pad = spatial;
+        self.pad_f = temporal;
+        self
+    }
+
     /// Output dims for an input of `(f, h, w)`.
     pub fn out_dims(&self, f: usize, h: usize, w: usize) -> (usize, usize, usize) {
         (
-            (f.saturating_sub(self.pf)) / self.stride_f + 1,
-            (h.saturating_sub(self.ph)) / self.stride + 1,
-            (w.saturating_sub(self.pw)) / self.stride + 1,
+            ((f + 2 * self.pad_f).saturating_sub(self.pf)) / self.stride_f + 1,
+            ((h + 2 * self.pad).saturating_sub(self.ph)) / self.stride + 1,
+            ((w + 2 * self.pad).saturating_sub(self.pw)) / self.stride + 1,
         )
     }
 }
@@ -60,12 +74,21 @@ pub fn maxpool3d(input: &Activations<i32>, pool: &PoolShape) -> Activations<i32>
         for df in 0..pool.pf {
             for dh in 0..pool.ph {
                 for dw in 0..pool.pw {
-                    let v = input.get(
-                        ci,
-                        fi * pool.stride_f + df,
-                        hi * pool.stride + dh,
-                        wi * pool.stride + dw,
-                    );
+                    // Window coordinates in the padded frame; skip padding
+                    // (clamping is the max-pool equivalent of -inf pads).
+                    let fp = fi * pool.stride_f + df;
+                    let hp = hi * pool.stride + dh;
+                    let wp = wi * pool.stride + dw;
+                    if fp < pool.pad_f
+                        || hp < pool.pad
+                        || wp < pool.pad
+                        || fp - pool.pad_f >= f
+                        || hp - pool.pad >= h
+                        || wp - pool.pad >= w
+                    {
+                        continue;
+                    }
+                    let v = input.get(ci, fp - pool.pad_f, hp - pool.pad, wp - pool.pad);
                     best = best.max(v);
                 }
             }
@@ -94,6 +117,24 @@ mod tests {
         let out = maxpool3d(&input, &PoolShape::new(2, 2, 2));
         assert_eq!(out.shape(), (1, 1, 1, 1));
         assert_eq!(out.get(0, 0, 0, 0), 7);
+    }
+
+    #[test]
+    fn padded_pool_dims_resnet_stem() {
+        // ResNet pool1: 3×3 stride 2 pad 1 on 112×112 → 56×56.
+        let p = PoolShape::new(1, 3, 3).with_stride(2, 1).with_pad(1, 0);
+        assert_eq!(p.out_dims(1, 112, 112), (1, 56, 56));
+    }
+
+    #[test]
+    fn padded_maxpool_clamps_to_valid_window() {
+        // 2×2 input, 3×3 window stride 2 pad 1: each output sees a clamped
+        // corner window; max over all-negative values stays finite.
+        let input = Activations::from_fn(1, 1, 2, 2, |_, _, h, w| -((h * 2 + w) as i32) - 1);
+        let p = PoolShape::new(1, 3, 3).with_stride(2, 1).with_pad(1, 0);
+        let out = maxpool3d(&input, &p);
+        assert_eq!(out.shape(), (1, 1, 1, 1));
+        assert_eq!(out.get(0, 0, 0, 0), -1);
     }
 
     #[test]

@@ -11,7 +11,9 @@ use morph_nets::Network;
 use morph_tensor::pool::PoolShape;
 use morph_tensor::shape::ConvShape;
 
-/// A compact 3D CNN for 8-frame 64×64 clips (e.g. drone footage).
+/// A compact 3D CNN for 8-frame 64×64 clips (e.g. drone footage), with an
+/// Inception-style fork — the graph builder expresses the branch structure
+/// directly, and the exact edge validator checks every connection.
 fn drone_net() -> Network {
     let mut net = Network::new("DroneNet");
     net.conv(
@@ -24,10 +26,17 @@ fn drone_net() -> Network {
         ConvShape::new_3d(32, 32, 8, 32, 64, 3, 3, 3).with_pad(1, 1),
     );
     net.pool("pool2", PoolShape::new(2, 2, 2));
-    net.conv(
-        "conv3a",
-        ConvShape::new_3d(16, 16, 4, 64, 128, 3, 3, 3).with_pad(1, 1),
+    // A two-branch module: 3×3×3 tower next to a cheap 1×1×1 tower,
+    // concatenated channel-wise (64 + 64 = 128).
+    let mut module = net.fork();
+    module.branch().conv(
+        "mix/3x3",
+        ConvShape::new_3d(16, 16, 4, 64, 64, 3, 3, 3).with_pad(1, 1),
     );
+    module
+        .branch()
+        .conv("mix/1x1", ConvShape::new_3d(16, 16, 4, 64, 64, 1, 1, 1));
+    module.concat("mix/concat");
     net.conv(
         "conv3b",
         ConvShape::new_3d(16, 16, 4, 128, 128, 3, 3, 3).with_pad(1, 1),
@@ -42,7 +51,7 @@ fn drone_net() -> Network {
 
 fn main() {
     let net = drone_net();
-    net.validate_chaining().expect("layer shapes chain");
+    net.validate().expect("every edge shape-checks exactly");
     println!(
         "{}: {} conv layers, {:.2} GMACs, {:.1} avg MACCs/byte reuse\n",
         net.name,
