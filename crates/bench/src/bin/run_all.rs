@@ -8,7 +8,7 @@ use morph_core::RunReport;
 use std::process::Command;
 
 /// All experiment binaries, in dependency-free execution order.
-const BINS: [&str; 16] = [
+const BINS: [&str; 17] = [
     "tables",
     "table4",
     "fig1a",
@@ -25,10 +25,11 @@ const BINS: [&str; 16] = [
     "fig10",
     "ablate_flex",
     "pipeline",
+    "pareto",
 ];
 
 /// The subset that persists a structured `RunReport`.
-const REPORTING_BINS: [&str; 8] = [
+const REPORTING_BINS: [&str; 9] = [
     "fig4a",
     "fig4b",
     "fig4c",
@@ -37,6 +38,7 @@ const REPORTING_BINS: [&str; 8] = [
     "fig10",
     "ablate_flex",
     "pipeline",
+    "pareto",
 ];
 
 fn main() {

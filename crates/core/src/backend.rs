@@ -16,6 +16,8 @@ use morph_optimizer::{Effort, Objective, Optimizer};
 use morph_pipeline::PipelineCaps;
 use morph_tensor::order::LoopOrder;
 use morph_tensor::shape::ConvShape;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The dataflow mapping a backend chose for one layer.
 ///
@@ -64,6 +66,33 @@ pub trait Backend: Send + Sync {
         self.evaluate_layer(shape)
     }
 
+    /// True if [`Backend::evaluate_layer_budgeted`] really honors a
+    /// reduced cluster budget. The DAG-aware rebalancer and the Pareto
+    /// sweep only enumerate sub-chip shares for backends that return
+    /// `true`; fixed-provisioning models keep the default `false` and are
+    /// always scheduled on their full chip.
+    fn supports_cluster_budget(&self) -> bool {
+        false
+    }
+
+    /// Evaluate one layer under an explicit objective on a reduced
+    /// **cluster budget**: the mapping search runs against the same
+    /// architecture with only `clusters` compute clusters (the shared L2
+    /// stays whole — branch stages split compute, not the last-level
+    /// buffer). The DAG-aware pipeline rebalancer uses this to shift
+    /// cluster share between concurrently-live branch stages, and the
+    /// Pareto sweep to tabulate each stage's latency/energy across
+    /// shares. The default ignores the budget (fixed-dataflow backends
+    /// cannot shrink).
+    fn evaluate_layer_budgeted(
+        &self,
+        shape: &ConvShape,
+        objective: Objective,
+        _clusters: usize,
+    ) -> LayerEval {
+        self.evaluate_layer_for(shape, objective)
+    }
+
     /// Channel provisioning for cross-layer pipelined scheduling: how much
     /// buffer the backend stages inter-layer frames in. Default: half the
     /// last-level buffer (the other half stays with the layer tiles),
@@ -78,12 +107,44 @@ pub trait Backend: Send + Sync {
     }
 }
 
+/// Shared cluster-budgeted search path of the searched backends: fetch
+/// (or lazily build via `build`) the optimizer for the reduced-cluster
+/// provisioning, then search the layer on it.
+fn search_budgeted(
+    budgeted: &Mutex<HashMap<usize, Arc<Optimizer>>>,
+    arch: ArchSpec,
+    clusters: usize,
+    build: impl FnOnce(ArchSpec) -> Optimizer,
+    shape: &ConvShape,
+    objective: Objective,
+) -> LayerEval {
+    let opt = Arc::clone(
+        budgeted
+            .lock()
+            .unwrap()
+            .entry(clusters)
+            .or_insert_with(|| Arc::new(build(ArchSpec { clusters, ..arch }))),
+    );
+    let d = opt.search_layer(shape, objective);
+    LayerEval {
+        report: d.report,
+        decision: Some(MappingDecision {
+            config: d.config,
+            par: d.par,
+        }),
+    }
+}
+
 /// The flexible Morph accelerator (per-layer searched dataflows).
 pub struct Morph {
     opt: Optimizer,
     objective: Objective,
     arch: ArchSpec,
     name: String,
+    /// Build recipe, kept to derive reduced-cluster optimizer variants.
+    spec: MorphBuilder,
+    /// Lazily built optimizers for sub-chip cluster budgets.
+    budgeted: Mutex<HashMap<usize, Arc<Optimizer>>>,
 }
 
 /// Builder for [`Morph`].
@@ -164,24 +225,33 @@ impl MorphBuilder {
         self
     }
 
-    /// Construct the backend.
-    pub fn build(self) -> Morph {
-        let model = EnergyModel::morph(self.arch).with_tech(self.tech);
+    /// The optimizer this recipe produces for a given provisioning (the
+    /// builder's own, or a cluster-budgeted reduction of it).
+    fn optimizer(&self, arch: ArchSpec) -> Optimizer {
+        let model = EnergyModel::morph(arch).with_tech(self.tech);
         let mut opt = Optimizer::morph(model, self.effort);
-        if let Some(orders) = self.outer_orders {
-            opt = opt.with_outer_orders(orders);
+        if let Some(orders) = &self.outer_orders {
+            opt = opt.with_outer_orders(orders.clone());
         }
-        if let Some(orders) = self.inner_orders {
-            opt = opt.with_inner_orders(orders);
+        if let Some(orders) = &self.inner_orders {
+            opt = opt.with_inner_orders(orders.clone());
         }
         if let Some(par) = self.parallelism {
             opt = opt.with_parallelism(par);
         }
+        opt
+    }
+
+    /// Construct the backend.
+    pub fn build(self) -> Morph {
+        let opt = self.optimizer(self.arch);
         Morph {
             opt,
             objective: self.objective,
             arch: self.arch,
-            name: self.name.unwrap_or_else(|| "Morph".to_string()),
+            name: self.name.clone().unwrap_or_else(|| "Morph".to_string()),
+            spec: self,
+            budgeted: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -231,6 +301,29 @@ impl Backend for Morph {
             }),
         }
     }
+
+    fn supports_cluster_budget(&self) -> bool {
+        true
+    }
+
+    fn evaluate_layer_budgeted(
+        &self,
+        shape: &ConvShape,
+        objective: Objective,
+        clusters: usize,
+    ) -> LayerEval {
+        if clusters == 0 || clusters >= self.arch.clusters {
+            return self.evaluate_layer_for(shape, objective);
+        }
+        search_budgeted(
+            &self.budgeted,
+            self.arch,
+            clusters,
+            |arch| self.spec.optimizer(arch),
+            shape,
+            objective,
+        )
+    }
 }
 
 /// The inflexible Morph_base baseline (§IV-A3: fixed orders, Table I
@@ -240,6 +333,10 @@ pub struct MorphBase {
     objective: Objective,
     arch: ArchSpec,
     name: String,
+    /// Build recipe, kept to derive reduced-cluster optimizer variants.
+    spec: MorphBaseBuilder,
+    /// Lazily built optimizers for sub-chip cluster budgets.
+    budgeted: Mutex<HashMap<usize, Arc<Optimizer>>>,
 }
 
 /// Builder for [`MorphBase`].
@@ -296,18 +393,30 @@ impl MorphBaseBuilder {
         self
     }
 
-    /// Construct the backend.
-    pub fn build(self) -> MorphBase {
-        let model = EnergyModel::morph_base(self.arch).with_tech(self.tech);
+    /// The optimizer this recipe produces for a given provisioning (the
+    /// builder's own, or a cluster-budgeted reduction of it).
+    fn optimizer(&self, arch: ArchSpec) -> Optimizer {
+        let model = EnergyModel::morph_base(arch).with_tech(self.tech);
         let mut opt = Optimizer::morph_base(model);
         if self.fixed_tile_policy {
             opt = opt.with_fixed_tile_policy();
         }
+        opt
+    }
+
+    /// Construct the backend.
+    pub fn build(self) -> MorphBase {
+        let opt = self.optimizer(self.arch);
         MorphBase {
             opt,
             objective: self.objective,
             arch: self.arch,
-            name: self.name.unwrap_or_else(|| "Morph_base".to_string()),
+            name: self
+                .name
+                .clone()
+                .unwrap_or_else(|| "Morph_base".to_string()),
+            spec: self,
+            budgeted: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -356,6 +465,29 @@ impl Backend for MorphBase {
                 par: d.par,
             }),
         }
+    }
+
+    fn supports_cluster_budget(&self) -> bool {
+        true
+    }
+
+    fn evaluate_layer_budgeted(
+        &self,
+        shape: &ConvShape,
+        objective: Objective,
+        clusters: usize,
+    ) -> LayerEval {
+        if clusters == 0 || clusters >= self.arch.clusters {
+            return self.evaluate_layer_for(shape, objective);
+        }
+        search_budgeted(
+            &self.budgeted,
+            self.arch,
+            clusters,
+            |arch| self.spec.optimizer(arch),
+            shape,
+            objective,
+        )
     }
 }
 
@@ -557,6 +689,57 @@ mod tests {
         assert!(scaled.l2_pj < base.l2_pj);
         assert!(scaled.compute_pj < base.compute_pj);
         assert!(scaled.total_pj() < base.total_pj());
+    }
+
+    #[test]
+    fn cluster_budget_trades_latency_for_power() {
+        let sh = layer();
+        let m = Morph::new();
+        assert!(m.supports_cluster_budget());
+        assert!(!Eyeriss::new().supports_cluster_budget());
+        let full = m
+            .evaluate_layer_budgeted(&sh, Objective::Performance, 6)
+            .report;
+        let half = m
+            .evaluate_layer_budgeted(&sh, Objective::Performance, 3)
+            .report;
+        let one = m
+            .evaluate_layer_budgeted(&sh, Objective::Performance, 1)
+            .report;
+        // A full budget is exactly the unbudgeted evaluation.
+        assert_eq!(
+            full,
+            m.evaluate_layer_for(&sh, Objective::Performance).report
+        );
+        // Fewer clusters can only slow the layer down...
+        assert!(half.cycles.total >= full.cycles.total);
+        assert!(one.cycles.total >= half.cycles.total);
+        // ...but it draws less power while in service (energy over time).
+        let power = |r: &morph_energy::EnergyReport| r.total_pj() / r.cycles.total as f64;
+        assert!(power(&one) < power(&full));
+        // Budgets are clamped: oversized requests mean "the whole chip".
+        assert_eq!(
+            m.evaluate_layer_budgeted(&sh, Objective::Performance, 99)
+                .report,
+            full
+        );
+    }
+
+    #[test]
+    fn fixed_backends_ignore_the_budget() {
+        let sh = layer();
+        let ey = Eyeriss::new();
+        assert_eq!(
+            ey.evaluate_layer_budgeted(&sh, Objective::Performance, 1)
+                .report,
+            ey.evaluate_layer(&sh).report
+        );
+        // Morph_base honors it through its fixed-order search.
+        let mb = MorphBase::new();
+        assert!(mb.supports_cluster_budget());
+        let full = mb.evaluate_layer_budgeted(&sh, Objective::Energy, 6).report;
+        let two = mb.evaluate_layer_budgeted(&sh, Objective::Energy, 2).report;
+        assert!(two.cycles.total >= full.cycles.total);
     }
 
     #[test]

@@ -70,9 +70,10 @@
 //! fork/join branches run as genuinely parallel stages on disjoint cluster
 //! subsets (each branch channel takes a proportional split of the staging
 //! buffer), and every run carries a [`PipelineReport`] with steady-state
-//! frames/sec, fill/drain latency, per-stage utilization, per-edge
-//! occupancy, the cross-branch bottleneck and the linearized-chain
-//! baseline it improves on:
+//! frames/sec, fill/drain latency, per-stage utilization and cluster
+//! share, per-edge occupancy, energy/frame and peak power, the
+//! cross-branch bottleneck and the linearized-chain baseline it improves
+//! on:
 //!
 //! ```no_run
 //! use morph_core::{Morph, PipelineMode, Session};
@@ -92,6 +93,37 @@
 //!     p.fill_speedup()
 //! );
 //! ```
+//!
+//! Scheduling is **allocation-aware**: anti-chains of the conv DAG are
+//! concurrently-live stage groups competing for the chip's compute
+//! clusters. [`PipelineMode::DagRebalanced`] shifts cluster share
+//! between live branch stages under a per-group budget
+//! ([`Backend::evaluate_layer_budgeted`]) — throughput never drops below
+//! the greedy rebalancer and energy/frame never rises — and
+//! [`PipelineMode::Pareto`] sweeps allocations into a non-dominated
+//! (frames/sec, energy/frame, peak power) frontier, optionally under a
+//! peak-power cap ([`ParetoReport`]; see `examples/pareto.rs`):
+//!
+//! ```no_run
+//! use morph_core::{Morph, PipelineMode, Session};
+//! use morph_nets::zoo;
+//!
+//! let report = Session::builder()
+//!     .backend(Morph::builder().build())
+//!     .network(zoo::by_name("Two_Stream").unwrap())
+//!     .pipeline(PipelineMode::Pareto { power_cap_mw: Some(500) })
+//!     .build()
+//!     .run();
+//! let p = report.runs[0].pipeline.as_ref().unwrap();
+//! for point in &p.pareto.as_ref().unwrap().points {
+//!     println!(
+//!         "{:.1} frames/s at {:.0} mW, {:.2} mJ/frame",
+//!         point.steady_fps,
+//!         point.peak_power_mw,
+//!         point.energy_per_frame_pj / 1e9
+//!     );
+//! }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -108,6 +140,8 @@ pub use morph_dataflow::arch::{ArchSpec, OnChipLevel};
 pub use morph_dataflow::perf::Parallelism;
 pub use morph_energy::{EnergyModel, EnergyReport, TechNode};
 pub use morph_optimizer::{Effort, LayerDecision, Objective, Optimizer};
-pub use morph_pipeline::{EdgeReport, PipelineCaps, PipelineMode, PipelineReport, StageReport};
+pub use morph_pipeline::{
+    EdgeReport, ParetoPoint, ParetoReport, PipelineCaps, PipelineMode, PipelineReport, StageReport,
+};
 pub use report::{LayerRecord, NetworkRun, RunReport, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 pub use session::{Session, SessionBuilder, DEFAULT_PIPELINE_FRAMES};

@@ -20,9 +20,16 @@ use morph_tensor::shape::ConvShape;
 /// v3 made networks graph-native: each run carries its conv-level
 /// dependency `edges`, and the pipeline section gained explicit DAG
 /// `edges` plus the linearized-chain baseline (`chain_fps`,
-/// `chain_fill_cycles`). v2 documents still parse and are upgraded on
-/// the fly (chain edges are reconstructed from the linear layer order).
-pub const SCHEMA_VERSION: u32 = 3;
+/// `chain_fill_cycles`). v4 made schedules allocation-aware: pipeline
+/// stages record their compute-cluster share (`clusters`), the section
+/// scores the schedule (`energy_per_frame_pj`, `peak_power_mw`), the
+/// `mode` accepts the structured capped-Pareto form, and Pareto sweeps
+/// attach their allocation frontier (`pareto`:
+/// [`morph_pipeline::ParetoReport`]). v2 and v3 documents still parse
+/// and are upgraded on the fly (chain edges are reconstructed from the
+/// linear layer order; missing allocation/power fields read back as
+/// unrecorded — `0` / `0.0` / `null`).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Oldest schema [`RunReport::from_json_str`] still accepts (upgrading it
 /// to [`SCHEMA_VERSION`] in memory).
@@ -272,9 +279,10 @@ impl FromJson for RunReport {
                 "unsupported report schema {schema}, expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
             ));
         }
-        // v2 documents upgrade in place: runs gain reconstructed chain
-        // edges and the pipeline sections gain their chain baselines, so
-        // the in-memory report is always at SCHEMA_VERSION.
+        // Older documents upgrade in place: v2 runs gain reconstructed
+        // chain edges and chain baselines, v3 pipeline sections gain
+        // unrecorded allocation/power fields, so the in-memory report is
+        // always at SCHEMA_VERSION.
         Ok(RunReport {
             schema: SCHEMA_VERSION,
             runs: field_arr(v, "runs")?
@@ -361,10 +369,59 @@ mod tests {
         assert_eq!(rep, back);
     }
 
-    /// Rewrite a current (v3) report document into the v2 shape: schema
-    /// stamp 2, no run-level `edges`, pipeline channel stats inlined per
-    /// stage instead of the `edges` array, no chain-baseline fields.
+    /// Strip the v4 additions from a serialized report (allocation,
+    /// power scores, pareto section), producing the document a v3 writer
+    /// would have emitted.
+    fn downgrade_to_v3(v: &mut Value) {
+        let Value::Obj(top) = v else {
+            panic!("report is an object")
+        };
+        top.insert("schema".into(), Value::Int(3));
+        let Some(Value::Arr(runs)) = top.get_mut("runs") else {
+            panic!("runs array")
+        };
+        for run in runs {
+            let Value::Obj(run) = run else {
+                panic!("run object")
+            };
+            let Some(Value::Obj(p)) = run.get_mut("pipeline") else {
+                continue;
+            };
+            p.remove("energy_per_frame_pj");
+            p.remove("peak_power_mw");
+            p.remove("pareto");
+            let Some(Value::Arr(stages)) = p.get_mut("stages") else {
+                panic!("pipeline stages")
+            };
+            for stage in stages {
+                let Value::Obj(stage) = stage else { panic!() };
+                stage.remove("clusters");
+            }
+        }
+    }
+
+    /// Zero the v4 fields of an in-memory report: what an upgraded
+    /// pre-v4 document is expected to look like.
+    fn without_v4_fields(mut rep: RunReport) -> RunReport {
+        for run in &mut rep.runs {
+            if let Some(p) = run.pipeline.as_mut() {
+                p.energy_per_frame_pj = 0.0;
+                p.peak_power_mw = 0.0;
+                p.pareto = None;
+                for s in &mut p.stages {
+                    s.clusters = 0;
+                }
+            }
+        }
+        rep
+    }
+
+    /// Rewrite a current report document into the v2 shape: schema stamp
+    /// 2, no run-level `edges`, pipeline channel stats inlined per stage
+    /// instead of the `edges` array, no chain-baseline fields, no v4
+    /// allocation/power fields.
     fn downgrade_to_v2(v: &mut Value) {
+        downgrade_to_v3(v);
         let Value::Obj(top) = v else {
             panic!("report is an object")
         };
@@ -418,8 +475,9 @@ mod tests {
     fn v2_documents_upgrade_and_round_trip() {
         // A pipeline-bearing chain run, serialized, downgraded to the v2
         // document shape, parsed back: the report must come back at
-        // schema v3 with reconstructed chain edges, identical numbers,
-        // and survive a further round trip exactly.
+        // schema v4 with reconstructed chain edges, identical numbers
+        // (the v4 allocation/power fields read back as unrecorded), and
+        // survive a further round trip exactly.
         let rep = Session::builder()
             .backend(Morph::new())
             .network(tiny_net())
@@ -431,8 +489,35 @@ mod tests {
         let upgraded = RunReport::from_json_str(&doc.pretty()).unwrap();
         assert_eq!(upgraded.schema, SCHEMA_VERSION);
         // tiny_net is a chain, so the v2 upgrade reconstructs the exact
-        // report the v3 serialization carried.
-        assert_eq!(upgraded, rep);
+        // report the serialization carried, minus the v4 fields.
+        assert_eq!(upgraded, without_v4_fields(rep));
+        let again = RunReport::from_json_str(&upgraded.to_json_string()).unwrap();
+        assert_eq!(again, upgraded);
+    }
+
+    #[test]
+    fn v3_documents_upgrade_and_round_trip() {
+        // The same exercise one schema closer: a v3 document (graph
+        // edges present, no allocation/power fields) upgrades to v4 with
+        // those fields unrecorded and round-trips exactly afterwards.
+        let rep = Session::builder()
+            .backend(Morph::new())
+            .network(tiny_net())
+            .pipeline(morph_pipeline::PipelineMode::Rebalanced)
+            .build()
+            .run();
+        let pipeline = rep.runs[0].pipeline.as_ref().unwrap();
+        assert!(
+            pipeline.energy_per_frame_pj > 0.0,
+            "v4 writers score energy"
+        );
+        assert!(pipeline.peak_power_mw > 0.0, "v4 writers score peak power");
+        assert!(pipeline.stages.iter().all(|s| s.clusters > 0));
+        let mut doc = Value::parse(&rep.to_json_string()).unwrap();
+        downgrade_to_v3(&mut doc);
+        let upgraded = RunReport::from_json_str(&doc.pretty()).unwrap();
+        assert_eq!(upgraded.schema, SCHEMA_VERSION);
+        assert_eq!(upgraded, without_v4_fields(rep));
         let again = RunReport::from_json_str(&upgraded.to_json_string()).unwrap();
         assert_eq!(again, upgraded);
     }

@@ -23,22 +23,41 @@
 //!   running as genuinely parallel stages on disjoint cluster subsets —
 //!   each branch channel gets a proportional split of
 //!   [`Backend::pipeline_caps`]'s staging buffer. The report also carries
-//!   the linearized-chain baseline (the pre-DAG schedule) for comparison;
-//!   in [`PipelineMode::Rebalanced`] a greedy pass re-optimizes
-//!   bottleneck stages (measured across branches) with a latency
-//!   objective to flatten the pipeline.
+//!   the linearized-chain baseline (the pre-DAG schedule) for comparison
+//!   plus the schedule's energy-per-frame and peak-power scores. In
+//!   [`PipelineMode::Rebalanced`] a greedy pass re-optimizes bottleneck
+//!   stages (measured across branches) with a latency objective to
+//!   flatten the pipeline; [`PipelineMode::DagRebalanced`] adds the
+//!   DAG-aware pass (cluster share shifts between concurrently-live
+//!   branch stages under a per-group cluster budget); and
+//!   [`PipelineMode::Pareto`] sweeps cluster-share allocations into a
+//!   [`morph_pipeline::ParetoReport`] frontier over (throughput,
+//!   energy/frame, peak power), optionally under a peak-power cap.
 
 use crate::backend::{Backend, LayerEval};
 use crate::par;
 use crate::report::{LayerRecord, NetworkRun, RunReport, SCHEMA_VERSION};
 use morph_nets::Network;
 use morph_optimizer::Objective;
-use morph_pipeline::{simulate, EdgeSpec, PipelineMode, PipelineReport, PipelineSpec, StageSpec};
+use morph_pipeline::{
+    balance, pareto_frontier, simulate, EdgeSpec, ParetoPoint, ParetoReport, PipelineMode,
+    PipelineReport, PipelineSpec, StageSpec,
+};
 use morph_tensor::shape::ConvShape;
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
-type CacheKey = (usize, Objective, ConvShape);
+/// Decision-cache key: `(backend index, objective, cluster budget,
+/// shape)`. The budget equals the backend's full cluster count for
+/// ordinary evaluations; sub-chip entries come from the DAG-aware
+/// rebalancer and the Pareto sweep.
+type CacheKey = (usize, Objective, usize, ConvShape);
+
+/// Deadline levels a [`PipelineMode::Pareto`] sweep evaluates (each level
+/// allocates, fits group budgets, and simulates once): enough to trace
+/// the frontier, few enough to keep the sweep instant next to the mapping
+/// searches that feed it.
+const PARETO_LEVELS: usize = 12;
 
 /// Frames simulated per pipeline run unless overridden by
 /// [`SessionBuilder::pipeline_frames`]: long enough to reach steady state
@@ -128,6 +147,24 @@ impl SessionBuilder {
 
 impl Session {
     /// Start building a session.
+    ///
+    /// The ROADMAP quickstart, verbatim — backends × networks in, a
+    /// JSON-round-trippable [`RunReport`] out:
+    ///
+    /// ```
+    /// use morph_core::{Morph, MorphBase, Session};
+    /// use morph_nets::zoo;
+    ///
+    /// let report = Session::builder()
+    ///     .backend(Morph::builder().build())
+    ///     .backend(MorphBase::builder().build())
+    ///     .network(zoo::c3d())
+    ///     .build()
+    ///     .run(); // -> RunReport (serde-free JSON round-trip)
+    /// println!("{}", report.runs[0].summary());
+    /// # assert_eq!(report.runs.len(), 2);
+    /// # assert_eq!(morph_core::RunReport::from_json_str(&report.to_json_string()).unwrap(), report);
+    /// ```
     pub fn builder() -> SessionBuilder {
         SessionBuilder::default()
     }
@@ -177,9 +214,10 @@ impl Session {
             let mut decided: HashSet<CacheKey> = cache.keys().copied().collect();
             for (bi, backend) in self.backends.iter().enumerate() {
                 let objective = backend.objective();
+                let clusters = backend.arch().clusters;
                 for (ni, net) in self.networks.iter().enumerate() {
                     for layer in net.conv_layers() {
-                        if decided.insert((bi, objective, layer.shape)) {
+                        if decided.insert((bi, objective, clusters, layer.shape)) {
                             work.push((bi, layer.shape));
                         } else {
                             hits[bi][ni] += 1;
@@ -197,7 +235,11 @@ impl Session {
         {
             let mut cache = self.cache.lock().unwrap();
             for ((bi, sh), eval) in work.iter().zip(fresh) {
-                cache.insert((*bi, self.backends[*bi].objective(), *sh), eval);
+                let backend = &self.backends[*bi];
+                cache.insert(
+                    (*bi, backend.objective(), backend.arch().clusters, *sh),
+                    eval,
+                );
             }
         }
 
@@ -224,6 +266,7 @@ impl Session {
     pub fn run_network(&self, backend_index: usize, net: &Network) -> NetworkRun {
         let backend = self.backends[backend_index].as_ref();
         let objective = backend.objective();
+        let clusters = backend.arch().clusters;
 
         // Partition this network's shapes into cached ones and a deduped
         // work list: identical layers are decided exactly once.
@@ -233,7 +276,8 @@ impl Session {
             let mut seen: HashSet<ConvShape> = Default::default();
             for layer in net.conv_layers() {
                 let sh = layer.shape;
-                if !cache.contains_key(&(backend_index, objective, sh)) && seen.insert(sh) {
+                if !cache.contains_key(&(backend_index, objective, clusters, sh)) && seen.insert(sh)
+                {
                     pending.push(sh);
                 }
             }
@@ -245,7 +289,7 @@ impl Session {
         {
             let mut cache = self.cache.lock().unwrap();
             for (sh, eval) in pending.iter().zip(fresh) {
-                cache.insert((backend_index, objective, *sh), eval);
+                cache.insert((backend_index, objective, clusters, *sh), eval);
             }
         }
         self.assemble(backend_index, net, cache_hits)
@@ -257,10 +301,11 @@ impl Session {
         let objective = backend.objective();
         let records: Vec<LayerRecord> = {
             let cache = self.cache.lock().unwrap();
+            let clusters = backend.arch().clusters;
             net.conv_layers()
                 .map(|layer| {
                     let eval = cache
-                        .get(&(backend_index, objective, layer.shape))
+                        .get(&(backend_index, objective, clusters, layer.shape))
                         .expect("every shape was just decided");
                     LayerRecord {
                         name: layer.name.clone(),
@@ -297,9 +342,32 @@ impl Session {
     /// the backend's staging buffer (branch stages occupy disjoint cluster
     /// subsets, so their staging slices shrink proportionally); the report
     /// also carries the linearized-chain schedule of the same services as
-    /// the comparison baseline. In [`PipelineMode::Rebalanced`], greedily
-    /// re-optimize the bottleneck stage — wherever it sits across the
-    /// branches — with a latency objective until it stops moving.
+    /// the comparison baseline, plus the schedule's energy-per-frame and
+    /// peak-power scores.
+    ///
+    /// Mode behavior past [`PipelineMode::Analytic`]:
+    ///
+    /// * [`PipelineMode::Rebalanced`] — greedily re-optimize the
+    ///   bottleneck stage, wherever it sits across the branches, with a
+    ///   latency objective until it stops moving.
+    /// * [`PipelineMode::DagRebalanced`] — the greedy pass first, then
+    ///   treat the anti-chains of the conv DAG as concurrently-live
+    ///   groups and shift cluster share between their stages: every stage
+    ///   takes the cheapest cluster-budgeted mapping that still meets the
+    ///   bottleneck deadline ([`Backend::evaluate_layer_budgeted`]), and
+    ///   fork/join groups are fitted into the chip's cluster budget
+    ///   (spending at most the energy the reclamation saved). The adopted
+    ///   schedule is simulation-verified to stream at least as fast as
+    ///   the greedy one (else the greedy schedule is kept), so throughput
+    ///   is preserved while energy/frame never rises.
+    /// * [`PipelineMode::Pareto`] — sweep service deadlines, allocate
+    ///   cluster shares for each (both cheapest-feasible and
+    ///   smallest-feasible flavors), simulate every distinct allocation,
+    ///   and report the Pareto frontier over (steady fps, energy/frame,
+    ///   peak power). With a power cap, only allocations whose peak power
+    ///   respects the cap enter the frontier, and the scheduled point is
+    ///   the fastest capped one (falling back to the coolest candidate
+    ///   when nothing fits the cap).
     fn pipeline_report(
         &self,
         backend_index: usize,
@@ -381,24 +449,71 @@ impl Session {
             edges: edge_specs.clone(),
         };
 
+        let m = backend.arch().clusters.max(1);
+        let clock = backend.arch().clock_hz;
+        let groups = balance::concurrent_groups(n, edges);
+
+        // The evolving schedule: per-stage service, energy and cluster
+        // share, starting from the backend's own full-chip decisions.
         let mut services = base.clone();
-        let mut rebalanced = vec![false; records.len()];
-        if self.pipeline == PipelineMode::Rebalanced {
-            for _ in 0..records.len() {
-                let stats = simulate(&spec_of(&services), self.pipeline_frames);
-                let b = stats.bottleneck();
-                if rebalanced[b] {
-                    break; // already latency-optimal and still the bottleneck
+        let mut energies: Vec<f64> = records.iter().map(|r| r.report.total_pj()).collect();
+        let mut clusters: Vec<usize> = vec![m; n];
+        let mut rebalanced = vec![false; n];
+        let mut pareto: Option<ParetoReport> = None;
+
+        match self.pipeline {
+            PipelineMode::Off => unreachable!("handled above"),
+            PipelineMode::Analytic => {}
+            PipelineMode::Rebalanced | PipelineMode::DagRebalanced => {
+                // Greedy pass: flatten the current bottleneck — wherever
+                // it sits across the branches — until it stops moving.
+                for _ in 0..n {
+                    let stats = simulate(&spec_of(&services), self.pipeline_frames);
+                    let b = stats.bottleneck();
+                    if rebalanced[b] {
+                        break; // already latency-optimal and still the bottleneck
+                    }
+                    let eval = self.evaluate_budgeted(
+                        backend_index,
+                        &records[b].shape,
+                        Objective::Performance,
+                        m,
+                    );
+                    let better = eval.report.cycles.total.max(1);
+                    if better < services[b] {
+                        services[b] = better;
+                        energies[b] = eval.report.total_pj();
+                        rebalanced[b] = true;
+                    } else {
+                        break; // the bottleneck cannot be flattened further
+                    }
                 }
-                let eval =
-                    self.evaluate_for(backend_index, &records[b].shape, Objective::Performance);
-                let better = eval.report.cycles.total.max(1);
-                if better < services[b] {
-                    services[b] = better;
-                    rebalanced[b] = true;
-                } else {
-                    break; // the bottleneck cannot be flattened further
+                if self.pipeline == PipelineMode::DagRebalanced {
+                    self.reclaim_slack(
+                        backend_index,
+                        records,
+                        &groups,
+                        &spec_of,
+                        &mut services,
+                        &mut energies,
+                        &mut clusters,
+                        &mut rebalanced,
+                    );
                 }
+            }
+            PipelineMode::Pareto { power_cap_mw } => {
+                pareto = Some(self.pareto_sweep(
+                    backend_index,
+                    records,
+                    &groups,
+                    &spec_of,
+                    power_cap_mw,
+                    &base,
+                    &mut services,
+                    &mut energies,
+                    &mut clusters,
+                    &mut rebalanced,
+                ));
             }
         }
 
@@ -406,41 +521,279 @@ impl Session {
 
         // The pre-DAG baseline: the same services scheduled as a
         // linearized chain with undivided staging channels.
-        let chain_caps: Vec<usize> = records[..records.len() - 1]
+        let chain_caps: Vec<usize> = records[..n - 1]
             .iter()
             .map(|r| caps.channel_capacity(r.shape.output_bytes()))
             .collect();
         let chain_spec = PipelineSpec::chain(stages_of(&services), &chain_caps);
         let chain_stats = simulate(&chain_spec, self.pipeline_frames);
 
+        let powers: Vec<f64> = services
+            .iter()
+            .zip(&energies)
+            .map(|(&s, &e)| balance::stage_power_mw(e, s, clock))
+            .collect();
         Some(
-            PipelineReport::from_stats(
-                &stats,
-                self.pipeline,
-                backend.arch().clock_hz,
-                &base,
-                &rebalanced,
-            )
-            .with_chain_baseline(
-                backend.arch().clock_hz as f64 / chain_stats.steady_cycles_per_frame().max(1.0),
-                chain_stats.fill_cycles,
-            ),
+            PipelineReport::from_stats(&stats, self.pipeline, clock, &base, &rebalanced, &clusters)
+                .with_chain_baseline(
+                    clock as f64 / chain_stats.steady_cycles_per_frame().max(1.0),
+                    chain_stats.fill_cycles,
+                )
+                .with_power(
+                    energies.iter().sum(),
+                    balance::peak_power_mw(&powers, &clusters, &groups, m),
+                )
+                .with_pareto(pareto),
         )
     }
 
-    /// Cached layer evaluation under an explicit objective (used by the
-    /// pipeline rebalancer; shares the session decision cache).
-    fn evaluate_for(
+    /// The DAG-aware pass of [`PipelineMode::DagRebalanced`]: with the
+    /// post-greedy bottleneck service as the deadline, shift cluster
+    /// share between the concurrently-live stages of each group — every
+    /// stage takes the cheapest budgeted mapping that still meets the
+    /// deadline, and over-subscribed fork/join groups shrink members
+    /// (cheapest first) until they fit the chip's cluster budget. The new
+    /// schedule is adopted only if the event engine confirms it streams
+    /// at least as fast as the greedy one.
+    #[allow(clippy::too_many_arguments)]
+    fn reclaim_slack(
+        &self,
+        backend_index: usize,
+        records: &[LayerRecord],
+        groups: &[Vec<usize>],
+        spec_of: &dyn Fn(&[u64]) -> PipelineSpec,
+        services: &mut [u64],
+        energies: &mut [f64],
+        clusters: &mut [usize],
+        rebalanced: &mut [bool],
+    ) {
+        let backend = self.backends[backend_index].as_ref();
+        let m = backend.arch().clusters.max(1);
+        let deadline = *services.iter().max().expect("at least one stage");
+        let greedy_steady =
+            simulate(&spec_of(services), self.pipeline_frames).steady_cycles_per_frame();
+
+        // Per-stage candidates: the current (greedy) schedule entry at
+        // full share, then descending budgets under the backend's own
+        // objective while the deadline holds (budgeted services are
+        // monotone in the share, so the first miss ends the descent).
+        let table: Vec<Vec<balance::AllocCandidate>> = (0..records.len())
+            .map(|i| {
+                let mut cands = vec![balance::AllocCandidate {
+                    clusters: m,
+                    service_cycles: services[i],
+                    energy_pj: energies[i],
+                }];
+                if backend.supports_cluster_budget() {
+                    for c in (1..m).rev() {
+                        let eval = self.evaluate_budgeted(
+                            backend_index,
+                            &records[i].shape,
+                            backend.objective(),
+                            c,
+                        );
+                        let s = eval.report.cycles.total.max(1);
+                        if s > deadline {
+                            break;
+                        }
+                        cands.push(balance::AllocCandidate {
+                            clusters: c,
+                            service_cycles: s,
+                            energy_pj: eval.report.total_pj(),
+                        });
+                    }
+                }
+                cands
+            })
+            .collect();
+
+        let mut choice = balance::deadline_allocation(&table, deadline, false);
+        // Budget fitting may only spend what slack reclamation just
+        // saved, so the schedule never exceeds the greedy one on energy.
+        let energy_slack: f64 = choice
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| energies[i] - table[i][j].energy_pj)
+            .sum::<f64>()
+            .max(0.0);
+        balance::fit_group_budgets(&table, &mut choice, groups, m, deadline, energy_slack);
+        let cand_services: Vec<u64> = choice
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| table[i][j].service_cycles)
+            .collect();
+        let steady =
+            simulate(&spec_of(&cand_services), self.pipeline_frames).steady_cycles_per_frame();
+        if steady > greedy_steady + 1e-9 {
+            return; // never trade throughput away: keep the greedy schedule
+        }
+        for (i, &j) in choice.iter().enumerate() {
+            let cand = &table[i][j];
+            if cand.service_cycles != services[i] || cand.clusters != m {
+                rebalanced[i] = true;
+            }
+            services[i] = cand.service_cycles;
+            energies[i] = cand.energy_pj;
+            clusters[i] = cand.clusters;
+        }
+    }
+
+    /// The [`PipelineMode::Pareto`] sweep: tabulate every stage's
+    /// (service, energy) across cluster budgets and objectives, sweep
+    /// service deadlines, allocate + budget-fit each, simulate every
+    /// distinct allocation with the event engine, filter by the power
+    /// cap, and keep the non-dominated points. The chosen schedule (the
+    /// fastest capped point, or the coolest candidate if the cap is
+    /// unattainable) is written back into the schedule arrays; the
+    /// frontier is returned.
+    #[allow(clippy::too_many_arguments)]
+    fn pareto_sweep(
+        &self,
+        backend_index: usize,
+        records: &[LayerRecord],
+        groups: &[Vec<usize>],
+        spec_of: &dyn Fn(&[u64]) -> PipelineSpec,
+        power_cap_mw: Option<u64>,
+        base: &[u64],
+        services: &mut [u64],
+        energies: &mut [f64],
+        clusters: &mut [usize],
+        rebalanced: &mut [bool],
+    ) -> ParetoReport {
+        let backend = self.backends[backend_index].as_ref();
+        let m = backend.arch().clusters.max(1);
+        let clock = backend.arch().clock_hz;
+        let budgets: Vec<usize> = if backend.supports_cluster_budget() {
+            (1..=m).collect()
+        } else {
+            vec![m]
+        };
+        let mut objectives = vec![backend.objective()];
+        for obj in [Objective::Energy, Objective::Performance] {
+            if !objectives.contains(&obj) {
+                objectives.push(obj);
+            }
+        }
+
+        let table: Vec<Vec<balance::AllocCandidate>> = records
+            .iter()
+            .map(|r| {
+                let mut cands = Vec::new();
+                for &c in &budgets {
+                    for &obj in &objectives {
+                        let eval = self.evaluate_budgeted(backend_index, &r.shape, obj, c);
+                        let cand = balance::AllocCandidate {
+                            clusters: c,
+                            service_cycles: eval.report.cycles.total.max(1),
+                            energy_pj: eval.report.total_pj(),
+                        };
+                        if !cands.contains(&cand) {
+                            cands.push(cand);
+                        }
+                    }
+                }
+                cands
+            })
+            .collect();
+
+        // Evaluate one point per distinct allocation the deadline sweep
+        // produces (cheapest-feasible and smallest-feasible flavors).
+        let mut seen: HashSet<Vec<usize>> = HashSet::new();
+        let mut candidates: Vec<(Vec<usize>, ParetoPoint)> = Vec::new();
+        for deadline in balance::deadline_levels(&table, PARETO_LEVELS) {
+            for prefer_small in [false, true] {
+                let mut choice = balance::deadline_allocation(&table, deadline, prefer_small);
+                balance::fit_group_budgets(&table, &mut choice, groups, m, deadline, f64::INFINITY);
+                if !seen.insert(choice.clone()) {
+                    continue;
+                }
+                let svc: Vec<u64> = choice
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| table[i][j].service_cycles)
+                    .collect();
+                let alloc: Vec<usize> = choice
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| table[i][j].clusters)
+                    .collect();
+                let energy: f64 = choice
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| table[i][j].energy_pj)
+                    .sum();
+                let powers: Vec<f64> = choice
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| balance::stage_power_mw(table[i][j].energy_pj, svc[i], clock))
+                    .collect();
+                let stats = simulate(&spec_of(&svc), self.pipeline_frames);
+                candidates.push((
+                    choice,
+                    ParetoPoint {
+                        clusters: alloc.iter().map(|&c| c as u64).collect(),
+                        steady_fps: clock as f64 / stats.steady_cycles_per_frame().max(1.0),
+                        energy_per_frame_pj: energy,
+                        peak_power_mw: balance::peak_power_mw(&powers, &alloc, groups, m),
+                    },
+                ));
+            }
+        }
+
+        let capped: Vec<&(Vec<usize>, ParetoPoint)> = candidates
+            .iter()
+            .filter(|(_, p)| power_cap_mw.is_none_or(|cap| p.peak_power_mw <= cap as f64))
+            .collect();
+        // Schedule the fastest capped allocation (ties: least energy,
+        // then least power); if nothing respects the cap, degrade to the
+        // coolest candidate so the report still carries a real schedule.
+        let chosen = capped
+            .iter()
+            .copied()
+            .max_by(|(_, a), (_, b)| {
+                a.steady_fps
+                    .total_cmp(&b.steady_fps)
+                    .then(b.energy_per_frame_pj.total_cmp(&a.energy_per_frame_pj))
+                    .then(b.peak_power_mw.total_cmp(&a.peak_power_mw))
+            })
+            .or_else(|| {
+                candidates
+                    .iter()
+                    .min_by(|(_, a), (_, b)| a.peak_power_mw.total_cmp(&b.peak_power_mw))
+            })
+            .expect("the sweep always evaluates at least one allocation");
+        for (i, &j) in chosen.0.iter().enumerate() {
+            let cand = &table[i][j];
+            services[i] = cand.service_cycles;
+            energies[i] = cand.energy_pj;
+            clusters[i] = cand.clusters;
+            rebalanced[i] = cand.service_cycles != base[i] || cand.clusters != m;
+        }
+        ParetoReport {
+            power_cap_mw,
+            candidates: candidates.len() as u64,
+            points: pareto_frontier(capped.into_iter().map(|(_, p)| p.clone()).collect()),
+        }
+    }
+
+    /// Cached layer evaluation under an explicit objective and cluster
+    /// budget (used by the pipeline rebalancers and the Pareto sweep;
+    /// shares the session decision cache). The budget is clamped to the
+    /// backend's chip.
+    fn evaluate_budgeted(
         &self,
         backend_index: usize,
         shape: &ConvShape,
         objective: Objective,
+        clusters: usize,
     ) -> LayerEval {
-        let key = (backend_index, objective, *shape);
+        let backend = self.backends[backend_index].as_ref();
+        let clusters = clusters.clamp(1, backend.arch().clusters.max(1));
+        let key = (backend_index, objective, clusters, *shape);
         if let Some(hit) = self.cache.lock().unwrap().get(&key) {
             return hit.clone();
         }
-        let eval = self.backends[backend_index].evaluate_layer_for(shape, objective);
+        let eval = backend.evaluate_layer_budgeted(shape, objective, clusters);
         self.cache.lock().unwrap().insert(key, eval.clone());
         eval
     }
@@ -584,6 +937,164 @@ mod tests {
         assert_eq!(a.serial_fps, r.serial_fps);
         assert!(r.steady_fps >= a.steady_fps);
         assert_eq!(analytic.runs[0].layers, rebalanced.runs[0].layers);
+    }
+
+    /// A small fork/join net whose layers are big enough that cluster
+    /// share genuinely moves their latency (tiny layers saturate on one
+    /// cluster and collapse every allocation trade-off).
+    fn branched_net() -> Network {
+        let mut n = Network::new("branched");
+        n.conv(
+            "stem",
+            ConvShape::new_3d(14, 14, 4, 8, 16, 3, 3, 3).with_pad(1, 1),
+        );
+        let mut f = n.fork();
+        f.branch()
+            .conv("b0", ConvShape::new_3d(14, 14, 4, 16, 8, 1, 1, 1));
+        f.branch()
+            .conv("b1_reduce", ConvShape::new_3d(14, 14, 4, 16, 4, 1, 1, 1))
+            .conv(
+                "b1_3x3",
+                ConvShape::new_3d(14, 14, 4, 4, 8, 3, 3, 3).with_pad(1, 1),
+            );
+        f.concat("mix");
+        n.conv("head", ConvShape::new_3d(14, 14, 4, 16, 16, 1, 1, 1));
+        n
+    }
+
+    /// Test clusters: a 4-cluster Morph keeps the allocation sweeps quick.
+    const TEST_CLUSTERS: usize = 4;
+
+    fn run_mode(mode: PipelineMode) -> RunReport {
+        let arch = morph_dataflow::arch::ArchSpec {
+            clusters: TEST_CLUSTERS,
+            ..morph_dataflow::arch::ArchSpec::morph()
+        };
+        Session::builder()
+            .backend(Morph::builder().arch(arch).build())
+            .network(branched_net())
+            .pipeline(mode)
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn dag_rebalancing_preserves_throughput_and_reclaims_slack() {
+        let greedy = run_mode(PipelineMode::Rebalanced);
+        let dag = run_mode(PipelineMode::DagRebalanced);
+        let g = greedy.runs[0].pipeline.as_ref().unwrap();
+        let d = dag.runs[0].pipeline.as_ref().unwrap();
+        // The acceptance invariant: DAG-aware rebalancing never streams
+        // slower than the greedy bottleneck rebalancer...
+        assert!(
+            d.steady_fps >= g.steady_fps - 1e-9,
+            "dag {} vs greedy {}",
+            d.steady_fps,
+            g.steady_fps
+        );
+        // ...and never spends more energy per frame (every stage keeps
+        // the cheapest mapping that still meets the bottleneck deadline).
+        assert!(
+            d.energy_per_frame_pj <= g.energy_per_frame_pj + 1e-6,
+            "dag {} pJ vs greedy {} pJ",
+            d.energy_per_frame_pj,
+            g.energy_per_frame_pj
+        );
+        // Slack stages really moved off the full chip.
+        assert!(
+            d.stages.iter().any(|s| s.clusters < TEST_CLUSTERS as u64),
+            "some stage should shrink: {:?}",
+            d.stages.iter().map(|s| s.clusters).collect::<Vec<_>>()
+        );
+        assert!(g.stages.iter().all(|s| s.clusters == TEST_CLUSTERS as u64));
+        // Layer records keep the backend's own decisions in both modes.
+        assert_eq!(greedy.runs[0].layers, dag.runs[0].layers);
+        // Both carry power scores; neither carries a frontier.
+        assert!(d.peak_power_mw > 0.0 && g.peak_power_mw > 0.0);
+        assert!(d.pareto.is_none() && g.pareto.is_none());
+    }
+
+    #[test]
+    fn pareto_sweep_reports_a_clean_frontier() {
+        let greedy = run_mode(PipelineMode::Rebalanced);
+        let g_fps = greedy.runs[0].pipeline.as_ref().unwrap().steady_fps;
+        let rep = run_mode(PipelineMode::Pareto { power_cap_mw: None });
+        let p = rep.runs[0].pipeline.as_ref().unwrap();
+        let pareto = p.pareto.as_ref().expect("pareto mode attaches a frontier");
+        assert_eq!(pareto.power_cap_mw, None);
+        assert!(pareto.candidates >= pareto.points.len() as u64);
+        assert!(!pareto.points.is_empty());
+        // No point dominates another.
+        for a in &pareto.points {
+            assert!(!pareto.points.iter().any(|b| b.dominates(a)));
+            assert_eq!(a.clusters.len(), p.stages.len());
+        }
+        // The frontier covers the greedy rebalanced operating point (or
+        // better): its fastest point streams at least as fast.
+        let best = pareto.best_fps_point().unwrap();
+        assert!(
+            best.steady_fps >= g_fps - 1e-9,
+            "frontier best {} vs greedy {}",
+            best.steady_fps,
+            g_fps
+        );
+        // The schedule is the fastest point, and the report's scores
+        // match it.
+        assert!((p.steady_fps - best.steady_fps).abs() < 1e-6);
+        assert!((p.energy_per_frame_pj - best.energy_per_frame_pj).abs() < 1e-6);
+        assert!((p.peak_power_mw - best.peak_power_mw).abs() < 1e-6);
+        // The sweep found a genuine trade-off on this net: more than one
+        // operating point survived domination.
+        assert!(
+            pareto.points.len() >= 2,
+            "expected a trade-off, got {:?}",
+            pareto.points
+        );
+        // Serialized round trip carries the frontier exactly.
+        let back = RunReport::from_json_str(&rep.to_json_string()).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn pareto_power_cap_is_respected() {
+        // Calibrate a binding cap from the uncapped frontier: tighter
+        // than the hottest point, attainable by the coolest.
+        let free = run_mode(PipelineMode::Pareto { power_cap_mw: None });
+        let frontier = &free.runs[0].pipeline.as_ref().unwrap();
+        let points = &frontier.pareto.as_ref().unwrap().points;
+        let hottest = points
+            .iter()
+            .map(|p| p.peak_power_mw)
+            .fold(0.0f64, f64::max);
+        let coolest = points
+            .iter()
+            .map(|p| p.peak_power_mw)
+            .fold(f64::INFINITY, f64::min);
+        // Ceil keeps the cap attainable even if the midpoint floors
+        // toward the coolest point.
+        let cap = ((coolest + hottest) / 2.0).ceil();
+        assert!(coolest < cap && cap < hottest, "cap {cap} must bind");
+
+        let capped = run_mode(PipelineMode::Pareto {
+            power_cap_mw: Some(cap as u64),
+        });
+        let p = capped.runs[0].pipeline.as_ref().unwrap();
+        let pareto = p.pareto.as_ref().unwrap();
+        assert_eq!(pareto.power_cap_mw, Some(cap as u64));
+        assert!(!pareto.points.is_empty(), "the cap is attainable");
+        for point in &pareto.points {
+            assert!(
+                point.peak_power_mw <= cap,
+                "point at {} mW violates the {} mW cap",
+                point.peak_power_mw,
+                cap
+            );
+        }
+        // The scheduled point obeys the cap too.
+        assert!(p.peak_power_mw <= cap);
+        // A binding cap costs throughput relative to the free frontier.
+        let free_best = points.first().unwrap().steady_fps;
+        assert!(p.steady_fps <= free_best + 1e-9);
     }
 
     #[test]

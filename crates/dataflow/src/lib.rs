@@ -8,9 +8,10 @@
 //! Energy is attached by `morph-energy`; configuration search by
 //! `morph-optimizer`. Applications normally do not drive this layer
 //! directly: they build a `morph_core::Backend` (via its builder) and run
-//! it through a `morph_core::Session`, which produces the [`TilingConfig`]
-//! mappings below as part of its serializable `RunReport`. This crate is
-//! the substrate those decisions are expressed in:
+//! it through a `morph_core::Session`, which produces the
+//! [`TilingConfig`](config::TilingConfig) mappings below as part of its
+//! serializable `RunReport`. This crate is the substrate those decisions
+//! are expressed in:
 //!
 //! ```
 //! use morph_dataflow::prelude::*;

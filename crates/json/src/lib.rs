@@ -28,8 +28,8 @@
 //!
 //! The top-level document the workspace persists is `morph-core`'s
 //! `RunReport` (`experiments_out/*.json`, merged into `bench.json`). Its
-//! `schema` stamp is currently **3**; v2 documents still parse (the
-//! reader upgrades them in memory), v1 does not:
+//! `schema` stamp is currently **4**; v2 and v3 documents still parse
+//! (the reader upgrades them in memory), v1 does not:
 //!
 //! * v1 — `{schema, runs: [{backend, network, objective, cache_hits,
 //!   layers: [{name, shape, decision, report}], total}]}`.
@@ -56,6 +56,19 @@
 //!   reader reconstructs chain edges from the linear layer order, lifts
 //!   per-stage channel stats into `i -> i+1` edge entries, and sets the
 //!   chain baseline to the schedule itself.
+//! * v4 — schedules are allocation-aware. Each pipeline stage records
+//!   `clusters` (`Int`, the compute-cluster share it is scheduled on);
+//!   the pipeline section gains `energy_per_frame_pj` / `peak_power_mw`
+//!   (`Float` — one frame's energy across all stages, and the hottest
+//!   concurrently-live stage group's power); `mode` additionally accepts
+//!   the structured form `{"kind": "pareto", "power_cap_mw": Int}` for a
+//!   capped sweep (uncapped modes stay plain strings, including
+//!   `"dag_rebalanced"` and `"pareto"`); and Pareto sweeps attach
+//!   `pareto`: `{power_cap_mw: Int | null, candidates, points:
+//!   [{clusters: [Int], steady_fps, energy_per_frame_pj,
+//!   peak_power_mw}]}` — the non-dominated allocation frontier, fastest
+//!   point first. On v3 input the reader defaults the new fields to
+//!   "unrecorded" (`0`, `0.0`, `null`).
 //!
 //! `crates/bench/baseline.json` (the `bench_diff` perf gate) is a
 //! separate, deliberately compact summary: `{baseline_schema: 1,

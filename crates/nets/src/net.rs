@@ -189,6 +189,27 @@ impl Network {
     /// this point (or from nothing, for parallel input streams on an empty
     /// network), and [`Fork::concat`] / [`Fork::add`] close the fork with
     /// an explicit join node, which becomes the new tail.
+    ///
+    /// The ROADMAP fork-builder snippet, verbatim — every edge is
+    /// shape-checked exactly by [`Network::validate`], with no name
+    /// heuristics:
+    ///
+    /// ```
+    /// use morph_nets::Network;
+    /// use morph_tensor::shape::ConvShape;
+    ///
+    /// let mut net = Network::new("mini-inception");
+    /// net.conv("stem", ConvShape::new_2d(8, 8, 3, 16, 3, 3).with_pad(1, 0));
+    /// let mut f = net.fork();
+    /// f.branch().conv("b0", ConvShape::new_2d(8, 8, 16, 8, 1, 1));
+    /// f.branch()
+    ///     .conv("b1_reduce", ConvShape::new_2d(8, 8, 16, 4, 1, 1))
+    ///     .conv("b1_3x3", ConvShape::new_2d(8, 8, 4, 8, 3, 3).with_pad(1, 0));
+    /// f.concat("mix");                  // fork.add(..) for residual joins
+    /// net.validate().unwrap();          // exact per-edge shape validation
+    /// # assert_eq!(net.num_conv_layers(), 4);
+    /// # assert!(net.is_branching());
+    /// ```
     pub fn fork(&mut self) -> Fork<'_> {
         let base = self.tail;
         Fork {

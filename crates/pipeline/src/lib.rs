@@ -35,22 +35,40 @@
 //! assert_eq!(stats.stages[stats.bottleneck()].name, "conv2");
 //! ```
 //!
+//! Scheduling is allocation-aware ([`balance`]): the conv DAG's stages
+//! partition into **concurrently-live groups** (anti-chains — parallel
+//! branches compete for the chip's compute clusters at the same instant),
+//! and the allocation search shifts cluster share between the live stages
+//! of each group — under a per-group cluster budget — to meet a service
+//! deadline as cheaply as possible. Sweeping that deadline yields the
+//! Pareto frontier over (steady throughput, energy per frame, peak
+//! power) that [`ParetoReport`] captures.
+//!
 //! `morph-core` builds on this: `Backend::pipeline_caps` provisions the
-//! channels, `Session` (in `PipelineMode::Analytic` / `Rebalanced`)
-//! schedules each conv-level dependency edge of the network graph with the
-//! per-layer decision the optimizer already produced, and the resulting
-//! [`PipelineReport`] — throughput, fill and drain latency, utilization,
-//! per-edge occupancy, the cross-branch bottleneck and the
-//! linearized-chain baseline — rides inside the serialized `RunReport`
-//! (schema v3).
+//! channels, `Session` (in `PipelineMode::Analytic` / `Rebalanced` /
+//! `DagRebalanced` / `Pareto`) schedules each conv-level dependency edge
+//! of the network graph with the per-layer decision the optimizer already
+//! produced, and the resulting [`PipelineReport`] — throughput, fill and
+//! drain latency, utilization, per-stage cluster share, per-edge
+//! occupancy, energy/power scores, the cross-branch bottleneck, the
+//! linearized-chain baseline and (for sweeps) the Pareto frontier — rides
+//! inside the serialized `RunReport` (schema v4).
 
 #![warn(missing_docs)]
 
+pub mod balance;
 pub mod engine;
 pub mod report;
 
+pub use balance::{
+    concurrent_groups, deadline_allocation, deadline_levels, fit_group_budgets, peak_power_mw,
+    stage_power_mw, AllocCandidate,
+};
 pub use engine::{
     simulate, ChannelStats, EdgeSpec, PipelineCaps, PipelineSpec, PipelineStats, StageSpec,
     StageStats,
 };
-pub use report::{EdgeReport, PipelineMode, PipelineReport, StageReport};
+pub use report::{
+    pareto_frontier, EdgeReport, ParetoPoint, ParetoReport, PipelineMode, PipelineReport,
+    StageReport,
+};

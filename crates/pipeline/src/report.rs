@@ -2,12 +2,15 @@
 //!
 //! A [`PipelineReport`] summarizes one simulated streaming run of a
 //! network on a backend: steady-state throughput, fill/drain latency, the
-//! bottleneck stage (measured across every branch), per-stage utilization,
-//! per-channel occupancy on the explicit DAG edges, and the
-//! linearized-chain baseline the branch-parallel schedule is compared
-//! against. It round-trips through `morph-json` exactly, so it can ride
-//! inside a `RunReport` (schema v3); v2 documents (linear chains only)
-//! still parse and are upgraded on the fly.
+//! bottleneck stage (measured across every branch), per-stage utilization
+//! and cluster share, per-channel occupancy on the explicit DAG edges,
+//! energy per frame, peak power, the linearized-chain baseline the
+//! branch-parallel schedule is compared against and — in
+//! [`PipelineMode::Pareto`] — the [`ParetoReport`] frontier of
+//! cluster-share allocations. It round-trips through `morph-json` exactly,
+//! so it can ride inside a `RunReport` (schema v4); v2 documents (linear
+//! chains only) and v3 documents (no allocation/power fields) still parse
+//! and are upgraded on the fly.
 
 use crate::engine::PipelineStats;
 use morph_json::{field, field_arr, field_f64, field_str, field_u64, FromJson, ToJson, Value};
@@ -21,43 +24,89 @@ pub enum PipelineMode {
     /// Simulate the pipeline over the per-layer decisions as-is.
     Analytic,
     /// Simulate, then greedily re-optimize bottleneck stages with a
-    /// latency objective to flatten the pipeline.
+    /// latency objective to flatten the pipeline (one stage at a time —
+    /// the pre-DAG-aware rebalancer).
     Rebalanced,
+    /// DAG-aware rebalancing: the greedy pass first, then cluster share
+    /// is shifted between concurrently-live branch stages — non-critical
+    /// stages shrink onto fewer clusters (the cheapest mapping that still
+    /// meets the bottleneck deadline) and fork/join groups are fitted
+    /// into the chip's cluster budget where the reclaimed energy allows.
+    /// Guarantees versus [`PipelineMode::Rebalanced`]: throughput never
+    /// drops and energy per frame never rises. Peak power is scored
+    /// honestly: fitted groups are genuinely co-resident (stage powers
+    /// add), which can exceed the greedy schedule's time-multiplexed
+    /// derate on branchy nets — cap it with [`PipelineMode::Pareto`]
+    /// when power is the constraint.
+    DagRebalanced,
+    /// Sweep cluster-share allocations over service deadlines, simulate
+    /// each with the event engine, and report the Pareto frontier over
+    /// (steady throughput, energy per frame, peak power) as a
+    /// [`ParetoReport`]. With a power cap only allocations whose peak
+    /// power respects the cap enter the frontier, and the scheduled point
+    /// is the fastest capped one.
+    Pareto {
+        /// Optional peak-power cap in mW; `None` sweeps unconstrained.
+        power_cap_mw: Option<u64>,
+    },
 }
 
 impl PipelineMode {
-    /// Stable identifier used in serialized reports.
+    /// Stable identifier used in serialized reports (the cap of
+    /// [`PipelineMode::Pareto`] is carried separately — see
+    /// [`PipelineMode::to_json`]).
     pub fn label(self) -> &'static str {
         match self {
             PipelineMode::Off => "off",
             PipelineMode::Analytic => "analytic",
             PipelineMode::Rebalanced => "rebalanced",
+            PipelineMode::DagRebalanced => "dag_rebalanced",
+            PipelineMode::Pareto { .. } => "pareto",
         }
     }
 
-    /// Inverse of [`PipelineMode::label`].
+    /// Inverse of [`PipelineMode::label`] (`"pareto"` parses to an
+    /// uncapped sweep).
     pub fn from_label(label: &str) -> Result<Self, String> {
         match label {
             "off" => Ok(PipelineMode::Off),
             "analytic" => Ok(PipelineMode::Analytic),
             "rebalanced" => Ok(PipelineMode::Rebalanced),
+            "dag_rebalanced" => Ok(PipelineMode::DagRebalanced),
+            "pareto" => Ok(PipelineMode::Pareto { power_cap_mw: None }),
             other => Err(format!("unknown pipeline mode {other:?}")),
         }
     }
 }
 
 impl ToJson for PipelineMode {
+    /// Simple modes serialize as their label string; a capped Pareto
+    /// sweep serializes as `{"kind": "pareto", "power_cap_mw": <mW>}` so
+    /// the cap round-trips.
     fn to_json(&self) -> Value {
-        Value::Str(self.label().to_string())
+        match self {
+            PipelineMode::Pareto {
+                power_cap_mw: Some(cap),
+            } => Value::obj([
+                ("kind", Value::Str("pareto".to_string())),
+                ("power_cap_mw", Value::Int(*cap as i64)),
+            ]),
+            other => Value::Str(other.label().to_string()),
+        }
     }
 }
 
 impl FromJson for PipelineMode {
     fn from_json(v: &Value) -> Result<Self, String> {
-        PipelineMode::from_label(
-            v.as_str()
-                .ok_or_else(|| "pipeline mode must be a string".to_string())?,
-        )
+        if let Some(label) = v.as_str() {
+            return PipelineMode::from_label(label);
+        }
+        match field_str(v, "kind")? {
+            "pareto" => Ok(PipelineMode::Pareto {
+                power_cap_mw: Some(field_u64(v, "power_cap_mw")?),
+            }),
+            other => Err(format!("unknown structured pipeline mode {other:?}")),
+        }
     }
 }
 
@@ -76,6 +125,9 @@ pub struct StageReport {
     pub utilization: f64,
     /// Cycles spent blocked on a full output channel.
     pub blocked_cycles: u64,
+    /// Compute clusters the stage is scheduled on (`0` when the schedule
+    /// predates allocation-aware reports — pre-v4 documents).
+    pub clusters: u64,
 }
 
 /// One bounded channel of the scheduled DAG (a [`PipelineReport`] edge).
@@ -121,10 +173,96 @@ pub struct PipelineReport {
     pub chain_fill_cycles: u64,
     /// Name of the bottleneck stage (across all branches).
     pub bottleneck: String,
+    /// Energy one frame spends traversing every scheduled stage, in pJ
+    /// (`0.0` when parsed from a pre-v4 document).
+    pub energy_per_frame_pj: f64,
+    /// Peak chip power of the schedule in mW: the hottest
+    /// concurrently-live stage group, with over-subscribed groups derated
+    /// by their time-multiplexing factor (`0.0` when parsed from a pre-v4
+    /// document).
+    pub peak_power_mw: f64,
     /// Per-stage detail, in linearized order.
     pub stages: Vec<StageReport>,
     /// The scheduled DAG's bounded channels with occupancy stats.
     pub edges: Vec<EdgeReport>,
+    /// The allocation frontier of a [`PipelineMode::Pareto`] sweep
+    /// (`None` in every other mode).
+    pub pareto: Option<ParetoReport>,
+}
+
+/// One non-dominated cluster-share allocation of a Pareto sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Clusters allocated per stage, in linearized stage order.
+    pub clusters: Vec<u64>,
+    /// Steady-state throughput of the allocation (event-engine measured).
+    pub steady_fps: f64,
+    /// Energy one frame spends across all stages, in pJ.
+    pub energy_per_frame_pj: f64,
+    /// Peak power of the allocation in mW (hottest live group).
+    pub peak_power_mw: f64,
+}
+
+impl ParetoPoint {
+    /// True if `self` dominates `other`: at least as fast, at most as
+    /// energy-hungry, at most as power-hungry — and strictly better on at
+    /// least one axis.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.steady_fps >= other.steady_fps
+            && self.energy_per_frame_pj <= other.energy_per_frame_pj
+            && self.peak_power_mw <= other.peak_power_mw
+            && (self.steady_fps > other.steady_fps
+                || self.energy_per_frame_pj < other.energy_per_frame_pj
+                || self.peak_power_mw < other.peak_power_mw)
+    }
+}
+
+/// Drop dominated points and sort the survivors fastest-first (ties by
+/// ascending energy, then power). Duplicate points collapse to one.
+pub fn pareto_frontier(mut points: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    points.sort_by(|a, b| {
+        b.steady_fps
+            .total_cmp(&a.steady_fps)
+            .then(a.energy_per_frame_pj.total_cmp(&b.energy_per_frame_pj))
+            .then(a.peak_power_mw.total_cmp(&b.peak_power_mw))
+    });
+    points.dedup_by(|a, b| {
+        a.steady_fps == b.steady_fps
+            && a.energy_per_frame_pj == b.energy_per_frame_pj
+            && a.peak_power_mw == b.peak_power_mw
+    });
+    let keep: Vec<bool> = points
+        .iter()
+        .map(|p| !points.iter().any(|q| q.dominates(p)))
+        .collect();
+    points
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect()
+}
+
+/// The product of a [`PipelineMode::Pareto`] sweep: every allocation on
+/// the (throughput, energy/frame, peak power) frontier that respects the
+/// power cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoReport {
+    /// The peak-power cap the sweep ran under (`None` = unconstrained).
+    pub power_cap_mw: Option<u64>,
+    /// Distinct allocations the sweep evaluated (frontier and dominated,
+    /// capped and uncapped alike).
+    pub candidates: u64,
+    /// The frontier, fastest point first. Empty iff no evaluated
+    /// allocation respected the cap (the schedule then falls back to the
+    /// lowest-power allocation).
+    pub points: Vec<ParetoPoint>,
+}
+
+impl ParetoReport {
+    /// The frontier's fastest point (`None` for an empty frontier).
+    pub fn best_fps_point(&self) -> Option<&ParetoPoint> {
+        self.points.first()
+    }
 }
 
 impl PipelineReport {
@@ -133,19 +271,24 @@ impl PipelineReport {
     /// `base_services[i]` is stage `i`'s pre-rebalance latency (equal to
     /// the simulated service unless `rebalanced[i]`); `serial_fps` is
     /// derived from their sum — the throughput of scoring every layer in
-    /// isolation, which pipelining can only improve. The chain-baseline
-    /// fields default to the DAG numbers (exact for linear networks);
-    /// callers that also simulated the linearized chain override them with
-    /// [`PipelineReport::with_chain_baseline`].
+    /// isolation, which pipelining can only improve. `clusters[i]` is the
+    /// compute-cluster share stage `i` is scheduled on (pass an empty
+    /// slice to leave shares unrecorded). The chain-baseline fields
+    /// default to the DAG numbers (exact for linear networks); callers
+    /// that also simulated the linearized chain override them with
+    /// [`PipelineReport::with_chain_baseline`], and energy/power ride in
+    /// via [`PipelineReport::with_power`].
     pub fn from_stats(
         stats: &PipelineStats,
         mode: PipelineMode,
         clock_hz: u64,
         base_services: &[u64],
         rebalanced: &[bool],
+        clusters: &[usize],
     ) -> Self {
         assert_eq!(stats.stages.len(), base_services.len());
         assert_eq!(stats.stages.len(), rebalanced.len());
+        assert!(clusters.is_empty() || clusters.len() == stats.stages.len());
         let serial_cycles: u64 = base_services.iter().sum();
         let stages: Vec<StageReport> = stats
             .stages
@@ -158,6 +301,7 @@ impl PipelineReport {
                 rebalanced: rebalanced[i],
                 utilization: stats.utilization(i),
                 blocked_cycles: s.blocked_cycles,
+                clusters: clusters.get(i).map_or(0, |&c| c as u64),
             })
             .collect();
         let edges: Vec<EdgeReport> = stats
@@ -184,8 +328,11 @@ impl PipelineReport {
             chain_fps: steady_fps,
             chain_fill_cycles: stats.fill_cycles,
             bottleneck: stats.stages[stats.bottleneck()].name.clone(),
+            energy_per_frame_pj: 0.0,
+            peak_power_mw: 0.0,
             stages,
             edges,
+            pareto: None,
         }
     }
 
@@ -194,6 +341,19 @@ impl PipelineReport {
     pub fn with_chain_baseline(mut self, chain_fps: f64, chain_fill_cycles: u64) -> Self {
         self.chain_fps = chain_fps;
         self.chain_fill_cycles = chain_fill_cycles;
+        self
+    }
+
+    /// Record the schedule's energy-per-frame and peak-power scores.
+    pub fn with_power(mut self, energy_per_frame_pj: f64, peak_power_mw: f64) -> Self {
+        self.energy_per_frame_pj = energy_per_frame_pj;
+        self.peak_power_mw = peak_power_mw;
+        self
+    }
+
+    /// Attach the allocation frontier of a [`PipelineMode::Pareto`] sweep.
+    pub fn with_pareto(mut self, pareto: Option<ParetoReport>) -> Self {
+        self.pareto = pareto;
         self
     }
 
@@ -238,6 +398,7 @@ impl ToJson for StageReport {
             ("rebalanced", Value::Bool(self.rebalanced)),
             ("utilization", Value::Float(self.utilization)),
             ("blocked_cycles", Value::Int(self.blocked_cycles as i64)),
+            ("clusters", Value::Int(self.clusters as i64)),
         ])
     }
 }
@@ -253,6 +414,75 @@ impl FromJson for StageReport {
                 .ok_or_else(|| "field \"rebalanced\" is not a bool".to_string())?,
             utilization: field_f64(v, "utilization")?,
             blocked_cycles: field_u64(v, "blocked_cycles")?,
+            // Pre-v4 stages carried no allocation: 0 = unrecorded.
+            clusters: v.get("clusters").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+impl ToJson for ParetoPoint {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            (
+                "clusters",
+                Value::Arr(
+                    self.clusters
+                        .iter()
+                        .map(|&c| Value::Int(c as i64))
+                        .collect(),
+                ),
+            ),
+            ("steady_fps", Value::Float(self.steady_fps)),
+            (
+                "energy_per_frame_pj",
+                Value::Float(self.energy_per_frame_pj),
+            ),
+            ("peak_power_mw", Value::Float(self.peak_power_mw)),
+        ])
+    }
+}
+
+impl FromJson for ParetoPoint {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(ParetoPoint {
+            clusters: field_arr(v, "clusters")?
+                .iter()
+                .map(|c| c.as_u64().ok_or("cluster share must be an int"))
+                .collect::<Result<Vec<_>, _>>()?,
+            steady_fps: field_f64(v, "steady_fps")?,
+            energy_per_frame_pj: field_f64(v, "energy_per_frame_pj")?,
+            peak_power_mw: field_f64(v, "peak_power_mw")?,
+        })
+    }
+}
+
+impl ToJson for ParetoReport {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            (
+                "power_cap_mw",
+                self.power_cap_mw
+                    .map_or(Value::Null, |cap| Value::Int(cap as i64)),
+            ),
+            ("candidates", Value::Int(self.candidates as i64)),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ParetoReport {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let power_cap_mw = match field(v, "power_cap_mw")? {
+            Value::Null => None,
+            cap => Some(cap.as_u64().ok_or("power cap must be an int")?),
+        };
+        Ok(ParetoReport {
+            power_cap_mw,
+            candidates: field_u64(v, "candidates")?,
+            points: field_arr(v, "points")?
+                .iter()
+                .map(ParetoPoint::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
         })
     }
 }
@@ -298,8 +528,14 @@ impl ToJson for PipelineReport {
                 Value::Int(self.chain_fill_cycles as i64),
             ),
             ("bottleneck", Value::Str(self.bottleneck.clone())),
+            (
+                "energy_per_frame_pj",
+                Value::Float(self.energy_per_frame_pj),
+            ),
+            ("peak_power_mw", Value::Float(self.peak_power_mw)),
             ("stages", self.stages.to_json()),
             ("edges", self.edges.to_json()),
+            ("pareto", self.pareto.to_json()),
         ])
     }
 }
@@ -307,7 +543,7 @@ impl ToJson for PipelineReport {
 impl FromJson for PipelineReport {
     fn from_json(v: &Value) -> Result<Self, String> {
         if v.get("edges").is_some() {
-            Self::from_json_v3(v)
+            Self::from_json_v3plus(v)
         } else {
             Self::from_json_v2(v)
         }
@@ -315,7 +551,15 @@ impl FromJson for PipelineReport {
 }
 
 impl PipelineReport {
-    fn from_json_v3(v: &Value) -> Result<Self, String> {
+    /// Parse a v3 or v4 pipeline section. The v4 additions — per-stage
+    /// `clusters`, `energy_per_frame_pj` / `peak_power_mw`, `pareto` —
+    /// are optional and default to "unrecorded" (`0`, `0.0`, `None`) so
+    /// v3 documents upgrade on the fly.
+    fn from_json_v3plus(v: &Value) -> Result<Self, String> {
+        let pareto = match v.get("pareto") {
+            None | Some(Value::Null) => None,
+            Some(p) => Some(ParetoReport::from_json(p)?),
+        };
         Ok(PipelineReport {
             mode: PipelineMode::from_json(field(v, "mode")?)?,
             frames: field_u64(v, "frames")?,
@@ -328,6 +572,14 @@ impl PipelineReport {
             chain_fps: field_f64(v, "chain_fps")?,
             chain_fill_cycles: field_u64(v, "chain_fill_cycles")?,
             bottleneck: field_str(v, "bottleneck")?.to_string(),
+            energy_per_frame_pj: v
+                .get("energy_per_frame_pj")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            peak_power_mw: v
+                .get("peak_power_mw")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
             stages: field_arr(v, "stages")?
                 .iter()
                 .map(StageReport::from_json)
@@ -336,6 +588,7 @@ impl PipelineReport {
                 .iter()
                 .map(EdgeReport::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
+            pareto,
         })
     }
 
@@ -373,8 +626,11 @@ impl PipelineReport {
             chain_fps: steady_fps,
             chain_fill_cycles: fill_cycles,
             bottleneck: field_str(v, "bottleneck")?.to_string(),
+            energy_per_frame_pj: 0.0,
+            peak_power_mw: 0.0,
             stages,
             edges,
+            pareto: None,
         })
     }
 }
@@ -409,7 +665,9 @@ mod tests {
             1_000_000_000,
             &[40, 130, 25],
             &[false, true, false],
+            &[6, 6, 6],
         )
+        .with_power(5e9, 120.0)
     }
 
     fn dag_sample() -> PipelineReport {
@@ -451,15 +709,37 @@ mod tests {
         let chain_stats = simulate(&chain, 16);
         PipelineReport::from_stats(
             &stats,
-            PipelineMode::Analytic,
+            PipelineMode::Pareto {
+                power_cap_mw: Some(250),
+            },
             1_000_000_000,
             &[10, 30, 45, 10],
             &[false; 4],
+            &[6, 2, 4, 6],
         )
         .with_chain_baseline(
             1e9 / chain_stats.steady_cycles_per_frame(),
             chain_stats.fill_cycles,
         )
+        .with_power(3e9, 200.0)
+        .with_pareto(Some(ParetoReport {
+            power_cap_mw: Some(250),
+            candidates: 7,
+            points: vec![
+                ParetoPoint {
+                    clusters: vec![6, 2, 4, 6],
+                    steady_fps: 2.0e7,
+                    energy_per_frame_pj: 3e9,
+                    peak_power_mw: 200.0,
+                },
+                ParetoPoint {
+                    clusters: vec![2, 1, 2, 2],
+                    steady_fps: 1.1e7,
+                    energy_per_frame_pj: 3.4e9,
+                    peak_power_mw: 90.0,
+                },
+            ],
+        }))
     }
 
     #[test]
@@ -495,6 +775,81 @@ mod tests {
                 PipelineReport::from_json(&Value::parse(&r.to_json().pretty()).unwrap()).unwrap();
             assert_eq!(r, back);
         }
+    }
+
+    #[test]
+    fn frontier_drops_dominated_points_and_sorts() {
+        let p = |fps: f64, e: f64, mw: f64| ParetoPoint {
+            clusters: vec![1],
+            steady_fps: fps,
+            energy_per_frame_pj: e,
+            peak_power_mw: mw,
+        };
+        let frontier = pareto_frontier(vec![
+            p(10.0, 5.0, 100.0),
+            p(8.0, 6.0, 120.0),  // dominated by the first on every axis
+            p(8.0, 4.0, 80.0),   // slower but cheaper and cooler: kept
+            p(10.0, 5.0, 100.0), // exact duplicate: collapsed
+            p(2.0, 9.0, 70.0),   // cooler than everything: kept
+        ]);
+        assert_eq!(frontier.len(), 3);
+        assert_eq!(frontier[0].steady_fps, 10.0);
+        assert_eq!(frontier[1].steady_fps, 8.0);
+        assert_eq!(frontier[2].peak_power_mw, 70.0);
+        for a in &frontier {
+            assert!(!frontier.iter().any(|b| b.dominates(a)));
+        }
+    }
+
+    #[test]
+    fn pareto_section_and_capped_mode_round_trip() {
+        let r = dag_sample();
+        assert_eq!(
+            r.mode,
+            PipelineMode::Pareto {
+                power_cap_mw: Some(250)
+            }
+        );
+        let back =
+            PipelineReport::from_json(&Value::parse(&r.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(r, back);
+        let pareto = back.pareto.as_ref().unwrap();
+        assert_eq!(pareto.power_cap_mw, Some(250));
+        assert_eq!(pareto.candidates, 7);
+        assert_eq!(pareto.best_fps_point().unwrap().steady_fps, 2.0e7);
+        assert_eq!(back.stages[1].clusters, 2);
+        assert_eq!(back.energy_per_frame_pj, 3e9);
+        assert_eq!(back.peak_power_mw, 200.0);
+    }
+
+    #[test]
+    fn v3_documents_upgrade_to_v4_defaults() {
+        // Strip the v4 fields from a serialized report: the document a
+        // v3 writer would have produced must still parse, with allocation
+        // and power marked unrecorded.
+        let mut doc = Value::parse(&sample().to_json().pretty()).unwrap();
+        let Value::Obj(top) = &mut doc else { panic!() };
+        top.remove("energy_per_frame_pj");
+        top.remove("peak_power_mw");
+        top.remove("pareto");
+        let Some(Value::Arr(stages)) = top.get_mut("stages") else {
+            panic!()
+        };
+        for s in stages {
+            let Value::Obj(s) = s else { panic!() };
+            s.remove("clusters");
+        }
+        let r = PipelineReport::from_json(&doc).unwrap();
+        assert_eq!(r.energy_per_frame_pj, 0.0);
+        assert_eq!(r.peak_power_mw, 0.0);
+        assert!(r.pareto.is_none());
+        assert!(r.stages.iter().all(|s| s.clusters == 0));
+        // Everything the v3 document carried survives, and the upgraded
+        // report round-trips exactly through the v4 writer.
+        assert_eq!(r.steady_fps, sample().steady_fps);
+        let back =
+            PipelineReport::from_json(&Value::parse(&r.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(r, back);
     }
 
     #[test]
@@ -534,9 +889,18 @@ mod tests {
             PipelineMode::Off,
             PipelineMode::Analytic,
             PipelineMode::Rebalanced,
+            PipelineMode::DagRebalanced,
+            PipelineMode::Pareto { power_cap_mw: None },
         ] {
             assert_eq!(PipelineMode::from_label(m.label()).unwrap(), m);
+            assert_eq!(PipelineMode::from_json(&m.to_json()).unwrap(), m);
         }
+        // A capped sweep round-trips through the structured form.
+        let capped = PipelineMode::Pareto {
+            power_cap_mw: Some(450),
+        };
+        assert_eq!(PipelineMode::from_json(&capped.to_json()).unwrap(), capped);
+        assert_eq!(capped.label(), "pareto");
         assert!(PipelineMode::from_label("bogus").is_err());
     }
 

@@ -1,0 +1,109 @@
+//! Pareto sweep quickstart: trade streaming throughput against energy
+//! and peak power by reallocating cluster shares across a fork/join
+//! network, optionally under a power cap.
+//!
+//! ```sh
+//! cargo run --release -p morph-core --example pareto
+//! ```
+
+use morph_core::{ArchSpec, Morph, PipelineMode, Session};
+use morph_nets::Network;
+use morph_tensor::shape::ConvShape;
+
+/// A toy inception-style module: stem -> {1x1 branch, 1x1+3x3 branch} ->
+/// concat -> head. The two branches are concurrently live, so they
+/// compete for the same compute clusters — exactly what the sweep
+/// reallocates.
+fn toy_net() -> Network {
+    let mut net = Network::new("toy-inception");
+    net.conv(
+        "stem",
+        ConvShape::new_3d(14, 14, 4, 8, 32, 3, 3, 3).with_pad(1, 1),
+    );
+    let mut f = net.fork();
+    f.branch()
+        .conv("b0", ConvShape::new_3d(14, 14, 4, 32, 16, 1, 1, 1));
+    f.branch()
+        .conv("b1_reduce", ConvShape::new_3d(14, 14, 4, 32, 8, 1, 1, 1))
+        .conv(
+            "b1_3x3",
+            ConvShape::new_3d(14, 14, 4, 8, 16, 3, 3, 3).with_pad(1, 1),
+        );
+    f.concat("mix");
+    net.conv("head", ConvShape::new_3d(14, 14, 4, 32, 32, 1, 1, 1));
+    net.validate().expect("every edge shape-checks");
+    net
+}
+
+fn main() {
+    // A 4-cluster Morph keeps the sweep quick; any ArchSpec works.
+    let arch = ArchSpec {
+        clusters: 4,
+        ..ArchSpec::morph()
+    };
+
+    // Sweep unconstrained first: the full throughput/energy/power
+    // frontier of cluster-share allocations.
+    let report = Session::builder()
+        .backend(Morph::builder().arch(arch).build())
+        .network(toy_net())
+        .pipeline(PipelineMode::Pareto { power_cap_mw: None })
+        .build()
+        .run();
+    let pipeline = report.runs[0].pipeline.as_ref().unwrap();
+    let pareto = pipeline.pareto.as_ref().unwrap();
+    println!(
+        "uncapped frontier ({} of {} evaluated allocations survive domination):",
+        pareto.points.len(),
+        pareto.candidates
+    );
+    for p in &pareto.points {
+        println!(
+            "  {:>8.1} frames/s  {:>6.3} mJ/frame  {:>5.0} mW peak  clusters {:?}",
+            p.steady_fps,
+            p.energy_per_frame_pj / 1e9,
+            p.peak_power_mw,
+            p.clusters
+        );
+    }
+
+    // Now cap peak power at the frontier's midpoint: every reported
+    // point respects the cap and the schedule is the fastest capped one.
+    let hottest = pareto
+        .points
+        .iter()
+        .map(|p| p.peak_power_mw)
+        .fold(0.0f64, f64::max);
+    let coolest = pareto
+        .points
+        .iter()
+        .map(|p| p.peak_power_mw)
+        .fold(f64::INFINITY, f64::min);
+    // Never floor below the coolest point: even a flat frontier leaves
+    // the cap attainable.
+    let cap = (((coolest + hottest) / 2.0) as u64).max(coolest.ceil() as u64);
+    let capped = Session::builder()
+        .backend(Morph::builder().arch(arch).build())
+        .network(toy_net())
+        .pipeline(PipelineMode::Pareto {
+            power_cap_mw: Some(cap),
+        })
+        .build()
+        .run();
+    let p = capped.runs[0].pipeline.as_ref().unwrap();
+    println!("\nunder a {cap} mW cap the scheduler picks:");
+    println!(
+        "  {:>8.1} frames/s  {:>6.3} mJ/frame  {:>5.0} mW peak  (bottleneck {})",
+        p.steady_fps,
+        p.energy_per_frame_pj / 1e9,
+        p.peak_power_mw,
+        p.bottleneck
+    );
+    assert!(p.peak_power_mw <= cap as f64, "the cap binds the schedule");
+    for point in &p.pareto.as_ref().unwrap().points {
+        assert!(
+            point.peak_power_mw <= cap as f64,
+            "every point obeys the cap"
+        );
+    }
+}

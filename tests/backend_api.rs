@@ -292,6 +292,141 @@ fn zoo_two_stream_gains_from_branch_parallel_stages() {
     assert!(p.steady_fps >= p.serial_fps);
 }
 
+/// DAG-aware rebalancing through the public API: on a fork/join network
+/// the `DagRebalanced` schedule streams at least as fast as the greedy
+/// `Rebalanced` one, never spends more energy per frame, and records the
+/// cluster share each stage actually occupies (schema v4).
+#[test]
+fn dag_rebalancing_beats_greedy_on_energy_at_equal_fps() {
+    let run = |mode| {
+        Session::builder()
+            .backend(Morph::new())
+            .network(forked())
+            .pipeline(mode)
+            .build()
+            .run()
+    };
+    let greedy = run(PipelineMode::Rebalanced);
+    let dag = run(PipelineMode::DagRebalanced);
+    let g = greedy.runs[0].pipeline.as_ref().unwrap();
+    let d = dag.runs[0].pipeline.as_ref().unwrap();
+    assert!(d.steady_fps >= g.steady_fps - 1e-9);
+    assert!(d.energy_per_frame_pj <= g.energy_per_frame_pj + 1e-6);
+    assert!(d.stages.iter().all(|s| (1..=6).contains(&s.clusters)));
+    // The v4 report round-trips exactly, clusters and scores included.
+    let back = RunReport::from_json_str(&dag.to_json_string()).unwrap();
+    assert_eq!(back, dag);
+}
+
+/// The Pareto sweep through the public API: the frontier is free of
+/// dominated points, covers the greedy operating point, and a capped
+/// sweep respects its cap on every reported point.
+#[test]
+fn pareto_sweep_invariants_hold_through_the_public_api() {
+    let run = |mode| {
+        Session::builder()
+            .backend(Morph::new())
+            .network(forked())
+            .pipeline(mode)
+            .build()
+            .run()
+    };
+    let greedy_fps = run(PipelineMode::Rebalanced).runs[0]
+        .pipeline
+        .as_ref()
+        .unwrap()
+        .steady_fps;
+    let free = run(PipelineMode::Pareto { power_cap_mw: None });
+    let p = free.runs[0].pipeline.as_ref().unwrap();
+    let pareto = p.pareto.as_ref().expect("sweep attaches its frontier");
+    assert!(!pareto.points.is_empty());
+    for a in &pareto.points {
+        assert!(!pareto.points.iter().any(|b| b.dominates(a)));
+    }
+    assert!(pareto.best_fps_point().unwrap().steady_fps >= greedy_fps - 1e-9);
+
+    // Cap at the frontier's coolest point: still attainable, certainly
+    // binding for the hotter points.
+    let cap = pareto
+        .points
+        .iter()
+        .map(|q| q.peak_power_mw)
+        .fold(f64::INFINITY, f64::min)
+        .ceil() as u64;
+    let capped = run(PipelineMode::Pareto {
+        power_cap_mw: Some(cap),
+    });
+    let cp = capped.runs[0].pipeline.as_ref().unwrap();
+    let cpareto = cp.pareto.as_ref().unwrap();
+    assert_eq!(cpareto.power_cap_mw, Some(cap));
+    assert!(!cpareto.points.is_empty(), "cap chosen to be attainable");
+    for point in &cpareto.points {
+        assert!(point.peak_power_mw <= cap as f64);
+    }
+    assert!(
+        cp.peak_power_mw <= cap as f64,
+        "scheduled point obeys the cap"
+    );
+    let back = RunReport::from_json_str(&capped.to_json_string()).unwrap();
+    assert_eq!(back, capped);
+}
+
+/// Schema v3 documents (no allocation/power fields) upgrade on read: the
+/// report parses at schema v4 with those fields marked unrecorded and
+/// keeps every pre-existing number.
+#[test]
+fn v3_documents_upgrade_on_read() {
+    let rep = Session::builder()
+        .backend(Eyeriss::new())
+        .network(forked())
+        .pipeline(PipelineMode::Analytic)
+        .build()
+        .run();
+    // Rewrite the serialized document into its v3 shape.
+    let mut doc = morph_json::Value::parse(&rep.to_json_string()).unwrap();
+    let morph_json::Value::Obj(top) = &mut doc else {
+        panic!()
+    };
+    top.insert("schema".into(), morph_json::Value::Int(3));
+    let Some(morph_json::Value::Arr(runs)) = top.get_mut("runs") else {
+        panic!()
+    };
+    for run in runs {
+        let morph_json::Value::Obj(run) = run else {
+            panic!()
+        };
+        let Some(morph_json::Value::Obj(p)) = run.get_mut("pipeline") else {
+            panic!()
+        };
+        p.remove("energy_per_frame_pj");
+        p.remove("peak_power_mw");
+        p.remove("pareto");
+        let Some(morph_json::Value::Arr(stages)) = p.get_mut("stages") else {
+            panic!()
+        };
+        for stage in stages {
+            let morph_json::Value::Obj(stage) = stage else {
+                panic!()
+            };
+            stage.remove("clusters");
+        }
+    }
+    let upgraded = RunReport::from_json_str(&doc.pretty()).unwrap();
+    assert_eq!(upgraded.schema, morph_core::SCHEMA_VERSION);
+    let p = upgraded.runs[0].pipeline.as_ref().unwrap();
+    assert_eq!(p.energy_per_frame_pj, 0.0);
+    assert_eq!(p.peak_power_mw, 0.0);
+    assert!(p.pareto.is_none());
+    assert!(p.stages.iter().all(|s| s.clusters == 0));
+    let orig = rep.runs[0].pipeline.as_ref().unwrap();
+    assert_eq!(p.steady_fps, orig.steady_fps);
+    assert_eq!(p.fill_cycles, orig.fill_cycles);
+    assert_eq!(upgraded.runs[0].layers, rep.runs[0].layers);
+    // Upgraded reports round-trip exactly through the v4 writer.
+    let again = RunReport::from_json_str(&upgraded.to_json_string()).unwrap();
+    assert_eq!(again, upgraded);
+}
+
 /// `evaluate_layer_for` overrides the backend's built-time objective: a
 /// latency-objective search is at least as fast as the energy-optimal one.
 #[test]
