@@ -8,7 +8,7 @@ use morph_core::RunReport;
 use std::process::Command;
 
 /// All experiment binaries, in dependency-free execution order.
-const BINS: [&str; 17] = [
+const BINS: [&str; 18] = [
     "tables",
     "table4",
     "fig1a",
@@ -26,10 +26,11 @@ const BINS: [&str; 17] = [
     "ablate_flex",
     "pipeline",
     "pareto",
+    "search",
 ];
 
 /// The subset that persists a structured `RunReport`.
-const REPORTING_BINS: [&str; 9] = [
+const REPORTING_BINS: [&str; 10] = [
     "fig4a",
     "fig4b",
     "fig4c",
@@ -39,6 +40,7 @@ const REPORTING_BINS: [&str; 9] = [
     "ablate_flex",
     "pipeline",
     "pareto",
+    "search",
 ];
 
 fn main() {
@@ -80,10 +82,22 @@ fn main() {
     for p in piped {
         assert!(p.steady_fps >= p.serial_fps, "pipelining can only help");
     }
+    let searched = back.runs.iter().filter_map(|r| r.search.as_ref());
+    assert!(
+        searched.clone().count() > 0,
+        "bench.json carries mapping-search stats"
+    );
+    for s in searched {
+        assert!(
+            s.bound_pruned + s.costed <= s.enumerated,
+            "search stats are self-consistent"
+        );
+    }
     eprintln!(
-        ">>> all experiments written to {OUT_DIR}/ ({} runs, {} layer records, {} pipeline sections in bench.json)",
+        ">>> all experiments written to {OUT_DIR}/ ({} runs, {} layer records, {} pipeline sections, {} searched runs in bench.json)",
         back.runs.len(),
         back.runs.iter().map(|r| r.layers.len()).sum::<usize>(),
         back.runs.iter().filter(|r| r.pipeline.is_some()).count(),
+        back.runs.iter().filter(|r| r.search.is_some()).count(),
     );
 }

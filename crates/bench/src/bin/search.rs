@@ -1,0 +1,173 @@
+//! Pruned vs exhaustive mapping search: the branch-and-bound candidate
+//! stream against the eager enumerate-everything reference, across the
+//! whole zoo under every objective.
+//!
+//! For each (network, objective) pair the table compares how many
+//! candidates each search **fully costed** (traffic + cycles + energy
+//! attribution — the expensive step) and the wall time of both paths.
+//! Two invariants are asserted on every pair:
+//!
+//! * **bit-identical decisions** — the pruned search returns exactly the
+//!   exhaustive argmin for every layer: same `TilingConfig`, same
+//!   `Parallelism`, float-exact same `EnergyReport`. Admissible bounds
+//!   and index tie-breaking make pruning a pure optimization, never an
+//!   approximation.
+//! * **≥ 3× fewer fully-costed candidates** at `Effort::Fast` (asserted
+//!   per objective aggregate and overall; skipped under
+//!   `MORPH_EFFORT=thorough`, where the ratio is far larger but the
+//!   exhaustive reference is very slow).
+//!
+//! The per-run `SearchStats` ride in the emitted schema-v5 `RunReport`
+//! (`search` field), which `run_all` merges into `bench.json`.
+
+use morph_bench::{emit_report, print_table};
+use morph_core::{
+    ArchSpec, Effort, EnergyModel, Morph, Objective, Optimizer, RunReport, SearchStats, Session,
+};
+use morph_nets::zoo;
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn main() {
+    let effort = morph_bench::effort_from_env();
+    let objectives = [
+        Objective::Energy,
+        Objective::Performance,
+        Objective::PerfPerWatt,
+    ];
+
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    let mut grand_pruned = SearchStats::default();
+    let mut grand_exhaustive = SearchStats::default();
+
+    for objective in objectives {
+        // Pruned path: a session over the whole zoo (the production code
+        // path — store-backed, stats recorded per run).
+        let session = Session::builder()
+            .backend(Morph::builder().objective(objective).effort(effort).build())
+            .networks(zoo::all())
+            .build();
+        let t0 = Instant::now();
+        let report = session.run();
+        let pruned_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Exhaustive reference: the pre-refactor eager enumeration, on a
+        // mirror optimizer (uncached, so each network's distinct shapes
+        // are costed exactly as the per-run stats account them).
+        let reference = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), effort);
+        let mut obj_pruned = SearchStats::default();
+        let mut obj_exhaustive = SearchStats::default();
+        for run in &report.runs {
+            let net = zoo::by_name(&run.network).expect("zoo network");
+            let mut distinct: HashSet<_> = HashSet::new();
+            let mut ex_stats = SearchStats::default();
+            let t1 = Instant::now();
+            for (layer, record) in net.conv_layers().zip(&run.layers) {
+                if !distinct.insert(layer.shape) {
+                    continue; // repeated shape: same decision, same stats
+                }
+                let (decision, stats) = reference.search_layer_exhaustive(&layer.shape, objective);
+                ex_stats = ex_stats.add(&stats);
+                // The acceptance invariant: bit-identical decisions.
+                let mapping = record.decision.as_ref().expect("Morph records mappings");
+                assert_eq!(
+                    mapping.config, decision.config,
+                    "{} {} {objective:?}: config diverged",
+                    run.network, layer.name
+                );
+                assert_eq!(
+                    mapping.par, decision.par,
+                    "{} {} {objective:?}: parallelism diverged",
+                    run.network, layer.name
+                );
+                assert_eq!(
+                    record.report, decision.report,
+                    "{} {} {objective:?}: report diverged",
+                    run.network, layer.name
+                );
+            }
+            let exhaustive_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let stats = run.search.expect("searched runs carry stats");
+            assert_eq!(
+                stats.enumerated, ex_stats.enumerated,
+                "{}: both paths enumerate the same stream",
+                run.network
+            );
+            if effort == Effort::Fast {
+                assert!(
+                    stats.costed * 3 <= ex_stats.costed,
+                    "{} {objective:?}: pruned costed {} vs exhaustive {} — below the 3x bar",
+                    run.network,
+                    stats.costed,
+                    ex_stats.costed
+                );
+            }
+            obj_pruned = obj_pruned.add(&stats);
+            obj_exhaustive = obj_exhaustive.add(&ex_stats);
+            rows.push(vec![
+                run.network.clone(),
+                objective.label().to_string(),
+                run.layers.len().to_string(),
+                distinct.len().to_string(),
+                ex_stats.costed.to_string(),
+                stats.costed.to_string(),
+                format!(
+                    "{:.1}x",
+                    ex_stats.costed as f64 / stats.costed.max(1) as f64
+                ),
+                format!("{:.0}%", 100.0 * stats.prune_fraction()),
+                format!("{exhaustive_ms:.0}"),
+                format!("{:.0}", pruned_ms / report.runs.len() as f64),
+            ]);
+        }
+        if effort == Effort::Fast {
+            assert!(
+                obj_pruned.costed * 3 <= obj_exhaustive.costed,
+                "{objective:?}: pruned search costed {} candidates, exhaustive {} — \
+                 below the 3x acceptance bar",
+                obj_pruned.costed,
+                obj_exhaustive.costed
+            );
+        }
+        grand_pruned = grand_pruned.add(&obj_pruned);
+        grand_exhaustive = grand_exhaustive.add(&obj_exhaustive);
+        reports.push(report);
+    }
+    if effort == Effort::Fast {
+        assert!(grand_pruned.costed * 3 <= grand_exhaustive.costed);
+    }
+
+    print_table(
+        "Mapping search — pruned branch-and-bound vs exhaustive enumeration",
+        &[
+            "network",
+            "objective",
+            "layers",
+            "distinct",
+            "exhaustive costed",
+            "pruned costed",
+            "ratio",
+            "pruned",
+            "exhaustive (ms)",
+            "pruned (ms, amortized)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape: both searches walk the identical candidate stream and return bit-identical \
+         argmins — asserted layer by layer above. The pruned search ranks L2-tile groups by \
+         admissible lower bounds (MACC/parallelism roofline for cycles, exact compulsory DRAM \
+         traffic for energy) and skips every candidate whose bound cannot beat the incumbent: \
+         {} fully-costed candidates vs {} exhaustive ({:.1}x fewer), {:.0}% of the stream pruned \
+         without allocation or costing. Repeated shapes (ResNet blocks, Two_Stream towers) are \
+         decided once in the shared DecisionStore, so the pruned wall-time column amortizes \
+         across the zoo.",
+        grand_pruned.costed,
+        grand_exhaustive.costed,
+        grand_exhaustive.costed as f64 / grand_pruned.costed.max(1) as f64,
+        100.0 * grand_pruned.prune_fraction(),
+    );
+    let merged = RunReport::merged(reports).expect("uniform schema");
+    emit_report("search", &merged);
+}

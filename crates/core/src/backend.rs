@@ -12,7 +12,7 @@ use morph_dataflow::arch::ArchSpec;
 use morph_dataflow::config::TilingConfig;
 use morph_dataflow::perf::Parallelism;
 use morph_energy::{EnergyModel, EnergyReport, TechNode};
-use morph_optimizer::{Effort, Objective, Optimizer};
+use morph_optimizer::{DecisionStore, Effort, LayerDecision, Objective, Optimizer};
 use morph_pipeline::PipelineCaps;
 use morph_tensor::order::LoopOrder;
 use morph_tensor::shape::ConvShape;
@@ -93,6 +93,39 @@ pub trait Backend: Send + Sync {
         self.evaluate_layer_for(shape, objective)
     }
 
+    /// Evaluate one layer across a whole set of cluster budgets in one
+    /// call — the entry point the pipeline rebalancers and the Pareto
+    /// sweep use instead of rebuilding per-budget evaluations one by one.
+    ///
+    /// Searched backends walk the budgets monotonically (ascending, so
+    /// every seed is one budget step away from its consumer) and
+    /// **warm-start** each budget's branch-and-bound search with the
+    /// neighboring budget's best decision as the initial incumbent, so a
+    /// sweep over the whole chip costs little more than one cold search.
+    /// Results are returned in the order of `budgets`; the default maps
+    /// [`Backend::evaluate_layer_budgeted`] over them (fixed backends
+    /// return their one operating point for every budget).
+    fn evaluate_layer_budget_sweep(
+        &self,
+        shape: &ConvShape,
+        objective: Objective,
+        budgets: &[usize],
+    ) -> Vec<LayerEval> {
+        budgets
+            .iter()
+            .map(|&c| self.evaluate_layer_budgeted(shape, objective, c))
+            .collect()
+    }
+
+    /// The backend's shared [`DecisionStore`], when it memoizes decisions
+    /// through one. A [`crate::Session`] adopts it as the per-backend
+    /// decision cache, so the optimizer layer and the session layer share
+    /// one memo instead of stacking two. Fixed-dataflow backends keep the
+    /// default `None` and the session provides a store for them.
+    fn decision_store(&self) -> Option<Arc<DecisionStore>> {
+        None
+    }
+
     /// Channel provisioning for cross-layer pipelined scheduling: how much
     /// buffer the backend stages inter-layer frames in. Default: half the
     /// last-level buffer (the other half stays with the layer tiles),
@@ -107,32 +140,94 @@ pub trait Backend: Send + Sync {
     }
 }
 
+/// A searched [`LayerDecision`] as the trait-level [`LayerEval`].
+fn eval_of(d: &LayerDecision) -> LayerEval {
+    LayerEval {
+        report: d.report,
+        decision: Some(MappingDecision {
+            config: d.config.clone(),
+            par: d.par,
+        }),
+    }
+}
+
 /// Shared cluster-budgeted search path of the searched backends: fetch
 /// (or lazily build via `build`) the optimizer for the reduced-cluster
-/// provisioning, then search the layer on it.
+/// provisioning — attached to the backend's shared [`DecisionStore`] —
+/// then search the layer on it.
 fn search_budgeted(
     budgeted: &Mutex<HashMap<usize, Arc<Optimizer>>>,
     arch: ArchSpec,
     clusters: usize,
+    store: &Arc<DecisionStore>,
     build: impl FnOnce(ArchSpec) -> Optimizer,
     shape: &ConvShape,
     objective: Objective,
 ) -> LayerEval {
-    let opt = Arc::clone(
-        budgeted
-            .lock()
-            .unwrap()
-            .entry(clusters)
-            .or_insert_with(|| Arc::new(build(ArchSpec { clusters, ..arch }))),
-    );
-    let d = opt.search_layer(shape, objective);
-    LayerEval {
-        report: d.report,
-        decision: Some(MappingDecision {
-            config: d.config,
-            par: d.par,
-        }),
+    let opt = budgeted_optimizer(budgeted, arch, clusters, store, build);
+    eval_of(&opt.search_layer(shape, objective))
+}
+
+/// Fetch or lazily build the optimizer for a reduced-cluster provisioning,
+/// sharing the backend's decision store (each optimizer keys its entries
+/// by its own cluster count, so variants never collide).
+fn budgeted_optimizer(
+    budgeted: &Mutex<HashMap<usize, Arc<Optimizer>>>,
+    arch: ArchSpec,
+    clusters: usize,
+    store: &Arc<DecisionStore>,
+    build: impl FnOnce(ArchSpec) -> Optimizer,
+) -> Arc<Optimizer> {
+    Arc::clone(budgeted.lock().unwrap().entry(clusters).or_insert_with(|| {
+        Arc::new(build(ArchSpec { clusters, ..arch }).with_store(Arc::clone(store)))
+    }))
+}
+
+/// Shared budget-sweep path of the searched backends: clamp the requested
+/// budgets to the chip, walk the distinct budgets **ascending**, and
+/// warm-start each budget's branch-and-bound search with the neighboring
+/// (next-smaller) budget's decision — adjacent budgets pick similar
+/// mappings, so the seed points the search at a near-optimal candidate
+/// group immediately. (The seed is an ordering hint only — see
+/// [`Optimizer::search_layer_seeded`] — so either walk direction would be
+/// correct; ascending keeps each seed one step from its consumer.)
+/// Results come back in the caller's requested order.
+#[allow(clippy::too_many_arguments)]
+fn sweep_budgeted(
+    full: &Optimizer,
+    budgeted: &Mutex<HashMap<usize, Arc<Optimizer>>>,
+    arch: ArchSpec,
+    store: &Arc<DecisionStore>,
+    build: impl Fn(ArchSpec) -> Optimizer,
+    shape: &ConvShape,
+    objective: Objective,
+    budgets: &[usize],
+) -> Vec<LayerEval> {
+    let m = arch.clusters.max(1);
+    let clamp = |c: usize| if c == 0 || c >= m { m } else { c };
+    let mut walk: Vec<usize> = budgets.iter().map(|&c| clamp(c)).collect();
+    walk.sort_unstable();
+    walk.dedup();
+
+    let mut decided: HashMap<usize, LayerDecision> = HashMap::new();
+    let mut seed: Option<LayerDecision> = None;
+    for &c in &walk {
+        let d = if c >= m {
+            full.search_layer_seeded(shape, objective, seed.as_ref())
+        } else {
+            budgeted_optimizer(budgeted, arch, c, store, &build).search_layer_seeded(
+                shape,
+                objective,
+                seed.as_ref(),
+            )
+        };
+        decided.insert(c, d.clone());
+        seed = Some(d);
     }
+    budgets
+        .iter()
+        .map(|&c| eval_of(&decided[&clamp(c)]))
+        .collect()
 }
 
 /// The flexible Morph accelerator (per-layer searched dataflows).
@@ -145,6 +240,9 @@ pub struct Morph {
     spec: MorphBuilder,
     /// Lazily built optimizers for sub-chip cluster budgets.
     budgeted: Mutex<HashMap<usize, Arc<Optimizer>>>,
+    /// One decision memo shared by every optimizer variant (and the
+    /// session, via [`Backend::decision_store`]).
+    store: Arc<DecisionStore>,
 }
 
 /// Builder for [`Morph`].
@@ -244,7 +342,8 @@ impl MorphBuilder {
 
     /// Construct the backend.
     pub fn build(self) -> Morph {
-        let opt = self.optimizer(self.arch);
+        let store = Arc::new(DecisionStore::new());
+        let opt = self.optimizer(self.arch).with_store(Arc::clone(&store));
         Morph {
             opt,
             objective: self.objective,
@@ -252,6 +351,7 @@ impl MorphBuilder {
             name: self.name.clone().unwrap_or_else(|| "Morph".to_string()),
             spec: self,
             budgeted: Mutex::new(HashMap::new()),
+            store,
         }
     }
 }
@@ -319,10 +419,33 @@ impl Backend for Morph {
             &self.budgeted,
             self.arch,
             clusters,
+            &self.store,
             |arch| self.spec.optimizer(arch),
             shape,
             objective,
         )
+    }
+
+    fn evaluate_layer_budget_sweep(
+        &self,
+        shape: &ConvShape,
+        objective: Objective,
+        budgets: &[usize],
+    ) -> Vec<LayerEval> {
+        sweep_budgeted(
+            &self.opt,
+            &self.budgeted,
+            self.arch,
+            &self.store,
+            |arch| self.spec.optimizer(arch),
+            shape,
+            objective,
+            budgets,
+        )
+    }
+
+    fn decision_store(&self) -> Option<Arc<DecisionStore>> {
+        Some(Arc::clone(&self.store))
     }
 }
 
@@ -337,6 +460,9 @@ pub struct MorphBase {
     spec: MorphBaseBuilder,
     /// Lazily built optimizers for sub-chip cluster budgets.
     budgeted: Mutex<HashMap<usize, Arc<Optimizer>>>,
+    /// One decision memo shared by every optimizer variant (and the
+    /// session, via [`Backend::decision_store`]).
+    store: Arc<DecisionStore>,
 }
 
 /// Builder for [`MorphBase`].
@@ -406,7 +532,8 @@ impl MorphBaseBuilder {
 
     /// Construct the backend.
     pub fn build(self) -> MorphBase {
-        let opt = self.optimizer(self.arch);
+        let store = Arc::new(DecisionStore::new());
+        let opt = self.optimizer(self.arch).with_store(Arc::clone(&store));
         MorphBase {
             opt,
             objective: self.objective,
@@ -417,6 +544,7 @@ impl MorphBaseBuilder {
                 .unwrap_or_else(|| "Morph_base".to_string()),
             spec: self,
             budgeted: Mutex::new(HashMap::new()),
+            store,
         }
     }
 }
@@ -484,10 +612,33 @@ impl Backend for MorphBase {
             &self.budgeted,
             self.arch,
             clusters,
+            &self.store,
             |arch| self.spec.optimizer(arch),
             shape,
             objective,
         )
+    }
+
+    fn evaluate_layer_budget_sweep(
+        &self,
+        shape: &ConvShape,
+        objective: Objective,
+        budgets: &[usize],
+    ) -> Vec<LayerEval> {
+        sweep_budgeted(
+            &self.opt,
+            &self.budgeted,
+            self.arch,
+            &self.store,
+            |arch| self.spec.optimizer(arch),
+            shape,
+            objective,
+            budgets,
+        )
+    }
+
+    fn decision_store(&self) -> Option<Arc<DecisionStore>> {
+        Some(Arc::clone(&self.store))
     }
 }
 
@@ -740,6 +891,44 @@ mod tests {
         let full = mb.evaluate_layer_budgeted(&sh, Objective::Energy, 6).report;
         let two = mb.evaluate_layer_budgeted(&sh, Objective::Energy, 2).report;
         assert!(two.cycles.total >= full.cycles.total);
+    }
+
+    #[test]
+    fn budget_sweep_matches_per_budget_evaluations() {
+        let sh = layer();
+        let swept = Morph::new();
+        let budgets = [1usize, 3, 6, 6, 99];
+        let sweep = swept.evaluate_layer_budget_sweep(&sh, Objective::Energy, &budgets);
+        assert_eq!(sweep.len(), budgets.len());
+        // The warm-started walk returns exactly what cold per-budget
+        // evaluations return (on a fresh backend, so nothing is cached).
+        let cold = Morph::new();
+        for (&c, eval) in budgets.iter().zip(&sweep) {
+            let direct = cold.evaluate_layer_budgeted(&sh, Objective::Energy, c);
+            assert_eq!(eval, &direct, "budget {c}");
+        }
+        // Fixed backends fall back to their one operating point.
+        let ey = Eyeriss::new();
+        let evals = ey.evaluate_layer_budget_sweep(&sh, Objective::Energy, &[1, 2]);
+        let point = ey.evaluate_layer(&sh).report;
+        assert!(evals.iter().all(|e| e.report == point));
+    }
+
+    #[test]
+    fn decision_store_is_shared_across_budget_variants() {
+        let sh = layer();
+        let m = Morph::new();
+        let store = m.decision_store().unwrap();
+        assert!(store.is_empty());
+        m.evaluate_layer(&sh);
+        assert_eq!(store.len(), 1, "the full-chip optimizer writes through");
+        m.evaluate_layer_budgeted(&sh, Objective::Energy, 3);
+        assert_eq!(store.len(), 2, "budgeted searches key their own budget");
+        // Replays are store hits, and an oversized budget is the full key.
+        m.evaluate_layer(&sh);
+        m.evaluate_layer_budgeted(&sh, Objective::Energy, 99);
+        assert_eq!(store.len(), 2);
+        assert!(Eyeriss::new().decision_store().is_none());
     }
 
     #[test]

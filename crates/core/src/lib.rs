@@ -139,7 +139,10 @@ pub use backend::{
 pub use morph_dataflow::arch::{ArchSpec, OnChipLevel};
 pub use morph_dataflow::perf::Parallelism;
 pub use morph_energy::{EnergyModel, EnergyReport, TechNode};
-pub use morph_optimizer::{Effort, LayerDecision, Objective, Optimizer};
+pub use morph_optimizer::{
+    DecisionStore, Effort, LayerDecision, Objective, Optimizer, SearchStats, StoreKey,
+    StoredDecision,
+};
 pub use morph_pipeline::{
     EdgeReport, ParetoPoint, ParetoReport, PipelineCaps, PipelineMode, PipelineReport, StageReport,
 };

@@ -10,7 +10,7 @@
 use crate::backend::MappingDecision;
 use morph_energy::EnergyReport;
 use morph_json::{FromJson, ToJson, Value};
-use morph_optimizer::Objective;
+use morph_optimizer::{Objective, SearchStats};
 use morph_pipeline::PipelineReport;
 use morph_tensor::shape::ConvShape;
 
@@ -25,11 +25,14 @@ use morph_tensor::shape::ConvShape;
 /// scores the schedule (`energy_per_frame_pj`, `peak_power_mw`), the
 /// `mode` accepts the structured capped-Pareto form, and Pareto sweeps
 /// attach their allocation frontier (`pareto`:
-/// [`morph_pipeline::ParetoReport`]). v2 and v3 documents still parse
-/// and are upgraded on the fly (chain edges are reconstructed from the
+/// [`morph_pipeline::ParetoReport`]). v5 records the mapping search's
+/// effort: each run of a searched backend carries `search`
+/// ([`SearchStats`] — candidates enumerated / bound-pruned / fully
+/// costed behind the run's decisions). v2–v4 documents still parse and
+/// are upgraded on the fly (chain edges are reconstructed from the
 /// linear layer order; missing allocation/power fields read back as
-/// unrecorded — `0` / `0.0` / `null`).
-pub const SCHEMA_VERSION: u32 = 4;
+/// unrecorded — `0` / `0.0` / `null` — and missing `search` as `null`).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Oldest schema [`RunReport::from_json_str`] still accepts (upgrading it
 /// to [`SCHEMA_VERSION`] in memory).
@@ -72,6 +75,11 @@ pub struct NetworkRun {
     /// Streaming-pipeline schedule and throughput (`None` when the session
     /// ran with [`morph_pipeline::PipelineMode::Off`]).
     pub pipeline: Option<PipelineReport>,
+    /// Mapping-search effort behind this run's decisions: summed
+    /// [`SearchStats`] of the run's distinct layer shapes (`None` for
+    /// fixed-dataflow backends, whose evaluations search nothing, and for
+    /// pre-v5 documents).
+    pub search: Option<SearchStats>,
 }
 
 impl NetworkRun {
@@ -216,6 +224,7 @@ impl ToJson for NetworkRun {
             ("edges", edges),
             ("total", self.total.to_json()),
             ("pipeline", self.pipeline.to_json()),
+            ("search", self.search.to_json()),
         ])
     }
 }
@@ -248,6 +257,11 @@ impl FromJson for NetworkRun {
             // v2: networks were linear chains; reconstruct the chain.
             None => (1..layers.len()).map(|i| (i - 1, i)).collect(),
         };
+        // v5: per-run mapping-search stats; absent (unrecorded) before.
+        let search = match v.get("search") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(SearchStats::from_json(s)?),
+        };
         Ok(NetworkRun {
             backend: field_str(v, "backend")?.to_string(),
             network: field_str(v, "network")?.to_string(),
@@ -257,6 +271,7 @@ impl FromJson for NetworkRun {
             edges,
             total: EnergyReport::from_json(field(v, "total")?)?,
             pipeline,
+            search,
         })
     }
 }
@@ -281,8 +296,9 @@ impl FromJson for RunReport {
         }
         // Older documents upgrade in place: v2 runs gain reconstructed
         // chain edges and chain baselines, v3 pipeline sections gain
-        // unrecorded allocation/power fields, so the in-memory report is
-        // always at SCHEMA_VERSION.
+        // unrecorded allocation/power fields, and pre-v5 runs read their
+        // mapping-search stats back as unrecorded (`search: None`), so
+        // the in-memory report is always at SCHEMA_VERSION.
         Ok(RunReport {
             schema: SCHEMA_VERSION,
             runs: field_arr(v, "runs")?
@@ -369,10 +385,29 @@ mod tests {
         assert_eq!(rep, back);
     }
 
+    /// Strip the v5 additions from a serialized report (per-run `search`
+    /// stats), producing the document a v4 writer would have emitted.
+    fn downgrade_to_v4(v: &mut Value) {
+        let Value::Obj(top) = v else {
+            panic!("report is an object")
+        };
+        top.insert("schema".into(), Value::Int(4));
+        let Some(Value::Arr(runs)) = top.get_mut("runs") else {
+            panic!("runs array")
+        };
+        for run in runs {
+            let Value::Obj(run) = run else {
+                panic!("run object")
+            };
+            run.remove("search");
+        }
+    }
+
     /// Strip the v4 additions from a serialized report (allocation,
     /// power scores, pareto section), producing the document a v3 writer
     /// would have emitted.
     fn downgrade_to_v3(v: &mut Value) {
+        downgrade_to_v4(v);
         let Value::Obj(top) = v else {
             panic!("report is an object")
         };
@@ -400,9 +435,19 @@ mod tests {
         }
     }
 
-    /// Zero the v4 fields of an in-memory report: what an upgraded
-    /// pre-v4 document is expected to look like.
-    fn without_v4_fields(mut rep: RunReport) -> RunReport {
+    /// Drop the v5 fields of an in-memory report: what an upgraded v4
+    /// document is expected to look like.
+    fn without_v5_fields(mut rep: RunReport) -> RunReport {
+        for run in &mut rep.runs {
+            run.search = None;
+        }
+        rep
+    }
+
+    /// Zero the v4 (and v5) fields of an in-memory report: what an
+    /// upgraded pre-v4 document is expected to look like.
+    fn without_v4_fields(rep: RunReport) -> RunReport {
+        let mut rep = without_v5_fields(rep);
         for run in &mut rep.runs {
             if let Some(p) = run.pipeline.as_mut() {
                 p.energy_per_frame_pj = 0.0;
@@ -414,6 +459,30 @@ mod tests {
             }
         }
         rep
+    }
+
+    #[test]
+    fn v4_documents_upgrade_and_round_trip() {
+        // One schema back: a v4 document (everything but the per-run
+        // search stats) upgrades to v5 with `search` unrecorded and
+        // round-trips exactly afterwards.
+        let rep = Session::builder()
+            .backend(Morph::new())
+            .network(tiny_net())
+            .pipeline(morph_pipeline::PipelineMode::Rebalanced)
+            .build()
+            .run();
+        assert!(
+            rep.runs[0].search.is_some(),
+            "v5 writers record search stats for searched backends"
+        );
+        let mut doc = Value::parse(&rep.to_json_string()).unwrap();
+        downgrade_to_v4(&mut doc);
+        let upgraded = RunReport::from_json_str(&doc.pretty()).unwrap();
+        assert_eq!(upgraded.schema, SCHEMA_VERSION);
+        assert_eq!(upgraded, without_v5_fields(rep));
+        let again = RunReport::from_json_str(&upgraded.to_json_string()).unwrap();
+        assert_eq!(again, upgraded);
     }
 
     /// Rewrite a current report document into the v2 shape: schema stamp
@@ -474,9 +543,9 @@ mod tests {
     #[test]
     fn v2_documents_upgrade_and_round_trip() {
         // A pipeline-bearing chain run, serialized, downgraded to the v2
-        // document shape, parsed back: the report must come back at
-        // schema v4 with reconstructed chain edges, identical numbers
-        // (the v4 allocation/power fields read back as unrecorded), and
+        // document shape, parsed back: the report must come back at the
+        // current schema with reconstructed chain edges, identical
+        // numbers (the v4/v5 additions read back as unrecorded), and
         // survive a further round trip exactly.
         let rep = Session::builder()
             .backend(Morph::new())

@@ -8,13 +8,17 @@
 //!   fan out together across a scoped worker pool ([`crate::par`]), so
 //!   distinct backends and networks evaluate concurrently, not just the
 //!   layers within one pair;
-//! * **a memoized decision cache keyed by [`ConvShape`]** — identical
-//!   layers (repeated ResNet blocks, the two Two-Stream towers, repeated
-//!   networks) are decided once per backend/objective and replayed from
-//!   the cache thereafter. Cache accounting keeps *sequential semantics*
-//!   (pairs are walked in session order before any evaluation starts), so
-//!   reports — including per-pair `cache_hits`, also queryable via
-//!   [`Session::cache_hits`] — are identical at any thread count; and
+//! * **one shared [`DecisionStore`] per backend** — identical layers
+//!   (repeated ResNet blocks, the two Two-Stream towers, repeated
+//!   networks) are decided once per backend/objective/cluster-budget and
+//!   replayed from the store thereafter. Searched backends expose their
+//!   own store ([`crate::Backend::decision_store`]), so the optimizer's
+//!   memo and the session's cache are literally the same object — no
+//!   stacked caches, no duplicated decisions. Cache accounting keeps
+//!   *sequential semantics* (pairs are walked in session order before any
+//!   evaluation starts), so reports — including per-pair `cache_hits`,
+//!   also queryable via [`Session::cache_hits`] — are identical at any
+//!   thread count; and
 //! * **optional cross-layer pipelined scheduling** ([`PipelineMode`]) —
 //!   each run gains a [`morph_pipeline::PipelineReport`] simulating the
 //!   network's **conv-level dependency DAG** as a streaming pipeline:
@@ -34,24 +38,41 @@
 //!   [`morph_pipeline::ParetoReport`] frontier over (throughput,
 //!   energy/frame, peak power), optionally under a peak-power cap.
 
-use crate::backend::{Backend, LayerEval};
+use crate::backend::{Backend, LayerEval, MappingDecision};
 use crate::par;
 use crate::report::{LayerRecord, NetworkRun, RunReport, SCHEMA_VERSION};
 use morph_nets::Network;
-use morph_optimizer::Objective;
+use morph_optimizer::{DecisionStore, Objective, SearchStats, StoreKey, StoredDecision};
 use morph_pipeline::{
     balance, pareto_frontier, simulate, EdgeSpec, ParetoPoint, ParetoReport, PipelineMode,
     PipelineReport, PipelineSpec, StageSpec,
 };
 use morph_tensor::shape::ConvShape;
-use std::collections::{HashMap, HashSet};
-use std::sync::Mutex;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 
-/// Decision-cache key: `(backend index, objective, cluster budget,
-/// shape)`. The budget equals the backend's full cluster count for
-/// ordinary evaluations; sub-chip entries come from the DAG-aware
-/// rebalancer and the Pareto sweep.
-type CacheKey = (usize, Objective, usize, ConvShape);
+/// A [`LayerEval`] as a [`DecisionStore`] entry (cost-only evaluations
+/// store no mapping; session-side inserts carry no search stats — for
+/// searched backends the optimizer already recorded the real entry, and
+/// [`DecisionStore::insert`] keeps the first write).
+fn entry_of(eval: &LayerEval) -> StoredDecision {
+    StoredDecision {
+        report: eval.report,
+        mapping: eval.decision.as_ref().map(|d| (d.config.clone(), d.par)),
+        stats: SearchStats::default(),
+    }
+}
+
+/// A [`DecisionStore`] entry as the session-level [`LayerEval`].
+fn eval_of(entry: &StoredDecision) -> LayerEval {
+    LayerEval {
+        report: entry.report,
+        decision: entry.mapping.as_ref().map(|(config, par)| MappingDecision {
+            config: config.clone(),
+            par: *par,
+        }),
+    }
+}
 
 /// Deadline levels a [`PipelineMode::Pareto`] sweep evaluates (each level
 /// allocates, fits group budgets, and simulates once): enough to trace
@@ -67,11 +88,14 @@ pub const DEFAULT_PIPELINE_FRAMES: u64 = 32;
 /// Runs one or more backends over one or more networks.
 pub struct Session {
     backends: Vec<Box<dyn Backend>>,
+    /// Per-backend decision store: the backend's own
+    /// ([`Backend::decision_store`]) when it has one, else a fresh store
+    /// the session provides (fixed-dataflow backends).
+    stores: Vec<Arc<DecisionStore>>,
     networks: Vec<Network>,
     threads: usize,
     pipeline: PipelineMode,
     pipeline_frames: u64,
-    cache: Mutex<HashMap<CacheKey, LayerEval>>,
     /// Per-pair cache hits of the last [`Session::run`], `[backend][network]`.
     last_hits: Mutex<Vec<Vec<u64>>>,
 }
@@ -133,13 +157,18 @@ impl SessionBuilder {
 
     /// Construct the session.
     pub fn build(self) -> Session {
+        let stores = self
+            .backends
+            .iter()
+            .map(|b| b.decision_store().unwrap_or_default())
+            .collect();
         Session {
             backends: self.backends,
+            stores,
             networks: self.networks,
             threads: self.threads.unwrap_or_else(par::default_threads),
             pipeline: self.pipeline,
             pipeline_frames: self.pipeline_frames.unwrap_or(DEFAULT_PIPELINE_FRAMES),
-            cache: Mutex::new(HashMap::new()),
             last_hits: Mutex::new(Vec::new()),
         }
     }
@@ -179,10 +208,16 @@ impl Session {
         &self.networks
     }
 
-    /// Number of distinct (backend, objective, shape) decisions currently
-    /// memoized.
+    /// Number of distinct (backend, objective, cluster budget, shape)
+    /// decisions currently memoized across the per-backend stores.
     pub fn cached_decisions(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.stores.iter().map(|s| s.len()).sum()
+    }
+
+    /// The decision store backing one backend (shared with the backend's
+    /// own optimizers when it exposes one).
+    pub fn decision_store(&self, backend_index: usize) -> &Arc<DecisionStore> {
+        &self.stores[backend_index]
     }
 
     /// Cache hits of one (backend, network) pair in the last
@@ -209,38 +244,35 @@ impl Session {
         // same accounting a sequential pair-by-pair run would produce.
         let mut work: Vec<(usize, ConvShape)> = Vec::new();
         let mut hits = vec![vec![0u64; self.networks.len()]; self.backends.len()];
-        {
-            let cache = self.cache.lock().unwrap();
-            let mut decided: HashSet<CacheKey> = cache.keys().copied().collect();
-            for (bi, backend) in self.backends.iter().enumerate() {
-                let objective = backend.objective();
-                let clusters = backend.arch().clusters;
-                for (ni, net) in self.networks.iter().enumerate() {
-                    for layer in net.conv_layers() {
-                        if decided.insert((bi, objective, clusters, layer.shape)) {
-                            work.push((bi, layer.shape));
-                        } else {
-                            hits[bi][ni] += 1;
-                        }
+        for (bi, backend) in self.backends.iter().enumerate() {
+            let objective = backend.objective();
+            let clusters = backend.arch().clusters;
+            let mut decided: HashSet<StoreKey> = self.stores[bi].keys().into_iter().collect();
+            for (ni, net) in self.networks.iter().enumerate() {
+                for layer in net.conv_layers() {
+                    if decided.insert((layer.shape, objective, clusters)) {
+                        work.push((bi, layer.shape));
+                    } else {
+                        hits[bi][ni] += 1;
                     }
                 }
             }
         }
 
         // Phase 2: every pair's fresh shapes evaluate in one flat pool —
-        // backend × network concurrency, not just per-layer threads.
+        // backend × network concurrency, not just per-layer threads. The
+        // searched backends publish into their store from inside the
+        // evaluation; the session-side insert covers fixed backends (a
+        // no-op for entries the optimizer already wrote).
         let fresh = par::par_map(self.threads, &work, |(bi, sh)| {
             self.backends[*bi].evaluate_layer(sh)
         });
-        {
-            let mut cache = self.cache.lock().unwrap();
-            for ((bi, sh), eval) in work.iter().zip(fresh) {
-                let backend = &self.backends[*bi];
-                cache.insert(
-                    (*bi, backend.objective(), backend.arch().clusters, *sh),
-                    eval,
-                );
-            }
+        for ((bi, sh), eval) in work.iter().zip(fresh) {
+            let backend = &self.backends[*bi];
+            self.stores[*bi].insert(
+                (*sh, backend.objective(), backend.arch().clusters),
+                entry_of(&eval),
+            );
         }
 
         // Phase 3: assemble runs (and pipeline schedules) in session
@@ -267,17 +299,16 @@ impl Session {
         let backend = self.backends[backend_index].as_ref();
         let objective = backend.objective();
         let clusters = backend.arch().clusters;
+        let store = &self.stores[backend_index];
 
         // Partition this network's shapes into cached ones and a deduped
         // work list: identical layers are decided exactly once.
         let mut pending: Vec<ConvShape> = Vec::new();
         {
-            let cache = self.cache.lock().unwrap();
             let mut seen: HashSet<ConvShape> = Default::default();
             for layer in net.conv_layers() {
                 let sh = layer.shape;
-                if !cache.contains_key(&(backend_index, objective, clusters, sh)) && seen.insert(sh)
-                {
+                if !store.contains(&(sh, objective, clusters)) && seen.insert(sh) {
                     pending.push(sh);
                 }
             }
@@ -286,36 +317,42 @@ impl Session {
 
         // Decide all fresh shapes in parallel, then publish them.
         let fresh = par::par_map(self.threads, &pending, |sh| backend.evaluate_layer(sh));
-        {
-            let mut cache = self.cache.lock().unwrap();
-            for (sh, eval) in pending.iter().zip(fresh) {
-                cache.insert((backend_index, objective, clusters, *sh), eval);
-            }
+        for (sh, eval) in pending.iter().zip(fresh) {
+            store.insert((*sh, objective, clusters), entry_of(&eval));
         }
         self.assemble(backend_index, net, cache_hits)
     }
 
-    /// Build one [`NetworkRun`] from the (fully populated) decision cache.
+    /// Build one [`NetworkRun`] from the (fully populated) decision store.
     fn assemble(&self, backend_index: usize, net: &Network, cache_hits: u64) -> NetworkRun {
         let backend = self.backends[backend_index].as_ref();
         let objective = backend.objective();
-        let records: Vec<LayerRecord> = {
-            let cache = self.cache.lock().unwrap();
-            let clusters = backend.arch().clusters;
-            net.conv_layers()
-                .map(|layer| {
-                    let eval = cache
-                        .get(&(backend_index, objective, clusters, layer.shape))
-                        .expect("every shape was just decided");
-                    LayerRecord {
-                        name: layer.name.clone(),
-                        shape: layer.shape,
-                        decision: eval.decision.clone(),
-                        report: eval.report,
-                    }
-                })
-                .collect()
-        };
+        let clusters = backend.arch().clusters;
+        let store = &self.stores[backend_index];
+        // Per-run search stats: the store records each distinct decision's
+        // stats exactly once, so summing over the run's distinct shapes is
+        // deterministic at any thread count (cache-served layers still
+        // report the stats of the search that first decided them).
+        let mut distinct: HashSet<ConvShape> = HashSet::new();
+        let mut search = SearchStats::default();
+        let records: Vec<LayerRecord> = net
+            .conv_layers()
+            .map(|layer| {
+                let entry = store
+                    .get(&(layer.shape, objective, clusters))
+                    .expect("every shape was just decided");
+                if distinct.insert(layer.shape) {
+                    search = search.add(&entry.stats);
+                }
+                let eval = eval_of(&entry);
+                LayerRecord {
+                    name: layer.name.clone(),
+                    shape: layer.shape,
+                    decision: eval.decision,
+                    report: eval.report,
+                }
+            })
+            .collect();
         let total = records
             .iter()
             .fold(morph_energy::EnergyReport::zero(), |acc, l| {
@@ -333,6 +370,7 @@ impl Session {
             edges,
             total,
             pipeline,
+            search: (!search.is_empty()).then_some(search),
         }
     }
 
@@ -577,6 +615,13 @@ impl Session {
         // full share, then descending budgets under the backend's own
         // objective while the deadline holds (budgeted services are
         // monotone in the share, so the first miss ends the descent).
+        // Sub-chip evaluations come from one warm-started budget sweep
+        // per stage ([`Backend::evaluate_layer_budget_sweep`]). The sweep
+        // evaluates every sub-chip budget — including ones the deadline
+        // filter below discards — trading the old first-miss early exit
+        // for warm-started (much cheaper) searches whose entries persist
+        // in the store for any later sweep or Pareto run of the session.
+        let sub_budgets: Vec<usize> = (1..m).collect();
         let table: Vec<Vec<balance::AllocCandidate>> = (0..records.len())
             .map(|i| {
                 let mut cands = vec![balance::AllocCandidate {
@@ -584,14 +629,14 @@ impl Session {
                     service_cycles: services[i],
                     energy_pj: energies[i],
                 }];
-                if backend.supports_cluster_budget() {
-                    for c in (1..m).rev() {
-                        let eval = self.evaluate_budgeted(
-                            backend_index,
-                            &records[i].shape,
-                            backend.objective(),
-                            c,
-                        );
+                if backend.supports_cluster_budget() && !sub_budgets.is_empty() {
+                    let evals = self.evaluate_budget_sweep(
+                        backend_index,
+                        &records[i].shape,
+                        backend.objective(),
+                        &sub_budgets,
+                    );
+                    for (&c, eval) in sub_budgets.iter().zip(&evals).rev() {
                         let s = eval.report.cycles.total.max(1);
                         if s > deadline {
                             break;
@@ -678,10 +723,16 @@ impl Session {
         let table: Vec<Vec<balance::AllocCandidate>> = records
             .iter()
             .map(|r| {
+                // One warm-started, monotone budget sweep per objective
+                // covers the stage's whole candidate column.
+                let per_obj: Vec<Vec<LayerEval>> = objectives
+                    .iter()
+                    .map(|&obj| self.evaluate_budget_sweep(backend_index, &r.shape, obj, &budgets))
+                    .collect();
                 let mut cands = Vec::new();
-                for &c in &budgets {
-                    for &obj in &objectives {
-                        let eval = self.evaluate_budgeted(backend_index, &r.shape, obj, c);
+                for (ci, &c) in budgets.iter().enumerate() {
+                    for evals in &per_obj {
+                        let eval = &evals[ci];
                         let cand = balance::AllocCandidate {
                             clusters: c,
                             service_cycles: eval.report.cycles.total.max(1),
@@ -777,9 +828,9 @@ impl Session {
     }
 
     /// Cached layer evaluation under an explicit objective and cluster
-    /// budget (used by the pipeline rebalancers and the Pareto sweep;
-    /// shares the session decision cache). The budget is clamped to the
-    /// backend's chip.
+    /// budget (used by the greedy pipeline rebalancer; shares the
+    /// backend's decision store). The budget is clamped to the backend's
+    /// chip.
     fn evaluate_budgeted(
         &self,
         backend_index: usize,
@@ -789,13 +840,46 @@ impl Session {
     ) -> LayerEval {
         let backend = self.backends[backend_index].as_ref();
         let clusters = clusters.clamp(1, backend.arch().clusters.max(1));
-        let key = (backend_index, objective, clusters, *shape);
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
-            return hit.clone();
+        let key = (*shape, objective, clusters);
+        let store = &self.stores[backend_index];
+        if let Some(hit) = store.get(&key) {
+            return eval_of(&hit);
         }
         let eval = backend.evaluate_layer_budgeted(shape, objective, clusters);
-        self.cache.lock().unwrap().insert(key, eval.clone());
+        store.insert(key, entry_of(&eval));
         eval
+    }
+
+    /// Layer evaluations across a set of cluster budgets, via
+    /// [`Backend::evaluate_layer_budget_sweep`] (searched backends walk
+    /// the budgets monotonically and warm-start each from its neighbor's
+    /// decision). Fully store-served when every budget is already
+    /// decided; fresh results are published back into the store.
+    fn evaluate_budget_sweep(
+        &self,
+        backend_index: usize,
+        shape: &ConvShape,
+        objective: Objective,
+        budgets: &[usize],
+    ) -> Vec<LayerEval> {
+        let backend = self.backends[backend_index].as_ref();
+        let m = backend.arch().clusters.max(1);
+        let store = &self.stores[backend_index];
+        let clamped: Vec<usize> = budgets.iter().map(|&c| c.clamp(1, m)).collect();
+        if clamped
+            .iter()
+            .all(|&c| store.contains(&(*shape, objective, c)))
+        {
+            return clamped
+                .iter()
+                .map(|&c| eval_of(&store.get(&(*shape, objective, c)).unwrap()))
+                .collect();
+        }
+        let evals = backend.evaluate_layer_budget_sweep(shape, objective, &clamped);
+        for (&c, eval) in clamped.iter().zip(&evals) {
+            store.insert((*shape, objective, c), entry_of(eval));
+        }
+        evals
     }
 }
 

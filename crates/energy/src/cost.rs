@@ -152,6 +152,25 @@ impl EnergyModel {
         leakage + noc_static_mw + CHIP_STANDBY_MW
     }
 
+    /// Admissible lower bound on a layer's total energy, in pJ.
+    ///
+    /// Built only from quantities that are cheap to know before a full
+    /// costing: the candidate's exact DRAM boundary traffic, its MACC
+    /// count, and a lower bound on its latency. Every term floors the
+    /// corresponding [`EnergyModel::attribute`] term (on-chip access and
+    /// NoC energies are dropped entirely, and static energy can only grow
+    /// with the real latency), so the bound never exceeds the total the
+    /// full costing reports — the branch-and-bound mapping search relies
+    /// on this to skip candidates that provably cannot beat its incumbent.
+    pub fn energy_floor_pj(&self, dram_bytes: u64, maccs: u64, min_cycles: u64) -> f64 {
+        let dram = dram_bytes as f64 * DRAM_PJ_PER_BYTE;
+        let compute = maccs as f64 * MACC_PJ * self.tech.dynamic_scale();
+        let static_pj = self.static_mw() * 1e-3 * min_cycles as f64 / self.arch.clock_hz as f64
+            * 1e12
+            * self.tech.static_scale();
+        dram + compute + static_pj
+    }
+
     /// Evaluate a layer under a configuration and parallelism.
     pub fn evaluate(
         &self,
@@ -591,6 +610,28 @@ mod tests {
         )
         .normalize(&sh);
         assert!(fits_partitioned(&sh, &big, &arch).is_err());
+    }
+
+    #[test]
+    fn energy_floor_is_admissible() {
+        // The floor built from a report's own DRAM bytes / MACCs / ideal
+        // cycles never exceeds the attributed total — at any tech node.
+        let sh = layer();
+        for tech in [TechNode::Nm32, TechNode::Nm16] {
+            let model = EnergyModel::morph(ArchSpec::morph()).with_tech(tech);
+            let traffic = layer_traffic(&sh, &cfg(&sh));
+            let par = Parallelism {
+                hp: 4,
+                wp: 4,
+                kp: 6,
+                fp: 1,
+            };
+            let cycles = layer_cycles(&sh, &cfg(&sh), &par, &model.arch, &traffic);
+            let r = model.attribute(&sh, &traffic, cycles);
+            let floor =
+                model.energy_floor_pj(traffic.boundaries[0].total(), traffic.maccs, cycles.ideal);
+            assert!(floor > 0.0 && floor <= r.total_pj(), "{tech:?}");
+        }
     }
 
     #[test]

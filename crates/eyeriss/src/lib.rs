@@ -155,13 +155,7 @@ impl Eyeriss {
                 },
                 LevelConfig {
                     order: inner,
-                    tile: Tile {
-                        h: 1,
-                        w: 1,
-                        f: 1,
-                        c: 1,
-                        k: 1,
-                    },
+                    tile: Tile::unit(),
                 },
             ],
         }

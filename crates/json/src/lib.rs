@@ -28,7 +28,7 @@
 //!
 //! The top-level document the workspace persists is `morph-core`'s
 //! `RunReport` (`experiments_out/*.json`, merged into `bench.json`). Its
-//! `schema` stamp is currently **4**; v2 and v3 documents still parse
+//! `schema` stamp is currently **5**; v2–v4 documents still parse
 //! (the reader upgrades them in memory), v1 does not:
 //!
 //! * v1 — `{schema, runs: [{backend, network, objective, cache_hits,
@@ -69,6 +69,14 @@
 //!   peak_power_mw}]}` — the non-dominated allocation frontier, fastest
 //!   point first. On v3 input the reader defaults the new fields to
 //!   "unrecorded" (`0`, `0.0`, `null`).
+//! * v5 — runs record the mapping search behind their decisions. Each
+//!   run gains `search`: `null`, or `{enumerated, bound_pruned, costed}`
+//!   (`Int` counters from `morph-optimizer`'s `SearchStats`) — the
+//!   candidates the branch-and-bound stream generated, the ones its
+//!   admissible bounds skipped, and the ones fully costed, summed over
+//!   the run's distinct layer shapes. Fixed-dataflow backends (nothing
+//!   searched) write `null`. On v2–v4 input the reader defaults the
+//!   field to `null`.
 //!
 //! `crates/bench/baseline.json` (the `bench_diff` perf gate) is a
 //! separate, deliberately compact summary: `{baseline_schema: 1,

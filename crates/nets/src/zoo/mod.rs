@@ -31,8 +31,30 @@ pub fn all() -> Vec<Network> {
 }
 
 /// Look up a zoo network by its display name (`"C3D"`, `"ResNet-3D"`, …).
-pub fn by_name(name: &str) -> Option<Network> {
-    all().into_iter().find(|n| n.name == name)
+///
+/// Matching is case-insensitive (`"c3d"` and `"TWO_STREAM"` resolve), and
+/// an unknown name produces an error listing every available network:
+///
+/// ```
+/// use morph_nets::zoo;
+///
+/// assert_eq!(zoo::by_name("resnet-3d").unwrap().name, "ResNet-3D");
+/// let err = zoo::by_name("VGG").unwrap_err();
+/// assert!(err.contains("no zoo network named \"VGG\""));
+/// assert!(err.contains("C3D") && err.contains("Two_Stream"));
+/// ```
+pub fn by_name(name: &str) -> Result<Network, String> {
+    let mut nets = all();
+    match nets.iter().position(|n| n.name.eq_ignore_ascii_case(name)) {
+        Some(i) => Ok(nets.swap_remove(i)),
+        None => {
+            let available: Vec<&str> = nets.iter().map(|n| n.name).collect();
+            Err(format!(
+                "no zoo network named {name:?}; available: {}",
+                available.join(", ")
+            ))
+        }
+    }
 }
 
 /// Curated subset in the requested order, built from one [`all`] pass.
@@ -97,7 +119,24 @@ mod tests {
         for net in &nets {
             assert_eq!(by_name(net.name).unwrap().name, net.name);
         }
-        assert!(by_name("NoSuchNet").is_none());
+        assert!(by_name("NoSuchNet").is_err());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_errors_list_the_zoo() {
+        // Any casing of a display name resolves to the same network.
+        for net in all() {
+            let lower = by_name(&net.name.to_lowercase()).unwrap();
+            let upper = by_name(&net.name.to_uppercase()).unwrap();
+            assert_eq!(lower, net, "{}", net.name);
+            assert_eq!(upper, net, "{}", net.name);
+        }
+        // A miss names the culprit and every available network.
+        let err = by_name("ResNet3D").unwrap_err();
+        assert!(err.contains("\"ResNet3D\""), "{err}");
+        for net in all() {
+            assert!(err.contains(net.name), "{err} missing {}", net.name);
+        }
     }
 
     #[test]

@@ -297,13 +297,7 @@ mod tests {
         };
         let small = LevelConfig {
             order: LoopOrder::base_inner(),
-            tile: Tile {
-                h: 1,
-                w: 1,
-                f: 1,
-                c: 1,
-                k: 1,
-            },
+            tile: Tile::unit(),
         };
         let big = LevelConfig {
             order: LoopOrder::base_inner(),
@@ -361,13 +355,7 @@ mod tests {
     fn minimum_tile_always_fits() {
         let sh = layer();
         let arch = ArchSpec::morph();
-        let min = Tile {
-            h: 1,
-            w: 1,
-            f: 1,
-            c: 1,
-            k: 1,
-        };
+        let min = Tile::unit();
         for level in OnChipLevel::ALL {
             assert!(tile_fits(&sh, &min, level, &arch, FitPolicy::Banked));
             assert!(tile_fits(&sh, &min, level, &arch, FitPolicy::Partitioned));

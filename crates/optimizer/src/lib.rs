@@ -3,9 +3,18 @@
 //! The paper's §V software optimization framework: per layer, enumerate
 //! configurations (loop orders × L2 tiles × PE parallelism), allocate
 //! sub-tiles level by level with the corner-search `allocate` heuristic
-//! scored by `f_reuse`, cost every candidate with the whole-chip model,
-//! and return the best configuration per objective. Configurations can be
-//! persisted to a plain-text schedule file and recalled.
+//! scored by `f_reuse`, cost candidates with the whole-chip model, and
+//! return the best configuration per objective. The enumeration is a
+//! pruned branch-and-bound stream: candidates carry admissible lower
+//! bounds (MACC/parallelism roofline for cycles, compulsory DRAM traffic
+//! for energy) and are skipped when they provably cannot beat the
+//! incumbent — while still selecting the bit-identical argmin of the
+//! exhaustive search (kept alive as
+//! [`Optimizer::search_layer_exhaustive`]). Decisions and their
+//! [`SearchStats`] are memoized in a [`DecisionStore`] that can be shared
+//! across cluster-budgeted optimizer variants and with the session layer
+//! driving them. Configurations can be persisted to a plain-text schedule
+//! file and recalled.
 
 #![warn(missing_docs)]
 
@@ -13,7 +22,9 @@ pub mod allocate;
 pub mod schedule;
 pub mod search;
 pub mod space;
+pub mod store;
 
 pub use allocate::FitPolicy;
 pub use search::{LayerDecision, Objective, Optimizer};
 pub use space::Effort;
+pub use store::{DecisionStore, SearchStats, StoreKey, StoredDecision};

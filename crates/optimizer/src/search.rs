@@ -1,20 +1,41 @@
-//! The optimizer driver (§V): enumerate → allocate → cost → select.
+//! The optimizer driver (§V): enumerate → allocate → cost → select,
+//! restructured as a pruned branch-and-bound search.
+//!
+//! Candidates are no longer eagerly materialized and exhaustively costed.
+//! The stream is organized by L2 tile: each tile group carries an
+//! **admissible lower bound** on the best score any of its candidates can
+//! reach — cycles are bounded by the MACC/parallelism roofline and the
+//! DRAM bus time of the group's exact (and cheap to compute) DRAM
+//! boundary traffic; energy is bounded by that compulsory DRAM traffic
+//! plus the MACC datapath floor ([`EnergyModel::energy_floor_pj`]).
+//! Groups are visited best-bound-first (optionally warm-started by a
+//! neighboring cluster budget's decision), so a strong incumbent forms
+//! early and every candidate whose bound cannot beat it is skipped
+//! without allocation or costing. Because bounds never exceed true
+//! scores and ties resolve by original enumeration index, the selected
+//! [`LayerDecision`] is **bit-identical** to the exhaustive enumeration's
+//! ([`Optimizer::search_layer_exhaustive`] keeps that reference path
+//! alive for the `search` bench and the parity tests). Every search
+//! records [`SearchStats`] (enumerated / bound-pruned / fully costed)
+//! into the shared [`DecisionStore`].
 
 use crate::allocate::{allocate_hierarchy, tile_fits, FitPolicy};
 use crate::space::{
     dedup_orders, inner_order_candidates, l2_tile_candidates, outer_order_candidates,
     parallelism_candidates, Effort,
 };
+use crate::store::{DecisionStore, SearchStats, StoredDecision};
 use morph_dataflow::arch::OnChipLevel;
-use morph_dataflow::config::TilingConfig;
-use morph_dataflow::perf::{layer_cycles, Parallelism};
+use morph_dataflow::config::{LevelConfig, TilingConfig};
+use morph_dataflow::perf::{compute_cycles, layer_cycles, Parallelism};
 use morph_dataflow::traffic::layer_traffic;
 use morph_energy::{EnergyModel, EnergyReport};
 use morph_nets::Network;
 use morph_tensor::order::LoopOrder;
 use morph_tensor::shape::ConvShape;
+use morph_tensor::tiled::Tile;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::Arc;
 
 /// What to optimize for (§V-E: "best performance, best performance/watt,
 /// etc.").
@@ -75,6 +96,19 @@ pub struct LayerDecision {
     pub report: EnergyReport,
 }
 
+/// One L2-tile group of the candidate stream: its deduplicated outer
+/// orders, the exact DRAM boundary traffic each outer order incurs (the
+/// DRAM boundary depends only on the outermost level, so this is both
+/// cheap and exact), the group's admissible score bound, and the original
+/// enumeration index of its first candidate.
+struct TileGroup {
+    l2: Tile,
+    outers: Vec<LoopOrder>,
+    dram_bytes: Vec<u64>,
+    bound: f64,
+    offset: u64,
+}
+
 /// The §V software optimizer.
 pub struct Optimizer {
     /// Cost model (also fixes the architecture).
@@ -91,12 +125,19 @@ pub struct Optimizer {
     pub parallelism: Option<Parallelism>,
     /// Use Morph_base's fixed tiling policy instead of searching tiles.
     pub fixed_tile_policy: bool,
-    cache: Mutex<HashMap<(ConvShape, Objective), LayerDecision>>,
+    /// Shared decision memo (see [`DecisionStore`]); entries from this
+    /// optimizer are keyed by `store_clusters`.
+    store: Arc<DecisionStore>,
+    /// Cluster count this optimizer's decisions are keyed under — its
+    /// architecture's, so budgeted variants sharing one store never
+    /// collide with the full-chip optimizer.
+    store_clusters: usize,
 }
 
 impl Optimizer {
     /// Full-flexibility Morph optimizer.
     pub fn morph(model: EnergyModel, effort: Effort) -> Self {
+        let store_clusters = model.arch.clusters;
         Self {
             model,
             policy: FitPolicy::Banked,
@@ -105,7 +146,8 @@ impl Optimizer {
             inner_orders: None,
             parallelism: None,
             fixed_tile_policy: false,
-            cache: Mutex::new(HashMap::new()),
+            store: Arc::new(DecisionStore::new()),
+            store_clusters,
         }
     }
 
@@ -113,6 +155,7 @@ impl Optimizer {
     /// fixed `Hp × Kp` parallelism (§IV-A3, §VI-B).
     pub fn morph_base(model: EnergyModel) -> Self {
         let par = Parallelism::base(&model.arch);
+        let store_clusters = model.arch.clusters;
         Self {
             model,
             policy: FitPolicy::Partitioned,
@@ -121,28 +164,30 @@ impl Optimizer {
             inner_orders: Some(vec![LoopOrder::base_inner()]),
             parallelism: Some(par),
             fixed_tile_policy: false,
-            cache: Mutex::new(HashMap::new()),
+            store: Arc::new(DecisionStore::new()),
+            store_clusters,
         }
     }
 
-    /// Restrict the outer-order candidate set (builder style).
+    /// Restrict the outer-order candidate set (builder style). Resets the
+    /// decision memo — a changed space invalidates memoized decisions.
     pub fn with_outer_orders(mut self, orders: Vec<LoopOrder>) -> Self {
         self.outer_orders = Some(orders);
-        self.cache.lock().unwrap().clear();
+        self.store = Arc::new(DecisionStore::new());
         self
     }
 
     /// Restrict the inner-order candidate set (builder style).
     pub fn with_inner_orders(mut self, orders: Vec<LoopOrder>) -> Self {
         self.inner_orders = Some(orders);
-        self.cache.lock().unwrap().clear();
+        self.store = Arc::new(DecisionStore::new());
         self
     }
 
     /// Fix the parallelism (builder style).
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.parallelism = Some(par);
-        self.cache.lock().unwrap().clear();
+        self.store = Arc::new(DecisionStore::new());
         self
     }
 
@@ -150,8 +195,30 @@ impl Optimizer {
     /// baseline variant, used by the flexibility ablation.
     pub fn with_fixed_tile_policy(mut self) -> Self {
         self.fixed_tile_policy = true;
-        self.cache.lock().unwrap().clear();
+        self.store = Arc::new(DecisionStore::new());
         self
+    }
+
+    /// Attach a shared [`DecisionStore`] (builder style; apply after every
+    /// search-space restriction — those reset the store). Backends use
+    /// this to let their full-chip and cluster-budgeted optimizers, and
+    /// the session driving them, share one memo.
+    pub fn with_store(mut self, store: Arc<DecisionStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The decision store this optimizer reads and writes.
+    pub fn store(&self) -> &Arc<DecisionStore> {
+        &self.store
+    }
+
+    /// Stats of the memoized search for a shape under this optimizer's
+    /// architecture (`None` if not searched yet).
+    pub fn search_stats(&self, shape: &ConvShape, objective: Objective) -> Option<SearchStats> {
+        self.store
+            .get(&(*shape, objective, self.store_clusters))
+            .map(|e| e.stats)
     }
 
     fn score(objective: Objective, r: &EnergyReport) -> f64 {
@@ -162,12 +229,78 @@ impl Optimizer {
         }
     }
 
-    /// Search one layer; results are cached by shape (repeated blocks in
-    /// ResNets hit the cache).
+    /// Search one layer; results are memoized in the [`DecisionStore`]
+    /// (repeated blocks in ResNets hit the store).
     pub fn search_layer(&self, shape: &ConvShape, objective: Objective) -> LayerDecision {
-        if let Some(hit) = self.cache.lock().unwrap().get(&(*shape, objective)) {
-            return hit.clone();
+        self.search_layer_seeded(shape, objective, None)
+    }
+
+    /// [`Optimizer::search_layer`] warm-started by a neighboring
+    /// decision (typically the adjacent cluster budget's best): the
+    /// seed's L2-tile group is costed first, giving branch-and-bound a
+    /// near-optimal incumbent before the rest of the stream is
+    /// inspected. The seed only accelerates pruning — the returned
+    /// decision is bit-identical with or without it.
+    pub fn search_layer_seeded(
+        &self,
+        shape: &ConvShape,
+        objective: Objective,
+        seed: Option<&LayerDecision>,
+    ) -> LayerDecision {
+        let key = (*shape, objective, self.store_clusters);
+        if let Some(hit) = self.store.get(&key) {
+            if let Some(decision) = hit.to_decision() {
+                return decision;
+            }
         }
+        let (decision, stats) = self.run_search(shape, objective, seed, true);
+        self.store
+            .insert(key, StoredDecision::from_decision(&decision, stats));
+        decision
+    }
+
+    /// The pre-refactor eager reference: cost every candidate, no bounds,
+    /// no memoization. The `search` bench and the parity tests use this
+    /// to prove the pruned stream selects the identical decision while
+    /// fully costing far fewer candidates.
+    pub fn search_layer_exhaustive(
+        &self,
+        shape: &ConvShape,
+        objective: Objective,
+    ) -> (LayerDecision, SearchStats) {
+        self.run_search(shape, objective, None, false)
+    }
+
+    /// Admissible score floor for a candidate, from its exact DRAM bytes
+    /// and a latency floor. Every objective's true score can only be
+    /// worse (larger): real latency is at least the roofline/bus floor,
+    /// and real energy adds on-chip access and NoC terms on top of the
+    /// DRAM + datapath floor.
+    fn score_floor(&self, objective: Objective, maccs: u64, dram_bytes: u64, cycles: u64) -> f64 {
+        match objective {
+            Objective::Performance => cycles as f64,
+            Objective::Energy => self.model.energy_floor_pj(dram_bytes, maccs, cycles),
+            Objective::PerfPerWatt => {
+                let e = self.model.energy_floor_pj(dram_bytes, maccs, cycles);
+                -(maccs as f64) / e.max(f64::MIN_POSITIVE)
+            }
+        }
+    }
+
+    /// The search core. `prune: false` is the exhaustive reference
+    /// (original enumeration order, every feasible candidate costed);
+    /// `prune: true` ranks L2-tile groups by admissible bound, seeds the
+    /// incumbent from the neighbor decision's group, and skips every
+    /// candidate whose bound cannot beat the incumbent. Both paths select
+    /// the minimum `(score, original index)` candidate, so their
+    /// decisions are identical.
+    fn run_search(
+        &self,
+        shape: &ConvShape,
+        objective: Objective,
+        seed: Option<&LayerDecision>,
+        prune: bool,
+    ) -> (LayerDecision, SearchStats) {
         let arch = &self.model.arch;
         if self.fixed_tile_policy {
             let cfg = crate::allocate::base_hierarchy(shape, arch);
@@ -181,12 +314,14 @@ impl Optimizer {
                 par,
                 report,
             };
-            self.cache
-                .lock()
-                .unwrap()
-                .insert((*shape, objective), decision.clone());
-            return decision;
+            let stats = SearchStats {
+                enumerated: 1,
+                bound_pruned: 0,
+                costed: 1,
+            };
+            return (decision, stats);
         }
+
         let outer_cands = self
             .outer_orders
             .clone()
@@ -206,33 +341,102 @@ impl Optimizer {
             .collect();
         if l2_cands.is_empty() {
             // Fall back to the minimum tile so every layer is schedulable.
-            l2_cands.push(morph_tensor::tiled::Tile {
-                h: 1,
-                w: 1,
-                f: 1,
-                c: 1,
-                k: 1,
-            });
+            l2_cands.push(Tile::unit());
         }
 
-        let mut best: Option<(f64, LayerDecision)> = None;
+        let maccs = shape.maccs();
+        // MACC/parallelism roofline: no mapping finishes faster than the
+        // chip's peak MACC rate allows.
+        let roofline = maccs.div_ceil(arch.peak_maccs_per_cycle());
+        let dram_bus_bytes = ((arch.bus_dram_bits / 8).max(1)) as u64;
+
+        // Build the L2-tile groups of the stream, in original enumeration
+        // order. The DRAM boundary's traffic depends only on the
+        // outermost level, so each (L2 tile, outer order) pair's DRAM
+        // bytes are exact — computed on a one-level configuration, far
+        // cheaper than a full costing.
+        let n_inner = inner_cands.len() as u64;
+        let mut groups: Vec<TileGroup> = Vec::with_capacity(l2_cands.len());
+        let mut offset = 0u64;
+        for l2 in &l2_cands {
+            let outers = dedup_orders(&outer_cands, shape, l2);
+            let (dram_bytes, bound) = if prune {
+                let mut dram = Vec::with_capacity(outers.len());
+                let mut bound = f64::INFINITY;
+                for outer in &outers {
+                    let cfg = TilingConfig {
+                        levels: vec![LevelConfig {
+                            order: *outer,
+                            tile: *l2,
+                        }],
+                    };
+                    let bytes = layer_traffic(shape, &cfg).boundaries[0].total();
+                    let floor = roofline.max(bytes.div_ceil(dram_bus_bytes));
+                    bound = bound.min(self.score_floor(objective, maccs, bytes, floor));
+                    dram.push(bytes);
+                }
+                (dram, bound)
+            } else {
+                (Vec::new(), f64::NEG_INFINITY)
+            };
+            let count = outers.len() as u64 * n_inner;
+            groups.push(TileGroup {
+                l2: *l2,
+                outers,
+                dram_bytes,
+                bound,
+                offset,
+            });
+            offset += count;
+        }
+        let mut stats = SearchStats {
+            enumerated: offset,
+            bound_pruned: 0,
+            costed: 0,
+        };
+
+        // Group visit order. Pruned: ascending bound, with the seed's L2
+        // group hoisted to the front (the neighboring budget's optimum
+        // points at the most promising region). Exhaustive: original.
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        if prune {
+            order.sort_by(|&a, &b| groups[a].bound.total_cmp(&groups[b].bound));
+            if let Some(seed) = seed {
+                let seed_l2 = seed.config.levels[0].tile;
+                if let Some(pos) = order.iter().position(|&g| groups[g].l2 == seed_l2) {
+                    let g = order.remove(pos);
+                    order.insert(0, g);
+                }
+            }
+        }
+
+        let mut best: Option<(f64, u64, LayerDecision)> = None;
+        let mut incumbent = f64::INFINITY;
         // Memoize allocations per (L2 tile, inner order): the sub-tile
         // choice is driven by the inner order; the outer order is swapped
         // in afterwards.
-        let mut alloc_memo: HashMap<(morph_tensor::tiled::Tile, LoopOrder), Option<TilingConfig>> =
-            HashMap::new();
+        let mut alloc_memo: HashMap<(Tile, LoopOrder), Option<TilingConfig>> = HashMap::new();
 
-        for l2 in &l2_cands {
-            let outers = dedup_orders(&outer_cands, shape, l2);
-            for inner in &inner_cands {
+        for (pos, &gi) in order.iter().enumerate() {
+            let g = &groups[gi];
+            if prune && g.bound > incumbent {
+                // Groups past the seed are sorted by bound, so every
+                // remaining group is bounded out with this one.
+                stats.bound_pruned += order[pos..]
+                    .iter()
+                    .map(|&i| groups[i].outers.len() as u64 * n_inner)
+                    .sum::<u64>();
+                break;
+            }
+            for (j, inner) in inner_cands.iter().enumerate() {
                 let base_cfg = alloc_memo
-                    .entry((*l2, *inner))
+                    .entry((g.l2, *inner))
                     .or_insert_with(|| {
                         allocate_hierarchy(
                             shape,
                             LoopOrder::base_outer(),
                             *inner,
-                            *l2,
+                            g.l2,
                             arch,
                             self.policy,
                         )
@@ -242,11 +446,39 @@ impl Optimizer {
                 // Best parallelism = fewest compute cycles; it depends only
                 // on the tile grid, not the loop orders, so hoist it out of
                 // the outer-order loop.
-                let par = *pars
+                let (par, compute) = pars
                     .iter()
-                    .min_by_key(|p| morph_dataflow::perf::compute_cycles(shape, &base_cfg, p, arch))
+                    .map(|p| (*p, compute_cycles(shape, &base_cfg, p, arch)))
+                    .min_by_key(|&(_, c)| c)
                     .expect("at least one parallelism candidate");
-                for outer in &outers {
+                if prune {
+                    // Allocation-aware row bound: the compute roofline of
+                    // this (L2, inner) hierarchy holds for every outer
+                    // order it will be paired with.
+                    let row = g
+                        .dram_bytes
+                        .iter()
+                        .map(|&bytes| {
+                            let floor = roofline.max(compute).max(bytes.div_ceil(dram_bus_bytes));
+                            self.score_floor(objective, maccs, bytes, floor)
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    if row > incumbent {
+                        stats.bound_pruned += g.outers.len() as u64;
+                        continue;
+                    }
+                }
+                for (k, outer) in g.outers.iter().enumerate() {
+                    let idx = g.offset + (j * g.outers.len() + k) as u64;
+                    if prune {
+                        let bytes = g.dram_bytes[k];
+                        let floor = roofline.max(compute).max(bytes.div_ceil(dram_bus_bytes));
+                        if self.score_floor(objective, maccs, bytes, floor) > incumbent {
+                            stats.bound_pruned += 1;
+                            continue;
+                        }
+                    }
+                    stats.costed += 1;
                     let mut cfg = base_cfg.clone();
                     cfg.levels[0].order = *outer;
                     let mut traffic = layer_traffic(shape, &cfg);
@@ -260,25 +492,27 @@ impl Optimizer {
                     let cycles = layer_cycles(shape, &cfg, &par, arch, &traffic);
                     let report = self.model.attribute(shape, &traffic, cycles);
                     let s = Self::score(objective, &report);
-                    if best.as_ref().is_none_or(|(bs, _)| s < *bs) {
+                    let replace = match &best {
+                        None => true,
+                        Some((bs, bi, _)) => s < *bs || (s == *bs && idx < *bi),
+                    };
+                    if replace {
                         best = Some((
                             s,
+                            idx,
                             LayerDecision {
                                 config: cfg,
                                 par,
                                 report,
                             },
                         ));
+                        incumbent = s;
                     }
                 }
             }
         }
-        let decision = best.expect("search space never empty").1;
-        self.cache
-            .lock()
-            .unwrap()
-            .insert((*shape, objective), decision.clone());
-        decision
+        let decision = best.expect("search space never empty").2;
+        (decision, stats)
     }
 
     /// Search every convolution layer of a network.
@@ -329,6 +563,9 @@ mod tests {
         let b = opt.search_layer(&sh, Objective::Energy);
         assert_eq!(a.config, b.config);
         assert_eq!(a.par, b.par);
+        // The memo is the shared store, keyed by the arch's clusters.
+        assert_eq!(opt.store().len(), 1);
+        assert!(opt.search_stats(&sh, Objective::Energy).is_some());
     }
 
     #[test]
@@ -349,5 +586,91 @@ mod tests {
         let d = opt.search_layer(&sh, Objective::Energy);
         assert!(d.config.fits(&sh, &arch).is_ok());
         assert!(d.config.validate(&sh).is_ok());
+    }
+
+    /// The acceptance invariant at the unit level: branch-and-bound
+    /// returns the exhaustive argmin bit-for-bit under every objective,
+    /// while fully costing a fraction of the candidates.
+    #[test]
+    fn pruned_search_matches_exhaustive_and_prunes() {
+        let sh = layer();
+        let opt = Optimizer::morph(EnergyModel::morph(ArchSpec::morph()), Effort::Fast);
+        for objective in [
+            Objective::Energy,
+            Objective::Performance,
+            Objective::PerfPerWatt,
+        ] {
+            let pruned = opt.search_layer(&sh, objective);
+            let (exhaustive, full_stats) = opt.search_layer_exhaustive(&sh, objective);
+            assert_eq!(pruned.config, exhaustive.config, "{objective:?}");
+            assert_eq!(pruned.par, exhaustive.par, "{objective:?}");
+            assert_eq!(pruned.report, exhaustive.report, "{objective:?}");
+
+            let stats = opt.search_stats(&sh, objective).unwrap();
+            assert_eq!(stats.enumerated, full_stats.enumerated, "{objective:?}");
+            assert_eq!(full_stats.bound_pruned, 0);
+            assert!(
+                stats.costed * 3 <= full_stats.costed,
+                "{objective:?}: pruned costed {} vs exhaustive {}",
+                stats.costed,
+                full_stats.costed
+            );
+            assert!(stats.bound_pruned > 0);
+            assert!(stats.bound_pruned + stats.costed <= stats.enumerated);
+        }
+    }
+
+    /// Seeding only accelerates the search — the decision is identical,
+    /// and a well-placed seed never costs more than the cold search.
+    #[test]
+    fn seeded_search_is_identical_and_no_slower() {
+        let sh = layer();
+        let arch = ArchSpec::morph();
+        let cold = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast);
+        let d_cold = cold.search_layer(&sh, Objective::Energy);
+
+        let seeded = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast);
+        let d_seeded = seeded.search_layer_seeded(&sh, Objective::Energy, Some(&d_cold));
+        assert_eq!(d_cold.config, d_seeded.config);
+        assert_eq!(d_cold.par, d_seeded.par);
+        assert_eq!(d_cold.report, d_seeded.report);
+        let s_cold = cold.search_stats(&sh, Objective::Energy).unwrap();
+        let s_seeded = seeded.search_stats(&sh, Objective::Energy).unwrap();
+        assert!(
+            s_seeded.costed <= s_cold.costed,
+            "seeded {} vs cold {}",
+            s_seeded.costed,
+            s_cold.costed
+        );
+    }
+
+    /// Two optimizers for different cluster budgets sharing one store
+    /// never collide: their decisions land under distinct keys.
+    #[test]
+    fn shared_store_keys_by_cluster_budget() {
+        let sh = ConvShape::new_3d(14, 14, 4, 32, 64, 3, 3, 3).with_pad(1, 1);
+        let store = Arc::new(DecisionStore::new());
+        let full_arch = ArchSpec::morph();
+        let half_arch = ArchSpec {
+            clusters: 3,
+            ..full_arch
+        };
+        let full =
+            Optimizer::morph(EnergyModel::morph(full_arch), Effort::Fast).with_store(store.clone());
+        let half =
+            Optimizer::morph(EnergyModel::morph(half_arch), Effort::Fast).with_store(store.clone());
+        let df = full.search_layer(&sh, Objective::Performance);
+        let dh = half.search_layer(&sh, Objective::Performance);
+        assert_eq!(store.len(), 2, "one entry per cluster budget");
+        assert!(dh.report.cycles.total >= df.report.cycles.total);
+        // Each optimizer replays its own entry, not the other's.
+        assert_eq!(
+            full.search_layer(&sh, Objective::Performance).report,
+            df.report
+        );
+        assert_eq!(
+            half.search_layer(&sh, Objective::Performance).report,
+            dh.report
+        );
     }
 }

@@ -52,7 +52,7 @@
 //! drain latency, utilization, per-stage cluster share, per-edge
 //! occupancy, energy/power scores, the cross-branch bottleneck, the
 //! linearized-chain baseline and (for sweeps) the Pareto frontier — rides
-//! inside the serialized `RunReport` (schema v4).
+//! inside the serialized `RunReport` (since schema v4; unchanged in v5).
 
 #![warn(missing_docs)]
 

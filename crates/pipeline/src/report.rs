@@ -8,7 +8,7 @@
 //! branch-parallel schedule is compared against and — in
 //! [`PipelineMode::Pareto`] — the [`ParetoReport`] frontier of
 //! cluster-share allocations. It round-trips through `morph-json` exactly,
-//! so it can ride inside a `RunReport` (schema v4); v2 documents (linear
+//! so it can ride inside a `RunReport` (since schema v4); v2 documents (linear
 //! chains only) and v3 documents (no allocation/power fields) still parse
 //! and are upgraded on the fly.
 

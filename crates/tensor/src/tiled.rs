@@ -41,6 +41,19 @@ impl Tile {
         }
     }
 
+    /// The minimum tile: one element along every dimension. Always fits
+    /// every buffer level, so it is the universal fallback when no larger
+    /// candidate does.
+    pub fn unit() -> Self {
+        Self {
+            h: 1,
+            w: 1,
+            f: 1,
+            c: 1,
+            k: 1,
+        }
+    }
+
     /// Tile extent along a dimension.
     pub fn extent(&self, d: Dim) -> usize {
         match d {
@@ -288,6 +301,18 @@ mod tests {
             k: 1,
         };
         check(&sh, tile, "WHCKF");
+    }
+
+    #[test]
+    fn unit_tile_is_all_ones() {
+        let u = Tile::unit();
+        assert_eq!((u.h, u.w, u.f, u.c, u.k), (1, 1, 1, 1, 1));
+        for d in Dim::ALL {
+            assert_eq!(u.extent(d), 1);
+        }
+        // The unit tile covers any layer in exactly one element per step.
+        let sh = ConvShape::new_3d(5, 4, 3, 2, 6, 3, 3, 2).with_pad(1, 0);
+        check(&sh, Tile::unit(), "WHCKF");
     }
 
     #[test]

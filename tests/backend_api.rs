@@ -170,6 +170,86 @@ fn concurrent_pair_execution_matches_sequential() {
     }
 }
 
+/// Session cache persistence: a re-run of the same session serves every
+/// layer from the decision store, a second network sharing shapes
+/// registers hits, and reports (search stats included) stay identical.
+#[test]
+fn session_cache_persists_across_runs_and_shared_shapes() {
+    let session = Session::builder()
+        .backend(Morph::new())
+        .network(resnet_like())
+        .network(pool_like())
+        .build();
+    let first = session.run();
+    // resnet-like: 5 layers, 3 distinct shapes → 2 hits; pool-like's stem
+    // repeats resnet-like's stem → 1 of its 2 layers hits.
+    assert_eq!(first.runs[0].cache_hits, 2);
+    assert_eq!(first.runs[1].cache_hits, 1);
+    assert_eq!(session.cached_decisions(), 4);
+    // Re-running decides nothing new: every layer is a store hit and the
+    // reports are bit-identical, including the recorded search stats.
+    let second = session.run();
+    assert_eq!(second.runs[0].cache_hits, 5, "all resnet-like layers hit");
+    assert_eq!(second.runs[1].cache_hits, 2, "all pool-like layers hit");
+    assert_eq!(second.runs[0].layers, first.runs[0].layers);
+    assert_eq!(second.runs[0].search, first.runs[0].search);
+    assert_eq!(session.cached_decisions(), 4, "no new decisions");
+}
+
+/// Budgeted and unbudgeted decisions never collide: a sub-chip evaluation
+/// made before a session run must not be mistaken for a full-chip
+/// decision of the same shape/objective.
+#[test]
+fn budgeted_and_unbudgeted_keys_never_collide() {
+    let backend = Morph::new();
+    let stem = ConvShape::new_3d(16, 16, 4, 8, 16, 3, 3, 3).with_pad(1, 1);
+    // Pre-populate the backend's store with a *budgeted* decision for the
+    // stem shape under the session's own objective.
+    let half = backend.evaluate_layer_budgeted(&stem, Objective::Energy, 3);
+    assert_eq!(backend.decision_store().unwrap().len(), 1);
+
+    let session = Session::builder()
+        .backend(backend)
+        .network(resnet_like())
+        .build();
+    let report = session.run();
+    // The stem still counts as fresh work — only the repeated blocks hit.
+    assert_eq!(report.runs[0].cache_hits, 2);
+    // Its record matches a cold full-chip evaluation, not the budgeted one.
+    let full = Morph::new().evaluate_layer(&stem);
+    let rec = report.runs[0].layer("stem").unwrap();
+    assert_eq!(rec.report, full.report);
+    assert_eq!(rec.decision, full.decision);
+    // Both keys coexist: 3 full-chip decisions plus the budgeted entry.
+    assert_eq!(session.cached_decisions(), 4);
+    // A collision would be visible: the reduced chip can only be slower.
+    assert!(half.report.cycles.total >= full.report.cycles.total);
+}
+
+/// Schema v5: runs of searched backends carry the mapping-search stats
+/// behind their decisions; fixed backends carry none. Stats are
+/// deterministic across thread counts and survive the JSON round trip.
+#[test]
+fn run_reports_carry_search_stats() {
+    let build = |threads| {
+        Session::builder()
+            .backend(Morph::new())
+            .backend(Eyeriss::new())
+            .network(resnet_like())
+            .threads(threads)
+            .build()
+    };
+    let par = build(8).run();
+    let seq = build(1).run();
+    assert_eq!(par, seq, "stats must not depend on worker scheduling");
+    let stats = par.runs[0].search.expect("searched backend records stats");
+    assert!(stats.costed > 0 && stats.bound_pruned > 0);
+    assert!(stats.bound_pruned + stats.costed <= stats.enumerated);
+    assert!(par.runs[1].search.is_none(), "Eyeriss searches nothing");
+    let back = RunReport::from_json_str(&par.to_json_string()).unwrap();
+    assert_eq!(back, par);
+}
+
 /// `Session::cache_hits` exposes the per-pair accounting of the last run,
 /// matching what the report records.
 #[test]
@@ -372,8 +452,8 @@ fn pareto_sweep_invariants_hold_through_the_public_api() {
 }
 
 /// Schema v3 documents (no allocation/power fields) upgrade on read: the
-/// report parses at schema v4 with those fields marked unrecorded and
-/// keeps every pre-existing number.
+/// report parses at the current schema with those fields marked
+/// unrecorded and keeps every pre-existing number.
 #[test]
 fn v3_documents_upgrade_on_read() {
     let rep = Session::builder()
