@@ -1,0 +1,308 @@
+//! Pipeline-graph audit: static deadlock-freedom proof for a
+//! [`PipelineSpec`]'s bounded-channel DAG, in the style of DAM-RS's
+//! static deadlock pass — no engine run required.
+//!
+//! # The argument
+//!
+//! The cycle-level engine blocks a stage after service until every
+//! out-edge has space (atomic fork push) and a join pops all in-edges
+//! only when all are nonempty. A deadlock is a wait-for cycle among
+//! blocked stages. If every channel points strictly forward in the
+//! topological stage order (`from < to`) and has capacity ≥ 1, a blocked
+//! producer only ever waits on a *higher-numbered* consumer, so the
+//! wait-for relation is a sub-relation of `<` on stage indices — acyclic
+//! by construction, hence no deadlock. The structural rules below are
+//! therefore jointly *sufficient* for deadlock freedom: a spec with zero
+//! graph violations cannot hang the engine.
+//!
+//! The one capacity rule beyond liveness is throughput preservation at
+//! reconvergent joins (`skip-capacity-floor`): a skip edge `u → v` that
+//! shortcuts a longer parallel path must buffer at least `longest_hops(u,
+//! v)` frames — one per stage of the long path — or the join at `v`
+//! back-pressures `u` before the long path fills, throttling steady-state
+//! below the bottleneck rate. This mirrors exactly how the session sizes
+//! channels (`capacity ≥ longest_hops`), but is re-derived here from the
+//! edge list alone.
+
+use crate::{AuditPass, Violation};
+use morph_pipeline::PipelineSpec;
+
+fn v(rule: &'static str, subject: &str, detail: String) -> Violation {
+    Violation::new(AuditPass::PipelineGraph, rule, subject, detail)
+}
+
+fn edge_subject(spec: &PipelineSpec, from: usize, to: usize) -> String {
+    let name = |i: usize| {
+        spec.stages
+            .get(i)
+            .map_or_else(|| format!("#{i}"), |s| s.name.clone())
+    };
+    format!("edge {} -> {}", name(from), name(to))
+}
+
+/// Longest path from `u` to `v` in hops over the forward edges, or 0 if
+/// `v` is unreachable from `u`. Stage indices are topological, so one
+/// forward sweep suffices. Re-derived here independently of the session's
+/// channel-sizing code (the thing being audited).
+fn longest_hops(n: usize, edges: &[(usize, usize)], u: usize, v: usize) -> usize {
+    let mut dist = vec![None; n];
+    dist[u] = Some(0usize);
+    for i in u..v {
+        let Some(d) = dist[i] else { continue };
+        for &(from, to) in edges {
+            if from == i && to <= v {
+                let cand = d + 1;
+                if dist[to].is_none_or(|old| old < cand) {
+                    dist[to] = Some(cand);
+                }
+            }
+        }
+    }
+    dist[v].unwrap_or(0)
+}
+
+/// Statically audit a pipeline spec. An empty result is a proof (per the
+/// module-level argument) that the bounded-channel network cannot
+/// deadlock, plus the throughput floor on reconvergent skip edges.
+pub fn audit_spec(spec: &PipelineSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let n = spec.stages.len();
+
+    if n == 0 {
+        out.push(v("empty-pipeline", "pipeline", "spec has no stages".into()));
+        return out;
+    }
+
+    for (i, s) in spec.stages.iter().enumerate() {
+        if s.service_cycles == 0 {
+            out.push(v(
+                "zero-service",
+                &format!("stage {} (#{i})", s.name),
+                "service time of zero cycles: the stage would emit frames in zero time, \
+                 breaking the cycle accounting"
+                    .into(),
+            ));
+        }
+    }
+
+    let mut seen = std::collections::HashSet::new();
+    // Edges that survive the structural checks; only these feed the
+    // path-length analysis, so one malformed edge does not cascade.
+    let mut sound: Vec<(usize, usize)> = Vec::new();
+    for e in &spec.edges {
+        let subj = edge_subject(spec, e.from, e.to);
+        if e.from >= n || e.to >= n {
+            out.push(v(
+                "edge-out-of-bounds",
+                &subj,
+                format!("stage index out of range (pipeline has {n} stages)"),
+            ));
+            continue;
+        }
+        if e.to <= e.from {
+            out.push(v(
+                "edge-not-forward",
+                &subj,
+                "channel does not point strictly forward in topological order; a \
+                 backward or self edge admits a wait-for cycle"
+                    .into(),
+            ));
+            continue;
+        }
+        if e.capacity == 0 {
+            out.push(v(
+                "zero-capacity",
+                &subj,
+                "a zero-capacity channel can never accept a frame: the producer \
+                 blocks forever on its first push"
+                    .into(),
+            ));
+        }
+        if !seen.insert((e.from, e.to)) {
+            out.push(v(
+                "duplicate-edge",
+                &subj,
+                "duplicate channel between the same stage pair double-counts \
+                 occupancy at the join"
+                    .into(),
+            ));
+            continue;
+        }
+        sound.push((e.from, e.to));
+    }
+
+    if n > 1 {
+        let mut deg = vec![0usize; n];
+        for &(from, to) in &sound {
+            deg[from] += 1;
+            deg[to] += 1;
+        }
+        for (i, s) in spec.stages.iter().enumerate() {
+            if deg[i] == 0 {
+                out.push(v(
+                    "isolated-stage",
+                    &format!("stage {} (#{i})", s.name),
+                    "stage is disconnected from the dataflow: it sources and sinks \
+                     its own frames, so its numbers are not part of the pipeline \
+                     being reported"
+                        .into(),
+                ));
+            }
+        }
+    }
+
+    // Reconvergence floor: for every sound edge u -> v that shortcuts a
+    // longer path, the channel must hold one frame per stage of the long
+    // path. (For a plain chain hop the longest path is the edge itself,
+    // so the floor degenerates to capacity >= 1, already checked.)
+    for e in &spec.edges {
+        if !sound.contains(&(e.from, e.to)) || e.capacity == 0 {
+            continue;
+        }
+        let hops = longest_hops(n, &sound, e.from, e.to);
+        if hops > 1 && e.capacity < hops {
+            out.push(v(
+                "skip-capacity-floor",
+                &edge_subject(spec, e.from, e.to),
+                format!(
+                    "skip edge shortcuts a {hops}-hop parallel path but buffers only \
+                     {} frame(s); the join back-pressures the fork before the long \
+                     path fills, throttling steady-state below the bottleneck rate",
+                    e.capacity
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_pipeline::{EdgeSpec, PipelineSpec, StageSpec};
+
+    fn stage(name: &str) -> StageSpec {
+        StageSpec {
+            name: name.into(),
+            service_cycles: 100,
+        }
+    }
+
+    fn edge(from: usize, to: usize, capacity: usize) -> EdgeSpec {
+        EdgeSpec { from, to, capacity }
+    }
+
+    /// Diamond with an adequately-buffered skip edge: fork at 0 into
+    /// {1, 2}, join at 3, plus skip 0 -> 3 over the 2-hop paths.
+    fn diamond() -> PipelineSpec {
+        PipelineSpec {
+            stages: vec![stage("a"), stage("b"), stage("c"), stage("d")],
+            edges: vec![
+                edge(0, 1, 1),
+                edge(0, 2, 1),
+                edge(1, 3, 1),
+                edge(2, 3, 1),
+                edge(0, 3, 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_diamond_passes() {
+        let violations = audit_spec(&diamond());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn chain_passes() {
+        let spec = PipelineSpec {
+            stages: vec![stage("a"), stage("b"), stage("c")],
+            edges: vec![edge(0, 1, 1), edge(1, 2, 4)],
+        };
+        assert!(audit_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn empty_pipeline_is_flagged() {
+        let spec = PipelineSpec {
+            stages: vec![],
+            edges: vec![],
+        };
+        assert!(Violation::any_rule(&audit_spec(&spec), "empty-pipeline"));
+    }
+
+    #[test]
+    fn zero_service_is_flagged() {
+        let mut spec = diamond();
+        spec.stages[1].service_cycles = 0;
+        assert!(Violation::any_rule(&audit_spec(&spec), "zero-service"));
+    }
+
+    #[test]
+    fn backward_edge_is_flagged() {
+        let mut spec = diamond();
+        spec.edges.push(edge(3, 1, 1));
+        assert!(Violation::any_rule(&audit_spec(&spec), "edge-not-forward"));
+    }
+
+    #[test]
+    fn self_loop_is_flagged() {
+        let mut spec = diamond();
+        spec.edges.push(edge(2, 2, 1));
+        assert!(Violation::any_rule(&audit_spec(&spec), "edge-not-forward"));
+    }
+
+    #[test]
+    fn out_of_bounds_edge_is_flagged() {
+        let mut spec = diamond();
+        spec.edges.push(edge(1, 9, 1));
+        assert!(Violation::any_rule(
+            &audit_spec(&spec),
+            "edge-out-of-bounds"
+        ));
+    }
+
+    #[test]
+    fn zero_capacity_is_flagged() {
+        let mut spec = diamond();
+        spec.edges[0].capacity = 0;
+        assert!(Violation::any_rule(&audit_spec(&spec), "zero-capacity"));
+    }
+
+    #[test]
+    fn duplicate_edge_is_flagged() {
+        let mut spec = diamond();
+        spec.edges.push(edge(0, 1, 1));
+        assert!(Violation::any_rule(&audit_spec(&spec), "duplicate-edge"));
+    }
+
+    #[test]
+    fn isolated_stage_is_flagged() {
+        let mut spec = diamond();
+        spec.stages.push(stage("stray"));
+        assert!(Violation::any_rule(&audit_spec(&spec), "isolated-stage"));
+    }
+
+    #[test]
+    fn starved_skip_edge_is_flagged() {
+        let mut spec = diamond();
+        // The skip edge 0 -> 3 shortcuts two 2-hop paths but buffers one
+        // frame: the join throttles the fork.
+        spec.edges[4].capacity = 1;
+        let violations = audit_spec(&spec);
+        assert!(
+            Violation::any_rule(&violations, "skip-capacity-floor"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn single_stage_pipeline_passes() {
+        let spec = PipelineSpec {
+            stages: vec![stage("only")],
+            edges: vec![],
+        };
+        assert!(audit_spec(&spec).is_empty());
+    }
+}

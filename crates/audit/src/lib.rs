@@ -1,0 +1,120 @@
+//! # morph-audit
+//!
+//! An independent static verifier for the Morph reproduction: every
+//! number the workspace reports flows through code that both *chooses*
+//! and *costs* mappings, so a bug in tile allocation, budget plumbing or
+//! channel sizing would silently corrupt the whole perf trajectory. This
+//! crate re-derives legality **from first principles** — its checks are
+//! written against the data types (`TilingConfig`, `PipelineSpec`,
+//! serialized report documents), not against the optimizer or engine
+//! code paths that produced them — and reports structured
+//! [`Violation`]s instead of panicking.
+//!
+//! Three passes, in the style of Timeloop's mapping-legality constraint
+//! system and DAM-RS's static deadlock detector:
+//!
+//! * [`mapping`] — every [`morph_optimizer::StoredDecision`] in a
+//!   backend's [`morph_optimizer::DecisionStore`] is re-checked against
+//!   the architecture its key claims (including the reduced-cluster
+//!   specs that budgeted evaluations build): tile footprints vs the
+//!   double-buffered level budgets, geometric nesting, loop-order
+//!   completeness, parallelism vs the cluster budget's PEs, and search
+//!   stats arithmetic.
+//! * [`graph`] — a [`morph_pipeline::PipelineSpec`] is statically proved
+//!   deadlock-free and throughput-clean without running the engine:
+//!   forward-only edges with nonzero capacity over a DAG rule out
+//!   wait-for cycles, and every reconvergent (skip) edge must buffer at
+//!   least the depth of the longest parallel path it shortcuts, or the
+//!   join would throttle the pipeline below its bottleneck rate.
+//! * [`report`] — a serialized `RunReport` document (schema v2–v5) is
+//!   checked for internal consistency directly on the JSON tree: totals
+//!   vs per-layer sums, edge well-formedness, per-stage cluster shares
+//!   against the chip budget, Pareto points mutually non-dominated and
+//!   under the stated power cap, and `enumerated >= bound_pruned +
+//!   costed` search arithmetic. The committed `baseline.json` perf-gate
+//!   summary has its own checker ([`report::audit_baseline_value`]).
+//!
+//! All passes are pure functions over their inputs; the `audit` binary
+//! in `morph-bench` drives them over the full zoo × every backend and
+//! over `experiments_out/bench.json`.
+
+pub mod graph;
+pub mod mapping;
+pub mod report;
+
+/// Which audit pass produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditPass {
+    /// The mapping-legality pass ([`mapping`]).
+    Mapping,
+    /// The pipeline-graph pass ([`graph`]).
+    PipelineGraph,
+    /// The report-consistency pass ([`report`]).
+    Report,
+}
+
+impl AuditPass {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditPass::Mapping => "mapping",
+            AuditPass::PipelineGraph => "pipeline-graph",
+            AuditPass::Report => "report",
+        }
+    }
+}
+
+/// One failed audit rule: which pass, which rule, on what subject, and a
+/// human-readable explanation carrying the offending numbers.
+///
+/// Rules are stable kebab-case identifiers (e.g. `tile-over-budget`,
+/// `skip-capacity-floor`, `pareto-point-dominated`) so callers — and the
+/// mutation self-tests — can match on the class of failure without
+/// parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The pass that flagged this.
+    pub pass: AuditPass,
+    /// Stable rule identifier (kebab-case).
+    pub rule: &'static str,
+    /// The entity that failed the rule (a store key, an edge, a run).
+    pub subject: String,
+    /// What exactly is inconsistent, with the numbers involved.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} at {}: {}",
+            self.pass.label(),
+            self.rule,
+            self.subject,
+            self.detail
+        )
+    }
+}
+
+impl Violation {
+    /// Build a violation (helper for the pass modules).
+    pub(crate) fn new(
+        pass: AuditPass,
+        rule: &'static str,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Violation {
+            pass,
+            rule,
+            subject: subject.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// True if any violation in `list` carries `rule` (test helper used
+    /// by the mutation self-tests, public for downstream harnesses).
+    pub fn any_rule(list: &[Violation], rule: &str) -> bool {
+        list.iter().any(|v| v.rule == rule)
+    }
+}

@@ -1,0 +1,137 @@
+//! Seeded property test: decisions a *real* optimizer search memoizes
+//! round-trip through the mapping audit clean, and seeded mutations of
+//! those same decisions (tile inflated past the level budget, clusters
+//! over the chip) are flagged. This proves the audit is neither vacuous
+//! (it accepts genuine search output) nor toothless (it rejects every
+//! corrupted variant the LCG generates).
+
+use morph_audit::{mapping, Violation};
+use morph_dataflow::arch::ArchSpec;
+use morph_energy::EnergyModel;
+use morph_optimizer::{Effort, Objective, Optimizer, StoredDecision};
+use morph_tensor::shape::ConvShape;
+use morph_tensor::tiled::Tile;
+
+/// Deterministic LCG (numerical-recipes constants) so failures reproduce.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A spread of layer shapes: small/large spatial, deep/shallow channels,
+/// 2D and 3D kernels.
+fn shapes() -> Vec<ConvShape> {
+    vec![
+        ConvShape::new_2d(56, 56, 64, 64, 3, 3),
+        ConvShape::new_2d(14, 14, 256, 512, 3, 3),
+        ConvShape::new_2d(112, 112, 3, 64, 7, 7),
+        ConvShape::new_2d(7, 7, 512, 512, 1, 1),
+    ]
+}
+
+type SearchedStore = (
+    ArchSpec,
+    bool,
+    Vec<(morph_optimizer::StoreKey, StoredDecision)>,
+);
+
+fn searched_stores() -> Vec<SearchedStore> {
+    let arch = ArchSpec::morph();
+    let mut out = Vec::new();
+    for banked in [true, false] {
+        let opt = if banked {
+            Optimizer::morph(EnergyModel::morph(arch), Effort::Fast)
+        } else {
+            Optimizer::morph_base(EnergyModel::morph_base(arch))
+        };
+        for shape in shapes() {
+            opt.search_layer(&shape, Objective::Energy);
+            opt.search_layer(&shape, Objective::PerfPerWatt);
+        }
+        out.push((arch, banked, opt.store().entries()));
+    }
+    out
+}
+
+#[test]
+fn real_search_decisions_round_trip_clean() {
+    for (arch, banked, entries) in searched_stores() {
+        assert!(!entries.is_empty(), "search memoized nothing");
+        for (key, decision) in entries {
+            let violations = mapping::audit_entry(&arch, banked, &key, &decision);
+            assert!(
+                violations.is_empty(),
+                "genuine decision flagged (banked={banked}): {violations:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mutated_decisions_are_flagged() {
+    let mut rng = Lcg(0x5eed_cafe);
+    for (arch, banked, entries) in searched_stores() {
+        for (key, decision) in entries {
+            let Some((config, _)) = &decision.mapping else {
+                continue;
+            };
+            // Mutation 1: inflate one on-chip tile far past any level
+            // budget (a giant-layer whole tile dwarfs every buffer), on a
+            // key whose shape is blown up so nesting still holds.
+            let big_shape = ConvShape::new_2d(512, 512, 256, 1024, 3, 3);
+            let mut bad = decision.clone();
+            let level = rng.pick(3);
+            if let Some((c, _)) = &mut bad.mapping {
+                for l in 0..=level {
+                    c.levels[l].tile = Tile::whole(&big_shape);
+                }
+            }
+            let bad_key = (big_shape, key.1, key.2);
+            let violations = mapping::audit_entry(&arch, banked, &bad_key, &bad);
+            assert!(
+                Violation::any_rule(&violations, "tile-over-budget"),
+                "inflated level {level} not flagged: {violations:?}"
+            );
+
+            // Mutation 2: re-key the decision to a cluster budget the
+            // chip cannot provide.
+            let over = arch.clusters + 1 + rng.pick(8);
+            let bad_key = (key.0, key.1, over);
+            let violations = mapping::audit_entry(&arch, banked, &bad_key, &decision);
+            assert!(
+                Violation::any_rule(&violations, "cluster-budget-exceeds-chip"),
+                "over-budget key ({over} clusters) not flagged: {violations:?}"
+            );
+
+            // Mutation 3: break nesting by shrinking a parent below its
+            // child (swap the L1 tile for the unit tile while L0 stays).
+            let mut bad = decision.clone();
+            let mut broke = false;
+            if let Some((c, _)) = &mut bad.mapping {
+                if c.levels[2].tile != Tile::unit() {
+                    c.levels[1].tile = Tile::unit();
+                    broke = true;
+                }
+            }
+            if broke {
+                let violations = mapping::audit_entry(&arch, banked, &key, &bad);
+                assert!(
+                    Violation::any_rule(&violations, "tile-nesting"),
+                    "broken nesting not flagged: {violations:?}"
+                );
+            }
+            let _ = config;
+        }
+    }
+}

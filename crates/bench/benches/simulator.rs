@@ -31,7 +31,7 @@ fn bench(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) {
     if per_iter > 1e6 {
         println!("{name:40} {:>12.3} ms/iter", per_iter / 1e6);
     } else {
-        println!("{name:40} {:>12.0} ns/iter", per_iter);
+        println!("{name:40} {per_iter:>12.0} ns/iter");
     }
 }
 

@@ -63,7 +63,7 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     // Never floor below the coolest point: a flat frontier must still
     // leave the cap attainable.
-    let cap = (((coolest + hottest) / 2.0) as u64).max(coolest.ceil() as u64);
+    let cap = (f64::midpoint(coolest, hottest) as u64).max(coolest.ceil() as u64);
     let capped = run(PipelineMode::Pareto {
         power_cap_mw: Some(cap),
     });

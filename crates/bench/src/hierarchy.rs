@@ -20,8 +20,7 @@ pub fn capacity_matched_energy(shape: &ConvShape, cfg: &TilingConfig, depth: usi
     for lvl in 0..depth {
         let cap = tile_bytes(shape, &cfg.levels[lvl].tile).total().max(64) as usize;
         let per_byte = sram_pj_per_byte(cap, 8);
-        let bytes =
-            t.boundaries[lvl].total() + t.boundaries.get(lvl + 1).map(|b| b.total()).unwrap_or(0);
+        let bytes = t.boundaries[lvl].total() + t.boundaries.get(lvl + 1).map_or(0, |b| b.total());
         pj += bytes as f64 * per_byte;
     }
     // ALU operand feeds come from the deepest on-chip buffer: the PE has

@@ -12,8 +12,6 @@
 //! per-binary report into `experiments_out/bench.json` so the perf
 //! trajectory is machine-checkable.
 
-#![warn(missing_docs)]
-
 use morph_core::RunReport;
 use morph_energy::EnergyReport;
 use std::path::{Path, PathBuf};

@@ -125,8 +125,6 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod backend;
 pub mod par;
 pub mod report;

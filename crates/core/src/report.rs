@@ -429,7 +429,9 @@ mod tests {
                 panic!("pipeline stages")
             };
             for stage in stages {
-                let Value::Obj(stage) = stage else { panic!() };
+                let Value::Obj(stage) = stage else {
+                    panic!("stage entry is an object")
+                };
                 stage.remove("clusters");
             }
         }
@@ -516,7 +518,9 @@ mod tests {
                     panic!("pipeline stages")
                 };
                 for (i, stage) in stages.iter_mut().enumerate() {
-                    let Value::Obj(stage) = stage else { panic!() };
+                    let Value::Obj(stage) = stage else {
+                        panic!("stage entry is an object")
+                    };
                     // v2 pipelines were chains: stage i's out-channel is
                     // edge i -> i+1 (zeros on the last stage).
                     let edge = edges

@@ -305,7 +305,7 @@ impl Session {
         // work list: identical layers are decided exactly once.
         let mut pending: Vec<ConvShape> = Vec::new();
         {
-            let mut seen: HashSet<ConvShape> = Default::default();
+            let mut seen: HashSet<ConvShape> = HashSet::default();
             for layer in net.conv_layers() {
                 let sh = layer.shape;
                 if !store.contains(&(sh, objective, clusters)) && seen.insert(sh) {
@@ -1156,7 +1156,7 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         // Ceil keeps the cap attainable even if the midpoint floors
         // toward the coolest point.
-        let cap = ((coolest + hottest) / 2.0).ceil();
+        let cap = f64::midpoint(coolest, hottest).ceil();
         assert!(coolest < cap && cap < hottest, "cap {cap} must bind");
 
         let capped = run_mode(PipelineMode::Pareto {

@@ -183,10 +183,7 @@ impl TilingConfig {
 
     /// Inner loop order (the L1 level's order for standard configs).
     pub fn inner_order(&self) -> LoopOrder {
-        self.levels
-            .get(1)
-            .map(|l| l.order)
-            .unwrap_or(self.levels[0].order)
+        self.levels.get(1).map_or(self.levels[0].order, |l| l.order)
     }
 }
 

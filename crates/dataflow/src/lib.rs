@@ -37,8 +37,6 @@
 //! assert_eq!(round, cfg);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod arch;
 pub mod config;
 pub mod perf;

@@ -7,8 +7,6 @@
 //! entry point: it evaluates a layer under a dataflow configuration and
 //! returns the Fig. 9-style breakdown.
 
-#![warn(missing_docs)]
-
 pub mod area;
 pub mod cacti;
 pub mod cost;

@@ -19,8 +19,6 @@
 //!   per output frame (no temporal reuse) and psums round-trip per extra
 //!   temporal tap.
 
-#![warn(missing_docs)]
-
 use morph_dataflow::arch::ArchSpec;
 use morph_dataflow::config::{LevelConfig, TilingConfig};
 use morph_dataflow::perf::{layer_cycles, Parallelism};

@@ -131,8 +131,8 @@ impl MorphChip {
             Activations::<Acc>::zeros(shape.k, shape.f_out(), shape.h_out(), shape.w_out());
 
         let l2_tile = cfg.levels[0].tile;
-        let l1_tile = cfg.levels.get(1).map(|l| l.tile).unwrap_or(l2_tile);
-        let l0_tile = cfg.levels.get(2).map(|l| l.tile).unwrap_or(l1_tile);
+        let l1_tile = cfg.levels.get(1).map_or(l2_tile, |l| l.tile);
+        let l0_tile = cfg.levels.get(2).map_or(l1_tile, |l| l.tile);
 
         let extents = morph_tensor::tiled::layer_extents(shape);
         // Residency tracking: a tile identical to the one already resident
@@ -159,11 +159,7 @@ impl MorphChip {
                 l2_w_key = Some(w_key);
             }
 
-            let inner_order = cfg
-                .levels
-                .get(1)
-                .map(|l| l.order)
-                .unwrap_or(cfg.levels[0].order);
+            let inner_order = cfg.levels.get(1).map_or(cfg.levels[0].order, |l| l.order);
             let l2_ext = tile_extent_arr(&l2_clip);
             for l1_rel in tile_origins(&l2_ext, &l1_tile, inner_order) {
                 let l1_origin = add(&l2_origin, &l1_rel);

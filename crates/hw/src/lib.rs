@@ -8,8 +8,6 @@
 //! convolution — demonstrating that the flexible control structures can
 //! realize every loop order and tiling the optimizer emits.
 
-#![warn(missing_docs)]
-
 pub mod buffer;
 pub mod exec;
 pub mod fsm;

@@ -83,8 +83,6 @@
 //! report_schema, entries: [{backend, network, objective, occurrence,
 //! cycles, total_pj}]}`.
 
-#![warn(missing_docs)]
-
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -107,18 +105,86 @@ pub enum Value {
     Obj(BTreeMap<String, Value>),
 }
 
-/// Error from [`Value::parse`]: byte offset + description.
+/// Error from [`Value::parse`]: byte offset + typed cause.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset of the error in the input.
     pub at: usize,
     /// What went wrong.
-    pub msg: String,
+    pub kind: ParseErrorKind,
+}
+
+/// The typed cause of a [`ParseError`] — callers (e.g. the report audit)
+/// can match on the class of malformation instead of scraping prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A specific punctuation byte was required (`{`, `:`, …).
+    Expected(char),
+    /// One of the literal keywords `true` / `false` / `null` was cut off
+    /// or misspelled.
+    ExpectedKeyword(&'static str),
+    /// A byte that cannot start any JSON value.
+    UnexpectedCharacter(char),
+    /// Input ended where a value was required.
+    UnexpectedEnd,
+    /// Bytes remain after the single top-level document.
+    TrailingCharacters,
+    /// Object continuation was neither `,` nor `}`.
+    ExpectedObjectSeparator,
+    /// Array continuation was neither `,` nor `]`.
+    ExpectedArraySeparator,
+    /// Input ended inside a string literal.
+    UnterminatedString,
+    /// Input ended right after a backslash.
+    UnterminatedEscape,
+    /// A `\u` escape with fewer than four hex digits.
+    TruncatedUnicodeEscape,
+    /// A `\u` escape whose four characters are not hex.
+    InvalidUnicodeEscape,
+    /// A `\u` escape naming a non-scalar code point (surrogate).
+    InvalidUnicodeScalar,
+    /// A backslash escape this dialect does not define.
+    UnknownEscape,
+    /// The input is not valid UTF-8 inside a string literal.
+    InvalidUtf8,
+    /// A float literal `f64::from_str` rejects.
+    BadFloat,
+    /// An integer literal `i64::from_str` rejects (including overflow).
+    BadInt,
+}
+
+impl std::fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseErrorKind::Expected(c) => write!(f, "expected {c:?}"),
+            ParseErrorKind::ExpectedKeyword(w) => write!(f, "expected {w:?}"),
+            ParseErrorKind::UnexpectedCharacter(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::UnexpectedEnd => write!(f, "unexpected end of input"),
+            ParseErrorKind::TrailingCharacters => {
+                write!(f, "trailing characters after document")
+            }
+            ParseErrorKind::ExpectedObjectSeparator => {
+                write!(f, "expected ',' or '}}' in object")
+            }
+            ParseErrorKind::ExpectedArraySeparator => {
+                write!(f, "expected ',' or ']' in array")
+            }
+            ParseErrorKind::UnterminatedString => write!(f, "unterminated string"),
+            ParseErrorKind::UnterminatedEscape => write!(f, "unterminated escape"),
+            ParseErrorKind::TruncatedUnicodeEscape => write!(f, "truncated \\u escape"),
+            ParseErrorKind::InvalidUnicodeEscape => write!(f, "invalid \\u escape"),
+            ParseErrorKind::InvalidUnicodeScalar => write!(f, "invalid unicode scalar"),
+            ParseErrorKind::UnknownEscape => write!(f, "unknown escape"),
+            ParseErrorKind::InvalidUtf8 => write!(f, "invalid UTF-8"),
+            ParseErrorKind::BadFloat => write!(f, "bad float literal"),
+            ParseErrorKind::BadInt => write!(f, "bad integer literal"),
+        }
+    }
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.kind)
     }
 }
 
@@ -260,7 +326,7 @@ impl Value {
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after document"));
+            return Err(p.err(ParseErrorKind::TrailingCharacters));
         }
         Ok(v)
     }
@@ -295,12 +361,9 @@ struct Parser<'a> {
     pos: usize,
 }
 
-impl<'a> Parser<'a> {
-    fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError {
-            at: self.pos,
-            msg: msg.into(),
-        }
+impl Parser<'_> {
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError { at: self.pos, kind }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -318,16 +381,16 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(self.err(format!("expected {:?}", b as char)))
+            Err(self.err(ParseErrorKind::Expected(b as char)))
         }
     }
 
-    fn keyword(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+    fn keyword(&mut self, word: &'static str, v: Value) -> Result<Value, ParseError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(self.err(format!("expected {word:?}")))
+            Err(self.err(ParseErrorKind::ExpectedKeyword(word)))
         }
     }
 
@@ -340,8 +403,8 @@ impl<'a> Parser<'a> {
             Some(b'f') => self.keyword("false", Value::Bool(false)),
             Some(b'n') => self.keyword("null", Value::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
-            None => Err(self.err("unexpected end of input")),
+            Some(c) => Err(self.err(ParseErrorKind::UnexpectedCharacter(c as char))),
+            None => Err(self.err(ParseErrorKind::UnexpectedEnd)),
         }
     }
 
@@ -368,7 +431,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Obj(map));
                 }
-                _ => return Err(self.err("expected ',' or '}' in object")),
+                _ => return Err(self.err(ParseErrorKind::ExpectedObjectSeparator)),
             }
         }
     }
@@ -391,7 +454,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Arr(items));
                 }
-                _ => return Err(self.err("expected ',' or ']' in array")),
+                _ => return Err(self.err(ParseErrorKind::ExpectedArraySeparator)),
             }
         }
     }
@@ -402,7 +465,7 @@ impl<'a> Parser<'a> {
         loop {
             let rest = &self.bytes[self.pos..];
             let Some(&b) = rest.first() else {
-                return Err(self.err("unterminated string"));
+                return Err(self.err(ParseErrorKind::UnterminatedString));
             };
             match b {
                 b'"' => {
@@ -412,7 +475,7 @@ impl<'a> Parser<'a> {
                 b'\\' => {
                     self.pos += 1;
                     let Some(&esc) = self.bytes.get(self.pos) else {
-                        return Err(self.err("unterminated escape"));
+                        return Err(self.err(ParseErrorKind::UnterminatedEscape));
                     };
                     self.pos += 1;
                     match esc {
@@ -429,22 +492,26 @@ impl<'a> Parser<'a> {
                                 .bytes
                                 .get(self.pos..self.pos + 4)
                                 .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                                .ok_or_else(|| self.err(ParseErrorKind::TruncatedUnicodeEscape))?;
                             let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
+                                .map_err(|_| self.err(ParseErrorKind::InvalidUnicodeEscape))?;
                             self.pos += 4;
                             // Reports never emit surrogate pairs; reject them.
                             let ch = char::from_u32(code)
-                                .ok_or_else(|| self.err("invalid unicode scalar"))?;
+                                .ok_or_else(|| self.err(ParseErrorKind::InvalidUnicodeScalar))?;
                             out.push(ch);
                         }
-                        _ => return Err(self.err("unknown escape")),
+                        _ => return Err(self.err(ParseErrorKind::UnknownEscape)),
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 character.
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = s.chars().next().unwrap();
+                    // Consume one UTF-8 character. `rest` is nonempty, so
+                    // a successful decode always yields a first char.
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err(ParseErrorKind::InvalidUtf8))?;
+                    let Some(ch) = s.chars().next() else {
+                        return Err(self.err(ParseErrorKind::InvalidUtf8));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -468,15 +535,19 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Every byte consumed above is ASCII (digits, sign, dot, e), so
+        // the slice is valid UTF-8 by construction; fail typed anyway
+        // rather than panic.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err(ParseErrorKind::InvalidUtf8))?;
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)
-                .map_err(|e| self.err(format!("bad float: {e}")))
+                .map_err(|_| self.err(ParseErrorKind::BadFloat))
         } else {
             text.parse::<i64>()
                 .map(Value::Int)
-                .map_err(|e| self.err(format!("bad integer: {e}")))
+                .map_err(|_| self.err(ParseErrorKind::BadInt))
         }
     }
 }
@@ -601,7 +672,7 @@ mod tests {
                 ]),
             ),
             ("empty_arr", Value::Arr(vec![])),
-            ("empty_obj", Value::Obj(Default::default())),
+            ("empty_obj", Value::Obj(BTreeMap::default())),
         ]);
         let round = Value::parse(&v.pretty()).unwrap();
         assert_eq!(v, round);
@@ -646,6 +717,31 @@ mod tests {
         let e = Value::parse("{\"a\": @}").unwrap_err();
         assert_eq!(e.at, 6);
         assert!(e.to_string().contains("byte 6"));
+    }
+
+    #[test]
+    fn errors_carry_typed_kinds() {
+        for (text, kind) in [
+            ("tru", ParseErrorKind::ExpectedKeyword("true")),
+            ("{\"a\": @}", ParseErrorKind::UnexpectedCharacter('@')),
+            ("", ParseErrorKind::UnexpectedEnd),
+            ("1 2", ParseErrorKind::TrailingCharacters),
+            ("\"unterminated", ParseErrorKind::UnterminatedString),
+            ("\"\\q\"", ParseErrorKind::UnknownEscape),
+            ("\"\\u12\"", ParseErrorKind::TruncatedUnicodeEscape),
+            ("\"\\uzzzz\"", ParseErrorKind::InvalidUnicodeEscape),
+            ("\"\\ud800\"", ParseErrorKind::InvalidUnicodeScalar),
+            ("{\"a\" 1}", ParseErrorKind::Expected(':')),
+            ("[1 2]", ParseErrorKind::ExpectedArraySeparator),
+            (
+                "{\"a\": 1 \"b\": 2}",
+                ParseErrorKind::ExpectedObjectSeparator,
+            ),
+            ("99999999999999999999", ParseErrorKind::BadInt),
+            ("1e999e9", ParseErrorKind::BadFloat),
+        ] {
+            assert_eq!(Value::parse(text).unwrap_err().kind, kind, "input {text:?}");
+        }
     }
 
     #[test]

@@ -13,8 +13,6 @@
 //! assert!(c3d.is_3d());
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod net;
 pub mod stats;
 pub mod zoo;

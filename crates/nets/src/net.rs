@@ -567,12 +567,11 @@ impl Fork<'_> {
 
 impl Drop for Fork<'_> {
     fn drop(&mut self) {
-        if (self.started || !self.tails.is_empty()) && !std::thread::panicking() {
-            panic!(
-                "fork on network {:?} dropped with open branches — close it with concat() or add()",
-                self.net.name
-            );
-        }
+        assert!(
+            !((self.started || !self.tails.is_empty()) && !std::thread::panicking()),
+            "fork on network {:?} dropped with open branches — close it with concat() or add()",
+            self.net.name
+        );
     }
 }
 

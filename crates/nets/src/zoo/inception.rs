@@ -63,8 +63,7 @@ fn build(name: &'static str, temporal: bool) -> Network {
 
     net.conv("Conv2d_2b_1x1", ConvShape::new_3d(h, h, f, c, 64, 1, 1, 1));
     c = 64;
-    let conv2c =
-        ConvShape::new_3d(h, h, f, c, 192, 3, 3, t(3)).with_pad(1, if temporal { 1 } else { 0 });
+    let conv2c = ConvShape::new_3d(h, h, f, c, 192, 3, 3, t(3)).with_pad(1, usize::from(temporal));
     net.conv("Conv2d_2c_3x3", conv2c);
     c = 192;
     net.pool("MaxPool_3a_3x3", PoolShape::new(1, 3, 3).with_stride(2, 1));
@@ -99,8 +98,7 @@ fn build(name: &'static str, temporal: bool) -> Network {
             .conv(format!("{mname}/b1_reduce"), one(b1r))
             .conv(
                 format!("{mname}/b1_3x3"),
-                ConvShape::new_3d(h, h, f, b1r, b1o, 3, 3, t(3))
-                    .with_pad(1, if temporal { 1 } else { 0 }),
+                ConvShape::new_3d(h, h, f, b1r, b1o, 3, 3, t(3)).with_pad(1, usize::from(temporal)),
             );
         let (kr, ks, pad) = if temporal { (3, 3, 1) } else { (5, 5, 2) };
         fork.branch()
@@ -108,7 +106,7 @@ fn build(name: &'static str, temporal: bool) -> Network {
             .conv(
                 format!("{mname}/b2_conv"),
                 ConvShape::new_3d(h, h, f, b2r, b2o, kr, ks, t(3))
-                    .with_pad(pad, if temporal { 1 } else { 0 }),
+                    .with_pad(pad, usize::from(temporal)),
             );
         fork.branch().conv(format!("{mname}/b3_1x1"), one(b3o));
         fork.concat(format!("{mname}/concat"));

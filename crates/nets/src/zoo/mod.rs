@@ -58,15 +58,26 @@ pub fn by_name(name: &str) -> Result<Network, String> {
 }
 
 /// Curated subset in the requested order, built from one [`all`] pass.
+///
+/// # Panics
+///
+/// If a requested name is missing from the pool. Callers pass
+/// compile-time literal names and the unit tests execute every caller,
+/// so a miss is a programmer error caught in CI, not a runtime input —
+/// hence panic (naming the broken invariant) rather than `Result`.
 fn subset(names: &[&str]) -> Vec<Network> {
     let mut pool = all();
     names
         .iter()
         .map(|&name| {
-            let i = pool
-                .iter()
-                .position(|n| n.name == name)
-                .unwrap_or_else(|| panic!("no zoo network named {name:?}"));
+            let i = pool.iter().position(|n| n.name == name).unwrap_or_else(|| {
+                let rest: Vec<&str> = pool.iter().map(|n| n.name).collect();
+                panic!(
+                    "zoo subset invariant broken: no network named {name:?} \
+                     (remaining pool: {})",
+                    rest.join(", ")
+                )
+            });
             pool.swap_remove(i)
         })
         .collect()

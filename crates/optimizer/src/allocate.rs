@@ -115,10 +115,7 @@ pub fn allocate_level(
     arch: &ArchSpec,
     policy: FitPolicy,
 ) -> Option<Tile> {
-    let parent = upper
-        .last()
-        .map(|l| l.tile)
-        .unwrap_or_else(|| Tile::whole(shape));
+    let parent = upper.last().map_or_else(|| Tile::whole(shape), |l| l.tile);
     let mut best: Option<(f64, u64, Tile)> = None;
     for cand in corner_candidates(&parent) {
         if !tile_fits(shape, &cand, level, arch, policy) {

@@ -16,8 +16,6 @@
 //! driving them. Configurations can be persisted to a plain-text schedule
 //! file and recalled.
 
-#![warn(missing_docs)]
-
 pub mod allocate;
 pub mod schedule;
 pub mod search;

@@ -370,7 +370,7 @@ mod tests {
         assert!((fits - 100.0).abs() < 1e-9);
         // Over-subscribed (6 + 6 = 12): time-multiplexed, derated by 1/2.
         let muxed = peak_power_mw(&powers, &[6, 6, 6], &[vec![0], vec![1, 2]], 6);
-        assert!((muxed - 100.0f64.max((60.0 + 40.0) / 2.0)).abs() < 1e-9);
+        assert!((muxed - 100.0f64.max(f64::midpoint(60.0, 40.0))).abs() < 1e-9);
         // Stage power: 1e9 pJ over 1e6 cycles at 1 GHz = 1 W.
         assert!((stage_power_mw(1e9, 1_000_000, 1_000_000_000) - 1000.0).abs() < 1e-9);
     }

@@ -54,8 +54,6 @@
 //! linearized-chain baseline and (for sweeps) the Pareto frontier — rides
 //! inside the serialized `RunReport` (since schema v4; unchanged in v5).
 
-#![warn(missing_docs)]
-
 pub mod balance;
 pub mod engine;
 pub mod report;

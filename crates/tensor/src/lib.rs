@@ -17,8 +17,6 @@
 //! assert_eq!(layer.maccs(), 64 * 16 * 112 * 112 * 27 * 3);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod conv;
 pub mod order;
 pub mod pool;

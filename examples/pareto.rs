@@ -81,7 +81,7 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     // Never floor below the coolest point: even a flat frontier leaves
     // the cap attainable.
-    let cap = (((coolest + hottest) / 2.0) as u64).max(coolest.ceil() as u64);
+    let cap = (f64::midpoint(coolest, hottest) as u64).max(coolest.ceil() as u64);
     let capped = Session::builder()
         .backend(Morph::builder().arch(arch).build())
         .network(toy_net())
