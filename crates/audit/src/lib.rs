@@ -26,21 +26,29 @@
 //!   wait-for cycles, and every reconvergent (skip) edge must buffer at
 //!   least the depth of the longest parallel path it shortcuts, or the
 //!   join would throttle the pipeline below its bottleneck rate.
-//! * [`report`] — a serialized `RunReport` document (schema v2–v5) is
+//! * [`report`] — a serialized `RunReport` document (schema v2–v6) is
 //!   checked for internal consistency directly on the JSON tree: totals
 //!   vs per-layer sums, edge well-formedness, per-stage cluster shares
 //!   against the chip budget, Pareto points mutually non-dominated and
 //!   under the stated power cap, and `enumerated >= bound_pruned +
 //!   costed` search arithmetic. The committed `baseline.json` perf-gate
 //!   summary has its own checker ([`report::audit_baseline_value`]).
+//! * [`trace`] — a recorded `morph_trace::TraceBuffer` (or a Perfetto
+//!   sidecar document written by the `trace` bin) is checked for
+//!   structural sanity: balanced, properly nested spans per track;
+//!   non-regressing per-track timestamps; stage spans confined to the
+//!   document's `[fill start, drain end]` bounds; monotonic counters;
+//!   and `search:` tracks whose final `costed + bound_pruned` counters
+//!   never exceed `enumerated`.
 //!
 //! All passes are pure functions over their inputs; the `audit` binary
-//! in `morph-bench` drives them over the full zoo × every backend and
-//! over `experiments_out/bench.json`.
+//! in `morph-bench` drives them over the full zoo × every backend, over
+//! `experiments_out/bench.json`, and over the `trace_*.json` sidecars.
 
 pub mod graph;
 pub mod mapping;
 pub mod report;
+pub mod trace;
 
 /// Which audit pass produced a violation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +59,8 @@ pub enum AuditPass {
     PipelineGraph,
     /// The report-consistency pass ([`report`]).
     Report,
+    /// The trace-sanity pass ([`trace`]).
+    Trace,
 }
 
 impl AuditPass {
@@ -60,6 +70,7 @@ impl AuditPass {
             AuditPass::Mapping => "mapping",
             AuditPass::PipelineGraph => "pipeline-graph",
             AuditPass::Report => "report",
+            AuditPass::Trace => "trace",
         }
     }
 }

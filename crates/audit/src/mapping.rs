@@ -85,6 +85,21 @@ pub fn audit_entry(
             ),
         ));
     }
+    // A searched mapping can only come out of a costed candidate: stats
+    // that enumerated a stream yet costed nothing are vacuous — the
+    // decision they claim to describe was never actually evaluated.
+    // (Matches the streaming trace counters: every search that selects a
+    // decision ends with a `costed` counter of at least 1.)
+    if d.mapping.is_some() && stats.enumerated > 0 && stats.costed == 0 {
+        out.push(v(
+            "search-stats-vacuous",
+            &subj,
+            format!(
+                "entry carries a searched mapping but its stats costed 0 of {} enumerated candidates",
+                stats.enumerated
+            ),
+        ));
+    }
 
     let Some((config, par)) = &d.mapping else {
         return out; // cost-only entry (fixed-dataflow backend)
@@ -390,6 +405,27 @@ mod tests {
             Violation::any_rule(&violations, "search-stats-arithmetic"),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn vacuous_search_stats_are_flagged() {
+        let a = arch();
+        let mut e = entry(&a, &shape());
+        e.stats = SearchStats {
+            enumerated: 10,
+            bound_pruned: 10,
+            costed: 0,
+        };
+        let violations = audit_entry(&a, true, &key(a.clusters), &e);
+        assert!(
+            Violation::any_rule(&violations, "search-stats-vacuous"),
+            "{violations:?}"
+        );
+        // A cost-only entry (no mapping) with empty stats stays clean.
+        e.mapping = None;
+        e.stats = SearchStats::default();
+        let violations = audit_entry(&a, true, &key(a.clusters), &e);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Report-consistency audit: validate serialized `RunReport` documents
-//! (schema v2–v5) and the committed `baseline.json` perf-gate summary
+//! (schema v2–v6) and the committed `baseline.json` perf-gate summary
 //! directly on the JSON tree.
 //!
 //! This pass deliberately does **not** go through `RunReport::from_json`
@@ -28,7 +28,7 @@ const REL_TOL: f64 = 1e-9;
 /// `morph_core::report::{MIN_SCHEMA_VERSION, SCHEMA_VERSION}` — stated
 /// here independently on purpose: the auditor must not drift with the
 /// code it checks without a reviewer noticing).
-const SCHEMA_RANGE: std::ops::RangeInclusive<i64> = 2..=5;
+const SCHEMA_RANGE: std::ops::RangeInclusive<i64> = 2..=6;
 
 /// Context the report pass needs from outside the document: which chips
 /// the backends named in it ran on, and how strictly to police cluster

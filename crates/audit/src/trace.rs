@@ -1,0 +1,306 @@
+//! Trace-sanity pass: structural checks over a recorded
+//! [`morph_trace::TraceBuffer`] (usually re-read from a `trace_*.json`
+//! Perfetto sidecar written by the `trace` bin).
+//!
+//! The producers promise a small contract — spans nest with stack
+//! discipline per track, timestamps never run backwards within a track,
+//! counters are cumulative, and every simulated-cycle stage span falls
+//! inside the pipeline's `[fill start, drain end]` window. This pass
+//! re-checks that contract from the recorded events alone, the same way
+//! the mapping pass re-derives legality from the data types rather than
+//! trusting the code that produced them.
+//!
+//! Rules:
+//!
+//! * `span-unbalanced` — an `End` with no open span on its track, or
+//!   spans still open when the trace ends;
+//! * `span-mismatch` — an `End` whose name differs from the innermost
+//!   open `Begin` on the same track;
+//! * `timestamp-regression` — an event timestamped earlier than its
+//!   track's previous event (this also forces span durations to be
+//!   non-negative, since both edges live on one track);
+//! * `span-out-of-bounds` — a stage-track span edge outside the
+//!   document's `morph_bounds` window;
+//! * `counter-not-monotonic` — a [`Phase::Counter`] sample below the
+//!   previous sample of the same `(track, name)` (gauges are exempt);
+//! * `search-counter-arithmetic` — a `search:` track whose final
+//!   `bound_pruned + costed` counters exceed `enumerated`, the streamed
+//!   mirror of the `SearchStats` invariant the mapping pass checks.
+
+use crate::{AuditPass, Violation};
+use morph_json::Value;
+use morph_trace::{Phase, TraceBuffer, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Shorthand used by this module.
+fn v(rule: &'static str, subject: &str, detail: String) -> Violation {
+    Violation::new(AuditPass::Trace, rule, subject, detail)
+}
+
+/// True for tracks carrying pipeline stage spans in simulated cycles —
+/// both the engine's bare `stage:{i}:{name}` tracks and the session's
+/// `pipe:{backend}/{network}/stage:...` namespaced form.
+fn is_stage_track(track: &str) -> bool {
+    track.starts_with("stage:") || track.contains("/stage:")
+}
+
+/// True for mapping-search tracks (candidate-index clock).
+fn is_search_track(track: &str) -> bool {
+    track.starts_with("search:") || track.contains("/search:")
+}
+
+/// Audit a recorded event stream against the producer contract described
+/// in the module docs. `bounds` is the document's `morph_bounds` window
+/// (`[fill start, drain end]` in simulated cycles) when one was written.
+pub fn audit_trace(events: &[TraceEvent], bounds: Option<(u64, u64)>) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Per-track span stack and timestamp high-water mark; per
+    // (track, counter-name) last sample. BTreeMaps keep the end-of-trace
+    // sweeps deterministic regardless of recording interleaving.
+    let mut open: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut counters: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+
+    for e in events {
+        let track = e.track.as_str();
+
+        if let Some(&prev) = last_ts.get(track) {
+            if e.ts < prev {
+                out.push(v(
+                    "timestamp-regression",
+                    track,
+                    format!(
+                        "event {:?} at ts {} after the track already reached ts {}",
+                        e.name, e.ts, prev
+                    ),
+                ));
+            }
+        }
+        last_ts.insert(track, last_ts.get(track).copied().unwrap_or(0).max(e.ts));
+
+        match e.phase {
+            Phase::Begin => {
+                open.entry(track).or_default().push(e.name.as_str());
+            }
+            Phase::End => match open.entry(track).or_default().pop() {
+                None => out.push(v(
+                    "span-unbalanced",
+                    track,
+                    format!("end of span {:?} at ts {} with no span open", e.name, e.ts),
+                )),
+                Some(top) if top != e.name => out.push(v(
+                    "span-mismatch",
+                    track,
+                    format!(
+                        "end of span {:?} at ts {} while the innermost open span is {top:?}",
+                        e.name, e.ts
+                    ),
+                )),
+                Some(_) => {}
+            },
+            Phase::Counter(value) => {
+                let key = (track, e.name.as_str());
+                if let Some(&prev) = counters.get(&key) {
+                    if value < prev {
+                        out.push(v(
+                            "counter-not-monotonic",
+                            &format!("{track}/{}", e.name),
+                            format!("counter fell from {prev} to {value} at ts {}", e.ts),
+                        ));
+                    }
+                }
+                counters.insert(key, counters.get(&key).copied().unwrap_or(0).max(value));
+            }
+            Phase::Gauge(_) | Phase::Instant => {}
+        }
+
+        if let (Some((lo, hi)), Phase::Begin | Phase::End) = (bounds, e.phase) {
+            if is_stage_track(track) && (e.ts < lo || e.ts > hi) {
+                out.push(v(
+                    "span-out-of-bounds",
+                    track,
+                    format!(
+                        "span edge {:?} at ts {} outside the [{lo}, {hi}] fill/drain window",
+                        e.name, e.ts
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (track, stack) in &open {
+        if !stack.is_empty() {
+            out.push(v(
+                "span-unbalanced",
+                track,
+                format!(
+                    "trace ended with {} span(s) still open: {stack:?}",
+                    stack.len()
+                ),
+            ));
+        }
+    }
+
+    // Final streamed search counters must satisfy the SearchStats
+    // arithmetic the mapping pass checks on the stored decisions.
+    let mut search: BTreeMap<&str, [u64; 3]> = BTreeMap::new();
+    for ((track, name), &value) in &counters {
+        if is_search_track(track) {
+            let slot = match *name {
+                "enumerated" => 0,
+                "bound_pruned" => 1,
+                "costed" => 2,
+                _ => continue,
+            };
+            search.entry(track).or_default()[slot] = value;
+        }
+    }
+    for (track, [enumerated, bound_pruned, costed]) in &search {
+        if bound_pruned + costed > *enumerated {
+            out.push(v(
+                "search-counter-arithmetic",
+                track,
+                format!(
+                    "final counters bound_pruned {bound_pruned} + costed {costed} \
+                     exceed enumerated {enumerated}"
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Audit a serialized Perfetto document (as written by the `trace` bin):
+/// parse it back through [`TraceBuffer::from_perfetto`], then run
+/// [`audit_trace`] with the document's own `morph_bounds` window. Returns
+/// `Err` when the document is not a valid trace at all.
+pub fn audit_trace_doc(doc: &Value) -> Result<Vec<Violation>, String> {
+    let (buf, bounds) = TraceBuffer::from_perfetto(doc)?;
+    Ok(audit_trace(&buf.events(), bounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_trace::Recorder;
+
+    /// A well-formed recording spanning every event kind: a bounded stage
+    /// span, nested search spans with closing counters, gauges free to
+    /// fall, and an instant.
+    fn clean_buffer() -> TraceBuffer {
+        let buf = TraceBuffer::new();
+        buf.span_begin("stage:0:conv1", "service", 2);
+        buf.gauge("edge:0->1", "occupancy", 3, 4);
+        buf.gauge("edge:0->1", "occupancy", 5, 1);
+        buf.span_end("stage:0:conv1", "service", 9);
+        buf.span_begin("search:8x8x4c16k16q3x3x3v1/delay/c6", "search", 0);
+        buf.span_begin("search:8x8x4c16k16q3x3x3v1/delay/c6", "group", 0);
+        buf.instant("search:8x8x4c16k16q3x3x3v1/delay/c6", "incumbent", 3);
+        buf.span_end("search:8x8x4c16k16q3x3x3v1/delay/c6", "group", 4);
+        buf.counter("search:8x8x4c16k16q3x3x3v1/delay/c6", "enumerated", 7, 40);
+        buf.counter("search:8x8x4c16k16q3x3x3v1/delay/c6", "bound_pruned", 7, 30);
+        buf.counter("search:8x8x4c16k16q3x3x3v1/delay/c6", "costed", 7, 10);
+        buf.span_end("search:8x8x4c16k16q3x3x3v1/delay/c6", "search", 7);
+        buf
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let buf = clean_buffer();
+        let violations = audit_trace(&buf.events(), Some((0, 10)));
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+        // And via the serialized-document entry point too.
+        let doc = buf.to_perfetto(Some((0, 10)));
+        assert!(audit_trace_doc(&doc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unbalanced_spans_are_flagged() {
+        // An end with nothing open...
+        let buf = TraceBuffer::new();
+        buf.span_end("stage:0:a", "service", 5);
+        let got = audit_trace(&buf.events(), None);
+        assert!(Violation::any_rule(&got, "span-unbalanced"));
+
+        // ...and a begin never closed.
+        let buf = TraceBuffer::new();
+        buf.span_begin("stage:0:a", "service", 5);
+        let got = audit_trace(&buf.events(), None);
+        assert!(Violation::any_rule(&got, "span-unbalanced"));
+    }
+
+    #[test]
+    fn mismatched_span_names_are_flagged() {
+        let buf = TraceBuffer::new();
+        buf.span_begin("search:x/delay/c6", "search", 0);
+        buf.span_begin("search:x/delay/c6", "group", 1);
+        buf.span_end("search:x/delay/c6", "search", 2); // closes over "group"
+        buf.span_end("search:x/delay/c6", "group", 3);
+        let got = audit_trace(&buf.events(), None);
+        assert!(Violation::any_rule(&got, "span-mismatch"));
+    }
+
+    #[test]
+    fn timestamp_regressions_are_flagged() {
+        let buf = TraceBuffer::new();
+        buf.span_begin("stage:0:a", "service", 10);
+        buf.span_end("stage:0:a", "service", 4); // runs backwards
+        let got = audit_trace(&buf.events(), None);
+        assert!(Violation::any_rule(&got, "timestamp-regression"));
+        // Independent tracks keep independent clocks: a lower timestamp
+        // on another track is fine.
+        let buf = TraceBuffer::new();
+        buf.instant("eval:Morph/x", "a", 1_000);
+        buf.instant("search:y/delay/c6", "b", 1);
+        assert!(audit_trace(&buf.events(), None).is_empty());
+    }
+
+    #[test]
+    fn stage_spans_outside_bounds_are_flagged() {
+        let buf = TraceBuffer::new();
+        buf.span("pipe:Morph/net/stage:1:conv2", "service", 2, 50);
+        let got = audit_trace(&buf.events(), Some((0, 40)));
+        assert!(Violation::any_rule(&got, "span-out-of-bounds"));
+        // Without a bounds window the rule cannot fire; non-stage tracks
+        // (wall-clock evals) are exempt even with one.
+        assert!(audit_trace(&buf.events(), None).is_empty());
+        let buf = TraceBuffer::new();
+        buf.span("eval:Morph/8x8x4", "evaluate_layer", 0, 1_000_000);
+        assert!(audit_trace(&buf.events(), Some((0, 40))).is_empty());
+    }
+
+    #[test]
+    fn falling_counters_are_flagged_but_gauges_may_fall() {
+        let buf = TraceBuffer::new();
+        buf.counter("session:Morph/net", "cache_hits", 0, 8);
+        buf.counter("session:Morph/net", "cache_hits", 1, 3);
+        let got = audit_trace(&buf.events(), None);
+        assert!(Violation::any_rule(&got, "counter-not-monotonic"));
+
+        let buf = TraceBuffer::new();
+        buf.gauge("session:Morph/net", "fresh_evals", 0, 8);
+        buf.gauge("session:Morph/net", "fresh_evals", 1, 0);
+        assert!(audit_trace(&buf.events(), None).is_empty());
+    }
+
+    #[test]
+    fn search_counter_arithmetic_is_flagged() {
+        let buf = TraceBuffer::new();
+        buf.counter("search:x/delay/c6", "enumerated", 5, 10);
+        buf.counter("search:x/delay/c6", "bound_pruned", 5, 8);
+        buf.counter("search:x/delay/c6", "costed", 5, 8); // 16 > 10
+        let got = audit_trace(&buf.events(), None);
+        assert!(Violation::any_rule(&got, "search-counter-arithmetic"));
+        // The same counter names on a non-search track are not checked.
+        let buf = TraceBuffer::new();
+        buf.counter("other", "bound_pruned", 0, 99);
+        assert!(audit_trace(&buf.events(), None).is_empty());
+    }
+
+    #[test]
+    fn malformed_documents_error_rather_than_pass() {
+        assert!(audit_trace_doc(&Value::obj([])).is_err());
+    }
+}

@@ -17,12 +17,16 @@
 //!    checked for internal consistency on the raw JSON tree.
 //! 4. **Perf baseline** — the committed `crates/bench/baseline.json`
 //!    summary the CI perf gate diffs against.
+//! 5. **Trace sidecars** — the `experiments_out/trace_*.json` Perfetto
+//!    documents the `trace` bin writes (when present), re-parsed and
+//!    checked for span nesting, timestamp monotonicity, fill/drain
+//!    confinement and counter discipline.
 //!
 //! Exit code 0 = zero violations; 1 = violations (each printed); 2 =
 //! environment error (e.g. missing baseline when run outside the repo
 //! root).
 
-use morph_audit::{graph, mapping, report as report_audit, Violation};
+use morph_audit::{graph, mapping, report as report_audit, trace as trace_audit, Violation};
 use morph_core::{
     Backend, Eyeriss, Morph, MorphBase, PipelineMode, PipelineReport, RunReport, Session,
 };
@@ -171,6 +175,28 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("cannot read {BASELINE_PATH}: {e} (run from the repository root)");
             return ExitCode::from(2);
+        }
+    }
+
+    // --- pass 5: trace sidecars written by the `trace` bin --------------
+    for name in ["trace_pipeline", "trace_search", "trace_session"] {
+        let path = format!("{}/{name}.json", morph_bench::OUT_DIR);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match morph_trace::TraceBuffer::from_perfetto_str(&text) {
+                Ok((buf, bounds)) => {
+                    let violations = trace_audit::audit_trace(&buf.events(), bounds);
+                    print_violations(
+                        &format!("trace audit: {path} ({} events)", buf.len()),
+                        &violations,
+                    );
+                    total.extend(violations);
+                }
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => println!("  trace audit: {path} not found (run `trace` first) -- skipped"),
         }
     }
 

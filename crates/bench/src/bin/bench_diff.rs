@@ -201,11 +201,13 @@ fn main() -> ExitCode {
     let baseline_keys: std::collections::HashSet<_> = baseline.iter().map(|e| e.key()).collect();
     let mut regressions = Vec::new();
     let mut improved = 0usize;
+    let mut compared = 0usize;
     for base in &baseline {
         let Some(cur) = current_by_key.get(&base.key()) else {
             regressions.push(format!("{}: run disappeared from bench.json", base.label()));
             continue;
         };
+        compared += 1;
         let dc = growth(cur.cycles as f64, base.cycles as f64);
         let de = growth(cur.total_pj, base.total_pj);
         if dc > TOLERANCE {
@@ -236,7 +238,8 @@ fn main() -> ExitCode {
         .count();
 
     println!(
-        "bench_diff: {} baseline runs checked, {} improved >{:.0}%, {} new (unchecked)",
+        "bench_diff: {} of {} baseline runs compared, {} improved >{:.0}%, {} new (unchecked)",
+        compared,
         baseline.len(),
         improved,
         100.0 * TOLERANCE,

@@ -8,7 +8,7 @@ use morph_core::RunReport;
 use std::process::Command;
 
 /// All experiment binaries, in dependency-free execution order.
-const BINS: [&str; 18] = [
+const BINS: [&str; 19] = [
     "tables",
     "table4",
     "fig1a",
@@ -27,6 +27,7 @@ const BINS: [&str; 18] = [
     "pipeline",
     "pareto",
     "search",
+    "trace",
 ];
 
 /// The subset that persists a structured `RunReport`.

@@ -1,0 +1,153 @@
+//! Record a full observability trace of Two_Stream on Morph and export it
+//! as Chrome `trace_event`/Perfetto JSON sidecars, split by clock domain:
+//!
+//! * `experiments_out/trace_pipeline.json` — the adopted DAG schedule's
+//!   simulation in **simulated cycles** (`pipe:*` tracks: per-stage
+//!   service/blocked/starved spans, per-edge occupancy gauges), with the
+//!   `[0, makespan]` window in `morph_bounds`;
+//! * `experiments_out/trace_search.json` — every mapping search on the
+//!   **candidate-index clock** (`search:*` tracks: streamed
+//!   enumerated/pruned/costed counters, incumbent instants);
+//! * `experiments_out/trace_session.json` — **wall-clock** evaluation
+//!   spans and cache counters (`eval:*`/`session:*` tracks).
+//!
+//! Open any of them at <https://ui.perfetto.dev>. The first two domains
+//! are deterministic: this binary records the same workload twice from
+//! scratch (fresh backend, store and buffer, one worker thread) and
+//! asserts the simulated-time documents are **bit-identical** across the
+//! runs, then runs the `morph-audit` trace pass over all three. The table
+//! printed at the end attributes every stage's makespan cycles to
+//! service vs blocked-on-full vs starved-on-empty time — the per-cause
+//! stall breakdown behind the schema-v6 `starved_cycles` field.
+
+use morph_audit::trace::audit_trace;
+use morph_bench::{print_table, OUT_DIR};
+use morph_core::{Morph, PipelineMode, RunReport, Session};
+use morph_nets::zoo;
+use morph_trace::TraceBuffer;
+use std::sync::Arc;
+
+/// One from-scratch traced run: fresh buffer, backend and store, one
+/// worker thread so the recorded event order is deterministic.
+fn traced_run() -> (RunReport, Arc<TraceBuffer>) {
+    let buf = Arc::new(TraceBuffer::new());
+    let report = Session::builder()
+        .backend(
+            Morph::builder()
+                .effort(morph_bench::effort_from_env())
+                .recorder(buf.clone())
+                .build(),
+        )
+        .networks([zoo::two_stream()])
+        .pipeline(PipelineMode::DagRebalanced)
+        .threads(1)
+        .trace(buf.clone())
+        .build()
+        .run();
+    (report, buf)
+}
+
+/// Serialize the subset of `buf` whose tracks satisfy `keep`.
+fn domain(buf: &TraceBuffer, keep: impl Fn(&str) -> bool, bounds: Option<(u64, u64)>) -> String {
+    buf.filter(|e| keep(&e.track)).to_perfetto_string(bounds)
+}
+
+fn main() {
+    let (report, buf) = traced_run();
+    let run = &report.runs[0];
+    let pipe = run.pipeline.as_ref().expect("pipeline mode is on");
+    let bounds = Some((0, pipe.makespan_cycles));
+
+    let is_pipe = |t: &str| t.starts_with("pipe:");
+    let is_search = |t: &str| t.starts_with("search:");
+    let is_session = |t: &str| t.starts_with("eval:") || t.starts_with("session:");
+
+    // Determinism gate: a second from-scratch run must reproduce the
+    // simulated-time domains (cycle and candidate-index clocks) bit for
+    // bit. Only the wall-clock session domain is allowed to differ.
+    let (report2, buf2) = traced_run();
+    assert_eq!(report, report2, "traced runs must agree on every number");
+    assert_eq!(
+        domain(&buf, is_pipe, bounds),
+        domain(&buf2, is_pipe, bounds),
+        "simulated-cycle pipeline trace must be bit-identical across runs"
+    );
+    assert_eq!(
+        domain(&buf, is_search, None),
+        domain(&buf2, is_search, None),
+        "candidate-index search trace must be bit-identical across runs"
+    );
+
+    // The trace audit pass (also run by the `audit` bin over the written
+    // files) must find the recording structurally clean.
+    for (label, keep, b) in [
+        ("pipeline", &is_pipe as &dyn Fn(&str) -> bool, bounds),
+        ("search", &is_search, None),
+        ("session", &is_session, None),
+    ] {
+        let violations = audit_trace(&buf.filter(|e| keep(&e.track)).events(), b);
+        assert!(
+            violations.is_empty(),
+            "{label} trace fails its own audit: {violations:?}"
+        );
+    }
+
+    std::fs::create_dir_all(OUT_DIR).expect("create experiments_out");
+    for (name, text) in [
+        ("trace_pipeline", domain(&buf, is_pipe, bounds)),
+        ("trace_search", domain(&buf, is_search, None)),
+        ("trace_session", domain(&buf, is_session, None)),
+    ] {
+        let path = format!("{OUT_DIR}/{name}.json");
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("[trace] wrote {path}");
+    }
+
+    // Cycle attribution: where each stage's makespan went. Busy cycles
+    // come from the utilization fraction; blocked/starved are measured
+    // directly by the engine (v6's per-cause stall split).
+    let mk = pipe.makespan_cycles;
+    let rows: Vec<Vec<String>> = pipe
+        .stages
+        .iter()
+        .map(|s| {
+            let busy = (s.utilization * mk as f64).round() as u64;
+            let pct = |c: u64| format!("{c} ({:.1}%)", c as f64 / mk as f64 * 100.0);
+            vec![
+                s.name.clone(),
+                s.clusters.to_string(),
+                s.service_cycles.to_string(),
+                pct(busy),
+                pct(s.blocked_cycles),
+                pct(s.starved_cycles),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Cycle attribution — Two_Stream on Morph, DAG-rebalanced ({} frames, makespan {} cycles)",
+            pipe.frames, mk
+        ),
+        &[
+            "stage",
+            "clusters",
+            "service cyc/frame",
+            "busy",
+            "blocked (full out)",
+            "starved (empty in)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape: the bottleneck stage ({}) is busy nearly the whole makespan and never blocks; \
+         upstream stages pay their idle time as blocked-on-full, downstream ones as \
+         starved-on-empty, and the three columns account for each stage's makespan up to \
+         fill/drain edges. The same intervals are visible span-by-span in \
+         {OUT_DIR}/trace_pipeline.json (open it at ui.perfetto.dev).",
+        pipe.bottleneck
+    );
+    eprintln!(
+        "[trace] {} events total: simulated-time domains bit-identical across two runs, audit clean",
+        buf.len()
+    );
+}

@@ -16,7 +16,9 @@ use morph_optimizer::{DecisionStore, Effort, LayerDecision, Objective, Optimizer
 use morph_pipeline::PipelineCaps;
 use morph_tensor::order::LoopOrder;
 use morph_tensor::shape::ConvShape;
+use morph_trace::Recorder;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::{Arc, Mutex};
 
 /// The dataflow mapping a backend chose for one layer.
@@ -246,7 +248,7 @@ pub struct Morph {
 }
 
 /// Builder for [`Morph`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MorphBuilder {
     arch: ArchSpec,
     effort: Effort,
@@ -256,6 +258,23 @@ pub struct MorphBuilder {
     inner_orders: Option<Vec<LoopOrder>>,
     parallelism: Option<Parallelism>,
     name: Option<String>,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for MorphBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MorphBuilder")
+            .field("arch", &self.arch)
+            .field("effort", &self.effort)
+            .field("objective", &self.objective)
+            .field("tech", &self.tech)
+            .field("outer_orders", &self.outer_orders)
+            .field("inner_orders", &self.inner_orders)
+            .field("parallelism", &self.parallelism)
+            .field("name", &self.name)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl Default for MorphBuilder {
@@ -269,6 +288,7 @@ impl Default for MorphBuilder {
             inner_orders: None,
             parallelism: None,
             name: None,
+            recorder: None,
         }
     }
 }
@@ -323,6 +343,16 @@ impl MorphBuilder {
         self
     }
 
+    /// Attach a trace [`Recorder`] to every optimizer this backend builds
+    /// — the full-chip one and every lazily derived cluster-budgeted
+    /// variant — so each actual mapping search streams its span, counters
+    /// and incumbent instants (see `Optimizer::with_recorder`). Tracing
+    /// never changes any decision.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// The optimizer this recipe produces for a given provisioning (the
     /// builder's own, or a cluster-budgeted reduction of it).
     fn optimizer(&self, arch: ArchSpec) -> Optimizer {
@@ -336,6 +366,9 @@ impl MorphBuilder {
         }
         if let Some(par) = self.parallelism {
             opt = opt.with_parallelism(par);
+        }
+        if let Some(rec) = &self.recorder {
+            opt = opt.with_recorder(Arc::clone(rec));
         }
         opt
     }
@@ -466,13 +499,27 @@ pub struct MorphBase {
 }
 
 /// Builder for [`MorphBase`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MorphBaseBuilder {
     arch: ArchSpec,
     objective: Objective,
     tech: TechNode,
     fixed_tile_policy: bool,
     name: Option<String>,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for MorphBaseBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MorphBaseBuilder")
+            .field("arch", &self.arch)
+            .field("objective", &self.objective)
+            .field("tech", &self.tech)
+            .field("fixed_tile_policy", &self.fixed_tile_policy)
+            .field("name", &self.name)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl Default for MorphBaseBuilder {
@@ -483,6 +530,7 @@ impl Default for MorphBaseBuilder {
             tech: TechNode::Nm32,
             fixed_tile_policy: false,
             name: None,
+            recorder: None,
         }
     }
 }
@@ -519,6 +567,14 @@ impl MorphBaseBuilder {
         self
     }
 
+    /// Attach a trace [`Recorder`] to every optimizer this backend builds
+    /// (full-chip and cluster-budgeted variants alike); see
+    /// [`MorphBuilder::recorder`].
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// The optimizer this recipe produces for a given provisioning (the
     /// builder's own, or a cluster-budgeted reduction of it).
     fn optimizer(&self, arch: ArchSpec) -> Optimizer {
@@ -526,6 +582,9 @@ impl MorphBaseBuilder {
         let mut opt = Optimizer::morph_base(model);
         if self.fixed_tile_policy {
             opt = opt.with_fixed_tile_policy();
+        }
+        if let Some(rec) = &self.recorder {
+            opt = opt.with_recorder(Arc::clone(rec));
         }
         opt
     }
@@ -929,6 +988,34 @@ mod tests {
         m.evaluate_layer_budgeted(&sh, Objective::Energy, 99);
         assert_eq!(store.len(), 2);
         assert!(Eyeriss::new().decision_store().is_none());
+    }
+
+    /// A recorder attached at the builder reaches the full-chip optimizer
+    /// AND every lazily built cluster-budgeted variant, on distinct
+    /// per-budget tracks — and tracing changes no decision.
+    #[test]
+    fn builder_recorder_reaches_budgeted_variants() {
+        use morph_trace::TraceBuffer;
+        let sh = layer();
+        let buf = Arc::new(TraceBuffer::new());
+        let traced = Morph::builder().recorder(buf.clone()).build();
+        let plain = Morph::new();
+
+        let full = traced.evaluate_layer(&sh);
+        assert_eq!(full, plain.evaluate_layer(&sh));
+        let after_full = buf.len();
+        assert!(after_full > 0, "full-chip search recorded nothing");
+
+        let half = traced.evaluate_layer_budgeted(&sh, Objective::Energy, 3);
+        assert_eq!(
+            half,
+            plain.evaluate_layer_budgeted(&sh, Objective::Energy, 3)
+        );
+        assert!(buf.len() > after_full, "budgeted search recorded nothing");
+        let tracks: std::collections::HashSet<String> =
+            buf.events().into_iter().map(|e| e.track).collect();
+        assert!(tracks.iter().any(|t| t.ends_with("/c6")));
+        assert!(tracks.iter().any(|t| t.ends_with("/c3")));
     }
 
     #[test]

@@ -28,11 +28,17 @@ use morph_tensor::shape::ConvShape;
 /// [`morph_pipeline::ParetoReport`]). v5 records the mapping search's
 /// effort: each run of a searched backend carries `search`
 /// ([`SearchStats`] — candidates enumerated / bound-pruned / fully
-/// costed behind the run's decisions). v2–v4 documents still parse and
-/// are upgraded on the fly (chain edges are reconstructed from the
-/// linear layer order; missing allocation/power fields read back as
-/// unrecorded — `0` / `0.0` / `null` — and missing `search` as `null`).
-pub const SCHEMA_VERSION: u32 = 5;
+/// costed behind the run's decisions). v6 broke pipeline stall time out
+/// by cause: each pipeline stage records `starved_cycles` (cycles blocked
+/// on an **empty** input channel) alongside the existing `blocked_cycles`
+/// (blocked on a full output channel), giving reports a per-stage
+/// blocked-cycle breakdown; trace timelines stay out of the schema
+/// entirely — they are sidecar files (see `morph-trace`). v2–v5
+/// documents still parse and are upgraded on the fly (chain edges are
+/// reconstructed from the linear layer order; missing allocation/power
+/// fields read back as unrecorded — `0` / `0.0` / `null` — missing
+/// `search` as `null`, and missing `starved_cycles` as `0`).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Oldest schema [`RunReport::from_json_str`] still accepts (upgrading it
 /// to [`SCHEMA_VERSION`] in memory).
@@ -385,9 +391,40 @@ mod tests {
         assert_eq!(rep, back);
     }
 
+    /// Strip the v6 additions from a serialized report (per-stage
+    /// `starved_cycles` in pipeline sections), producing the document a
+    /// v5 writer would have emitted.
+    fn downgrade_to_v5(v: &mut Value) {
+        let Value::Obj(top) = v else {
+            panic!("report is an object")
+        };
+        top.insert("schema".into(), Value::Int(5));
+        let Some(Value::Arr(runs)) = top.get_mut("runs") else {
+            panic!("runs array")
+        };
+        for run in runs {
+            let Value::Obj(run) = run else {
+                panic!("run object")
+            };
+            let Some(Value::Obj(p)) = run.get_mut("pipeline") else {
+                continue;
+            };
+            let Some(Value::Arr(stages)) = p.get_mut("stages") else {
+                panic!("pipeline stages")
+            };
+            for stage in stages {
+                let Value::Obj(stage) = stage else {
+                    panic!("stage entry is an object")
+                };
+                stage.remove("starved_cycles");
+            }
+        }
+    }
+
     /// Strip the v5 additions from a serialized report (per-run `search`
     /// stats), producing the document a v4 writer would have emitted.
     fn downgrade_to_v4(v: &mut Value) {
+        downgrade_to_v5(v);
         let Value::Obj(top) = v else {
             panic!("report is an object")
         };
@@ -437,9 +474,23 @@ mod tests {
         }
     }
 
-    /// Drop the v5 fields of an in-memory report: what an upgraded v4
+    /// Zero the v6 fields of an in-memory report: what an upgraded v5
     /// document is expected to look like.
-    fn without_v5_fields(mut rep: RunReport) -> RunReport {
+    fn without_v6_fields(mut rep: RunReport) -> RunReport {
+        for run in &mut rep.runs {
+            if let Some(p) = run.pipeline.as_mut() {
+                for s in &mut p.stages {
+                    s.starved_cycles = 0;
+                }
+            }
+        }
+        rep
+    }
+
+    /// Drop the v5 (and v6) fields of an in-memory report: what an
+    /// upgraded v4 document is expected to look like.
+    fn without_v5_fields(rep: RunReport) -> RunReport {
+        let mut rep = without_v6_fields(rep);
         for run in &mut rep.runs {
             run.search = None;
         }
@@ -461,6 +512,26 @@ mod tests {
             }
         }
         rep
+    }
+
+    #[test]
+    fn v5_documents_upgrade_and_round_trip() {
+        // One schema back: a v5 document (no per-stage starved_cycles)
+        // upgrades to v6 with the blocked-on-empty breakdown unrecorded
+        // (zero) and round-trips exactly afterwards.
+        let rep = Session::builder()
+            .backend(Morph::new())
+            .network(tiny_net())
+            .pipeline(morph_pipeline::PipelineMode::Analytic)
+            .build()
+            .run();
+        let mut doc = Value::parse(&rep.to_json_string()).unwrap();
+        downgrade_to_v5(&mut doc);
+        let upgraded = RunReport::from_json_str(&doc.pretty()).unwrap();
+        assert_eq!(upgraded.schema, SCHEMA_VERSION);
+        assert_eq!(upgraded, without_v6_fields(rep));
+        let again = RunReport::from_json_str(&upgraded.to_json_string()).unwrap();
+        assert_eq!(again, upgraded);
     }
 
     #[test]

@@ -42,14 +42,16 @@ use crate::backend::{Backend, LayerEval, MappingDecision};
 use crate::par;
 use crate::report::{LayerRecord, NetworkRun, RunReport, SCHEMA_VERSION};
 use morph_nets::Network;
-use morph_optimizer::{DecisionStore, Objective, SearchStats, StoreKey, StoredDecision};
+use morph_optimizer::{DecisionStore, Objective, Optimizer, SearchStats, StoreKey, StoredDecision};
 use morph_pipeline::{
-    balance, pareto_frontier, simulate, EdgeSpec, ParetoPoint, ParetoReport, PipelineMode,
-    PipelineReport, PipelineSpec, StageSpec,
+    balance, pareto_frontier, simulate, simulate_traced, EdgeSpec, ParetoPoint, ParetoReport,
+    PipelineMode, PipelineReport, PipelineSpec, StageSpec,
 };
 use morph_tensor::shape::ConvShape;
+use morph_trace::{NoopRecorder, PrefixRecorder, Recorder};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// A [`LayerEval`] as a [`DecisionStore`] entry (cost-only evaluations
 /// store no mapping; session-side inserts carry no search stats — for
@@ -96,6 +98,10 @@ pub struct Session {
     threads: usize,
     pipeline: PipelineMode,
     pipeline_frames: u64,
+    /// Trace sink for wall-clock evaluation spans, cache counters and the
+    /// final pipeline simulation ([`NoopRecorder`] unless
+    /// [`SessionBuilder::trace`] attached one).
+    trace: Arc<dyn Recorder>,
     /// Per-pair cache hits of the last [`Session::run`], `[backend][network]`.
     last_hits: Mutex<Vec<Vec<u64>>>,
 }
@@ -108,6 +114,7 @@ pub struct SessionBuilder {
     threads: Option<usize>,
     pipeline: PipelineMode,
     pipeline_frames: Option<u64>,
+    trace: Option<Arc<dyn Recorder>>,
 }
 
 impl SessionBuilder {
@@ -155,6 +162,30 @@ impl SessionBuilder {
         self
     }
 
+    /// Attach a trace [`Recorder`]. Each [`Session::run`] then records:
+    ///
+    /// * a **wall-clock** span (nanoseconds since run start) per fresh
+    ///   layer evaluation on track `eval:{backend}/{shape}`;
+    /// * per-(backend, network) cache accounting on track
+    ///   `session:{backend}/{network}` — a `cache_hits` counter and a
+    ///   `fresh_evals` gauge (a gauge because re-runs serve more layers
+    ///   from the store, so the value falls);
+    /// * the final pipeline simulation's **simulated-cycle** spans and
+    ///   occupancy gauges, with tracks namespaced
+    ///   `pipe:{backend}/{network}/...` (see
+    ///   [`morph_pipeline::simulate_traced`]).
+    ///
+    /// Wall-clock tracks are inherently nondeterministic, which is why
+    /// traces are **sidecar files only** — a traced run's [`RunReport`]
+    /// is byte-identical to an untraced one. Note the search layer does
+    /// not trace through the session: attach the same recorder to the
+    /// backend builder (e.g. `Morph::builder().recorder(...)`) to stream
+    /// mapping-search tracks alongside.
+    pub fn trace(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.trace = Some(recorder);
+        self
+    }
+
     /// Construct the session.
     pub fn build(self) -> Session {
         let stores = self
@@ -169,6 +200,7 @@ impl SessionBuilder {
             threads: self.threads.unwrap_or_else(par::default_threads),
             pipeline: self.pipeline,
             pipeline_frames: self.pipeline_frames.unwrap_or(DEFAULT_PIPELINE_FRAMES),
+            trace: self.trace.unwrap_or_else(|| Arc::new(NoopRecorder)),
             last_hits: Mutex::new(Vec::new()),
         }
     }
@@ -239,11 +271,14 @@ impl Session {
     /// cache persists across calls, so re-running a session (or running a
     /// second network with shared shapes) is nearly free.
     pub fn run(&self) -> RunReport {
+        let t0 = Instant::now();
+        let traced = self.trace.enabled();
         // Phase 1: walk pairs in session order, splitting layers into
         // cache hits and a globally deduplicated work list. This is the
         // same accounting a sequential pair-by-pair run would produce.
         let mut work: Vec<(usize, ConvShape)> = Vec::new();
         let mut hits = vec![vec![0u64; self.networks.len()]; self.backends.len()];
+        let mut fresh_counts = vec![vec![0u64; self.networks.len()]; self.backends.len()];
         for (bi, backend) in self.backends.iter().enumerate() {
             let objective = backend.objective();
             let clusters = backend.arch().clusters;
@@ -252,9 +287,23 @@ impl Session {
                 for layer in net.conv_layers() {
                     if decided.insert((layer.shape, objective, clusters)) {
                         work.push((bi, layer.shape));
+                        fresh_counts[bi][ni] += 1;
                     } else {
                         hits[bi][ni] += 1;
                     }
+                }
+            }
+        }
+        if traced {
+            let ts = t0.elapsed().as_nanos() as u64;
+            for (bi, backend) in self.backends.iter().enumerate() {
+                for (ni, net) in self.networks.iter().enumerate() {
+                    let track = format!("session:{}/{}", backend.name(), net.name);
+                    self.trace.counter(&track, "cache_hits", ts, hits[bi][ni]);
+                    // A gauge, not a counter: a re-run of the same session
+                    // serves more layers from the store, so this falls.
+                    self.trace
+                        .gauge(&track, "fresh_evals", ts, fresh_counts[bi][ni]);
                 }
             }
         }
@@ -263,9 +312,27 @@ impl Session {
         // backend × network concurrency, not just per-layer threads. The
         // searched backends publish into their store from inside the
         // evaluation; the session-side insert covers fixed backends (a
-        // no-op for entries the optimizer already wrote).
+        // no-op for entries the optimizer already wrote). Traced runs get
+        // a wall-clock span per evaluation; work is deduplicated per
+        // (backend, shape), so each span owns its track.
         let fresh = par::par_map(self.threads, &work, |(bi, sh)| {
-            self.backends[*bi].evaluate_layer(sh)
+            if !traced {
+                return self.backends[*bi].evaluate_layer(sh);
+            }
+            let track = format!(
+                "eval:{}/{}",
+                self.backends[*bi].name(),
+                Optimizer::shape_tag(sh)
+            );
+            let begin = t0.elapsed().as_nanos() as u64;
+            let eval = self.backends[*bi].evaluate_layer(sh);
+            self.trace.span(
+                &track,
+                "evaluate_layer",
+                begin,
+                t0.elapsed().as_nanos() as u64,
+            );
+            eval
         });
         for ((bi, sh), eval) in work.iter().zip(fresh) {
             let backend = &self.backends[*bi];
@@ -359,7 +426,7 @@ impl Session {
                 acc.add(&l.report)
             });
         let edges = net.layer_edges();
-        let pipeline = self.pipeline_report(backend_index, &records, &edges);
+        let pipeline = self.pipeline_report(backend_index, net.name, &records, &edges);
 
         NetworkRun {
             backend: backend.name().to_string(),
@@ -409,6 +476,7 @@ impl Session {
     fn pipeline_report(
         &self,
         backend_index: usize,
+        net_name: &str,
         records: &[LayerRecord],
         edges: &[(usize, usize)],
     ) -> Option<PipelineReport> {
@@ -555,7 +623,21 @@ impl Session {
             }
         }
 
-        let stats = simulate(&spec_of(&services), self.pipeline_frames);
+        // The adopted schedule's simulation is the one that traces: its
+        // simulated-cycle timeline is the deterministic Perfetto artifact.
+        // Intermediate simulations (greedy iterations, Pareto sweep
+        // points) stay untraced — they are search machinery, not the
+        // schedule. The per-run prefix keeps concurrent pairs' identical
+        // stage/edge track names apart.
+        let stats = if self.trace.enabled() {
+            let rec = PrefixRecorder::new(
+                Arc::clone(&self.trace),
+                format!("pipe:{}/{}/", backend.name(), net_name),
+            );
+            simulate_traced(&spec_of(&services), self.pipeline_frames, &rec)
+        } else {
+            simulate(&spec_of(&services), self.pipeline_frames)
+        };
 
         // The pre-DAG baseline: the same services scheduled as a
         // linearized chain with undivided staging channels.
@@ -1198,6 +1280,59 @@ mod tests {
             assert_eq!(session.cache_hits(bi, ni), Some(run.cache_hits));
         }
         assert_eq!(session.cache_hits(5, 0), None, "out of range");
+    }
+
+    /// Tracing is strictly a sidecar: a traced run's report is identical
+    /// to an untraced one, while the buffer carries all three session
+    /// track families (wall-clock evals, cache accounting, and the
+    /// namespaced simulated-cycle pipeline timeline).
+    #[test]
+    fn traced_run_report_is_identical_to_untraced() {
+        use morph_trace::{Phase, TraceBuffer};
+        let buf = Arc::new(TraceBuffer::new());
+        let traced = Session::builder()
+            .backend(Morph::new())
+            .network(repeated_net())
+            .pipeline(PipelineMode::Analytic)
+            .trace(buf.clone())
+            .build();
+        let plain = Session::builder()
+            .backend(Morph::new())
+            .network(repeated_net())
+            .pipeline(PipelineMode::Analytic)
+            .build();
+        assert_eq!(traced.run(), plain.run());
+
+        let events = buf.events();
+        assert!(events
+            .iter()
+            .any(|e| e.track.starts_with("eval:Morph/") && matches!(e.phase, Phase::Begin)));
+        assert!(events
+            .iter()
+            .any(|e| e.track == "session:Morph/repeats" && e.phase == Phase::Counter(2)));
+        assert!(events
+            .iter()
+            .any(|e| e.track.starts_with("pipe:Morph/repeats/stage:")));
+        assert!(events
+            .iter()
+            .any(|e| e.track.starts_with("pipe:Morph/repeats/edge:")
+                && matches!(e.phase, Phase::Gauge(_))));
+
+        // A re-run records fewer fresh evals (all store-served) and a
+        // cache_hits counter that only grows.
+        let before = buf.len();
+        traced.run();
+        assert!(buf.len() > before);
+        let last_fresh = buf
+            .events()
+            .iter()
+            .rev()
+            .find_map(|e| match (e.track.as_str(), e.phase) {
+                ("session:Morph/repeats", Phase::Gauge(v)) if e.name == "fresh_evals" => Some(v),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(last_fresh, 0, "second run is fully cached");
     }
 
     #[test]

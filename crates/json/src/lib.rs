@@ -28,7 +28,7 @@
 //!
 //! The top-level document the workspace persists is `morph-core`'s
 //! `RunReport` (`experiments_out/*.json`, merged into `bench.json`). Its
-//! `schema` stamp is currently **5**; v2–v4 documents still parse
+//! `schema` stamp is currently **6**; v2–v5 documents still parse
 //! (the reader upgrades them in memory), v1 does not:
 //!
 //! * v1 — `{schema, runs: [{backend, network, objective, cache_hits,
@@ -77,6 +77,16 @@
 //!   the run's distinct layer shapes. Fixed-dataflow backends (nothing
 //!   searched) write `null`. On v2–v4 input the reader defaults the
 //!   field to `null`.
+//! * v6 — pipeline stall time is broken out by cause. Each pipeline
+//!   stage gains `starved_cycles` (`Int` — cycles blocked on an
+//!   **empty** input channel) alongside the existing `blocked_cycles`
+//!   (blocked on a **full** output channel). On v2–v5 input the reader
+//!   defaults it to `0` (starvation unrecorded). Trace timelines are
+//!   deliberately **not** part of this schema: `morph-trace` writes them
+//!   as standalone Chrome `trace_event`/Perfetto sidecar documents
+//!   (`experiments_out/trace_*.json`) because their session domain runs
+//!   on a nondeterministic wall clock, while `RunReport` documents stay
+//!   bit-reproducible.
 //!
 //! `crates/bench/baseline.json` (the `bench_diff` perf gate) is a
 //! separate, deliberately compact summary: `{baseline_schema: 1,

@@ -34,6 +34,7 @@ use morph_nets::Network;
 use morph_tensor::order::LoopOrder;
 use morph_tensor::shape::ConvShape;
 use morph_tensor::tiled::Tile;
+use morph_trace::{NoopRecorder, Recorder};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -132,6 +133,10 @@ pub struct Optimizer {
     /// architecture's, so budgeted variants sharing one store never
     /// collide with the full-chip optimizer.
     store_clusters: usize,
+    /// Trace sink for search spans/counters (see [`Optimizer::with_recorder`]).
+    /// [`NoopRecorder`] by default — every instrumentation point is a dead
+    /// branch unless a real recorder is attached.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Optimizer {
@@ -148,6 +153,7 @@ impl Optimizer {
             fixed_tile_policy: false,
             store: Arc::new(DecisionStore::new()),
             store_clusters,
+            recorder: Arc::new(NoopRecorder),
         }
     }
 
@@ -166,6 +172,7 @@ impl Optimizer {
             fixed_tile_policy: false,
             store: Arc::new(DecisionStore::new()),
             store_clusters,
+            recorder: Arc::new(NoopRecorder),
         }
     }
 
@@ -208,6 +215,18 @@ impl Optimizer {
         self
     }
 
+    /// Attach a trace [`Recorder`] (builder style). Every search this
+    /// optimizer actually runs (memo hits record nothing) emits one span
+    /// per layer on track `search:{shape}/{objective}/c{clusters}` in the
+    /// **candidate-index clock** — `ts` counts candidates visited
+    /// (pruned + costed) — plus streaming `enumerated` / `bound_pruned` /
+    /// `costed` counters and an `incumbent` instant at every improvement.
+    /// Tracing never changes the selected decision; it only observes.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The decision store this optimizer reads and writes.
     pub fn store(&self) -> &Arc<DecisionStore> {
         &self.store
@@ -219,6 +238,18 @@ impl Optimizer {
         self.store
             .get(&(*shape, objective, self.store_clusters))
             .map(|e| e.stats)
+    }
+
+    /// Compact, deterministic track tag for a layer shape — input extents,
+    /// channels/filters, kernel, stride — unique enough to separate the
+    /// conv layers of every evaluated network on distinct trace tracks.
+    /// Shared with the session layer so `search:` and `eval:` tracks for
+    /// the same layer carry the same tag.
+    pub fn shape_tag(shape: &ConvShape) -> String {
+        format!(
+            "{}x{}x{}c{}k{}q{}x{}x{}v{}",
+            shape.h, shape.w, shape.f, shape.c, shape.k, shape.r, shape.s, shape.t, shape.stride
+        )
     }
 
     fn score(objective: Objective, r: &EnergyReport) -> f64 {
@@ -302,6 +333,21 @@ impl Optimizer {
         prune: bool,
     ) -> (LayerDecision, SearchStats) {
         let arch = &self.model.arch;
+        // Search-trace setup. The track is unique per (shape, objective,
+        // cluster budget); timestamps are the candidate-index clock
+        // (candidates visited so far), so traces are deterministic.
+        let rec: &dyn Recorder = &*self.recorder;
+        let traced = rec.enabled();
+        let track = if traced {
+            format!(
+                "search:{}/{}/c{}",
+                Self::shape_tag(shape),
+                objective.label(),
+                self.store_clusters
+            )
+        } else {
+            String::new()
+        };
         if self.fixed_tile_policy {
             let cfg = crate::allocate::base_hierarchy(shape, arch);
             let par = self.parallelism.unwrap_or_else(|| Parallelism::base(arch));
@@ -319,6 +365,12 @@ impl Optimizer {
                 bound_pruned: 0,
                 costed: 1,
             };
+            if traced {
+                rec.span(&track, "search", 0, 1);
+                rec.counter(&track, "enumerated", 1, stats.enumerated);
+                rec.counter(&track, "bound_pruned", 1, stats.bound_pruned);
+                rec.counter(&track, "costed", 1, stats.costed);
+            }
             return (decision, stats);
         }
 
@@ -394,6 +446,10 @@ impl Optimizer {
             bound_pruned: 0,
             costed: 0,
         };
+        if traced {
+            rec.span_begin(&track, "search", 0);
+            rec.counter(&track, "enumerated", 0, stats.enumerated);
+        }
 
         // Group visit order. Pruned: ascending bound, with the seed's L2
         // group hoisted to the front (the neighboring budget's optimum
@@ -426,6 +482,11 @@ impl Optimizer {
                     .iter()
                     .map(|&i| groups[i].outers.len() as u64 * n_inner)
                     .sum::<u64>();
+                if traced {
+                    let t = stats.bound_pruned + stats.costed;
+                    rec.counter(&track, "bound_pruned", t, stats.bound_pruned);
+                    rec.counter(&track, "costed", t, stats.costed);
+                }
                 break;
             }
             for (j, inner) in inner_cands.iter().enumerate() {
@@ -507,9 +568,26 @@ impl Optimizer {
                             },
                         ));
                         incumbent = s;
+                        if traced {
+                            rec.instant(&track, "incumbent", stats.bound_pruned + stats.costed);
+                        }
                     }
                 }
             }
+            // Stream the prune/cost split once per visited tile group —
+            // bounded by the group count, not the candidate count.
+            if traced {
+                let t = stats.bound_pruned + stats.costed;
+                rec.counter(&track, "bound_pruned", t, stats.bound_pruned);
+                rec.counter(&track, "costed", t, stats.costed);
+            }
+        }
+        if traced {
+            let t = stats.bound_pruned + stats.costed;
+            rec.counter(&track, "enumerated", t, stats.enumerated);
+            rec.counter(&track, "bound_pruned", t, stats.bound_pruned);
+            rec.counter(&track, "costed", t, stats.costed);
+            rec.span_end(&track, "search", t);
         }
         let decision = best.expect("search space never empty").2;
         (decision, stats)
@@ -642,6 +720,71 @@ mod tests {
             s_seeded.costed,
             s_cold.costed
         );
+    }
+
+    /// The streaming trace counters close exactly on the returned
+    /// [`SearchStats`]: the final `enumerated` / `bound_pruned` / `costed`
+    /// samples on the search track equal the stored stats, the span is
+    /// balanced over `[0, visited]`, and attaching a recorder changes
+    /// nothing about the selected decision.
+    #[test]
+    fn trace_counters_close_on_search_stats() {
+        use morph_trace::{Phase, TraceBuffer};
+        let sh = layer();
+        let arch = ArchSpec::morph();
+        let plain = Optimizer::morph(EnergyModel::morph(arch), Effort::Fast);
+        let d_plain = plain.search_layer(&sh, Objective::Energy);
+
+        let buf = Arc::new(TraceBuffer::new());
+        let traced =
+            Optimizer::morph(EnergyModel::morph(arch), Effort::Fast).with_recorder(buf.clone());
+        let d_traced = traced.search_layer(&sh, Objective::Energy);
+        assert_eq!(d_plain.config, d_traced.config);
+        assert_eq!(d_plain.par, d_traced.par);
+        assert_eq!(d_plain.report, d_traced.report);
+
+        let stats = traced.search_stats(&sh, Objective::Energy).unwrap();
+        let events = buf.events();
+        assert!(!events.is_empty());
+        let track = format!(
+            "search:{}/{}/c{}",
+            Optimizer::shape_tag(&sh),
+            Objective::Energy.label(),
+            arch.clusters
+        );
+        assert!(events.iter().all(|e| e.track == track));
+
+        // Final counter samples == returned stats, streamed monotonically.
+        let mut last: HashMap<&str, u64> = HashMap::new();
+        for e in &events {
+            if let Phase::Counter(v) = e.phase {
+                let prev = last.insert(e.name.as_str(), v).unwrap_or(0);
+                assert!(v >= prev, "counter {} regressed", e.name);
+            }
+        }
+        assert_eq!(last["enumerated"], stats.enumerated);
+        assert_eq!(last["bound_pruned"], stats.bound_pruned);
+        assert_eq!(last["costed"], stats.costed);
+
+        // One balanced span over the candidate-index clock, plus at least
+        // one incumbent-improvement instant (the search found something).
+        let begins = events
+            .iter()
+            .filter(|e| matches!(e.phase, Phase::Begin))
+            .count();
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.phase, Phase::End))
+            .collect();
+        assert_eq!(begins, 1);
+        assert_eq!(ends.len(), 1);
+        assert_eq!(ends[0].ts, stats.bound_pruned + stats.costed);
+        assert!(events.iter().any(|e| matches!(e.phase, Phase::Instant)));
+
+        // A memo hit replays the store without recording anything new.
+        let before = buf.len();
+        let _ = traced.search_layer(&sh, Objective::Energy);
+        assert_eq!(buf.len(), before);
     }
 
     /// Two optimizers for different cluster budgets sharing one store

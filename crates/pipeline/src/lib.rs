@@ -52,7 +52,12 @@
 //! drain latency, utilization, per-stage cluster share, per-edge
 //! occupancy, energy/power scores, the cross-branch bottleneck, the
 //! linearized-chain baseline and (for sweeps) the Pareto frontier — rides
-//! inside the serialized `RunReport` (since schema v4; unchanged in v5).
+//! inside the serialized `RunReport` (since schema v4; v6 splits each
+//! stage's stall time by cause with `starved_cycles`). For observability
+//! beyond the aggregates, [`simulate_traced`] additionally streams the
+//! same simulation as per-stage service/blocked/starved spans and
+//! per-edge occupancy gauges — in simulated cycles, bit-identical across
+//! runs — through a `morph_trace::Recorder`.
 
 pub mod balance;
 pub mod engine;
@@ -63,8 +68,8 @@ pub use balance::{
     stage_power_mw, AllocCandidate,
 };
 pub use engine::{
-    simulate, ChannelStats, EdgeSpec, PipelineCaps, PipelineSpec, PipelineStats, StageSpec,
-    StageStats,
+    simulate, simulate_traced, ChannelStats, EdgeSpec, PipelineCaps, PipelineSpec, PipelineStats,
+    StageSpec, StageStats,
 };
 pub use report::{
     pareto_frontier, EdgeReport, ParetoPoint, ParetoReport, PipelineMode, PipelineReport,

@@ -125,6 +125,10 @@ pub struct StageReport {
     pub utilization: f64,
     /// Cycles spent blocked on a full output channel.
     pub blocked_cycles: u64,
+    /// Cycles spent starved on empty input channels (blocked-on-empty;
+    /// `0` for source stages and when parsed from a pre-v6 document —
+    /// earlier schemas recorded only the blocked-on-full side).
+    pub starved_cycles: u64,
     /// Compute clusters the stage is scheduled on (`0` when the schedule
     /// predates allocation-aware reports — pre-v4 documents).
     pub clusters: u64,
@@ -301,6 +305,7 @@ impl PipelineReport {
                 rebalanced: rebalanced[i],
                 utilization: stats.utilization(i),
                 blocked_cycles: s.blocked_cycles,
+                starved_cycles: s.starved_cycles,
                 clusters: clusters.get(i).map_or(0, |&c| c as u64),
             })
             .collect();
@@ -398,6 +403,7 @@ impl ToJson for StageReport {
             ("rebalanced", Value::Bool(self.rebalanced)),
             ("utilization", Value::Float(self.utilization)),
             ("blocked_cycles", Value::Int(self.blocked_cycles as i64)),
+            ("starved_cycles", Value::Int(self.starved_cycles as i64)),
             ("clusters", Value::Int(self.clusters as i64)),
         ])
     }
@@ -414,6 +420,9 @@ impl FromJson for StageReport {
                 .ok_or_else(|| "field \"rebalanced\" is not a bool".to_string())?,
             utilization: field_f64(v, "utilization")?,
             blocked_cycles: field_u64(v, "blocked_cycles")?,
+            // Pre-v6 stages recorded only the blocked-on-full side of the
+            // breakdown: 0 = unrecorded starvation.
+            starved_cycles: v.get("starved_cycles").and_then(Value::as_u64).unwrap_or(0),
             // Pre-v4 stages carried no allocation: 0 = unrecorded.
             clusters: v.get("clusters").and_then(Value::as_u64).unwrap_or(0),
         })
@@ -846,6 +855,28 @@ mod tests {
         assert!(r.stages.iter().all(|s| s.clusters == 0));
         // Everything the v3 document carried survives, and the upgraded
         // report round-trips exactly through the v4 writer.
+        assert_eq!(r.steady_fps, sample().steady_fps);
+        let back =
+            PipelineReport::from_json(&Value::parse(&r.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn v5_documents_upgrade_to_blocked_breakdown_defaults() {
+        // A v5 writer recorded only blocked-on-full: stripping
+        // `starved_cycles` must parse with starvation marked unrecorded,
+        // and the upgraded report round-trips through the v6 writer.
+        let mut doc = Value::parse(&sample().to_json().pretty()).unwrap();
+        let Value::Obj(top) = &mut doc else { panic!() };
+        let Some(Value::Arr(stages)) = top.get_mut("stages") else {
+            panic!()
+        };
+        for s in stages {
+            let Value::Obj(s) = s else { panic!() };
+            s.remove("starved_cycles");
+        }
+        let r = PipelineReport::from_json(&doc).unwrap();
+        assert!(r.stages.iter().all(|s| s.starved_cycles == 0));
         assert_eq!(r.steady_fps, sample().steady_fps);
         let back =
             PipelineReport::from_json(&Value::parse(&r.to_json().pretty()).unwrap()).unwrap();
