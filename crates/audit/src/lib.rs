@@ -21,11 +21,15 @@
 //!   completeness, parallelism vs the cluster budget's PEs, and search
 //!   stats arithmetic.
 //! * [`graph`] — a [`morph_pipeline::PipelineSpec`] is statically proved
-//!   deadlock-free and throughput-clean without running the engine:
-//!   forward-only edges with nonzero capacity over a DAG rule out
-//!   wait-for cycles, and every reconvergent (skip) edge must buffer at
-//!   least the depth of the longest parallel path it shortcuts, or the
-//!   join would throttle the pipeline below its bottleneck rate.
+//!   deadlock-free and throughput-clean without running the engine: the
+//!   channel wait-for graph is built for *arbitrary* edge lists (no
+//!   forward-only assumption), knots — strongly connected components
+//!   that starve forever from the all-empty start state — are detected
+//!   and named, and every reconvergent (skip) edge gets a minimum-
+//!   capacity certificate ([`graph::capacity_certificates`]): it must
+//!   buffer at least the depth of the longest parallel path it
+//!   shortcuts, or the join would throttle the pipeline below its
+//!   bottleneck rate.
 //! * [`report`] — a serialized `RunReport` document (schema v2–v6) is
 //!   checked for internal consistency directly on the JSON tree: totals
 //!   vs per-layer sums, edge well-formedness, per-stage cluster shares
@@ -92,6 +96,20 @@ pub struct Violation {
     pub subject: String,
     /// What exactly is inconsistent, with the numbers involved.
     pub detail: String,
+}
+
+impl morph_json::ToJson for Violation {
+    fn to_json(&self) -> morph_json::Value {
+        morph_json::Value::obj([
+            (
+                "pass",
+                morph_json::Value::Str(self.pass.label().to_string()),
+            ),
+            ("rule", morph_json::Value::Str(self.rule.to_string())),
+            ("subject", morph_json::Value::Str(self.subject.clone())),
+            ("detail", morph_json::Value::Str(self.detail.clone())),
+        ])
+    }
 }
 
 impl std::fmt::Display for Violation {

@@ -108,7 +108,7 @@ pub fn audit_value(doc: &Value, ctx: &ReportContext) -> Vec<Violation> {
         return out;
     };
     for (i, run) in runs.iter().enumerate() {
-        audit_run(i, run, ctx, &mut out);
+        audit_run(i, run, ctx, schema, &mut out);
     }
     out
 }
@@ -124,7 +124,13 @@ const ENERGY_FIELDS: [&str; 7] = [
     "static_pj",
 ];
 
-fn audit_run(index: usize, run: &Value, ctx: &ReportContext, out: &mut Vec<Violation>) {
+fn audit_run(
+    index: usize,
+    run: &Value,
+    ctx: &ReportContext,
+    schema: i64,
+    out: &mut Vec<Violation>,
+) {
     let backend = run.get("backend").and_then(Value::as_str).unwrap_or("?");
     let network = run.get("network").and_then(Value::as_str).unwrap_or("?");
     let subj = format!("run[{index}] {network} on {backend}");
@@ -233,7 +239,15 @@ fn audit_run(index: usize, run: &Value, ctx: &ReportContext, out: &mut Vec<Viola
 
     match run.get("pipeline") {
         None | Some(Value::Null) => {}
-        Some(p) => audit_pipeline(p, &subj, layers.len(), ctx.clusters_for(backend), ctx, out),
+        Some(p) => audit_pipeline(
+            p,
+            &subj,
+            layers.len(),
+            ctx.clusters_for(backend),
+            ctx,
+            schema,
+            out,
+        ),
     }
 }
 
@@ -263,6 +277,7 @@ fn audit_pipeline(
     layer_count: usize,
     chip_clusters: Option<u64>,
     ctx: &ReportContext,
+    schema: i64,
     out: &mut Vec<Violation>,
 ) {
     let subj = format!("{run_subj} pipeline");
@@ -294,6 +309,15 @@ fn audit_pipeline(
         ));
     }
 
+    // Stall accounting (schema v6+, where starvation is recorded): the
+    // engine's cycle identity. A stage is, at every cycle of its busy
+    // span, in exactly one of {service, blocked-on-full, starved-on-empty}
+    // — so busy (= frames x service, exact) plus blocked plus starved is
+    // the stage's busy-span total and can never exceed the makespan, and
+    // the serialized utilization must round-trip busy / makespan.
+    let frames = p.get("frames").and_then(Value::as_i64);
+    let makespan = p.get("makespan_cycles").and_then(Value::as_i64);
+
     let mut shares: Vec<u64> = Vec::with_capacity(stages.len());
     for (j, s) in stages.iter().enumerate() {
         let name = s.get("name").and_then(Value::as_str).unwrap_or("?");
@@ -308,6 +332,49 @@ fn audit_pipeline(
                     &ssubj,
                     format!("utilization {u} outside [0, 1]"),
                 ));
+            }
+        }
+        if schema >= 6 {
+            let field = |k: &str| s.get(k).and_then(Value::as_i64);
+            if let (
+                Some(frames),
+                Some(makespan),
+                Some(service),
+                Some(blocked),
+                Some(starved),
+                Some(util),
+            ) = (
+                frames,
+                makespan,
+                field("service_cycles"),
+                field("blocked_cycles"),
+                field("starved_cycles"),
+                s.get("utilization").and_then(Value::as_f64),
+            ) {
+                let busy = frames * service;
+                if busy + blocked + starved > makespan {
+                    out.push(v(
+                        "stall-accounting",
+                        &ssubj,
+                        format!(
+                            "busy ({frames} frames x {service} cycles = {busy}) + blocked \
+                             {blocked} + starved {starved} exceeds the makespan {makespan}: \
+                             the three states partition the stage's busy span"
+                        ),
+                    ));
+                }
+                if !close(util * makespan as f64, busy as f64) {
+                    out.push(v(
+                        "stall-accounting",
+                        &ssubj,
+                        format!(
+                            "utilization {util} over makespan {makespan} recovers \
+                             {} busy cycles, but {frames} frames x {service} \
+                             service cycles is {busy}",
+                            util * makespan as f64
+                        ),
+                    ));
+                }
             }
         }
         // clusters: 0 = unrecorded (pre-v4); a recorded share must be a
@@ -632,12 +699,14 @@ pub fn audit_baseline_value(doc: &Value) -> Vec<Violation> {
 mod tests {
     use super::*;
 
-    /// A fully-consistent synthetic schema-5 document: one diamond
+    /// A fully-consistent synthetic schema-6 document: one diamond
     /// network on a 6-cluster chip, DAG-rebalanced pipeline, a
-    /// two-point Pareto frontier, and honest totals.
+    /// two-point Pareto frontier, honest totals, and exact stall
+    /// accounting (64 frames through a 100-cycle stage feeding a
+    /// 200-cycle bottleneck: makespan 300 + 63 x 200 = 12900).
     fn doc() -> Value {
         let text = r#"{
-          "schema": 5,
+          "schema": 6,
           "runs": [{
             "backend": "Morph",
             "network": "diamond",
@@ -664,15 +733,17 @@ mod tests {
             "pipeline": {
               "mode": "dag_rebalanced",
               "frames": 64, "clock_hz": 1000000000,
-              "makespan_cycles": 13000, "fill_cycles": 400, "drain_cycles": 300,
+              "makespan_cycles": 12900, "fill_cycles": 300, "drain_cycles": 300,
               "steady_fps": 5000000.0, "serial_fps": 3300000.0,
               "chain_fps": 5000000.0, "chain_fill_cycles": 400,
               "bottleneck": "b", "energy_per_frame_pj": 45.0, "peak_power_mw": 210.0,
               "stages": [
                 {"name": "a", "service_cycles": 100, "base_service_cycles": 100,
-                 "rebalanced": false, "utilization": 0.5, "blocked_cycles": 10, "clusters": 2},
+                 "rebalanced": false, "utilization": 0.49612403100775193,
+                 "blocked_cycles": 6100, "starved_cycles": 0, "clusters": 2},
                 {"name": "b", "service_cycles": 200, "base_service_cycles": 200,
-                 "rebalanced": false, "utilization": 1.0, "blocked_cycles": 0, "clusters": 4}
+                 "rebalanced": false, "utilization": 0.9922480620155039,
+                 "blocked_cycles": 0, "starved_cycles": 100, "clusters": 4}
               ],
               "edges": [{"from": 0, "to": 1, "capacity": 2,
                          "max_occupancy": 2, "mean_occupancy": 1.5}],
@@ -831,6 +902,74 @@ mod tests {
         assert!(Violation::any_rule(
             &audit_value(&d, &ctx()),
             "utilization-out-of-range"
+        ));
+    }
+
+    #[test]
+    fn stall_accounting_overflow_is_flagged() {
+        // Seeded violation: inflate stage a's blocked count so busy +
+        // blocked + starved (6400 + 7000 + 0) exceeds the 12900-cycle
+        // makespan — impossible under the engine's state partition.
+        let mut d = doc();
+        *at(
+            &mut d,
+            &[
+                Key("runs"),
+                Idx(0),
+                Key("pipeline"),
+                Key("stages"),
+                Idx(0),
+                Key("blocked_cycles"),
+            ],
+        ) = Value::Int(7000);
+        let violations = audit_value(&d, &ctx());
+        assert!(
+            Violation::any_rule(&violations, "stall-accounting"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn stall_accounting_utilization_mismatch_is_flagged() {
+        // Utilization that does not round-trip frames x service / makespan.
+        let mut d = doc();
+        *at(
+            &mut d,
+            &[
+                Key("runs"),
+                Idx(0),
+                Key("pipeline"),
+                Key("stages"),
+                Idx(0),
+                Key("utilization"),
+            ],
+        ) = Value::Float(0.6);
+        assert!(Violation::any_rule(
+            &audit_value(&d, &ctx()),
+            "stall-accounting"
+        ));
+    }
+
+    #[test]
+    fn stall_accounting_is_gated_to_schema_v6() {
+        // The same broken counts in a v5 document must not fire: v5 does
+        // not record starvation, so the partition cannot be checked.
+        let mut d = doc();
+        *at(&mut d, &[Key("schema")]) = Value::Int(5);
+        *at(
+            &mut d,
+            &[
+                Key("runs"),
+                Idx(0),
+                Key("pipeline"),
+                Key("stages"),
+                Idx(0),
+                Key("blocked_cycles"),
+            ],
+        ) = Value::Int(7000);
+        assert!(!Violation::any_rule(
+            &audit_value(&d, &ctx()),
+            "stall-accounting"
         ));
     }
 

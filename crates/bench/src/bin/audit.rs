@@ -25,12 +25,20 @@
 //! Exit code 0 = zero violations; 1 = violations (each printed); 2 =
 //! environment error (e.g. missing baseline when run outside the repo
 //! root).
+//!
+//! With `--json`, the verdict is additionally written to
+//! `experiments_out/audit.json` as a machine-readable document: every
+//! violation (pass/rule/subject/detail) plus, for each deadlock-free
+//! scheduled DAG, the per-channel minimum-capacity certificates the
+//! graph pass derived — the proof artifact CI archives next to the
+//! trace sidecars.
 
 use morph_audit::{graph, mapping, report as report_audit, trace as trace_audit, Violation};
 use morph_core::{
     Backend, Eyeriss, Morph, MorphBase, PipelineMode, PipelineReport, RunReport, Session,
 };
 use morph_json::ToJson;
+use morph_json::Value;
 use morph_nets::zoo;
 use morph_pipeline::{EdgeSpec, PipelineSpec, StageSpec};
 use std::process::ExitCode;
@@ -77,8 +85,34 @@ fn print_violations(header: &str, violations: &[Violation]) {
     }
 }
 
+/// JSON form of one scheduled DAG's capacity certificates.
+fn certs_json(network: &str, backend: &str, certs: &[graph::CapacityCert]) -> Value {
+    Value::obj([
+        ("network", Value::Str(network.to_string())),
+        ("backend", Value::Str(backend.to_string())),
+        (
+            "channels",
+            Value::Arr(
+                certs
+                    .iter()
+                    .map(|c| {
+                        Value::obj([
+                            ("from", Value::Int(c.from as i64)),
+                            ("to", Value::Int(c.to as i64)),
+                            ("required", Value::Int(c.required as i64)),
+                            ("actual", Value::Int(c.actual as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn main() -> ExitCode {
+    let json_out = std::env::args().any(|a| a == "--json");
     let mut total: Vec<Violation> = Vec::new();
+    let mut certificates: Vec<Value> = Vec::new();
 
     // --- run the full zoo on all three backends -------------------------
     let morph = Morph::builder()
@@ -133,11 +167,33 @@ fn main() -> ExitCode {
     // --- pass 2: pipeline-graph audit over every scheduled DAG ----------
     for run in &report.runs {
         if let Some(p) = &run.pipeline {
-            let violations = graph::audit_spec(&spec_from_report(p));
+            let spec = spec_from_report(p);
+            let violations = graph::audit_spec(&spec);
             print_violations(
                 &format!("graph audit: {} on {}", run.network, run.backend),
                 &violations,
             );
+            // Capacity certificates: the positive half of the proof. An
+            // empty list on a non-trivial DAG means no topological order
+            // exists — the knot violation above owns that case.
+            let certs = graph::capacity_certificates(&spec);
+            if violations.is_empty() && !certs.is_empty() {
+                let floors: Vec<String> = certs
+                    .iter()
+                    .filter(|c| c.required > 1)
+                    .map(|c| format!("{}->{} needs {} has {}", c.from, c.to, c.required, c.actual))
+                    .collect();
+                println!(
+                    "    deadlock-free: {} channel capacity certificate(s){}",
+                    certs.len(),
+                    if floors.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (skip floors: {})", floors.join(", "))
+                    }
+                );
+            }
+            certificates.push(certs_json(&run.network, &run.backend, &certs));
             total.extend(violations);
         }
     }
@@ -198,6 +254,25 @@ fn main() -> ExitCode {
             },
             Err(_) => println!("  trace audit: {path} not found (run `trace` first) -- skipped"),
         }
+    }
+
+    if json_out {
+        let doc = Value::obj([
+            ("audit_schema", Value::Int(1)),
+            ("clean", Value::Bool(total.is_empty())),
+            (
+                "violations",
+                Value::Arr(total.iter().map(ToJson::to_json).collect()),
+            ),
+            ("deadlock_certificates", Value::Arr(certificates)),
+        ]);
+        std::fs::create_dir_all(morph_bench::OUT_DIR).expect("create experiments_out");
+        let path = morph_bench::report_path("audit");
+        if let Err(e) = std::fs::write(&path, doc.pretty()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
     }
 
     if total.is_empty() {

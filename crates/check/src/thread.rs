@@ -1,0 +1,131 @@
+//! Scoped-thread shim: `std::thread::scope` semantics in normal builds;
+//! under the model checker every spawn registers a model thread and
+//! every join (explicit or the scope's implicit one) is a scheduler
+//! yield point, so the checker proves the pool really joins all workers.
+
+use crate::sched::{self, Op};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread as std_thread;
+
+/// Internal child result: distinguishes a clean value from an execution
+/// abort so aborted model runs are never mistaken for user panics.
+enum ChildResult<T> {
+    Value(T),
+    Aborted,
+}
+
+/// Scope handle passed to the [`scope`] closure; mirrors
+/// `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std_thread::Scope<'scope, 'env>,
+    /// Model tids spawned in this scope and not yet explicitly joined;
+    /// the scope's implicit join yields on each so the scheduler sees
+    /// the parent block.
+    pending: Mutex<Vec<usize>>,
+}
+
+/// Handle to a scoped thread; mirrors `std::thread::ScopedJoinHandle`.
+pub struct JoinHandle<'a, 'scope, T> {
+    inner: std_thread::ScopedJoinHandle<'scope, ChildResult<T>>,
+    tid: Option<usize>,
+    pending: Option<&'a Mutex<Vec<usize>>>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Spawn a thread borrowing from the enclosing scope.
+    pub fn spawn<'a, F, T>(&'a self, f: F) -> JoinHandle<'a, 'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let model = sched::current_ctx().map(|ctx| {
+            let tid = ctx.sched.register_thread(ctx.tid);
+            lock_pending(&self.pending).push(tid);
+            (Arc::clone(&ctx.sched), tid)
+        });
+        let tid = model.as_ref().map(|(_, tid)| *tid);
+        let inner = self.inner.spawn(move || match model {
+            Some((sched, tid)) => {
+                sched::set_ctx(Arc::clone(&sched), tid);
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    sched.thread_start(tid);
+                    f()
+                }));
+                let out = match r {
+                    Ok(v) => ChildResult::Value(v),
+                    Err(p) => {
+                        if !crate::panic_payload_is_abort(p.as_ref()) {
+                            sched.property_panic(tid, &sched::payload_message(p.as_ref()));
+                        }
+                        ChildResult::Aborted
+                    }
+                };
+                sched.thread_finish(tid);
+                sched::clear_ctx();
+                out
+            }
+            None => ChildResult::Value(f()),
+        });
+        JoinHandle {
+            inner,
+            tid,
+            pending: tid.is_some().then_some(&self.pending),
+        }
+    }
+}
+
+impl<T> JoinHandle<'_, '_, T> {
+    /// Wait for the thread to finish and return its result, mirroring
+    /// `std` join semantics (a panicking child yields `Err(payload)`;
+    /// in model mode child panics are reported as property violations
+    /// and abort the execution instead).
+    pub fn join(self) -> std_thread::Result<T> {
+        if let Some(tid) = self.tid {
+            let ctx = sched::current_ctx()
+                .expect("a model-spawned thread must be joined from a model thread");
+            ctx.sched.yield_op(ctx.tid, Op::Join(tid));
+            if let Some(p) = self.pending {
+                lock_pending(p).retain(|&t| t != tid);
+            }
+        }
+        match self.inner.join() {
+            Ok(ChildResult::Value(v)) => Ok(v),
+            // An aborted child implies the execution is aborting; our
+            // own next yield would have unwound us first, but be safe.
+            Ok(ChildResult::Aborted) => sched::abort_execution(),
+            Err(p) => Err(p),
+        }
+    }
+}
+
+fn lock_pending(p: &Mutex<Vec<usize>>) -> std::sync::MutexGuard<'_, Vec<usize>> {
+    match p.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    }
+}
+
+/// Create a scope for spawning borrowing threads; all spawned threads
+/// are joined before `scope` returns, exactly like `std::thread::scope`.
+/// Under the model the implicit end-of-scope join is visible to the
+/// scheduler as a join on each still-pending child.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std_thread::scope(|s| {
+        let scope = Scope {
+            inner: s,
+            pending: Mutex::new(Vec::new()),
+        };
+        let r = f(&scope);
+        if let Some(ctx) = sched::current_ctx() {
+            let tids: Vec<usize> = std::mem::take(&mut *lock_pending(&scope.pending));
+            for tid in tids {
+                ctx.sched.yield_op(ctx.tid, Op::Join(tid));
+            }
+        }
+        r
+    })
+}

@@ -8,6 +8,7 @@
 //! and process technology node. A [`crate::Session`] drives any set of
 //! backends (trait objects) over any set of networks.
 
+use morph_check::sync::Mutex;
 use morph_dataflow::arch::ArchSpec;
 use morph_dataflow::config::TilingConfig;
 use morph_dataflow::perf::Parallelism;
@@ -19,7 +20,7 @@ use morph_tensor::shape::ConvShape;
 use morph_trace::Recorder;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The dataflow mapping a backend chose for one layer.
 ///
@@ -180,7 +181,7 @@ fn budgeted_optimizer(
     store: &Arc<DecisionStore>,
     build: impl FnOnce(ArchSpec) -> Optimizer,
 ) -> Arc<Optimizer> {
-    Arc::clone(budgeted.lock().unwrap().entry(clusters).or_insert_with(|| {
+    Arc::clone(budgeted.lock().entry(clusters).or_insert_with(|| {
         Arc::new(build(ArchSpec { clusters, ..arch }).with_store(Arc::clone(store)))
     }))
 }

@@ -7,16 +7,33 @@
 //! keeps long searches — early C3D layers take much longer than late ones —
 //! from serializing behind a static partition.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use morph_check::sync::AtomicCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Map `f` over `items` on up to `threads` scoped worker threads,
 /// preserving input order in the result.
+///
+/// The cursor and the scope come from the `morph-check` shim, so the
+/// pool's claim — every index produced exactly once, all workers joined —
+/// is model-checked against the shipping code (see
+/// `crates/core/tests/model_par.rs`).
 ///
 /// `threads <= 1` (or a short input) degrades to a plain sequential map.
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
+/// Propagates a panic from `f`, naming the index of the item whose
+/// evaluation panicked (the scope joins all workers first).
 pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -28,20 +45,34 @@ where
         return items.iter().map(f).collect();
     }
     let workers = threads.min(n);
-    let cursor = AtomicUsize::new(0);
+    let cursor = AtomicCell::new(0usize);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
 
-    let produced: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let produced: Vec<Vec<(usize, R)>> = morph_check::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let i = cursor.fetch_add(1);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                            Ok(r) => local.push((i, r)),
+                            Err(p) => {
+                                // Model-checker aborts must pass through
+                                // untouched or aborted explorations would
+                                // be misreported as user panics.
+                                if morph_check::panic_payload_is_abort(p.as_ref()) {
+                                    morph_check::resume_abort(p);
+                                }
+                                panic!(
+                                    "par_map worker panicked at item {i}: {}",
+                                    panic_message(p.as_ref())
+                                );
+                            }
+                        }
                     }
                     local
                 })
@@ -49,7 +80,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => resume_unwind(p),
+            })
             .collect()
     });
 
@@ -99,6 +133,23 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(par_map(4, &empty, |&x| x).is_empty());
         assert_eq!(par_map(4, &[7u32], |&x| x), vec![7]);
+    }
+
+    #[test]
+    fn worker_panic_names_the_item_index() {
+        let items: Vec<u32> = (0..8).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map(2, &items, |&x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = panic_message(err.as_ref());
+        assert!(
+            msg.contains("item 5") && msg.contains("boom"),
+            "panic message must carry the item index and cause: {msg}"
+        );
     }
 
     #[test]

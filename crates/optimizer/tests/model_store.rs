@@ -1,0 +1,188 @@
+//! Model-checked concurrency properties of the *shipping*
+//! [`DecisionStore`] — not a toy replica. The store's mutex is the
+//! morph-check shim, so [`morph_check::explore`] drives every lock
+//! acquisition through the deterministic scheduler and proves the
+//! properties over thousands of distinct interleavings.
+//!
+//! Properties (the same ones the reports rely on, see the store docs):
+//! aggregate [`SearchStats`] are deterministic at every thread count when
+//! duplicate searches record identical stats, and first-writer-wins makes
+//! every published entry write-once stable. The seeded mutant — a store
+//! that blindly overwrites — is caught by the lost-update rule with a
+//! replayable schedule certificate.
+
+use morph_check::sync::Mutex as CheckMutex;
+use morph_check::{explore, explore_replay, Config, ViolationKind};
+use morph_dataflow::perf::CycleReport;
+use morph_energy::EnergyReport;
+use morph_optimizer::search::Objective;
+use morph_optimizer::store::{DecisionStore, SearchStats, StoreKey, StoredDecision};
+use morph_tensor::shape::ConvShape;
+use std::collections::HashMap;
+
+fn entry(cycles: u64, stats: SearchStats) -> StoredDecision {
+    let mut report = EnergyReport::zero();
+    report.cycles = CycleReport {
+        compute: cycles,
+        dram: 0,
+        l2_l1: 0,
+        l1_l0: 0,
+        total: cycles,
+        ideal: cycles,
+    };
+    StoredDecision {
+        report,
+        mapping: None,
+        stats,
+    }
+}
+
+fn key(clusters: usize) -> StoreKey {
+    let shape = ConvShape::new_2d(8, 8, 4, 8, 3, 3);
+    (shape, Objective::Energy, clusters)
+}
+
+fn stats(enumerated: u64, costed: u64) -> SearchStats {
+    SearchStats {
+        enumerated,
+        bound_pruned: enumerated - costed,
+        costed,
+    }
+}
+
+/// Wide bounds: these properties must be checked across >= 1000 distinct
+/// schedules (ISSUE 8 acceptance).
+fn wide() -> Config {
+    Config {
+        max_exhaustive: 8000,
+        samples: 500,
+        ..Config::default()
+    }
+    .env_scaled()
+}
+
+#[test]
+fn store_stats_deterministic_across_schedules() {
+    // Three workers race duplicate searches of the same two keys, as the
+    // budgeted sweep does. Duplicate searches record identical stats, so
+    // the aggregate must come out the same under EVERY schedule.
+    let dup = stats(10, 4);
+    let other = stats(5, 5);
+    let report = explore(&wide(), || {
+        let store = DecisionStore::new();
+        let store = &store;
+        morph_check::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(move || {
+                    store.insert(key(6), entry(100, dup));
+                    store.insert(key(3), entry(200, other));
+                    assert_eq!(store.get(&key(6)).unwrap().stats, dup);
+                });
+            }
+        });
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats(), dup.add(&other));
+        assert_eq!(store.get(&key(6)).unwrap().report.cycles.total, 100);
+    });
+    report.assert_ok();
+    assert!(
+        report.schedules_explored >= 1000,
+        "acceptance: >= 1k distinct schedules, got {} (+{} pruned)",
+        report.schedules_explored,
+        report.schedules_pruned
+    );
+}
+
+#[test]
+fn first_writer_wins_is_write_once_stable() {
+    // With distinct payloads racing on one key, first-writer-wins means:
+    // once any thread observes a value for the key, every later read —
+    // including the post-join one — sees that same value.
+    let report = explore(&wide(), || {
+        let store = DecisionStore::new();
+        let store = &store;
+        let observed: Vec<SearchStats> = morph_check::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    s.spawn(move || {
+                        store.insert(key(6), entry(100 + i, stats(10 + i, i)));
+                        store.get(&key(6)).unwrap().stats
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let final_stats = store.get(&key(6)).unwrap().stats;
+        for s in observed {
+            assert_eq!(s, final_stats, "published entry changed after first read");
+        }
+    });
+    report.assert_ok();
+    assert!(report.completed, "two-writer tree should exhaust");
+}
+
+// -------------------------------------------------------------------------
+// Seeded mutant: the same scenario on a store WITHOUT first-writer-wins.
+
+/// The mutant: identical locking, but `insert` blindly overwrites — the
+/// bug `DecisionStore::insert`'s `entry().or_insert()` exists to prevent.
+#[derive(Default)]
+struct BlindStore {
+    entries: CheckMutex<HashMap<StoreKey, StoredDecision>>,
+}
+
+impl BlindStore {
+    fn insert(&self, key: StoreKey, decision: StoredDecision) {
+        self.entries.lock().insert(key, decision);
+    }
+
+    fn get(&self, key: &StoreKey) -> Option<StoredDecision> {
+        self.entries.lock().get(key).cloned()
+    }
+}
+
+#[test]
+fn mutant_blind_overwrite_caught_by_lost_update_rule() {
+    let mutant = || {
+        let store = BlindStore::default();
+        let store = &store;
+        let observed: Vec<SearchStats> = morph_check::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    s.spawn(move || {
+                        store.insert(key(6), entry(100 + i, stats(10 + i, i)));
+                        store.get(&key(6)).unwrap().stats
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let final_stats = store.get(&key(6)).unwrap().stats;
+        for s in observed {
+            if s != final_stats {
+                morph_check::violate(
+                    ViolationKind::LostUpdate,
+                    format!(
+                        "store entry is not write-once: a thread observed {s:?} but the \
+                         final value is {final_stats:?}; the second writer overwrote the \
+                         first (missing first-writer-wins)"
+                    ),
+                );
+            }
+        }
+    };
+    let report = explore(&wide(), mutant);
+    let v = report.first_violation().expect("mutant must be caught");
+    assert_eq!(v.kind, ViolationKind::LostUpdate, "owning rule: {v}");
+    assert!(
+        v.message.contains("write-once"),
+        "diagnostic names the property: {v}"
+    );
+
+    // The certificate replays to the same violation.
+    let replay = explore_replay(&v.schedule, mutant);
+    let rv = replay
+        .first_violation()
+        .expect("certificate must reproduce");
+    assert_eq!(rv.kind, ViolationKind::LostUpdate);
+}

@@ -48,9 +48,9 @@
 //! assert_eq!(bounds, Some((0, 30)));
 //! ```
 
+use morph_check::sync::Mutex;
 use morph_json::Value;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 /// What kind of mark a [`TraceEvent`] is.
 ///
@@ -202,7 +202,7 @@ impl TraceBuffer {
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.events.lock().len()
     }
 
     /// True when nothing has been recorded.
@@ -212,7 +212,7 @@ impl TraceBuffer {
 
     /// Snapshot of the recorded events in call order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().unwrap().clone()
+        self.events.lock().clone()
     }
 
     /// A new buffer holding only the events `keep` accepts, in order.
@@ -222,7 +222,6 @@ impl TraceBuffer {
         let kept: Vec<TraceEvent> = self
             .events
             .lock()
-            .unwrap()
             .iter()
             .filter(|e| keep(e))
             .cloned()
@@ -242,7 +241,7 @@ impl TraceBuffer {
     /// carried in a top-level `morph_bounds` field the trace audit pass
     /// reads back; viewers ignore it.
     pub fn to_perfetto(&self, bounds: Option<(u64, u64)>) -> Value {
-        let events = self.events.lock().unwrap();
+        let events = self.events.lock();
         let mut tids: BTreeMap<&str, i64> = BTreeMap::new();
         for e in events.iter() {
             let next = tids.len() as i64 + 1;
@@ -413,7 +412,7 @@ impl Recorder for TraceBuffer {
     }
 
     fn record(&self, event: TraceEvent) {
-        self.events.lock().unwrap().push(event);
+        self.events.lock().push(event);
     }
 }
 
