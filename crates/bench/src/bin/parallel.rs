@@ -1,0 +1,254 @@
+//! Parallel event engine: correctness sweep plus wall-clock speedup
+//! against the sequential oracle.
+//!
+//! Two parts:
+//!
+//! 1. **Debug-engine sweep** — the full zoo on Morph, Morph_base and
+//!    Eyeriss under all four `PipelineMode`s, with `EngineKind::Debug`:
+//!    every pipeline simulation the sessions perform (rebalance
+//!    iterations, chain baselines, Pareto points, adopted traced runs)
+//!    executes on **both** engines and is asserted bit-identical —
+//!    stats and canonical traced sidecar — before the sequential result
+//!    ships. Any cycle or energy drift anywhere fails the run.
+//!
+//! 2. **Speedup table** — the engines race head-to-head on the
+//!    scheduled specs of the video nets (reconstructed from part 1's
+//!    reports) and on large synthetic multi-branch nets, at a streaming
+//!    window of 2000 frames. Every race re-asserts bit-identity of the
+//!    stats. The multi-branch synthetic rows must show speedup > 1 when
+//!    the machine has at least 4 cores (single-core boxes can only
+//!    measure the overhead, so there the column is informational).
+
+use morph_bench::{emit_report, print_table};
+use morph_core::{
+    Backend, EngineKind, Eyeriss, Morph, MorphBase, PipelineMode, RunReport, Session,
+};
+use morph_nets::zoo;
+use morph_pipeline::{
+    simulate, simulate_parallel_with, EdgeSpec, ParallelConfig, PipelineReport, PipelineSpec,
+    StageSpec,
+};
+use std::time::Instant;
+
+fn debug_sweep(mode: PipelineMode) -> RunReport {
+    let backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(
+            Morph::builder()
+                .effort(morph_bench::effort_from_env())
+                .build(),
+        ),
+        Box::new(MorphBase::builder().build()),
+        Box::new(Eyeriss::builder().build()),
+    ];
+    let mut builder = Session::builder()
+        .networks(zoo::all())
+        .pipeline(mode)
+        .engine(EngineKind::Debug);
+    for b in backends {
+        builder = builder.backend_boxed(b);
+    }
+    builder.build().run()
+}
+
+/// Rebuild the simulated spec from a scheduled report: stage services
+/// after rebalancing, edges with their provisioned capacities.
+fn spec_from_report(p: &PipelineReport) -> PipelineSpec {
+    PipelineSpec {
+        stages: p
+            .stages
+            .iter()
+            .map(|s| StageSpec {
+                name: s.name.clone(),
+                service_cycles: s.service_cycles,
+            })
+            .collect(),
+        edges: p
+            .edges
+            .iter()
+            .map(|e| EdgeSpec {
+                from: e.from as usize,
+                to: e.to as usize,
+                capacity: e.capacity as usize,
+            })
+            .collect(),
+    }
+}
+
+/// A wide fork/join net: one source fans out into `branches` chains of
+/// `depth` stages each, all joining into one sink. Uneven services keep
+/// the branches from running in lockstep.
+fn synthetic_multibranch(branches: usize, depth: usize) -> PipelineSpec {
+    let mut stages = vec![StageSpec {
+        name: "src".into(),
+        service_cycles: 40,
+    }];
+    let mut edges = Vec::new();
+    for b in 0..branches {
+        for d in 0..depth {
+            let idx = stages.len();
+            stages.push(StageSpec {
+                name: format!("b{b}s{d}"),
+                service_cycles: 30 + ((b * 7 + d * 3) % 25) as u64,
+            });
+            let from = if d == 0 { 0 } else { idx - 1 };
+            edges.push(EdgeSpec {
+                from,
+                to: idx,
+                capacity: 2,
+            });
+        }
+    }
+    let sink = stages.len();
+    stages.push(StageSpec {
+        name: "sink".into(),
+        service_cycles: 40,
+    });
+    for b in 0..branches {
+        edges.push(EdgeSpec {
+            from: 1 + b * depth + (depth - 1),
+            to: sink,
+            capacity: 2,
+        });
+    }
+    PipelineSpec { stages, edges }
+}
+
+/// Race both engines on `spec`, re-asserting bit-identity; returns
+/// (sequential ms, parallel ms) — the median of three runs each.
+fn race(spec: &PipelineSpec, frames: u64, threads: usize) -> (f64, f64) {
+    let cfg = ParallelConfig {
+        threads,
+        flavors: None,
+        flush_batch: 64,
+    };
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let oracle = simulate(spec, frames);
+    let par = simulate_parallel_with(spec, frames, &cfg);
+    assert!(
+        par == oracle,
+        "speedup race must stay bit-identical on {}-stage spec",
+        spec.stages.len()
+    );
+    let seq_ms = median(
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let s = simulate(spec, frames);
+                assert_eq!(s.frames_out, frames);
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+    let par_ms = median(
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let s = simulate_parallel_with(spec, frames, &cfg);
+                assert_eq!(s.frames_out, frames);
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+    (seq_ms, par_ms)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // Part 1: every mode, every backend, the whole zoo, both engines.
+    let modes = [
+        PipelineMode::Analytic,
+        PipelineMode::Rebalanced,
+        PipelineMode::DagRebalanced,
+        PipelineMode::Pareto { power_cap_mw: None },
+    ];
+    let mut checked = 0usize;
+    let mut dag_report = None;
+    for mode in modes {
+        let report = debug_sweep(mode);
+        checked += report.runs.iter().filter(|r| r.pipeline.is_some()).count();
+        if mode == PipelineMode::DagRebalanced {
+            dag_report = Some(report);
+        }
+    }
+    let dag_report = dag_report.expect("DagRebalanced sweep ran");
+    eprintln!(
+        "[parallel] debug engine bit-checked {checked} (backend, network, mode) pipeline reports"
+    );
+
+    // Part 2: head-to-head races on scheduled video nets and synthetic
+    // multi-branch shapes.
+    const FRAMES: u64 = 2000;
+    let mut rows = Vec::new();
+    for run in &dag_report.runs {
+        if run.backend != "Morph" || !zoo::by_name(&run.network).unwrap().is_branching() {
+            continue;
+        }
+        let spec = spec_from_report(run.pipeline.as_ref().expect("pipeline mode on"));
+        let threads = spec.stages.len().min(cores.max(2));
+        let (seq_ms, par_ms) = race(&spec, FRAMES, threads);
+        rows.push((
+            format!("{} (Morph)", run.network),
+            spec.stages.len(),
+            threads,
+            seq_ms,
+            par_ms,
+            false,
+        ));
+    }
+    for (branches, depth) in [(4, 12), (8, 25)] {
+        let spec = synthetic_multibranch(branches, depth);
+        let threads = spec.stages.len().min(cores);
+        let (seq_ms, par_ms) = race(&spec, FRAMES, threads);
+        rows.push((
+            format!("synthetic {branches}x{depth}"),
+            spec.stages.len(),
+            threads,
+            seq_ms,
+            par_ms,
+            true,
+        ));
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, stages, threads, seq_ms, par_ms, _)| {
+            vec![
+                name.clone(),
+                stages.to_string(),
+                threads.to_string(),
+                format!("{seq_ms:.2}"),
+                format!("{par_ms:.2}"),
+                format!("{:.2}x", seq_ms / par_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Parallel engine — wall-clock vs the sequential oracle ({FRAMES}-frame window, {cores} core(s))"),
+        &["net", "stages", "workers", "seq (ms)", "par (ms)", "speedup"],
+        &table,
+    );
+
+    for (name, _, threads, seq_ms, par_ms, synthetic) in &rows {
+        if *synthetic && cores >= 4 && *threads >= 4 {
+            assert!(
+                seq_ms / par_ms > 1.0,
+                "{name}: multi-branch speedup must beat 1.0 at {threads} workers \
+                 on a {cores}-core machine (seq {seq_ms:.2} ms, par {par_ms:.2} ms)"
+            );
+        }
+    }
+    println!(
+        "\nShape: every simulation above ran on both engines and matched bit for bit — the \
+         sequential event loop stays the shipping oracle, the parallel engine is a wall-clock \
+         optimization. Speedup comes from branch-level parallelism: stage workers advance on \
+         local simulated time and synchronize only through per-edge timestamp channels, so wide \
+         fork/join nets scale with cores while narrow chains are dominated by channel overhead. \
+         On machines with fewer than 4 cores the speedup column measures overhead, not scaling, \
+         and is not asserted."
+    );
+    emit_report("parallel", &dag_report);
+}

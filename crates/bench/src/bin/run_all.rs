@@ -8,7 +8,7 @@ use morph_core::RunReport;
 use std::process::Command;
 
 /// All experiment binaries, in dependency-free execution order.
-const BINS: [&str; 19] = [
+const BINS: [&str; 20] = [
     "tables",
     "table4",
     "fig1a",
@@ -25,13 +25,14 @@ const BINS: [&str; 19] = [
     "fig10",
     "ablate_flex",
     "pipeline",
+    "parallel",
     "pareto",
     "search",
     "trace",
 ];
 
 /// The subset that persists a structured `RunReport`.
-const REPORTING_BINS: [&str; 10] = [
+const REPORTING_BINS: [&str; 11] = [
     "fig4a",
     "fig4b",
     "fig4c",
@@ -40,6 +41,7 @@ const REPORTING_BINS: [&str; 10] = [
     "fig10",
     "ablate_flex",
     "pipeline",
+    "parallel",
     "pareto",
     "search",
 ];

@@ -159,6 +159,10 @@ pub(crate) enum Op {
     ChanSend(ObjId),
     /// Pop from a bounded channel (blocks while empty).
     ChanRecv(ObjId),
+    /// Take one permit from a semaphore (blocks while none are
+    /// available). The matching release is not a yield point — it
+    /// mirrors mutex unlock and publishes the release clock directly.
+    SemAcquire(ObjId),
     /// Unsynchronised read of a `RaceCell`.
     RaceRead(ObjId),
     /// Unsynchronised write of a `RaceCell`.
@@ -176,6 +180,7 @@ impl Op {
             | Op::AtomicRmw(o)
             | Op::ChanSend(o)
             | Op::ChanRecv(o)
+            | Op::SemAcquire(o)
             | Op::RaceRead(o)
             | Op::RaceWrite(o) => Some(o),
             Op::Begin | Op::Join(_) => None,
@@ -263,7 +268,9 @@ pub(crate) enum ObjKind {
     Atomic,
     /// `sync::Channel`.
     Chan,
-    /// `sync::RaceCell`.
+    /// `sync::Semaphore`.
+    Sem,
+    /// `sync::RaceCell` / `sync::RaceSlot`.
     Race,
 }
 
@@ -273,6 +280,7 @@ impl ObjKind {
             ObjKind::Mutex => "Mutex",
             ObjKind::Atomic => "AtomicCell",
             ObjKind::Chan => "Channel",
+            ObjKind::Sem => "Semaphore",
             ObjKind::Race => "RaceCell",
         }
     }
@@ -302,7 +310,9 @@ impl ObjState {
             kind,
             clock: Vc::default(),
             owner: None,
-            chan_len: 0,
+            // Semaphores reuse the channel counter as their permit pool,
+            // starting full; channels start empty.
+            chan_len: if kind == ObjKind::Sem { chan_cap } else { 0 },
             chan_cap,
             version: 0,
             last_read: Vec::new(),
@@ -557,6 +567,22 @@ impl Scheduler {
         st.threads[tid].vc.bump(tid);
     }
 
+    /// Return a permit to a shim semaphore. Like
+    /// [`Scheduler::release_mutex`] this is not a yield point: the
+    /// release publishes the releasing thread's clock so the next
+    /// acquirer inherits a happens-before edge, and newly-unblocked
+    /// waiters become enabled at the next scheduling decision.
+    pub(crate) fn release_sem(&self, tid: Tid, o: ObjId) {
+        let mut st = self.lock_state();
+        if o >= st.objs.len() {
+            return;
+        }
+        st.objs[o].chan_len += 1;
+        let vc = st.threads[tid].vc.clone();
+        st.objs[o].clock.join(&vc);
+        st.threads[tid].vc.bump(tid);
+    }
+
     /// Record a violation raised explicitly by [`crate::violate`].
     pub(crate) fn violate_from_thread(&self, tid: Tid, kind: ViolationKind, message: &str) -> ! {
         let mut st = self.lock_state();
@@ -783,6 +809,11 @@ impl Scheduler {
                 st.objs[o].chan_len -= 1;
                 acquire(st, tid, o);
             }
+            Op::SemAcquire(o) => {
+                debug_assert!(st.objs[o].chan_len > 0);
+                st.objs[o].chan_len -= 1;
+                acquire(st, tid, o);
+            }
             Op::RaceRead(o) => {
                 if let Some((wt, wc)) = st.objs[o].write_epoch {
                     if st.threads[tid].vc.get(wt) < wc {
@@ -862,6 +893,7 @@ fn blocked(st: &ExecState, op: Op) -> bool {
         Op::MutexLock(o) => st.objs[o].owner.is_some(),
         Op::ChanSend(o) => st.objs[o].chan_len >= st.objs[o].chan_cap,
         Op::ChanRecv(o) => st.objs[o].chan_len == 0,
+        Op::SemAcquire(o) => st.objs[o].chan_len == 0,
         Op::Join(u) => st.threads[u].status != Status::Finished,
         Op::Begin
         | Op::AtomicLoad(_)
@@ -898,6 +930,7 @@ fn describe_op(op: Op, objs: &[ObjState]) -> String {
         Op::AtomicRmw(o) => format!("rmw({})", name(o)),
         Op::ChanSend(o) => format!("send({})", name(o)),
         Op::ChanRecv(o) => format!("recv({})", name(o)),
+        Op::SemAcquire(o) => format!("acquire({})", name(o)),
         Op::RaceRead(o) => format!("read({})", name(o)),
         Op::RaceWrite(o) => format!("write({})", name(o)),
         Op::Join(u) => format!("join(t{u})"),
@@ -928,6 +961,11 @@ fn deadlock_message(st: &ExecState, parked: &[Tid]) -> String {
             Op::ChanRecv(o) => format!(
                 "thread {t} waits to recv on empty {}",
                 obj_name(&st.objs[o], o)
+            ),
+            Op::SemAcquire(o) => format!(
+                "thread {t} waits to acquire {} with no permits (of {})",
+                obj_name(&st.objs[o], o),
+                st.objs[o].chan_cap
             ),
             Op::Join(u) => format!("thread {t} waits to join thread {u}"),
             _ => format!("thread {t} blocked on {}", describe_op(op, &st.objs)),

@@ -227,6 +227,128 @@ impl<T: Copy> RaceCell<T> {
 }
 
 // ---------------------------------------------------------------------------
+// RaceSlot
+
+/// A deliberately unsynchronised **storage slot** for non-`Copy` values:
+/// the move-semantics sibling of [`RaceCell`]. `put` parks a value,
+/// `take` removes it; both count as writes for the race detector, so any
+/// pair of concurrent accesses without a happens-before edge is flagged
+/// as a [`crate::ViolationKind::DataRace`]. The SPSC ring buffer behind
+/// the parallel pipeline engine stores its payloads in `RaceSlot`s:
+/// passing the checker proves the surrounding semaphore protocol alone
+/// orders every producer `put` before the matching consumer `take`.
+#[derive(Debug, Default)]
+pub struct RaceSlot<T> {
+    tag: ObjTag,
+    inner: std_sync::Mutex<Option<T>>,
+}
+
+impl<T> RaceSlot<T> {
+    /// An empty slot.
+    pub fn empty() -> Self {
+        RaceSlot {
+            tag: ObjTag::new(),
+            inner: std_sync::Mutex::new(None),
+        }
+    }
+
+    /// Park a value in the slot (race-checked under the model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied — an occupied `put` means
+    /// the caller's flow-control protocol is broken.
+    pub fn put(&self, value: T) {
+        if let Some(ctx) = sched::current_ctx() {
+            let id = self.tag.id(&ctx.sched, ObjKind::Race, 0);
+            ctx.sched.yield_op(ctx.tid, Op::RaceWrite(id));
+        }
+        let prev = std_lock(&self.inner).replace(value);
+        assert!(prev.is_none(), "RaceSlot::put into an occupied slot");
+    }
+
+    /// Remove and return the slot's value, if any (race-checked under
+    /// the model; removal mutates, so this is a write).
+    pub fn take(&self) -> Option<T> {
+        if let Some(ctx) = sched::current_ctx() {
+            let id = self.tag.id(&ctx.sched, ObjKind::Race, 0);
+            ctx.sched.yield_op(ctx.tid, Op::RaceWrite(id));
+        }
+        std_lock(&self.inner).take()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+
+/// A counting semaphore. Normal builds block on a condvar; under the
+/// model, `acquire` with no permits parks the model thread and feeds the
+/// scheduler's exact deadlock detection, and `release` publishes the
+/// releasing thread's vector clock (mirroring mutex unlock) so
+/// release → acquire is a happens-before edge. The parallel pipeline
+/// engine uses semaphore pairs as the item/space counters of its SPSC
+/// channel flavor and as the worker-admission throttle.
+#[derive(Debug)]
+pub struct Semaphore {
+    tag: ObjTag,
+    initial: usize,
+    permits: std_sync::Mutex<usize>,
+    available: std_sync::Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore starting with `permits` permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            tag: ObjTag::new(),
+            initial: permits,
+            permits: std_sync::Mutex::new(permits),
+            available: std_sync::Condvar::new(),
+        }
+    }
+
+    /// Permits the semaphore started with.
+    pub fn initial_permits(&self) -> usize {
+        self.initial
+    }
+
+    /// Take one permit, blocking (in model mode: parking the model
+    /// thread) until one is available.
+    pub fn acquire(&self) {
+        if let Some(ctx) = sched::current_ctx() {
+            let id = self.tag.id(&ctx.sched, ObjKind::Sem, self.initial);
+            ctx.sched.yield_op(ctx.tid, Op::SemAcquire(id));
+            let mut p = std_lock(&self.permits);
+            debug_assert!(*p > 0, "scheduler granted acquire with no permits");
+            *p -= 1;
+            return;
+        }
+        let mut p = std_lock(&self.permits);
+        while *p == 0 {
+            p = match self.available.wait(p) {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+        }
+        *p -= 1;
+    }
+
+    /// Return one permit, waking a blocked acquirer.
+    pub fn release(&self) {
+        let model = sched::current_ctx();
+        *std_lock(&self.permits) += 1;
+        match model {
+            Some(ctx) => {
+                // Not a yield point — see Scheduler::release_sem.
+                let id = self.tag.id(&ctx.sched, ObjKind::Sem, self.initial);
+                ctx.sched.release_sem(ctx.tid, id);
+            }
+            None => self.available.notify_one(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Channel
 
 /// A bounded MPMC channel. Normal builds block on condvars; under the

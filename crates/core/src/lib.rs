@@ -142,7 +142,8 @@ pub use morph_optimizer::{
     StoredDecision,
 };
 pub use morph_pipeline::{
-    EdgeReport, ParetoPoint, ParetoReport, PipelineCaps, PipelineMode, PipelineReport, StageReport,
+    EdgeReport, EngineKind, ParetoPoint, ParetoReport, PipelineCaps, PipelineMode, PipelineReport,
+    StageReport,
 };
 pub use report::{LayerRecord, NetworkRun, RunReport, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 pub use session::{Session, SessionBuilder, DEFAULT_PIPELINE_FRAMES};

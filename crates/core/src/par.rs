@@ -32,8 +32,14 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f`, naming the index of the item whose
-/// evaluation panicked (the scope joins all workers first).
+/// Panic propagation is **deterministic**: every item is evaluated
+/// exactly once even when some evaluations panic, all panics are
+/// collected, and the one with the *lowest item index* is re-thrown
+/// (naming that index); any concurrent panics at higher indices are
+/// swallowed cleanly after being fully unwound in their worker. The
+/// propagated panic is therefore a pure function of `(items, f)`,
+/// independent of thread count and scheduling — the same first-failure
+/// the sequential fallback reports.
 pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -41,40 +47,52 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let n = items.len();
+    let eval = |i: usize, t: &T| -> Result<R, (usize, String)> {
+        match catch_unwind(AssertUnwindSafe(|| f(t))) {
+            Ok(r) => Ok(r),
+            Err(p) => {
+                // Model-checker aborts must pass through untouched or
+                // aborted explorations would be misreported as user
+                // panics.
+                if morph_check::panic_payload_is_abort(p.as_ref()) {
+                    morph_check::resume_abort(p);
+                }
+                Err((i, panic_message(p.as_ref())))
+            }
+        }
+    };
+    let first_failure = |(i, msg): &(usize, String), swallowed: usize| -> ! {
+        panic!("par_map worker panicked at item {i}: {msg} ({swallowed} later panic(s) swallowed)")
+    };
     if threads <= 1 || n <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| eval(i, t).unwrap_or_else(|e| first_failure(&e, 0)))
+            .collect();
     }
     let workers = threads.min(n);
     let cursor = AtomicCell::new(0usize);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
 
-    let produced: Vec<Vec<(usize, R)>> = morph_check::thread::scope(|scope| {
+    type WorkerOut<R> = (Vec<(usize, R)>, Vec<(usize, String)>);
+    let produced: Vec<WorkerOut<R>> = morph_check::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();
+                    let mut failed = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1);
                         if i >= n {
                             break;
                         }
-                        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                        match eval(i, &items[i]) {
                             Ok(r) => local.push((i, r)),
-                            Err(p) => {
-                                // Model-checker aborts must pass through
-                                // untouched or aborted explorations would
-                                // be misreported as user panics.
-                                if morph_check::panic_payload_is_abort(p.as_ref()) {
-                                    morph_check::resume_abort(p);
-                                }
-                                panic!(
-                                    "par_map worker panicked at item {i}: {}",
-                                    panic_message(p.as_ref())
-                                );
-                            }
+                            Err(e) => failed.push(e),
                         }
                     }
-                    local
+                    (local, failed)
                 })
             })
             .collect();
@@ -87,9 +105,17 @@ where
             .collect()
     });
 
-    for (i, r) in produced.into_iter().flatten() {
-        debug_assert!(slots[i].is_none(), "index {i} produced twice");
-        slots[i] = Some(r);
+    let mut panics: Vec<(usize, String)> = Vec::new();
+    for (results, failed) in produced {
+        panics.extend(failed);
+        for (i, r) in results {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
+    }
+    if !panics.is_empty() {
+        panics.sort();
+        first_failure(&panics[0], panics.len() - 1);
     }
     slots
         .into_iter()
@@ -149,6 +175,49 @@ mod tests {
         assert!(
             msg.contains("item 5") && msg.contains("boom"),
             "panic message must carry the item index and cause: {msg}"
+        );
+    }
+
+    #[test]
+    fn concurrent_multi_panic_is_deterministic_first_by_index() {
+        // Several items panic at once on different workers; the
+        // propagated panic must always be the lowest-index one, with the
+        // rest swallowed — independent of scheduling, so repeat it.
+        let items: Vec<u32> = (0..16).collect();
+        for _ in 0..25 {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                par_map(4, &items, |&x| {
+                    assert!(x % 5 != 2, "boom at {x}");
+                    x
+                })
+            }))
+            .expect_err("panic must propagate");
+            let msg = panic_message(err.as_ref());
+            assert!(
+                msg.contains("item 2") && msg.contains("boom at 2"),
+                "lowest failing index must win: {msg}"
+            );
+            assert!(
+                !msg.contains("item 7") && !msg.contains("item 12"),
+                "higher-index panics must be swallowed: {msg}"
+            );
+            assert!(
+                msg.contains("2 later panic(s) swallowed"),
+                "swallowed panics must be accounted for: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_panic_names_the_item_index() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map(1, &[1u32, 3, 5], |&x| assert!(x != 3, "odd one out"))
+        }))
+        .expect_err("panic must propagate");
+        let msg = panic_message(err.as_ref());
+        assert!(
+            msg.contains("item 1") && msg.contains("odd one out"),
+            "sequential fallback must name the index too: {msg}"
         );
     }
 

@@ -44,8 +44,8 @@ use crate::report::{LayerRecord, NetworkRun, RunReport, SCHEMA_VERSION};
 use morph_nets::Network;
 use morph_optimizer::{DecisionStore, Objective, Optimizer, SearchStats, StoreKey, StoredDecision};
 use morph_pipeline::{
-    balance, pareto_frontier, simulate, simulate_traced, EdgeSpec, ParetoPoint, ParetoReport,
-    PipelineMode, PipelineReport, PipelineSpec, StageSpec,
+    balance, pareto_frontier, simulate_traced_with_engine, simulate_with_engine, EdgeSpec,
+    EngineKind, ParetoPoint, ParetoReport, PipelineMode, PipelineReport, PipelineSpec, StageSpec,
 };
 use morph_tensor::shape::ConvShape;
 use morph_trace::{NoopRecorder, PrefixRecorder, Recorder};
@@ -98,6 +98,9 @@ pub struct Session {
     threads: usize,
     pipeline: PipelineMode,
     pipeline_frames: u64,
+    /// Which pipeline engine every simulation of this session runs
+    /// (resolved once at build time; see [`SessionBuilder::engine`]).
+    engine: EngineKind,
     /// Trace sink for wall-clock evaluation spans, cache counters and the
     /// final pipeline simulation ([`NoopRecorder`] unless
     /// [`SessionBuilder::trace`] attached one).
@@ -114,6 +117,7 @@ pub struct SessionBuilder {
     threads: Option<usize>,
     pipeline: PipelineMode,
     pipeline_frames: Option<u64>,
+    engine: Option<EngineKind>,
     trace: Option<Arc<dyn Recorder>>,
 }
 
@@ -162,6 +166,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Pipeline engine selection (default [`EngineKind::Sequential`],
+    /// the shipping oracle). Every pipeline simulation of the session —
+    /// greedy rebalance iterations, Pareto sweep points, the adopted
+    /// schedule and the chain baseline — runs under the selected engine;
+    /// [`EngineKind::Debug`] therefore differentially bit-checks each
+    /// one. The `MORPH_ENGINE` environment variable, when set, overrides
+    /// whatever is configured here (it is read once, at [`Self::build`]).
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = Some(kind);
+        self
+    }
+
     /// Attach a trace [`Recorder`]. Each [`Session::run`] then records:
     ///
     /// * a **wall-clock** span (nanoseconds since run start) per fresh
@@ -200,6 +216,9 @@ impl SessionBuilder {
             threads: self.threads.unwrap_or_else(par::default_threads),
             pipeline: self.pipeline,
             pipeline_frames: self.pipeline_frames.unwrap_or(DEFAULT_PIPELINE_FRAMES),
+            engine: EngineKind::from_env()
+                .or(self.engine)
+                .unwrap_or(EngineKind::Sequential),
             trace: self.trace.unwrap_or_else(|| Arc::new(NoopRecorder)),
             last_hits: Mutex::new(Vec::new()),
         }
@@ -228,6 +247,12 @@ impl Session {
     /// ```
     pub fn builder() -> SessionBuilder {
         SessionBuilder::default()
+    }
+
+    /// Run one pipeline simulation under the session's engine selection
+    /// (sequential oracle, parallel engine, or differential debug mode).
+    fn sim(&self, spec: &PipelineSpec) -> morph_pipeline::PipelineStats {
+        simulate_with_engine(self.engine, spec, self.pipeline_frames)
     }
 
     /// The configured backends (session order).
@@ -574,7 +599,7 @@ impl Session {
                 // Greedy pass: flatten the current bottleneck — wherever
                 // it sits across the branches — until it stops moving.
                 for _ in 0..n {
-                    let stats = simulate(&spec_of(&services), self.pipeline_frames);
+                    let stats = self.sim(&spec_of(&services));
                     let b = stats.bottleneck();
                     if rebalanced[b] {
                         break; // already latency-optimal and still the bottleneck
@@ -634,9 +659,14 @@ impl Session {
                 Arc::clone(&self.trace),
                 format!("pipe:{}/{}/", backend.name(), net_name),
             );
-            simulate_traced(&spec_of(&services), self.pipeline_frames, &rec)
+            simulate_traced_with_engine(
+                self.engine,
+                &spec_of(&services),
+                self.pipeline_frames,
+                &rec,
+            )
         } else {
-            simulate(&spec_of(&services), self.pipeline_frames)
+            self.sim(&spec_of(&services))
         };
 
         // The pre-DAG baseline: the same services scheduled as a
@@ -646,7 +676,7 @@ impl Session {
             .map(|r| caps.channel_capacity(r.shape.output_bytes()))
             .collect();
         let chain_spec = PipelineSpec::chain(stages_of(&services), &chain_caps);
-        let chain_stats = simulate(&chain_spec, self.pipeline_frames);
+        let chain_stats = self.sim(&chain_spec);
 
         let powers: Vec<f64> = services
             .iter()
@@ -690,8 +720,7 @@ impl Session {
         let backend = self.backends[backend_index].as_ref();
         let m = backend.arch().clusters.max(1);
         let deadline = *services.iter().max().expect("at least one stage");
-        let greedy_steady =
-            simulate(&spec_of(services), self.pipeline_frames).steady_cycles_per_frame();
+        let greedy_steady = self.sim(&spec_of(services)).steady_cycles_per_frame();
 
         // Per-stage candidates: the current (greedy) schedule entry at
         // full share, then descending budgets under the backend's own
@@ -749,8 +778,7 @@ impl Session {
             .enumerate()
             .map(|(i, &j)| table[i][j].service_cycles)
             .collect();
-        let steady =
-            simulate(&spec_of(&cand_services), self.pipeline_frames).steady_cycles_per_frame();
+        let steady = self.sim(&spec_of(&cand_services)).steady_cycles_per_frame();
         if steady > greedy_steady + 1e-9 {
             return; // never trade throughput away: keep the greedy schedule
         }
@@ -860,7 +888,7 @@ impl Session {
                     .enumerate()
                     .map(|(i, &j)| balance::stage_power_mw(table[i][j].energy_pj, svc[i], clock))
                     .collect();
-                let stats = simulate(&spec_of(&svc), self.pipeline_frames);
+                let stats = self.sim(&spec_of(&svc));
                 candidates.push((
                     choice,
                     ParetoPoint {
@@ -1132,6 +1160,10 @@ mod tests {
     const TEST_CLUSTERS: usize = 4;
 
     fn run_mode(mode: PipelineMode) -> RunReport {
+        run_mode_engine(mode, EngineKind::Sequential)
+    }
+
+    fn run_mode_engine(mode: PipelineMode, engine: EngineKind) -> RunReport {
         let arch = morph_dataflow::arch::ArchSpec {
             clusters: TEST_CLUSTERS,
             ..morph_dataflow::arch::ArchSpec::morph()
@@ -1140,8 +1172,35 @@ mod tests {
             .backend(Morph::builder().arch(arch).build())
             .network(branched_net())
             .pipeline(mode)
+            .engine(engine)
             .build()
             .run()
+    }
+
+    #[test]
+    fn engine_selection_is_report_invisible() {
+        // The parallel engine (and the both-engines debug mode, which
+        // bit-checks every simulation internally) must produce the exact
+        // report the sequential oracle ships — byte-identical JSON.
+        for mode in [
+            PipelineMode::Analytic,
+            PipelineMode::DagRebalanced,
+            PipelineMode::Pareto { power_cap_mw: None },
+        ] {
+            let seq = run_mode_engine(mode, EngineKind::Sequential);
+            let par = run_mode_engine(mode, EngineKind::Parallel);
+            let dbg = run_mode_engine(mode, EngineKind::Debug);
+            assert_eq!(
+                seq.to_json_string(),
+                par.to_json_string(),
+                "parallel engine diverged in {mode:?}"
+            );
+            assert_eq!(
+                seq.to_json_string(),
+                dbg.to_json_string(),
+                "debug engine diverged in {mode:?}"
+            );
+        }
     }
 
     #[test]

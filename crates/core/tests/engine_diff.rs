@@ -1,0 +1,102 @@
+//! End-to-end differential suite: the parallel pipeline engine against
+//! the sequential oracle across the full network zoo, every backend, and
+//! every pipeline mode.
+//!
+//! Each case runs one session under [`EngineKind::Debug`], which
+//! executes **both** engines for every pipeline simulation the session
+//! performs — greedy rebalance iterations, chain baselines, slack
+//! reclamation probes, Pareto sweep points, and the adopted traced run —
+//! and asserts full-struct bit-identity of the [`PipelineStats`] (and,
+//! with tracing enabled as below, byte-identity of the canonical traced
+//! sidecar) before the sequential result ships. Any drift in cycles,
+//! occupancies or spans anywhere in the zoo fails the test at the exact
+//! divergent simulation.
+//!
+//! The engine's worker count follows `MORPH_TEST_THREADS` when set
+//! (`ParallelConfig::default` reads it), which is how the CI matrix runs
+//! this suite at 1 and 8 workers; unset, it uses the machine's
+//! parallelism.
+//!
+//! Under the debug engine every simulation pays for a thread-pool
+//! spin-up, and a session performs thousands of them (rebalance
+//! iterations, Pareto sweep points, chain baselines) — far too slow for
+//! the default `cargo test` wall. So the always-on test covers one
+//! branching zoo net across all modes and backends, and the full-zoo
+//! sweeps are `#[ignore]`d here but run — in release, per worker count —
+//! by CI's `check` job via `--include-ignored` (the `parallel` bench bin
+//! repeats the same full sweep in the experiments job).
+
+use morph_core::{Backend, EngineKind, Eyeriss, Morph, MorphBase, PipelineMode, Session};
+use morph_nets::{zoo, Network};
+use morph_optimizer::space::Effort;
+use morph_trace::TraceBuffer;
+use std::sync::Arc;
+
+const MODES: [PipelineMode; 4] = [
+    PipelineMode::Analytic,
+    PipelineMode::Rebalanced,
+    PipelineMode::DagRebalanced,
+    PipelineMode::Pareto { power_cap_mw: None },
+];
+
+fn diff_networks(networks: Vec<Network>, mode: PipelineMode) {
+    let backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(Morph::builder().effort(Effort::Fast).build()),
+        Box::new(MorphBase::builder().build()),
+        Box::new(Eyeriss::builder().build()),
+    ];
+    let expected = 3 * networks.len();
+    let mut builder = Session::builder()
+        .networks(networks)
+        .pipeline(mode)
+        .engine(EngineKind::Debug)
+        .pipeline_frames(48)
+        .trace(Arc::new(TraceBuffer::new()));
+    for b in backends {
+        builder = builder.backend_boxed(b);
+    }
+    let report = builder.build().run();
+    assert_eq!(report.runs.len(), expected);
+    for run in &report.runs {
+        assert!(
+            run.pipeline.is_some(),
+            "{} x {}: every run must carry a bit-checked pipeline report",
+            run.backend,
+            run.network
+        );
+    }
+}
+
+#[test]
+fn branching_net_is_bit_identical_across_engines_in_every_mode() {
+    // Two_Stream forks into genuinely parallel streams — the shape where
+    // the engines could plausibly diverge — swept through every mode and
+    // backend under the debug engine's per-simulation bit-checks.
+    for mode in MODES {
+        diff_networks(vec![zoo::by_name("Two_Stream").unwrap()], mode);
+    }
+}
+
+#[test]
+#[ignore = "full-zoo debug-engine sweep; CI's check job runs it in release via --include-ignored"]
+fn zoo_analytic_is_bit_identical_across_engines() {
+    diff_networks(zoo::all(), PipelineMode::Analytic);
+}
+
+#[test]
+#[ignore = "full-zoo debug-engine sweep; CI's check job runs it in release via --include-ignored"]
+fn zoo_rebalanced_is_bit_identical_across_engines() {
+    diff_networks(zoo::all(), PipelineMode::Rebalanced);
+}
+
+#[test]
+#[ignore = "full-zoo debug-engine sweep; CI's check job runs it in release via --include-ignored"]
+fn zoo_dag_rebalanced_is_bit_identical_across_engines() {
+    diff_networks(zoo::all(), PipelineMode::DagRebalanced);
+}
+
+#[test]
+#[ignore = "full-zoo debug-engine sweep; CI's check job runs it in release via --include-ignored"]
+fn zoo_pareto_is_bit_identical_across_engines() {
+    diff_networks(zoo::all(), PipelineMode::Pareto { power_cap_mw: None });
+}

@@ -21,12 +21,16 @@
 //! [`simulate_traced`] additionally records the run through a
 //! `morph_trace::Recorder` in **simulated cycles**: per-stage `service` /
 //! `blocked_full` / `blocked_empty` spans on `stage:<i>:<name>` tracks
-//! and per-edge occupancy gauges on `edge:<from>-><to>` tracks. The
-//! engine is deterministic, so the recorded buffer is bit-identical
-//! across runs of the same spec; [`simulate`] uses the zero-overhead
-//! `NoopRecorder`.
+//! and per-edge occupancy gauges on `edge:<from>-><to>` tracks. Events
+//! are buffered during the run, settled (one gauge per channel per
+//! touched timestamp, carrying the value left once the timestamp's
+//! cascade finished) and emitted in [`morph_trace::canonical_sort`]
+//! order, so the recorded buffer is a pure function of the schedule —
+//! bit-identical across runs of the same spec *and* across engines
+//! ([`crate::parallel::simulate_parallel_traced`] reproduces it
+//! byte-for-byte); [`simulate`] uses the zero-overhead `NoopRecorder`.
 
-use morph_trace::{NoopRecorder, Recorder};
+use morph_trace::{canonical_sort, NoopRecorder, Phase, Recorder, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -280,20 +284,47 @@ impl PipelineStats {
 }
 
 /// Bounded-channel state with time-weighted occupancy accounting.
-struct Chan {
-    cap: usize,
-    occ: usize,
-    max: usize,
-    integral: u128,
-    last_t: u64,
+/// `pub(crate)` so the parallel engine's post-hoc channel walk folds
+/// occupancy with the exact same arithmetic as the sequential oracle.
+pub(crate) struct Chan {
+    pub(crate) cap: usize,
+    pub(crate) occ: usize,
+    pub(crate) max: usize,
+    pub(crate) integral: u128,
+    pub(crate) last_t: u64,
+}
+
+/// Canonical track name for stage `i` — shared by both engines so their
+/// traced sidecars land on identical tracks.
+pub(crate) fn stage_track(i: usize, name: &str) -> String {
+    format!("stage:{i}:{name}")
+}
+
+/// Canonical track name for the channel of edge `from -> to`.
+pub(crate) fn edge_track(from: usize, to: usize) -> String {
+    format!("edge:{from}->{to}")
 }
 
 impl Chan {
-    fn set(&mut self, now: u64, occ: usize) {
-        self.integral += self.occ as u128 * u128::from(now - self.last_t);
-        self.last_t = now;
+    /// Record an occupancy change at `now`. Peak and integral fold only
+    /// *settled* values — the occupancy left once a timestamp's cascade
+    /// has finished — so both are pure functions of the push/pop time
+    /// multisets, independent of same-cycle cascade order. (Transient
+    /// intra-timestamp spikes occupy the buffer for zero cycles and
+    /// would otherwise make `max` depend on relaxation order.)
+    pub(crate) fn set(&mut self, now: u64, occ: usize) {
+        if now > self.last_t {
+            self.max = self.max.max(self.occ);
+            self.integral += self.occ as u128 * u128::from(now - self.last_t);
+            self.last_t = now;
+        }
         self.occ = occ;
-        self.max = self.max.max(occ);
+    }
+
+    /// Fold the final settled value; call once after the last `set`.
+    pub(crate) fn close(&mut self, makespan: u64) {
+        self.set(makespan, self.occ);
+        self.max = self.max.max(self.occ);
     }
 }
 
@@ -316,13 +347,18 @@ struct Sim<'a> {
     busy_cycles: Vec<u64>,
     blocked_cycles: Vec<u64>,
     starved_cycles: Vec<u64>,
-    /// Trace sink plus its hoisted `enabled()` flag; when tracing is off
-    /// the instrumentation below is a dead branch per event site.
-    rec: &'a dyn Recorder,
+    /// Hoisted `Recorder::enabled()` flag; when tracing is off the
+    /// instrumentation below is a dead branch per event site.
     traced: bool,
     /// Per-stage and per-edge track names (built only when traced).
     stage_tracks: Vec<String>,
     edge_tracks: Vec<String>,
+    /// Buffered span events (service / blocked_full / blocked_empty) in
+    /// engine call order; canonicalized and emitted after the run.
+    spans: Vec<TraceEvent>,
+    /// Raw per-op occupancy samples `(channel, time, occupancy)`; the
+    /// last sample per `(channel, time)` is the settled gauge value.
+    gauges: Vec<(usize, u64, u64)>,
     /// Frames emitted per sink stage (usize::MAX sentinel unused).
     sink_exits: Vec<u64>,
     is_source: Vec<bool>,
@@ -351,6 +387,22 @@ impl Sim<'_> {
             .all(|&c| self.chans[c].occ < self.chans[c].cap)
     }
 
+    /// Buffer a closed `[t0, t1)` span as a Begin/End event pair.
+    fn push_span(&mut self, i: usize, name: &str, t0: u64, t1: u64) {
+        self.spans.push(TraceEvent {
+            track: self.stage_tracks[i].clone(),
+            name: name.into(),
+            ts: t0,
+            phase: Phase::Begin,
+        });
+        self.spans.push(TraceEvent {
+            track: self.stage_tracks[i].clone(),
+            name: name.into(),
+            ts: t1,
+            phase: Phase::End,
+        });
+    }
+
     fn pop_input(&mut self, i: usize) {
         if self.is_source[i] {
             self.source[i] -= 1;
@@ -362,8 +414,7 @@ impl Sim<'_> {
                 let occ = self.chans[c].occ - 1;
                 self.chans[c].set(self.now, occ);
                 if self.traced {
-                    self.rec
-                        .gauge(&self.edge_tracks[c], "occupancy", self.now, occ as u64);
+                    self.gauges.push((c, self.now, occ as u64));
                 }
             }
         }
@@ -397,8 +448,7 @@ impl Sim<'_> {
                 let occ = self.chans[c].occ + 1;
                 self.chans[c].set(self.now, occ);
                 if self.traced {
-                    self.rec
-                        .gauge(&self.edge_tracks[c], "occupancy", self.now, occ as u64);
+                    self.gauges.push((c, self.now, occ as u64));
                 }
             }
         }
@@ -417,12 +467,7 @@ impl Sim<'_> {
                     self.holding[i] = false;
                     self.blocked_cycles[i] += self.now - self.hold_since[i];
                     if self.traced && self.now > self.hold_since[i] {
-                        self.rec.span(
-                            &self.stage_tracks[i],
-                            "blocked_full",
-                            self.hold_since[i],
-                            self.now,
-                        );
+                        self.push_span(i, "blocked_full", self.hold_since[i], self.now);
                     }
                     self.idle_since[i] = self.now;
                     changed = true;
@@ -436,19 +481,19 @@ impl Sim<'_> {
                         let starved = self.now - self.idle_since[i];
                         self.starved_cycles[i] += starved;
                         if self.traced && starved > 0 {
-                            self.rec.span(
-                                &self.stage_tracks[i],
-                                "blocked_empty",
-                                self.idle_since[i],
-                                self.now,
-                            );
+                            self.push_span(i, "blocked_empty", self.idle_since[i], self.now);
                         }
                     }
                     self.pop_input(i);
                     self.busy[i] = true;
                     if self.traced {
-                        self.rec
-                            .span_begin(&self.stage_tracks[i], "service", self.now);
+                        let ev = TraceEvent {
+                            track: self.stage_tracks[i].clone(),
+                            name: "service".into(),
+                            ts: self.now,
+                            phase: Phase::Begin,
+                        };
+                        self.spans.push(ev);
                     }
                     let t = self.now + self.spec.stages[i].service_cycles;
                     self.heap.push(Reverse((t, self.seq, i)));
@@ -468,7 +513,13 @@ impl Sim<'_> {
             self.done[i] += 1;
             self.busy_cycles[i] += self.spec.stages[i].service_cycles;
             if self.traced {
-                self.rec.span_end(&self.stage_tracks[i], "service", t);
+                let ev = TraceEvent {
+                    track: self.stage_tracks[i].clone(),
+                    name: "service".into(),
+                    ts: t,
+                    phase: Phase::End,
+                };
+                self.spans.push(ev);
             }
             if self.output_has_space(i) {
                 self.push_output(i);
@@ -523,11 +574,11 @@ pub fn simulate_traced(spec: &PipelineSpec, frames: u64, rec: &dyn Recorder) -> 
             spec.stages
                 .iter()
                 .enumerate()
-                .map(|(i, s)| format!("stage:{i}:{}", s.name))
+                .map(|(i, s)| stage_track(i, &s.name))
                 .collect(),
             spec.edges
                 .iter()
-                .map(|e| format!("edge:{}->{}", e.from, e.to))
+                .map(|e| edge_track(e.from, e.to))
                 .collect(),
         )
     } else {
@@ -559,10 +610,11 @@ pub fn simulate_traced(spec: &PipelineSpec, frames: u64, rec: &dyn Recorder) -> 
         busy_cycles: vec![0; n],
         blocked_cycles: vec![0; n],
         starved_cycles: vec![0; n],
-        rec,
         traced,
         stage_tracks,
         edge_tracks,
+        spans: Vec::new(),
+        gauges: Vec::new(),
         sink_exits: vec![0; n],
         is_source,
         is_sink,
@@ -575,6 +627,44 @@ pub fn simulate_traced(spec: &PipelineSpec, frames: u64, rec: &dyn Recorder) -> 
     };
     sim.run();
     assert_eq!(sim.frames_out, frames, "conservation: frames in == out");
+
+    if traced {
+        let mut events = std::mem::take(&mut sim.spans);
+        // Settle gauges: per-op samples for one channel arrive in
+        // non-decreasing time order, so the last sample per timestamp is
+        // the value left once the cascade finished — the only value the
+        // buffer holds for a nonzero duration.
+        let mut pending: Vec<Option<(u64, u64)>> = vec![None; spec.edges.len()];
+        for (c, t, occ) in std::mem::take(&mut sim.gauges) {
+            match pending[c] {
+                Some((pt, _)) if pt == t => pending[c] = Some((t, occ)),
+                Some((pt, pocc)) => {
+                    events.push(TraceEvent {
+                        track: sim.edge_tracks[c].clone(),
+                        name: "occupancy".into(),
+                        ts: pt,
+                        phase: Phase::Gauge(pocc),
+                    });
+                    pending[c] = Some((t, occ));
+                }
+                None => pending[c] = Some((t, occ)),
+            }
+        }
+        for (c, p) in pending.iter().enumerate() {
+            if let Some((t, occ)) = p {
+                events.push(TraceEvent {
+                    track: sim.edge_tracks[c].clone(),
+                    name: "occupancy".into(),
+                    ts: *t,
+                    phase: Phase::Gauge(*occ),
+                });
+            }
+        }
+        canonical_sort(&mut events);
+        for e in events {
+            rec.record(e);
+        }
+    }
 
     let makespan = sim.last_exit;
     let stages = (0..n)
@@ -592,7 +682,7 @@ pub fn simulate_traced(spec: &PipelineSpec, frames: u64, rec: &dyn Recorder) -> 
         .iter_mut()
         .zip(&spec.edges)
         .map(|(c, e)| {
-            c.set(makespan, c.occ); // close the occupancy integral
+            c.close(makespan); // close the occupancy integral and peak
             ChannelStats {
                 from: e.from,
                 to: e.to,

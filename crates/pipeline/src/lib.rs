@@ -58,9 +58,17 @@
 //! same simulation as per-stage service/blocked/starved spans and
 //! per-edge occupancy gauges — in simulated cycles, bit-identical across
 //! runs — through a `morph_trace::Recorder`.
+//!
+//! The sequential event loop is also the **oracle** for a DAM-style
+//! parallel engine ([`parallel`]): each stage runs as a context on a
+//! worker thread, synchronizing only through time-stamped bounded
+//! channels (acyclic-proven edges take a cheaper SPSC path, per
+//! [`flavor_plan`]), and [`EngineKind::Debug`] runs both engines on
+//! every simulation and asserts bit-identical stats and traces.
 
 pub mod balance;
 pub mod engine;
+pub mod parallel;
 pub mod report;
 
 pub use balance::{
@@ -70,6 +78,11 @@ pub use balance::{
 pub use engine::{
     simulate, simulate_traced, ChannelStats, EdgeSpec, PipelineCaps, PipelineSpec, PipelineStats,
     StageSpec, StageStats,
+};
+pub use parallel::{
+    flavor_plan, simulate_parallel, simulate_parallel_traced, simulate_parallel_traced_with,
+    simulate_parallel_with, simulate_traced_with_engine, simulate_with_engine, ChannelFlavor,
+    EngineKind, ParallelConfig, TimedChannel,
 };
 pub use report::{
     pareto_frontier, EdgeReport, ParetoPoint, ParetoReport, PipelineMode, PipelineReport,

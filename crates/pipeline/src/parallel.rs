@@ -1,0 +1,1038 @@
+//! The parallel pipeline engine: one worker thread per stage, DAM-style.
+//!
+//! [`simulate_parallel`] runs every [`PipelineSpec`] stage as a *context*
+//! on its own OS thread (spawned through `morph_check::thread::scope`, so
+//! the whole engine is model-checkable as the shipping code) and connects
+//! them with **time-stamped bounded channels** ([`TimedChannel`]). No
+//! global simulated clock exists: each worker advances its own local time
+//! from the timestamps it receives, so a receiver can run arbitrarily far
+//! past a lagging sender's frontier without any global synchronization —
+//! the channels carry *time*, not payloads.
+//!
+//! # The recurrence (why the result is bit-identical)
+//!
+//! The sequential oracle ([`simulate`]) is deterministic, and its
+//! schedule satisfies a per-stage recurrence over frame index `j`
+//! (`s_i` = service, `cap_e` = channel capacity, `rel_i(-1) = 0`):
+//!
+//! ```text
+//! pop_i(j)  = max( rel_i(j-1), max over in-edges (u -> i)  rel_u(j) )
+//! done_i(j) = pop_i(j) + s_i
+//! rel_i(j)  = max( done_i(j), max over out-edges (i -> v)  pop_v(j - cap_e) )   for j >= cap_e
+//! ```
+//!
+//! Every quantity in [`PipelineStats`] — and every span and gauge in the
+//! traced sidecar — is a pure function of the `pop`/`rel` vectors, so an
+//! engine that computes the same recurrence computes bit-identical
+//! results, regardless of which thread ran when. Workers exchange exactly
+//! the recurrence's cross-stage terms: `rel_u(j)` flows **forward** on an
+//! edge's data channel, and `pop_v(j)` flows **backward** on its credit
+//! channel (a producer consumes credit `j - cap_e` before releasing
+//! frame `j` — the bounded buffer as flow control). Both directions
+//! batch timestamps to amortize synchronization.
+//!
+//! Deadlock freedom: workers flush every pending outbound batch before
+//! any blocking receive (no hold-and-wait), channel capacities bound the
+//! protocol's in-flight counts, and the recurrence is well-founded on
+//! acyclic specs (data edges go forward, credit edges drop the frame
+//! index by `cap_e >= 1`) — the standard Kahn-process-network induction.
+//! The same discipline makes the worker-admission throttle
+//! ([`ParallelConfig::threads`]) safe at any thread count >= 1: a worker
+//! parks its admission permit around every blocking channel op, so
+//! permits are only held while compute is guaranteed to finish.
+//!
+//! # Oracle discipline
+//!
+//! The sequential engine stays the shipping oracle. [`EngineKind`]
+//! selects the engine (env-overridable via `MORPH_ENGINE`, default
+//! sequential), and [`EngineKind::Debug`] runs **both** and asserts
+//! bit-identical stats and traced sidecars on every call — the
+//! `checker_context` idiom from DAM, and the discipline the differential
+//! test suite and the `parallel` bench bin enforce across the zoo.
+
+use crate::engine::{
+    edge_track, simulate, simulate_traced, stage_track, Chan, ChannelStats, PipelineSpec,
+    PipelineStats, StageStats,
+};
+use morph_check::sync::{AtomicCell, Channel, RaceSlot, Semaphore};
+use morph_check::thread as shim_thread;
+use morph_trace::{canonical_sort, Phase, Recorder, TraceBuffer, TraceEvent};
+use std::collections::VecDeque;
+
+// ---------------------------------------------------------------------------
+// Engine selection
+
+/// Which pipeline engine a [`crate::simulate`]-shaped call runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The single-threaded discrete-event oracle ([`simulate`]). Default.
+    Sequential,
+    /// The multi-threaded engine ([`simulate_parallel`]).
+    Parallel,
+    /// Run **both** engines and assert bit-identical [`PipelineStats`]
+    /// (and, when tracing, byte-identical sidecars); the oracle's result
+    /// is returned. Differential checking as a runtime mode.
+    Debug,
+}
+
+impl EngineKind {
+    /// Environment variable consulted by [`EngineKind::from_env`].
+    pub const ENV: &'static str = "MORPH_ENGINE";
+
+    /// Every engine kind, in escalation order.
+    pub const ALL: [EngineKind; 3] = [
+        EngineKind::Sequential,
+        EngineKind::Parallel,
+        EngineKind::Debug,
+    ];
+
+    /// Stable lowercase label (the `MORPH_ENGINE` vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Sequential => "sequential",
+            EngineKind::Parallel => "parallel",
+            EngineKind::Debug => "debug",
+        }
+    }
+
+    /// Parse a [`EngineKind::label`].
+    pub fn from_label(label: &str) -> Option<EngineKind> {
+        EngineKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+
+    /// The engine selected by the `MORPH_ENGINE` environment variable,
+    /// or `None` when unset/empty. An unrecognized value panics — a
+    /// typo'd override must not silently fall back to the default.
+    pub fn from_env() -> Option<EngineKind> {
+        match std::env::var(Self::ENV) {
+            Ok(v) if v.is_empty() => None,
+            Ok(v) => Some(EngineKind::from_label(&v).unwrap_or_else(|| {
+                panic!(
+                    "{}={v:?} is not one of sequential|parallel|debug",
+                    Self::ENV
+                )
+            })),
+            Err(_) => None,
+        }
+    }
+}
+
+/// Run the selected engine (see [`EngineKind`]).
+///
+/// # Panics
+///
+/// Panics if the spec is invalid, or — under [`EngineKind::Debug`] — if
+/// the engines disagree.
+pub fn simulate_with_engine(kind: EngineKind, spec: &PipelineSpec, frames: u64) -> PipelineStats {
+    match kind {
+        EngineKind::Sequential => simulate(spec, frames),
+        EngineKind::Parallel => simulate_parallel(spec, frames),
+        EngineKind::Debug => {
+            let seq = simulate(spec, frames);
+            let par = simulate_parallel(spec, frames);
+            assert_engines_agree(&seq, &par);
+            seq
+        }
+    }
+}
+
+/// Traced variant of [`simulate_with_engine`]. Under
+/// [`EngineKind::Debug`] both engines record into private buffers that
+/// are asserted identical; the (sequential) events are then forwarded to
+/// `rec`, so the caller observes exactly one run's trace.
+///
+/// # Panics
+///
+/// Panics if the spec is invalid, or — under [`EngineKind::Debug`] — if
+/// the engines' stats or traced sidecars diverge.
+pub fn simulate_traced_with_engine(
+    kind: EngineKind,
+    spec: &PipelineSpec,
+    frames: u64,
+    rec: &dyn Recorder,
+) -> PipelineStats {
+    match kind {
+        EngineKind::Sequential => simulate_traced(spec, frames, rec),
+        EngineKind::Parallel => simulate_parallel_traced(spec, frames, rec),
+        EngineKind::Debug => {
+            if !rec.enabled() {
+                return simulate_with_engine(EngineKind::Debug, spec, frames);
+            }
+            let seq_buf = TraceBuffer::new();
+            let par_buf = TraceBuffer::new();
+            let seq = simulate_traced(spec, frames, &seq_buf);
+            let par = simulate_parallel_traced(spec, frames, &par_buf);
+            assert_engines_agree(&seq, &par);
+            let (se, pe) = (seq_buf.events(), par_buf.events());
+            assert_eq!(
+                se,
+                pe,
+                "debug engine: traced sidecars diverge ({} vs {} events)",
+                se.len(),
+                pe.len()
+            );
+            for e in se {
+                rec.record(e);
+            }
+            seq
+        }
+    }
+}
+
+fn assert_engines_agree(seq: &PipelineStats, par: &PipelineStats) {
+    assert!(
+        seq == par,
+        "debug engine: parallel stats diverge from the sequential oracle\n\
+         sequential: {seq:?}\n\
+         parallel:   {par:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Channel flavors
+
+/// Synchronization flavor of one edge's channel pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelFlavor {
+    /// Single-producer single-consumer ring: payloads in
+    /// [`RaceSlot`]s ordered *only* by an item/space [`Semaphore`] pair
+    /// (the race detector proves that protocol sufficient). The cheap
+    /// path — legal only for edges a topological proof showed are not
+    /// part of any wait-for knot.
+    Acyclic,
+    /// Blocking bounded MPMC channel shim — the conservative fallback
+    /// for any edge, knotted or not.
+    General,
+}
+
+impl ChannelFlavor {
+    /// Stable lowercase label (bench tables, audit subjects).
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelFlavor::Acyclic => "acyclic",
+            ChannelFlavor::General => "general",
+        }
+    }
+}
+
+/// Per-edge flavor assignment for `spec`, derived from a Kahn
+/// topological-ordering proof over the stage graph (the same certificate
+/// `morph-audit`'s knot detector computes independently — its
+/// `flavor-plan` rule cross-checks this function): an edge gets the
+/// cheap [`ChannelFlavor::Acyclic`] flavor only if **both** endpoints
+/// were topologically ordered, i.e. neither participates in a cycle;
+/// anything else falls back to [`ChannelFlavor::General`]. Valid specs
+/// are forward-edge-only and therefore fully acyclic, but the plan
+/// *proves* that instead of assuming it.
+pub fn flavor_plan(spec: &PipelineSpec) -> Vec<ChannelFlavor> {
+    let n = spec.stages.len();
+    let mut indeg = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &spec.edges {
+        indeg[e.to] += 1;
+        out[e.from].push(e.to);
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut ordered = vec![false; n];
+    while let Some(i) = queue.pop() {
+        ordered[i] = true;
+        for &v in &out[i] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    spec.edges
+        .iter()
+        .map(|e| {
+            if ordered[e.from] && ordered[e.to] {
+                ChannelFlavor::Acyclic
+            } else {
+                ChannelFlavor::General
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Time-stamped channel
+
+/// A bounded channel carrying batches of non-decreasing simulated-time
+/// stamps, plus a published **frontier**: the producer's local simulated
+/// time, stored (single-writer) before each batch becomes visible. Any
+/// observer therefore sees `frontier() >=` every timestamp it has
+/// received on the channel, without taking a lock — the "advance past
+/// the sender's frontier" contract the model tests pin down.
+///
+/// Flavor picks the synchronization ([`ChannelFlavor`]); semantics are
+/// identical. The ring flavor's per-slot cursors are *caller-owned*
+/// (`&mut usize` on [`TimedChannel::send`]/[`TimedChannel::recv`]): the
+/// single producer and single consumer each keep their own index, so the
+/// hot path shares only the semaphores, the slot, and the frontier cell.
+#[derive(Debug)]
+pub struct TimedChannel {
+    inner: Inner,
+    frontier: AtomicCell<u64>,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Ring(Ring),
+    General(Channel<Vec<u64>>),
+}
+
+#[derive(Debug)]
+struct Ring {
+    slots: Vec<RaceSlot<Vec<u64>>>,
+    items: Semaphore,
+    spaces: Semaphore,
+}
+
+impl TimedChannel {
+    /// A channel of `capacity.max(1)` in-flight batches.
+    pub fn new(flavor: ChannelFlavor, capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        let inner = match flavor {
+            ChannelFlavor::Acyclic => Inner::Ring(Ring {
+                slots: (0..cap).map(|_| RaceSlot::empty()).collect(),
+                items: Semaphore::new(0),
+                spaces: Semaphore::new(cap),
+            }),
+            ChannelFlavor::General => Inner::General(Channel::bounded(cap)),
+        };
+        TimedChannel {
+            inner,
+            frontier: AtomicCell::new(0),
+        }
+    }
+
+    /// This channel's flavor.
+    pub fn flavor(&self) -> ChannelFlavor {
+        match self.inner {
+            Inner::Ring(_) => ChannelFlavor::Acyclic,
+            Inner::General(_) => ChannelFlavor::General,
+        }
+    }
+
+    /// Send a non-empty batch of non-decreasing timestamps, blocking
+    /// while the channel is full. `cursor` is the producer's ring index
+    /// (caller-owned; ignored by the general flavor).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch.
+    pub fn send(&self, cursor: &mut usize, batch: Vec<u64>) {
+        let horizon = *batch.last().expect("batch must be non-empty");
+        // Publish the producer's time horizon before the payload: the
+        // frontier tracks sender *progress*, so it may legitimately run
+        // ahead of what is visible, never behind.
+        self.frontier.store(horizon);
+        match &self.inner {
+            Inner::Ring(r) => {
+                r.spaces.acquire();
+                r.slots[*cursor].put(batch);
+                *cursor = (*cursor + 1) % r.slots.len();
+                r.items.release();
+            }
+            Inner::General(ch) => ch.send(batch),
+        }
+    }
+
+    /// Receive the next batch, blocking while the channel is empty.
+    /// `cursor` is the consumer's ring index (caller-owned; ignored by
+    /// the general flavor).
+    pub fn recv(&self, cursor: &mut usize) -> Vec<u64> {
+        match &self.inner {
+            Inner::Ring(r) => {
+                r.items.acquire();
+                let batch = r.slots[*cursor]
+                    .take()
+                    .expect("an item permit implies an occupied slot");
+                *cursor = (*cursor + 1) % r.slots.len();
+                r.spaces.release();
+                batch
+            }
+            Inner::General(ch) => ch.recv(),
+        }
+    }
+
+    /// The producer's published simulated-time horizon: monotone, and
+    /// `>=` every timestamp any receiver has observed on this channel.
+    pub fn frontier(&self) -> u64 {
+        self.frontier.load()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine configuration
+
+/// Tuning knobs for the parallel engine; `Default` is the shipping
+/// configuration. Results are bit-identical under **every**
+/// configuration — these trade wall-clock only.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker-admission limit: at most this many stage workers run
+    /// concurrently (clamped to >= 1); when it is >= the stage count the
+    /// throttle is skipped entirely. Defaults to the
+    /// `MORPH_TEST_THREADS` environment variable when set (the CI
+    /// differential matrix pins worker counts through it without
+    /// plumbing a knob into every caller), else
+    /// `std::thread::available_parallelism()`.
+    pub threads: usize,
+    /// Per-edge flavor override (length must equal `spec.edges.len()`);
+    /// `None` uses [`flavor_plan`]. Overriding to
+    /// [`ChannelFlavor::Acyclic`] on a knotted edge is unsound — this
+    /// exists so tests and benches can force the general flavor.
+    pub flavors: Option<Vec<ChannelFlavor>>,
+    /// Timestamps buffered per outbound stream before a non-forced
+    /// flush (clamped to >= 1). Amortizes channel synchronization.
+    pub flush_batch: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: default_threads(),
+            flavors: None,
+            flush_batch: 32,
+        }
+    }
+}
+
+/// Default worker count: `MORPH_TEST_THREADS` if set and parsable
+/// (clamped to >= 1), else the machine's available parallelism.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MORPH_TEST_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            return t.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+// ---------------------------------------------------------------------------
+// Stage workers
+
+/// Everything one stage worker needs, borrowed from the engine frame.
+struct StageCtx<'a> {
+    service: u64,
+    frames: u64,
+    /// Per in-edge: (data channel to receive, credit channel to send).
+    ins: Vec<(&'a TimedChannel, &'a TimedChannel)>,
+    /// Per out-edge: (data channel to send, credit channel to receive,
+    /// edge capacity in frames).
+    outs: Vec<(&'a TimedChannel, &'a TimedChannel, u64)>,
+    flush_batch: usize,
+    admission: Option<&'a Semaphore>,
+}
+
+/// Outbound streams of one worker: pending timestamp batches plus the
+/// producer-side ring cursor per channel. Data streams first
+/// (`0..outs`), then credit streams (`outs..outs + ins`).
+struct Outbox<'a> {
+    admission: Option<&'a Semaphore>,
+    streams: Vec<(&'a TimedChannel, usize, Vec<u64>)>,
+}
+
+impl Outbox<'_> {
+    fn push(&mut self, idx: usize, t: u64, flush_batch: usize) {
+        self.streams[idx].2.push(t);
+        if self.streams[idx].2.len() >= flush_batch {
+            self.flush_one(idx);
+        }
+    }
+
+    fn flush_one(&mut self, idx: usize) {
+        let (ch, cursor, pending) = &mut self.streams[idx];
+        if pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(pending);
+        // The capacity proofs make these sends non-blocking in the
+        // engine protocol, but park the admission permit anyway: a
+        // worker must never hold one while waiting on a channel.
+        match self.admission {
+            Some(sem) => {
+                sem.release();
+                ch.send(cursor, batch);
+                sem.acquire();
+            }
+            None => ch.send(cursor, batch),
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for i in 0..self.streams.len() {
+            self.flush_one(i);
+        }
+    }
+}
+
+/// Inbound streams of one worker: buffered timestamps plus the
+/// consumer-side ring cursor per channel. Data streams first
+/// (`0..ins`), then credit streams (`ins..ins + outs`).
+struct Inbox<'a> {
+    admission: Option<&'a Semaphore>,
+    streams: Vec<(&'a TimedChannel, usize, VecDeque<u64>)>,
+}
+
+impl Inbox<'_> {
+    /// Next timestamp from stream `idx`. A blocking receive first
+    /// flushes every pending outbound batch — a blocked worker has
+    /// always externalized everything it produced (the no-hold-and-wait
+    /// rule the deadlock-freedom induction needs).
+    fn next(&mut self, idx: usize, out: &mut Outbox<'_>) -> u64 {
+        while self.streams[idx].2.is_empty() {
+            out.flush_all();
+            let (ch, cursor, buf) = &mut self.streams[idx];
+            let batch = match self.admission {
+                Some(sem) => {
+                    sem.release();
+                    let b = ch.recv(cursor);
+                    sem.acquire();
+                    b
+                }
+                None => ch.recv(cursor),
+            };
+            buf.extend(batch);
+        }
+        self.streams[idx].2.pop_front().expect("checked non-empty")
+    }
+}
+
+/// One stage's context loop: compute the recurrence for every frame,
+/// exchanging `rel` (forward) and `pop` (backward credit) timestamps.
+/// Returns the stage's full `(pop, rel)` schedule.
+fn run_stage(cx: &StageCtx<'_>) -> (Vec<u64>, Vec<u64>) {
+    if let Some(sem) = cx.admission {
+        sem.acquire();
+    }
+    let n_out = cx.outs.len();
+    let n_in = cx.ins.len();
+    let mut outbox = Outbox {
+        admission: cx.admission,
+        streams: cx
+            .outs
+            .iter()
+            .map(|&(data, _, _)| (data, 0, Vec::new()))
+            .chain(cx.ins.iter().map(|&(_, credit)| (credit, 0, Vec::new())))
+            .collect(),
+    };
+    let mut inbox = Inbox {
+        admission: cx.admission,
+        streams: cx
+            .ins
+            .iter()
+            .map(|&(data, _)| (data, 0, VecDeque::new()))
+            .chain(
+                cx.outs
+                    .iter()
+                    .map(|&(_, credit, _)| (credit, 0, VecDeque::new())),
+            )
+            .collect(),
+    };
+    let mut pop_v = Vec::with_capacity(cx.frames as usize);
+    let mut rel_v = Vec::with_capacity(cx.frames as usize);
+    let mut rel_prev = 0u64;
+    for j in 0..cx.frames {
+        // pop_i(j) = max(rel_i(j-1), max over in-edges rel_u(j)); a
+        // source's supply is always ready, so only rel_i(j-1) gates it.
+        let mut pop = rel_prev;
+        for k in 0..n_in {
+            pop = pop.max(inbox.next(k, &mut outbox));
+        }
+        pop_v.push(pop);
+        // Popping frame j certifies buffer space for the producer's
+        // frame j + cap: send pop_i(j) back as credit.
+        for k in 0..n_in {
+            outbox.push(n_out + k, pop, cx.flush_batch);
+        }
+        let done = pop + cx.service;
+        // rel_i(j) additionally waits for downstream space on every
+        // out-edge: credit j - cap must have arrived.
+        let mut rel = done;
+        for (m, &(_, _, cap)) in cx.outs.iter().enumerate() {
+            if j >= cap {
+                rel = rel.max(inbox.next(n_in + m, &mut outbox));
+            }
+        }
+        rel_v.push(rel);
+        for m in 0..n_out {
+            outbox.push(m, rel, cx.flush_batch);
+        }
+        rel_prev = rel;
+    }
+    outbox.flush_all();
+    if let Some(sem) = cx.admission {
+        sem.release();
+    }
+    (pop_v, rel_v)
+}
+
+// ---------------------------------------------------------------------------
+// Engine entry points
+
+/// [`simulate`]'s parallel twin: bit-identical [`PipelineStats`],
+/// computed by one worker thread per stage under the default
+/// [`ParallelConfig`].
+///
+/// # Panics
+///
+/// Panics if the spec fails [`PipelineSpec::validate`].
+pub fn simulate_parallel(spec: &PipelineSpec, frames: u64) -> PipelineStats {
+    simulate_parallel_with(spec, frames, &ParallelConfig::default())
+}
+
+/// [`simulate_parallel`] with explicit tuning.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`PipelineSpec::validate`] or a flavor
+/// override does not cover every edge.
+pub fn simulate_parallel_with(
+    spec: &PipelineSpec,
+    frames: u64,
+    cfg: &ParallelConfig,
+) -> PipelineStats {
+    simulate_parallel_traced_with(spec, frames, &morph_trace::NoopRecorder, cfg)
+}
+
+/// [`simulate_traced`]'s parallel twin: the recorded sidecar is
+/// byte-identical to the sequential oracle's (both engines emit the
+/// canonical event order — see [`canonical_sort`]).
+///
+/// # Panics
+///
+/// Panics if the spec fails [`PipelineSpec::validate`].
+pub fn simulate_parallel_traced(
+    spec: &PipelineSpec,
+    frames: u64,
+    rec: &dyn Recorder,
+) -> PipelineStats {
+    simulate_parallel_traced_with(spec, frames, rec, &ParallelConfig::default())
+}
+
+/// [`simulate_parallel_traced`] with explicit tuning.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`PipelineSpec::validate`] or a flavor
+/// override does not cover every edge.
+pub fn simulate_parallel_traced_with(
+    spec: &PipelineSpec,
+    frames: u64,
+    rec: &dyn Recorder,
+    cfg: &ParallelConfig,
+) -> PipelineStats {
+    spec.validate().expect("invalid pipeline spec");
+    let n = spec.stages.len();
+    let flavors = match &cfg.flavors {
+        Some(f) => {
+            assert_eq!(
+                f.len(),
+                spec.edges.len(),
+                "flavor override must cover every edge"
+            );
+            f.clone()
+        }
+        None => flavor_plan(spec),
+    };
+    let chans: Vec<(TimedChannel, TimedChannel)> = spec
+        .edges
+        .iter()
+        .zip(&flavors)
+        .map(|(e, &fl)| {
+            (
+                TimedChannel::new(fl, e.capacity),
+                TimedChannel::new(fl, e.capacity),
+            )
+        })
+        .collect();
+    let mut ins: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut outs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ei, e) in spec.edges.iter().enumerate() {
+        outs[e.from].push(ei);
+        ins[e.to].push(ei);
+    }
+    let threads = cfg.threads.max(1);
+    let admission = (threads < n).then(|| Semaphore::new(threads));
+    let ctxs: Vec<StageCtx<'_>> = (0..n)
+        .map(|i| StageCtx {
+            service: spec.stages[i].service_cycles,
+            frames,
+            ins: ins[i].iter().map(|&e| (&chans[e].0, &chans[e].1)).collect(),
+            outs: outs[i]
+                .iter()
+                .map(|&e| (&chans[e].0, &chans[e].1, spec.edges[e].capacity as u64))
+                .collect(),
+            flush_batch: cfg.flush_batch.max(1),
+            admission: admission.as_ref(),
+        })
+        .collect();
+    let schedules: Vec<(Vec<u64>, Vec<u64>)> = shim_thread::scope(|s| {
+        let handles: Vec<_> = ctxs
+            .iter()
+            .map(|cx| s.spawn(move || run_stage(cx)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    let (pops, rels): (Vec<Vec<u64>>, Vec<Vec<u64>>) = schedules.into_iter().unzip();
+    assemble(spec, frames, &pops, &rels, rec)
+}
+
+/// Fold a complete `(pop, rel)` schedule into [`PipelineStats`] and the
+/// canonical traced sidecar — the same pure functions of the schedule
+/// the sequential engine computes incrementally.
+fn assemble(
+    spec: &PipelineSpec,
+    frames: u64,
+    pops: &[Vec<u64>],
+    rels: &[Vec<u64>],
+    rec: &dyn Recorder,
+) -> PipelineStats {
+    let n = spec.stages.len();
+    let f = frames as usize;
+    for i in 0..n {
+        assert_eq!(pops[i].len(), f, "conservation: stage {i} pops every frame");
+        assert_eq!(
+            rels[i].len(),
+            f,
+            "conservation: stage {i} releases every frame"
+        );
+    }
+    let mut has_in = vec![false; n];
+    let mut has_out = vec![false; n];
+    for e in &spec.edges {
+        has_in[e.to] = true;
+        has_out[e.from] = true;
+    }
+    let sink_last = |col: usize| -> u64 {
+        (0..n)
+            .filter(|&i| !has_out[i])
+            .map(|i| rels[i][col])
+            .max()
+            .unwrap_or(0)
+    };
+    let makespan = if f == 0 { 0 } else { sink_last(f - 1) };
+    let fill = if f == 0 { 0 } else { sink_last(0) };
+    let last_entry = if f == 0 {
+        0
+    } else {
+        (0..n)
+            .filter(|&i| !has_in[i])
+            .map(|i| pops[i][f - 1])
+            .max()
+            .unwrap_or(0)
+    };
+    let stages = (0..n)
+        .map(|i| {
+            let s = spec.stages[i].service_cycles;
+            let blocked: u64 = (0..f).map(|j| rels[i][j] - (pops[i][j] + s)).sum();
+            let starved: u64 = if has_in[i] {
+                (0..f)
+                    .map(|j| pops[i][j] - if j == 0 { 0 } else { rels[i][j - 1] })
+                    .sum()
+            } else {
+                0
+            };
+            StageStats {
+                name: spec.stages[i].name.clone(),
+                service_cycles: s,
+                frames,
+                busy_cycles: frames * s,
+                blocked_cycles: blocked,
+                starved_cycles: starved,
+            }
+        })
+        .collect();
+
+    let traced = rec.enabled();
+    let mut events: Vec<TraceEvent> = Vec::new();
+    if traced {
+        for i in 0..n {
+            let track = stage_track(i, &spec.stages[i].name);
+            let s = spec.stages[i].service_cycles;
+            for j in 0..f {
+                let (pop, rel) = (pops[i][j], rels[i][j]);
+                let done = pop + s;
+                push_span(&mut events, &track, "service", pop, done);
+                if rel > done {
+                    push_span(&mut events, &track, "blocked_full", done, rel);
+                }
+                let prev = if j == 0 { 0 } else { rels[i][j - 1] };
+                if has_in[i] && pop > prev {
+                    push_span(&mut events, &track, "blocked_empty", prev, pop);
+                }
+            }
+        }
+    }
+    let channels = spec
+        .edges
+        .iter()
+        .map(|e| {
+            let (push, pop) = (&rels[e.from], &pops[e.to]);
+            let mut chan = Chan {
+                cap: e.capacity,
+                occ: 0,
+                max: 0,
+                integral: 0,
+                last_t: 0,
+            };
+            let track = if traced {
+                Some(edge_track(e.from, e.to))
+            } else {
+                None
+            };
+            let (mut a, mut b) = (0usize, 0usize);
+            let mut occ = 0usize;
+            // Merge walk over the sorted push (rel_u) and pop (pop_v)
+            // times: at each *distinct* timestamp apply every push and
+            // pop, then fold the settled occupancy — exactly the
+            // sequential Chan discipline and gauge-settling rule.
+            while a < f || b < f {
+                let t = match (push.get(a), pop.get(b)) {
+                    (Some(&x), Some(&y)) => x.min(y),
+                    (Some(&x), None) => x,
+                    (None, Some(&y)) => y,
+                    (None, None) => unreachable!("loop guard"),
+                };
+                while a < f && push[a] == t {
+                    occ += 1;
+                    a += 1;
+                }
+                while b < f && pop[b] == t {
+                    occ -= 1;
+                    b += 1;
+                }
+                chan.set(t, occ);
+                if let Some(tr) = &track {
+                    events.push(TraceEvent {
+                        track: tr.clone(),
+                        name: "occupancy".into(),
+                        ts: t,
+                        phase: Phase::Gauge(occ as u64),
+                    });
+                }
+            }
+            chan.close(makespan);
+            ChannelStats {
+                from: e.from,
+                to: e.to,
+                capacity: chan.cap,
+                max_occupancy: chan.max,
+                mean_occupancy: if makespan > 0 {
+                    chan.integral as f64 / makespan as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    if traced {
+        canonical_sort(&mut events);
+        for ev in events {
+            rec.record(ev);
+        }
+    }
+    PipelineStats {
+        frames_in: frames,
+        frames_out: frames,
+        makespan_cycles: makespan,
+        fill_cycles: fill,
+        drain_cycles: makespan - last_entry,
+        stages,
+        channels,
+    }
+}
+
+fn push_span(events: &mut Vec<TraceEvent>, track: &str, name: &str, t0: u64, t1: u64) {
+    events.push(TraceEvent {
+        track: track.to_string(),
+        name: name.into(),
+        ts: t0,
+        phase: Phase::Begin,
+    });
+    events.push(TraceEvent {
+        track: track.to_string(),
+        name: name.into(),
+        ts: t1,
+        phase: Phase::End,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EdgeSpec, StageSpec};
+
+    fn st(name: &str, service: u64) -> StageSpec {
+        StageSpec {
+            name: name.into(),
+            service_cycles: service,
+        }
+    }
+
+    fn chain(services: &[u64], caps: &[usize]) -> PipelineSpec {
+        PipelineSpec::chain(
+            services
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| st(&format!("s{i}"), s))
+                .collect(),
+            caps,
+        )
+    }
+
+    fn diamond() -> PipelineSpec {
+        PipelineSpec {
+            stages: vec![st("src", 7), st("a", 13), st("b", 3), st("join", 5)],
+            edges: vec![
+                EdgeSpec {
+                    from: 0,
+                    to: 1,
+                    capacity: 2,
+                },
+                EdgeSpec {
+                    from: 0,
+                    to: 2,
+                    capacity: 1,
+                },
+                EdgeSpec {
+                    from: 1,
+                    to: 3,
+                    capacity: 1,
+                },
+                EdgeSpec {
+                    from: 2,
+                    to: 3,
+                    capacity: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn flavor_plan_proves_valid_specs_fully_acyclic() {
+        let plan = flavor_plan(&diamond());
+        assert_eq!(plan, vec![ChannelFlavor::Acyclic; 4]);
+    }
+
+    #[test]
+    fn flavor_plan_demotes_knotted_edges_to_general() {
+        // A deliberately invalid (cyclic) graph: 0 -> 1 -> 0, plus an
+        // acyclic tail 1 -> 2 hanging off the knot. Only edges with both
+        // endpoints outside the cycle may keep the cheap flavor.
+        let spec = PipelineSpec {
+            stages: vec![st("a", 1), st("b", 1), st("c", 1)],
+            edges: vec![
+                EdgeSpec {
+                    from: 0,
+                    to: 1,
+                    capacity: 1,
+                },
+                EdgeSpec {
+                    from: 1,
+                    to: 0,
+                    capacity: 1,
+                },
+                EdgeSpec {
+                    from: 1,
+                    to: 2,
+                    capacity: 1,
+                },
+            ],
+        };
+        assert_eq!(
+            flavor_plan(&spec),
+            vec![
+                ChannelFlavor::General,
+                ChannelFlavor::General,
+                ChannelFlavor::General,
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_matches_oracle_on_chains() {
+        for frames in [0u64, 1, 2, 17, 64] {
+            let s = chain(&[30, 50, 20], &[2, 1]);
+            assert_eq!(simulate_parallel(&s, frames), simulate(&s, frames));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_oracle_on_fork_join() {
+        let s = diamond();
+        assert_eq!(simulate_parallel(&s, 33), simulate(&s, 33));
+    }
+
+    #[test]
+    fn general_flavor_and_throttle_do_not_change_results() {
+        let s = diamond();
+        let oracle = simulate(&s, 21);
+        for threads in [1usize, 2, 16] {
+            for flavor in [ChannelFlavor::Acyclic, ChannelFlavor::General] {
+                let cfg = ParallelConfig {
+                    threads,
+                    flavors: Some(vec![flavor; s.edges.len()]),
+                    flush_batch: 3,
+                };
+                assert_eq!(simulate_parallel_with(&s, 21, &cfg), oracle);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_sidecars_are_byte_identical() {
+        let s = diamond();
+        let (seq_buf, par_buf) = (TraceBuffer::new(), TraceBuffer::new());
+        let a = simulate_traced(&s, 19, &seq_buf);
+        let b = simulate_parallel_traced(&s, 19, &par_buf);
+        assert_eq!(a, b);
+        assert_eq!(seq_buf.events(), par_buf.events());
+        assert!(!seq_buf.events().is_empty());
+    }
+
+    #[test]
+    fn debug_engine_runs_both_and_returns_the_oracle() {
+        let s = chain(&[5, 9], &[1]);
+        let oracle = simulate(&s, 12);
+        assert_eq!(simulate_with_engine(EngineKind::Debug, &s, 12), oracle);
+        let buf = TraceBuffer::new();
+        let stats = simulate_traced_with_engine(EngineKind::Debug, &s, 12, &buf);
+        assert_eq!(stats, oracle);
+        let direct = TraceBuffer::new();
+        simulate_traced(&s, 12, &direct);
+        assert_eq!(buf.events(), direct.events());
+    }
+
+    #[test]
+    fn engine_labels_round_trip() {
+        for k in EngineKind::ALL {
+            assert_eq!(EngineKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(EngineKind::from_label("both"), None);
+    }
+
+    #[test]
+    fn timed_channel_publishes_the_frontier_before_the_payload() {
+        for flavor in [ChannelFlavor::Acyclic, ChannelFlavor::General] {
+            let ch = TimedChannel::new(flavor, 2);
+            assert_eq!(ch.flavor(), flavor);
+            let (mut tx, mut rx) = (0usize, 0usize);
+            ch.send(&mut tx, vec![3, 8]);
+            ch.send(&mut tx, vec![9]);
+            assert_eq!(ch.recv(&mut rx), vec![3, 8]);
+            assert!(ch.frontier() >= 8);
+            assert_eq!(ch.recv(&mut rx), vec![9]);
+            assert!(ch.frontier() >= 9);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Differential suite: the parallel engine against the sequential
+//! oracle, bit for bit, over the seeded random-spec generators the
+//! property suite already sweeps.
+//!
+//! Every comparison is full-struct equality on [`PipelineStats`] (which
+//! includes the float-valued channel means — the engines must compute
+//! *identical* arithmetic, not merely close results) and, for the traced
+//! cases, event-list equality on the canonical sidecar.
+//!
+//! Worker counts sweep {1, 2, 8} by default; setting
+//! `MORPH_TEST_THREADS` pins a single count instead, which is how the
+//! CI matrix runs this suite once per thread configuration.
+
+use morph_pipeline::{
+    simulate, simulate_parallel_traced_with, simulate_parallel_with, simulate_traced,
+    simulate_with_engine, ChannelFlavor, EngineKind, ParallelConfig, PipelineSpec,
+};
+use morph_tensor::rng::XorShift as Rng;
+use morph_trace::TraceBuffer;
+
+mod common;
+use common::{arb_chain, arb_dag};
+
+/// Worker counts to sweep: `MORPH_TEST_THREADS` pins one, else {1, 2, 8}.
+fn thread_sweep() -> Vec<usize> {
+    match std::env::var("MORPH_TEST_THREADS") {
+        Ok(v) => vec![v
+            .trim()
+            .parse::<usize>()
+            .expect("MORPH_TEST_THREADS")
+            .max(1)],
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// The planner's flavors plus the all-general fallback, sized for `spec`.
+fn flavor_overrides(spec: &PipelineSpec) -> Vec<Option<Vec<ChannelFlavor>>> {
+    vec![None, Some(vec![ChannelFlavor::General; spec.edges.len()])]
+}
+
+#[test]
+fn random_chains_match_the_oracle_bit_for_bit() {
+    let mut rng = Rng::new(0xD1FF);
+    for case in 0..120 {
+        let spec = arb_chain(&mut rng);
+        let frames = rng.range(0, 40) as u64;
+        let flush_batch = rng.range(1, 6);
+        let oracle = simulate(&spec, frames);
+        for threads in thread_sweep() {
+            let par = simulate_parallel_with(
+                &spec,
+                frames,
+                &ParallelConfig {
+                    threads,
+                    flavors: None,
+                    flush_batch,
+                },
+            );
+            assert!(
+                par == oracle,
+                "case {case} ({threads} thread(s), flush {flush_batch}): \
+                 parallel diverged on {spec:?} frames {frames}\n\
+                 oracle:   {oracle:?}\nparallel: {par:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_dags_match_the_oracle_bit_for_bit() {
+    let mut rng = Rng::new(0xD1FF_DA60);
+    for case in 0..120 {
+        let spec = arb_dag(&mut rng);
+        let frames = rng.range(0, 30) as u64;
+        let flush_batch = rng.range(1, 6);
+        let oracle = simulate(&spec, frames);
+        for threads in thread_sweep() {
+            for flavors in flavor_overrides(&spec) {
+                let par = simulate_parallel_with(
+                    &spec,
+                    frames,
+                    &ParallelConfig {
+                        threads,
+                        flavors: flavors.clone(),
+                        flush_batch,
+                    },
+                );
+                assert!(
+                    par == oracle,
+                    "case {case} ({threads} thread(s), flavors {flavors:?}, \
+                     flush {flush_batch}): parallel diverged on {spec:?} frames {frames}\n\
+                     oracle:   {oracle:?}\nparallel: {par:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_dag_traced_sidecars_are_bit_identical() {
+    let mut rng = Rng::new(0x7AACE);
+    for case in 0..40 {
+        let spec = arb_dag(&mut rng);
+        let frames = rng.range(1, 20) as u64;
+        let seq_buf = TraceBuffer::new();
+        let oracle = simulate_traced(&spec, frames, &seq_buf);
+        for threads in thread_sweep() {
+            let par_buf = TraceBuffer::new();
+            let par = simulate_parallel_traced_with(
+                &spec,
+                frames,
+                &par_buf,
+                &ParallelConfig {
+                    threads,
+                    flavors: None,
+                    flush_batch: rng.range(1, 6),
+                },
+            );
+            assert!(par == oracle, "case {case}: stats diverged");
+            assert_eq!(
+                seq_buf.events(),
+                par_buf.events(),
+                "case {case} ({threads} thread(s)): sidecars diverged on {spec:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn debug_engine_bit_checks_random_dags() {
+    // EngineKind::Debug runs both engines and asserts agreement
+    // internally — a sweep through it is the whole differential check in
+    // one call per case (worker count comes from MORPH_TEST_THREADS via
+    // ParallelConfig::default).
+    let mut rng = Rng::new(0xDB6);
+    for _ in 0..60 {
+        let spec = arb_dag(&mut rng);
+        let frames = rng.range(0, 30) as u64;
+        let stats = simulate_with_engine(EngineKind::Debug, &spec, frames);
+        assert_eq!(stats.frames_out, frames);
+    }
+}

@@ -416,6 +416,59 @@ impl Recorder for TraceBuffer {
     }
 }
 
+/// Sort events into the workspace's **canonical trace order**: by
+/// timestamp, then track, then phase (span `End` before `Begin`, then
+/// counters, gauges, instants), then name, then payload.
+///
+/// The order is a pure function of the event *set* — any two recordings
+/// of the same events, whatever their interleaving (single-threaded
+/// cascade order, per-stage parallel buffers), canonicalize to the same
+/// sequence, which is what lets the parallel pipeline engine emit
+/// byte-identical sidecars to the sequential oracle. `End` sorts before
+/// `Begin` at equal timestamps so abutting spans on one track (a
+/// `service` span ending exactly where a `blocked_full` span starts)
+/// stay properly nested for the trace audit pass.
+pub fn canonical_sort(events: &mut [TraceEvent]) {
+    let rank = |p: Phase| -> u8 {
+        match p {
+            Phase::End => 0,
+            Phase::Begin => 1,
+            Phase::Counter(_) => 2,
+            Phase::Gauge(_) => 3,
+            Phase::Instant => 4,
+        }
+    };
+    let payload = |p: Phase| -> u64 {
+        match p {
+            Phase::Counter(v) | Phase::Gauge(v) => v,
+            _ => 0,
+        }
+    };
+    events.sort_by(|a, b| {
+        (a.ts, &a.track, rank(a.phase), &a.name, payload(a.phase)).cmp(&(
+            b.ts,
+            &b.track,
+            rank(b.phase),
+            &b.name,
+            payload(b.phase),
+        ))
+    });
+}
+
+impl TraceBuffer {
+    /// A copy of this buffer with its events in canonical order (see
+    /// [`canonical_sort`]). Use for order-insensitive buffer comparison;
+    /// two buffers recording the same events compare equal after
+    /// canonicalization regardless of recording interleaving.
+    pub fn canonicalized(&self) -> TraceBuffer {
+        let mut events = self.events();
+        canonical_sort(&mut events);
+        TraceBuffer {
+            events: Mutex::new(events),
+        }
+    }
+}
+
 /// A [`Recorder`] adapter that prepends a fixed prefix to every event's
 /// track before forwarding to an inner recorder. Layers that run the same
 /// instrumented code for several contexts (e.g. one pipeline simulation
